@@ -1,0 +1,60 @@
+// Shared scaffolding for the per-figure/per-theorem bench harnesses.
+//
+// Every harness accepts:
+//   --full    paper-scale iteration counts (defaults are ~10x smaller so
+//             the whole suite runs in a few minutes)
+//   --seed S  base RNG seed
+// and prints a self-contained report: what the paper shows, what we
+// measured, and the qualitative comparison EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/util/cli.hpp"
+
+namespace sops::bench {
+
+struct Options {
+  bool full = false;
+  std::uint64_t seed = 1;
+
+  /// Scales a default iteration budget up to paper scale under --full.
+  [[nodiscard]] std::uint64_t scaled(std::uint64_t base,
+                                     std::uint64_t full_scale = 10) const {
+    return full ? base * full_scale : base;
+  }
+};
+
+/// Parses the common flags; exits(0) on --help, exits(1) on bad args.
+inline Options parse_options(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("full", "run at paper scale");
+  cli.add_option("seed", "base random seed", "1");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    std::exit(1);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    std::exit(0);
+  }
+  Options opt;
+  opt.full = cli.flag("full");
+  opt.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  return opt;
+}
+
+inline void banner(const char* experiment, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", experiment, paper_artifact);
+  std::printf("paper: %s\n", claim);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace sops::bench

@@ -1,0 +1,96 @@
+// E10 — Section 2.1: the fully local distributed algorithm A achieves
+// the same long-run behavior as the centralized chain M, under multiple
+// asynchronous activation schedulers. We compare equilibrium means of
+// the two gauges and verify the invariants at settled snapshots.
+
+#include "bench/bench_common.hpp"
+#include "src/amoebot/simulator.hpp"
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/sops/invariants.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  bench::banner("E10", "Section 2.1 (distributed = centralized)",
+                "the local asynchronous translation A of M yields the same "
+                "emergent behavior under any fair activation schedule");
+
+  constexpr std::size_t kN = 60;
+  const core::Params params{4.0, 4.0, true};
+  util::Rng rng(opt.seed);
+  const auto nodes = lattice::random_blob(kN, rng);
+  const auto colors = core::balanced_random_colors(kN, 2, rng);
+
+  util::Table table({"executor", "mean p/p_min", "sem", "mean hetero_frac",
+                     "sem", "invariants"});
+
+  // Centralized reference.
+  {
+    core::SeparationChain chain(system::ParticleSystem(nodes, colors), params,
+                                opt.seed + 1);
+    chain.run(opt.scaled(2000000));
+    util::Accumulator p_ratio, hetero;
+    const std::size_t samples = opt.full ? 500 : 200;
+    core::sample_equilibrium(chain, 0, 20000, samples,
+                             [&](const core::SeparationChain& c) {
+                               const auto m = core::measure(c);
+                               p_ratio.add(m.perimeter_ratio);
+                               hetero.add(m.hetero_fraction);
+                             });
+    table.row()
+        .add("centralized M")
+        .add(p_ratio.mean(), 4)
+        .add(p_ratio.sem(), 3)
+        .add(hetero.mean(), 4)
+        .add(hetero.sem(), 3)
+        .add("n/a");
+  }
+
+  const struct {
+    amoebot::Scheduler scheduler;
+    const char* name;
+  } kSchedulers[] = {
+      {amoebot::Scheduler::kUniformRandom, "amoebot uniform"},
+      {amoebot::Scheduler::kRoundRobin, "amoebot round-robin"},
+      {amoebot::Scheduler::kRandomPermutation, "amoebot permutation"},
+  };
+  for (const auto& [scheduler, name] : kSchedulers) {
+    amoebot::Simulator sim(amoebot::World(nodes, colors), params,
+                           opt.seed + 2, scheduler);
+    sim.run(opt.scaled(4000000));  // ~2 activations per M step
+    util::Accumulator p_ratio, hetero;
+    bool invariants_ok = true;
+    const std::size_t samples = opt.full ? 500 : 200;
+    for (std::size_t s = 0; s < samples; ++s) {
+      sim.run(40000);
+      sim.settle();
+      const system::ParticleSystem snap = sim.world().snapshot();
+      p_ratio.add(static_cast<double>(snap.perimeter_by_identity()) /
+                  static_cast<double>(system::p_min(kN)));
+      hetero.add(static_cast<double>(snap.hetero_edge_count()) /
+                 static_cast<double>(snap.edge_count()));
+      invariants_ok = invariants_ok && system::is_connected(snap) &&
+                      !system::has_hole(snap);
+    }
+    table.row()
+        .add(name)
+        .add(p_ratio.mean(), 4)
+        .add(p_ratio.sem(), 3)
+        .add(hetero.mean(), 4)
+        .add(hetero.sem(), 3)
+        .add(invariants_ok ? "held" : "VIOLATED");
+  }
+
+  table.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: all three distributed executions match the "
+      "centralized equilibrium means within sampling error, with "
+      "connectivity and hole-freeness intact throughout.\n");
+  return 0;
+}

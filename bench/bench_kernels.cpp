@@ -1,0 +1,124 @@
+// E12 — kernel microbenchmarks (google-benchmark): the cost of the hot
+// operations underlying every experiment — chain steps, locality checks,
+// neighbor counts, hash-table ops, RNG draws, invariant checkers.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/coloring.hpp"
+#include "src/core/locality.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/separation.hpp"
+#include "src/sops/invariants.hpp"
+#include "src/util/hash_table.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sops;
+
+core::SeparationChain make_chain(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = core::balanced_random_colors(n, 2, rng);
+  return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                               core::Params{4.0, 4.0, true}, seed);
+}
+
+void BM_ChainStep(benchmark::State& state) {
+  core::SeparationChain chain =
+      make_chain(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChainStep)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_PropertyCheck(benchmark::State& state) {
+  core::SeparationChain chain = make_chain(100, 7);
+  chain.run(100000);
+  const auto& sys = chain.system();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto i =
+        static_cast<system::ParticleIndex>(rng.below(sys.size()));
+    const int dir = static_cast<int>(rng.below(6));
+    benchmark::DoNotOptimize(
+        core::move_preserves_invariants(sys, sys.position(i), dir));
+  }
+}
+BENCHMARK(BM_PropertyCheck);
+
+void BM_NeighborCount(benchmark::State& state) {
+  core::SeparationChain chain = make_chain(100, 9);
+  const auto& sys = chain.system();
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const auto i =
+        static_cast<system::ParticleIndex>(rng.below(sys.size()));
+    benchmark::DoNotOptimize(sys.neighbor_count(sys.position(i)));
+  }
+}
+BENCHMARK(BM_NeighborCount);
+
+void BM_FlatMapInsertErase(benchmark::State& state) {
+  util::FlatMap<int> map(1024);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const std::uint64_t key = rng.below(4096);
+    map.insert(key, 1);
+    map.erase(rng.below(4096));
+  }
+}
+BENCHMARK(BM_FlatMapInsertErase);
+
+void BM_FlatMapFind(benchmark::State& state) {
+  util::FlatMap<int> map(1024);
+  for (std::uint64_t i = 0; i < 1000; ++i) map.insert(i * 7919, 1);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(rng.below(1000) * 7919));
+  }
+}
+BENCHMARK(BM_FlatMapFind);
+
+void BM_RngDraw(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_PerimeterWalk(benchmark::State& state) {
+  util::Rng rng(8);
+  const system::ParticleSystem sys(
+      lattice::random_blob(static_cast<std::size_t>(state.range(0)), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system::perimeter_walk(sys));
+  }
+}
+BENCHMARK(BM_PerimeterWalk)->Arg(100)->Arg(400);
+
+void BM_HoleCheck(benchmark::State& state) {
+  util::Rng rng(9);
+  const system::ParticleSystem sys(lattice::random_blob(200, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system::has_hole(sys));
+  }
+}
+BENCHMARK(BM_HoleCheck);
+
+void BM_SeparationDetector(benchmark::State& state) {
+  core::SeparationChain chain = make_chain(100, 10);
+  chain.run(1000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::find_separation(chain.system(), 6.0));
+  }
+}
+BENCHMARK(BM_SeparationDetector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

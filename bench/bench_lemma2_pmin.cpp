@@ -1,0 +1,64 @@
+// E6 — Lemma 2: p_min(n) ≤ 2√3·√n, achieved by the hexagon-plus-layer
+// construction of Appendix A.1. We verify the bound for every n up to a
+// limit, confirm the constructive arrangement is connected, hole-free,
+// and within +1 of the exact minimum, and report the worst ratio.
+
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/sops/invariants.hpp"
+#include "src/util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  bench::banner("E6", "Lemma 2 / Figure 4 (p_min(n) ≤ 2√3·√n)",
+                "hexagonal constructions give perimeter ≤ 2√3·√n for all n");
+
+  const std::size_t limit = opt.full ? 5000 : 1000;
+  double worst_ratio = 0.0;
+  std::size_t worst_n = 0;
+  std::size_t construction_gap_count = 0;
+
+  for (std::size_t n = 2; n <= limit; ++n) {
+    const double bound = 2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n));
+    const auto pmin = static_cast<double>(system::p_min(n));
+    if (pmin > bound + 1e-9) {
+      std::printf("VIOLATION at n=%zu: p_min=%.0f > %.3f\n", n, pmin, bound);
+      return 1;
+    }
+    const double ratio = pmin / bound;
+    if (ratio > worst_ratio) {
+      worst_ratio = ratio;
+      worst_n = n;
+    }
+  }
+
+  // Constructive check on a sample of n (the walk is O(n) each).
+  util::Table table({"n", "p_min(n)", "construction p", "2*sqrt(3)*sqrt(n)",
+                     "connected", "hole-free"});
+  for (std::size_t n : {7u, 19u, 25u, 37u, 61u, 100u, 169u, 500u, 1000u}) {
+    if (n > limit) continue;
+    const auto blob = lattice::compact_blob(n);
+    const system::ParticleSystem sys(blob);
+    const std::int64_t walk = system::perimeter_walk(sys);
+    construction_gap_count += (walk != system::p_min(n));
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add(system::p_min(n))
+        .add(walk)
+        .add(2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n)), 5)
+        .add(system::is_connected(sys) ? "yes" : "NO")
+        .add(system::has_hole(sys) ? "NO" : "yes");
+  }
+  table.write_pretty(std::cout);
+
+  std::printf(
+      "\nbound verified for all n ≤ %zu; tightest at n=%zu "
+      "(p_min/bound = %.4f). Construction met the exact optimum in all "
+      "but %zu sampled n (it can be +1 just below full hexagons).\n",
+      limit, worst_n, worst_ratio, construction_gap_count);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E13 (extension) — Section 5 leaves mixing-time bounds for M open. On
+// small systems the transition matrix is explicit, so the spectral gap
+// 1 − λ₂ (which controls mixing: t_mix ≈ ln(1/π_min)/gap) can be
+// computed exactly. We chart the gap across γ, λ, and the swap ablation,
+// quantifying at small scale (a) how strong color bias slows mixing and
+// (b) how much swap moves help — the two dynamics claims of Section 3.2.
+
+#include "bench/bench_common.hpp"
+#include "src/exact/chain_matrix.hpp"
+#include "src/util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  (void)opt;
+
+  bench::banner("E13 (extension)", "Section 5 (mixing time, open problem)",
+                "no nontrivial mixing bounds are known for M; on small "
+                "systems we compute the spectral gap exactly");
+
+  const std::vector<std::size_t> color_counts{2, 2};
+  std::printf("system: 2+2 particles, %zu states\n\n",
+              exact::ChainMatrix(color_counts, core::Params{4.0, 4.0, true})
+                  .num_states());
+
+  util::Table table({"lambda", "gamma", "gap (swaps on)", "gap (swaps off)",
+                     "swap speedup"});
+  for (const double lambda : {2.0, 4.0}) {
+    for (const double gamma : {1.0, 1.5, 2.0, 4.0, 6.0, 10.0}) {
+      const exact::ChainMatrix with_swaps(color_counts,
+                                          core::Params{lambda, gamma, true});
+      const exact::ChainMatrix without(color_counts,
+                                       core::Params{lambda, gamma, false});
+      const double g_with = with_swaps.spectral_gap();
+      const double g_without = without.spectral_gap();
+      table.row()
+          .add(lambda, 3)
+          .add(gamma, 3)
+          .add(g_with, 5)
+          .add(g_without, 5)
+          .add(g_without > 0 ? g_with / g_without : 0.0, 4);
+    }
+  }
+  table.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: the gap shrinks as γ grows (deeper color wells = "
+      "slower mixing) and the swap chain's gap is never smaller, with the "
+      "speedup growing with γ — the exact small-scale counterpart of the "
+      "Section 3.2 observations.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E3 — Theorem 13: for γ > 4^(5/4) ≈ 5.66 and λγ > 6.83, configurations
+// at stationarity are α-compressed w.h.p. — the failure probability
+// decays like ζ^√n. We sweep n at λ = 4, γ = 6 (λγ = 24) and report the
+// equilibrium perimeter-ratio distribution and the frequency of
+// 3-compression.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  bench::banner("E3", "Theorem 13 (compression for large γ)",
+                "γ > 4^(5/4) ≈ 5.66 and λγ > 6.83 ⇒ α-compressed w.h.p., "
+                "failure probability ζ^√n");
+
+  const double lambda = 4.0, gamma = 6.0;
+  std::printf("λ=%.1f γ=%.1f (λγ=%.0f > 6.83, γ > 5.66)\n\n", lambda, gamma,
+              lambda * gamma);
+
+  util::Table table({"n", "samples", "p/p_min median", "p/p_min p95",
+                     "freq 3-compressed", "±95%"});
+  for (const std::size_t n : {25u, 50u, 100u, 200u}) {
+    util::Rng rng(opt.seed + n);
+    const auto nodes = lattice::random_blob(n, rng);
+    const auto colors = core::balanced_random_colors(n, 2, rng);
+    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
+                                core::Params{lambda, gamma, true},
+                                opt.seed + n);
+
+    const std::uint64_t burn = opt.scaled(20000) * n;
+    const std::uint64_t spacing = 200 * n;
+    const std::size_t samples = opt.full ? 500 : 200;
+    const auto history =
+        core::sample_equilibrium(chain, burn, spacing, samples);
+
+    std::vector<double> ratios;
+    std::size_t compressed = 0;
+    for (const auto& m : history) {
+      ratios.push_back(m.perimeter_ratio);
+      compressed += (m.perimeter_ratio <= 3.0);
+    }
+    table.row()
+        .add(static_cast<std::int64_t>(n))
+        .add(samples)
+        .add(util::quantile(ratios, 0.5), 4)
+        .add(util::quantile(ratios, 0.95), 4)
+        .add(static_cast<double>(compressed) / static_cast<double>(samples),
+             4)
+        .add(util::wilson_halfwidth(compressed, samples), 3);
+  }
+  table.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: 3-compression frequency ≈ 1 at every n, with the "
+      "p/p_min distribution concentrating as n grows (w.h.p. in √n).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E4 — Theorem 14: for compressed boundaries and γ large enough,
+// configurations drawn from π_P are (β, δ)-separated w.h.p. We sweep γ
+// at λ = 4, n = 100 and report the equilibrium frequency of
+// (6, 0.25)-separation plus the mean heterogeneous-edge fraction.
+
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/separation.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  bench::banner("E4", "Theorem 14 (separation for large γ)",
+                "for any β > 2√(3α), δ < 1/2: γ large enough ⇒ "
+                "(β, δ)-separated w.h.p.; separation strengthens with γ");
+
+  constexpr std::size_t kN = 100;
+  constexpr double kLambda = 4.0;
+  constexpr double kBeta = 6.0;
+  constexpr double kDelta = 0.25;
+
+  util::Table table({"gamma", "samples", "freq separated", "±95%",
+                     "mean hetero_frac", "mean delta_hat"});
+  for (const double gamma : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    util::Rng rng(opt.seed);
+    const auto nodes = lattice::random_blob(kN, rng);
+    const auto colors = core::balanced_random_colors(kN, 2, rng);
+    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
+                                core::Params{kLambda, gamma, true}, opt.seed);
+
+    const std::uint64_t burn = opt.scaled(3000000);
+    const std::uint64_t spacing = 20000;
+    const std::size_t samples = opt.full ? 400 : 150;
+
+    std::size_t separated = 0;
+    util::Accumulator hetero, delta_hat;
+    core::sample_equilibrium(
+        chain, burn, spacing, samples, [&](const core::SeparationChain& c) {
+          const auto cert = metrics::find_separation(c.system(), kBeta);
+          if (cert && cert->satisfies(kBeta, kDelta)) ++separated;
+          if (cert) delta_hat.add(cert->delta_hat);
+          hetero.add(core::measure(c).hetero_fraction);
+        });
+
+    table.row()
+        .add(gamma, 3)
+        .add(samples)
+        .add(static_cast<double>(separated) / static_cast<double>(samples), 4)
+        .add(util::wilson_halfwidth(separated, samples), 3)
+        .add(hetero.mean(), 4)
+        .add(delta_hat.mean(), 4);
+  }
+  table.write_pretty(std::cout);
+  std::printf(
+      "\nexpected shape: separation frequency rises to ≈ 1 and hetero_frac "
+      "falls monotonically as γ grows; γ = 1 (no color bias) stays "
+      "integrated. The proofs require γ > 5.66; simulation separates far "
+      "earlier (the paper notes its bounds are not tight, §3.2).\n");
+  return 0;
+}

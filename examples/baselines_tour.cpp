@@ -1,0 +1,78 @@
+// Tour of the reference models the paper builds on (E11):
+//   * the PODC'16 compression chain — M with γ = 1 on one color;
+//   * the Ising model under the γ ↔ K dictionary (K = ln(γ)/2);
+//   * the Schelling segregation model.
+//
+// Usage: baselines_tour [--seed 6]
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/ising/ising.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/schelling/schelling.hpp"
+#include "src/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+
+  util::Cli cli;
+  cli.add_option("seed", "random seed", "6");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  // 1. Compression baseline: a line of 60 collapses to near-minimal
+  //    perimeter at λ = 4 (the PODC'16 result, γ = 1).
+  {
+    core::SeparationChain chain =
+        core::make_compression_chain(lattice::line(60), 4.0, seed);
+    const auto before = core::measure(chain);
+    chain.run(3000000);
+    const auto after = core::measure(chain);
+    std::printf("[compression, PODC'16]  p/p_min: %.2f -> %.2f  (λ=4, γ=1)\n",
+                before.perimeter_ratio, after.perimeter_ratio);
+  }
+
+  // 2. Ising: the same γ values the paper studies, as couplings.
+  {
+    const auto region = lattice::hexagon(6);  // 127 spins
+    for (const double gamma : {81.0 / 79.0, 4.0}) {
+      const double coupling = std::log(gamma) / 2.0;
+      ising::IsingModel model(region, coupling, seed);
+      model.glauber_sweeps(3000);
+      std::printf(
+          "[ising]  gamma=%.3f -> K=%.3f (%s K_c=%.3f): |m| = %.3f\n", gamma,
+          coupling,
+          coupling > ising::IsingModel::critical_coupling() ? "above"
+                                                            : "below",
+          ising::IsingModel::critical_coupling(), model.magnetization());
+    }
+  }
+
+  // 3. Schelling: mild tolerance still segregates.
+  {
+    for (const double tolerance : {0.3, 0.5}) {
+      schelling::SchellingModel model(8, 0.15, tolerance, seed);
+      const double before = model.segregation_index();
+      model.run(400000);
+      std::printf(
+          "[schelling]  tolerance=%.1f: segregation index %.2f -> %.2f, "
+          "unhappy %.3f\n",
+          tolerance, before, model.segregation_index(),
+          model.unhappy_fraction());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Environmental-stimulus demo: the paper's framing is that γ represents
+// external influences — the *same* local algorithm separates or
+// integrates as the environment changes. This example drives one system
+// through a separate → integrate → re-separate schedule and shows the
+// color geometry responding while compression persists throughout.
+//
+// Usage: environment_switch [--n 100] [--segment-iters 3000000] [--seed 7]
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/coloring.hpp"
+#include "src/core/schedule.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/profiles.hpp"
+#include "src/sops/render.hpp"
+#include "src/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+
+  util::Cli cli;
+  cli.add_option("n", "number of particles", "100");
+  cli.add_option("segment-iters", "iterations per environment phase",
+                 "3000000");
+  cli.add_option("seed", "random seed", "7");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(cli.integer("n"));
+  const auto iters = static_cast<std::uint64_t>(cli.integer("segment-iters"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = core::balanced_random_colors(n, 2, rng);
+
+  const std::vector<core::ScheduleSegment> schedule{
+      {core::Params{4.0, 4.0, true}, iters},  // environment favors sorting
+      {core::Params{4.0, 1.0, true}, iters},  // colors become irrelevant
+      {core::Params{4.0, 4.0, true}, iters},  // sorting favored again
+  };
+  const char* phase_names[] = {"separate (γ=4)", "integrate (γ=1)",
+                               "re-separate (γ=4)"};
+
+  auto result =
+      core::run_schedule(system::ParticleSystem(nodes, colors), schedule, seed);
+
+  std::printf("%-20s %12s %10s %12s %8s\n", "environment phase", "iteration",
+              "p/p_min", "hetero_frac", "dipole");
+  for (std::size_t i = 0; i < result.at_segment_end.size(); ++i) {
+    const auto& m = result.at_segment_end[i];
+    // Dipole is recomputed only for the final configuration below; the
+    // per-phase hetero fraction already tells the story.
+    std::printf("%-20s %12llu %10.3f %12.3f %8s\n", phase_names[i],
+                static_cast<unsigned long long>(m.iteration),
+                m.perimeter_ratio, m.hetero_fraction, i + 1 == 3 ? "" : "-");
+  }
+  std::printf("\nfinal color dipole moment: %.3f\n",
+              metrics::color_dipole_moment(result.final_configuration));
+  std::cout << "\nfinal configuration:\n"
+            << system::render_ascii(result.final_configuration);
+  std::printf(
+      "\nexpected: hetero_frac low → ~0.5 → low again across the three "
+      "phases, while p/p_min stays compressed throughout — the stimulus "
+      "only controls the color order.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "src/amoebot/simulator.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/core/locality.hpp"
+
+namespace sops::amoebot {
+
+using core::RingOccupancy;
+using lattice::kDegree;
+using lattice::Node;
+
+namespace {
+
+/// Ring occupancy around the edge (l, l+dir) read from the world. Ring
+/// nodes never include l or l' themselves, so the acting particle is
+/// never counted.
+RingOccupancy read_ring(const World& world, Node l, int dir) {
+  const lattice::EdgeRing ring = lattice::EdgeRing::around(l, dir);
+  RingOccupancy out;
+  for (std::size_t i = 0; i < ring.nodes.size(); ++i) {
+    out.occupied[i] = world.occupied(ring.nodes[i]);
+  }
+  return out;
+}
+
+/// Occupied neighbors of `v`, excluding particle `self`.
+int neighbor_count(const World& world, Node v, ParticleIndex self) {
+  int count = 0;
+  for (int k = 0; k < kDegree; ++k) {
+    const ParticleIndex p = world.particle_at(lattice::neighbor(v, k));
+    if (p != system::kNoParticle && p != self) ++count;
+  }
+  return count;
+}
+
+int neighbor_count_color(const World& world, Node v, Color c,
+                         ParticleIndex self) {
+  int count = 0;
+  for (int k = 0; k < kDegree; ++k) {
+    const ParticleIndex p = world.particle_at(lattice::neighbor(v, k));
+    if (p != system::kNoParticle && p != self &&
+        world.particle(p).color == c) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Simulator::Simulator(World world, core::Params params, std::uint64_t seed,
+                     Scheduler scheduler)
+    : world_(std::move(world)), params_(params), rng_(seed),
+      scheduler_(scheduler), order_(world_.size()) {
+  std::iota(order_.begin(), order_.end(), ParticleIndex{0});
+}
+
+ParticleIndex Simulator::next_particle() {
+  switch (scheduler_) {
+    case Scheduler::kUniformRandom:
+      return static_cast<ParticleIndex>(rng_.below(world_.size()));
+    case Scheduler::kRoundRobin: {
+      const ParticleIndex i = order_[order_pos_];
+      order_pos_ = (order_pos_ + 1) % order_.size();
+      return i;
+    }
+    case Scheduler::kRandomPermutation: {
+      if (order_pos_ == 0) {
+        for (std::size_t k = order_.size(); k > 1; --k) {
+          std::swap(order_[k - 1], order_[rng_.below(k)]);
+        }
+      }
+      const ParticleIndex i = order_[order_pos_];
+      order_pos_ = (order_pos_ + 1) % order_.size();
+      return i;
+    }
+  }
+  return 0;  // unreachable
+}
+
+void Simulator::activate_next() { activate(next_particle()); }
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) activate_next();
+}
+
+void Simulator::activate(ParticleIndex i) {
+  ++counters_.activations;
+  if (world_.particle(i).expanded()) {
+    activate_expanded(i);
+  } else {
+    activate_contracted(i);
+  }
+}
+
+void Simulator::activate_contracted(ParticleIndex i) {
+  const Particle& p = world_.particle(i);
+  const int dir = static_cast<int>(rng_.below(6));
+  const Node target = lattice::neighbor(p.tail, dir);
+  const ParticleIndex q = world_.particle_at(target);
+
+  if (q == system::kNoParticle) {
+    // Begin a move: reserve the target by expanding into it. Conditions
+    // are evaluated later, at contraction, against fresh local state.
+    world_.expand(i, target);
+    ++counters_.expansions;
+    return;
+  }
+
+  if (!params_.swaps_enabled || q == i) return;
+  // Swap attempt. Defer while any expanded particle is nearby so the
+  // color counts reflect a contracted neighborhood.
+  if (world_.particle(q).expanded() ||
+      world_.expanded_nearby(p.tail, i) ||
+      world_.expanded_nearby(target, i)) {
+    ++counters_.aborted_locked;
+    return;
+  }
+  const Color ci = p.color;
+  const Color cj = world_.particle(q).color;
+  const int ni_lp = neighbor_count_color(world_, target, ci, i);
+  const int ni_l = neighbor_count_color(world_, p.tail, ci, i);
+  const int nj_l = neighbor_count_color(world_, p.tail, cj, q);
+  const int nj_lp = neighbor_count_color(world_, target, cj, q);
+  const int exponent = (ni_lp - ni_l) + (nj_l - nj_lp);
+  if (rng_.uniform_open() <
+      std::pow(params_.gamma, static_cast<double>(exponent))) {
+    world_.swap(i, q);
+    ++counters_.swaps;
+  } else {
+    ++counters_.swap_rejects;
+  }
+}
+
+void Simulator::activate_expanded(ParticleIndex i) {
+  const Particle& p = world_.particle(i);
+  const Node l = p.tail;
+  const Node lp = p.head;
+
+  // Neighborhood lock: only commit against fully contracted surroundings.
+  if (world_.expanded_nearby(l, i) || world_.expanded_nearby(lp, i)) {
+    world_.contract_to_tail(i);
+    ++counters_.aborted_locked;
+    return;
+  }
+
+  const int dir = *lattice::direction_between(l, lp);
+  const int e = neighbor_count(world_, l, i);
+  const RingOccupancy ring = read_ring(world_, l, dir);
+  const bool movable = core::property4(ring) || core::property5(ring);
+  if (e == 5 || !movable) {
+    world_.contract_to_tail(i);
+    ++counters_.contract_back;
+    return;
+  }
+
+  const Color ci = p.color;
+  const int ei = neighbor_count_color(world_, l, ci, i);
+  const int ep = neighbor_count(world_, lp, i);
+  const int epi = neighbor_count_color(world_, lp, ci, i);
+  const double weight =
+      std::pow(params_.lambda, static_cast<double>(ep - e)) *
+      std::pow(params_.gamma, static_cast<double>(epi - ei));
+  if (rng_.uniform_open() < weight) {
+    world_.contract_to_head(i);
+    ++counters_.contract_forward;
+  } else {
+    world_.contract_to_tail(i);
+    ++counters_.contract_back;
+  }
+}
+
+void Simulator::settle() {
+  // Every expanded-particle activation contracts it, so one pass
+  // suffices; iterate by index to be deterministic.
+  for (std::size_t i = 0; i < world_.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    if (world_.particle(pi).expanded()) {
+      ++counters_.activations;
+      activate_expanded(pi);
+    }
+  }
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,84 @@
+// The distributed, local, asynchronous algorithm A — the translation of
+// Markov chain M into the amoebot model (Section 3, following the
+// translation scheme of the compression paper [6]).
+//
+// Execution model: the standard asynchronous model, simulated as a
+// sequence of atomic particle activations (Section 2.1 argues this is
+// sufficient). An activated contracted particle picks a uniform random
+// neighboring location; if empty it *expands* into it; if occupied it
+// attempts a swap. An activated expanded particle *contracts*: forward
+// to its head when the movement conditions (i)-(iii) of Algorithm 1 hold
+// for its current, freshly-read neighborhood, else back to its tail.
+//
+// Neighborhood lock: any movement or swap commitment defers (aborts to
+// no-op / contract-back) while an expanded particle other than the actor
+// is visible in the actor's extended neighborhood. This mirrors the
+// flag/lock discipline of [6]'s translation and guarantees every
+// committed move is evaluated against a fully contracted local
+// neighborhood — so each committed move is exactly a legal move of M,
+// and connectivity/hole invariants carry over verbatim.
+//
+// All reads performed by the activation logic are within distance two of
+// the acting particle (the edge ring around (tail, head) plus the two
+// nodes themselves) — i.e., strictly local in the amoebot sense.
+#pragma once
+
+#include <cstdint>
+
+#include "src/amoebot/world.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::amoebot {
+
+enum class Scheduler {
+  kUniformRandom,      ///< each activation picks a uniform random particle
+  kRoundRobin,         ///< fixed cyclic order
+  kRandomPermutation,  ///< re-shuffled order each round
+};
+
+class Simulator {
+ public:
+  struct Counters {
+    std::uint64_t activations = 0;
+    std::uint64_t expansions = 0;
+    std::uint64_t contract_forward = 0;   ///< move committed
+    std::uint64_t contract_back = 0;      ///< conditions failed / Metropolis
+    std::uint64_t aborted_locked = 0;     ///< expanded neighbor nearby
+    std::uint64_t swaps = 0;
+    std::uint64_t swap_rejects = 0;
+  };
+
+  Simulator(World world, core::Params params, std::uint64_t seed,
+            Scheduler scheduler = Scheduler::kUniformRandom);
+
+  [[nodiscard]] const World& world() const noexcept { return world_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const core::Params& params() const noexcept { return params_; }
+
+  /// One atomic activation of the scheduler's next particle.
+  void activate_next();
+
+  /// Runs `n` activations.
+  void run(std::uint64_t n);
+
+  /// Drives every expanded particle through its contraction so the world
+  /// reaches an all-contracted snapshot (for measurement).
+  void settle();
+
+ private:
+  void activate(ParticleIndex i);
+  void activate_contracted(ParticleIndex i);
+  void activate_expanded(ParticleIndex i);
+  [[nodiscard]] ParticleIndex next_particle();
+
+  World world_;
+  core::Params params_;
+  util::Rng rng_;
+  Scheduler scheduler_;
+  Counters counters_;
+  std::vector<ParticleIndex> order_;  // round-robin / permutation order
+  std::size_t order_pos_ = 0;
+};
+
+}  // namespace sops::amoebot

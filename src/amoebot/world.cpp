@@ -1,0 +1,102 @@
+#include "src/amoebot/world.hpp"
+
+#include <stdexcept>
+
+namespace sops::amoebot {
+
+using lattice::kDegree;
+using lattice::Node;
+
+World::World(std::span<const Node> positions, std::span<const Color> colors)
+    : occupancy_(positions.size() * 2) {
+  if (positions.size() != colors.size() || positions.empty()) {
+    throw std::invalid_argument("World: bad positions/colors");
+  }
+  particles_.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    particles_.push_back(Particle{positions[i], positions[i], colors[i]});
+    if (!occupancy_.insert(lattice::pack(positions[i]),
+                           static_cast<ParticleIndex>(i))) {
+      throw std::invalid_argument("World: duplicate node");
+    }
+  }
+}
+
+ParticleIndex World::particle_at(Node v) const noexcept {
+  const ParticleIndex* p = occupancy_.find(lattice::pack(v));
+  return p ? *p : system::kNoParticle;
+}
+
+bool World::expanded_nearby(Node v, ParticleIndex self) const noexcept {
+  const auto check = [&](Node u) {
+    const ParticleIndex p = particle_at(u);
+    return p != system::kNoParticle && p != self &&
+           particles_[static_cast<std::size_t>(p)].expanded();
+  };
+  if (check(v)) return true;
+  for (int k = 0; k < kDegree; ++k) {
+    if (check(lattice::neighbor(v, k))) return true;
+  }
+  return false;
+}
+
+void World::expand(ParticleIndex i, Node into) {
+  Particle& p = particles_[static_cast<std::size_t>(i)];
+  if (p.expanded()) throw std::logic_error("expand: already expanded");
+  if (!lattice::adjacent(p.tail, into)) {
+    throw std::invalid_argument("expand: target not adjacent");
+  }
+  if (occupied(into)) throw std::invalid_argument("expand: target occupied");
+  p.head = into;
+  occupancy_.insert(lattice::pack(into), i);
+  ++expanded_count_;
+}
+
+void World::contract_to_head(ParticleIndex i) {
+  Particle& p = particles_[static_cast<std::size_t>(i)];
+  if (!p.expanded()) throw std::logic_error("contract_to_head: contracted");
+  occupancy_.erase(lattice::pack(p.tail));
+  p.tail = p.head;
+  --expanded_count_;
+}
+
+void World::contract_to_tail(ParticleIndex i) {
+  Particle& p = particles_[static_cast<std::size_t>(i)];
+  if (!p.expanded()) throw std::logic_error("contract_to_tail: contracted");
+  occupancy_.erase(lattice::pack(p.head));
+  p.head = p.tail;
+  --expanded_count_;
+}
+
+void World::swap(ParticleIndex i, ParticleIndex j) {
+  Particle& a = particles_[static_cast<std::size_t>(i)];
+  Particle& b = particles_[static_cast<std::size_t>(j)];
+  if (a.expanded() || b.expanded()) {
+    throw std::logic_error("swap: both particles must be contracted");
+  }
+  if (!lattice::adjacent(a.tail, b.tail)) {
+    throw std::invalid_argument("swap: particles not adjacent");
+  }
+  std::swap(a.tail, b.tail);
+  a.head = a.tail;
+  b.head = b.tail;
+  occupancy_.insert(lattice::pack(a.tail), i);
+  occupancy_.insert(lattice::pack(b.tail), j);
+}
+
+system::ParticleSystem World::snapshot() const {
+  if (!all_contracted()) {
+    throw std::logic_error("snapshot: particles still expanded");
+  }
+  std::vector<Node> nodes;
+  std::vector<Color> colors;
+  nodes.reserve(particles_.size());
+  colors.reserve(particles_.size());
+  for (const Particle& p : particles_) {
+    nodes.push_back(p.tail);
+    colors.push_back(p.color);
+  }
+  return system::ParticleSystem(nodes, colors);
+}
+
+}  // namespace sops::amoebot

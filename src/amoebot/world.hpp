@@ -1,0 +1,81 @@
+// The amoebot world: occupancy state in which a particle is either
+// contracted (one node) or expanded (two adjacent nodes), per the
+// geometric amoebot model of Section 2.1.
+//
+// This is deliberately separate from system::ParticleSystem (which is
+// strictly one-node-per-particle): the distributed algorithm's two-phase
+// expand/contract execution needs the intermediate expanded states,
+// while the Markov chain analysis never sees them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/sops/particle_system.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::amoebot {
+
+using system::Color;
+using system::ParticleIndex;
+
+struct Particle {
+  lattice::Node tail;  ///< always occupied
+  lattice::Node head;  ///< == tail when contracted
+  Color color = 0;
+
+  [[nodiscard]] bool expanded() const noexcept { return !(head == tail); }
+};
+
+class World {
+ public:
+  /// All particles start contracted at the given nodes.
+  World(std::span<const lattice::Node> positions,
+        std::span<const Color> colors);
+
+  [[nodiscard]] std::size_t size() const noexcept { return particles_.size(); }
+  [[nodiscard]] const Particle& particle(ParticleIndex i) const {
+    return particles_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] bool occupied(lattice::Node v) const noexcept {
+    return occupancy_.contains(lattice::pack(v));
+  }
+  /// Particle occupying `v` (head or tail), or kNoParticle.
+  [[nodiscard]] ParticleIndex particle_at(lattice::Node v) const noexcept;
+
+  [[nodiscard]] bool all_contracted() const noexcept {
+    return expanded_count_ == 0;
+  }
+  [[nodiscard]] std::size_t expanded_count() const noexcept {
+    return expanded_count_;
+  }
+
+  /// True iff any node adjacent to `v` (or `v` itself) is occupied by an
+  /// *expanded* particle other than `self`. Used as the neighborhood
+  /// lock: movement checks defer while an expanded particle is nearby,
+  /// so every committed move is evaluated against a fully contracted
+  /// local neighborhood — exactly the setting of Properties 4/5.
+  [[nodiscard]] bool expanded_nearby(lattice::Node v,
+                                     ParticleIndex self) const noexcept;
+
+  /// Expands contracted particle `i` into the empty adjacent node.
+  void expand(ParticleIndex i, lattice::Node into);
+  /// Contracts expanded particle `i` to its head (completing the move).
+  void contract_to_head(ParticleIndex i);
+  /// Contracts expanded particle `i` back to its tail (aborting).
+  void contract_to_tail(ParticleIndex i);
+  /// Swaps the positions of two contracted adjacent particles.
+  void swap(ParticleIndex i, ParticleIndex j);
+
+  /// Contracted-snapshot export; requires all_contracted().
+  [[nodiscard]] system::ParticleSystem snapshot() const;
+
+ private:
+  std::vector<Particle> particles_;
+  util::FlatMap<ParticleIndex> occupancy_;
+  std::size_t expanded_count_ = 0;
+};
+
+}  // namespace sops::amoebot

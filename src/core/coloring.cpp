@@ -1,0 +1,71 @@
+#include "src/core/coloring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sops::core {
+
+using system::Color;
+
+namespace {
+
+void check_k(int k) {
+  if (k < 1 || k > static_cast<int>(system::kMaxColors)) {
+    throw std::invalid_argument("coloring: k out of range");
+  }
+}
+
+}  // namespace
+
+std::vector<Color> balanced_random_colors(std::size_t n, int k,
+                                          util::Rng& rng) {
+  std::vector<Color> colors = block_colors(n, k);
+  // Fisher-Yates shuffle.
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(colors[i - 1], colors[j]);
+  }
+  return colors;
+}
+
+std::vector<Color> block_colors(std::size_t n, int k) {
+  check_k(k);
+  std::vector<Color> colors(n);
+  // Sizes differ by at most one: the first (n mod k) classes get one extra.
+  const std::size_t base = n / static_cast<std::size_t>(k);
+  const std::size_t extra = n % static_cast<std::size_t>(k);
+  std::size_t idx = 0;
+  for (int c = 0; c < k; ++c) {
+    const std::size_t count = base + (static_cast<std::size_t>(c) < extra);
+    for (std::size_t i = 0; i < count; ++i) {
+      colors[idx++] = static_cast<Color>(c);
+    }
+  }
+  return colors;
+}
+
+std::vector<Color> alternating_colors(std::size_t n, int k) {
+  check_k(k);
+  std::vector<Color> colors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    colors[i] = static_cast<Color>(i % static_cast<std::size_t>(k));
+  }
+  return colors;
+}
+
+std::vector<Color> stripe_colors(std::span<const lattice::Node> positions) {
+  if (positions.empty()) return {};
+  std::vector<std::int32_t> xs;
+  xs.reserve(positions.size());
+  for (const auto& v : positions) xs.push_back(v.x);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2),
+                   xs.end());
+  const std::int32_t median = xs[xs.size() / 2];
+  std::vector<Color> colors(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    colors[i] = positions[i].x < median ? Color{0} : Color{1};
+  }
+  return colors;
+}
+
+}  // namespace sops::core

@@ -1,0 +1,31 @@
+// Color-assignment helpers for constructing heterogeneous systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/sops/particle_system.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+
+/// Balanced assignment: n particles split as evenly as possible among k
+/// colors, positions of each class chosen uniformly at random (the
+/// "arbitrary initial configuration" coloring of Figures 2-3).
+[[nodiscard]] std::vector<system::Color> balanced_random_colors(
+    std::size_t n, int k, util::Rng& rng);
+
+/// Deterministic balanced assignment: first ⌈n/k⌉ particles color 0, etc.
+[[nodiscard]] std::vector<system::Color> block_colors(std::size_t n, int k);
+
+/// Alternating colors 0,1,...,k-1,0,1,... — a maximally mixed start.
+[[nodiscard]] std::vector<system::Color> alternating_colors(std::size_t n,
+                                                            int k);
+
+/// Colors by position: particles left of the median x-extent get color 0,
+/// the rest color 1 — a deliberately separated start.
+[[nodiscard]] std::vector<system::Color> stripe_colors(
+    std::span<const lattice::Node> positions);
+
+}  // namespace sops::core

@@ -1,0 +1,98 @@
+// Algorithm 1: the Markov chain M for separation and integration.
+//
+// Each step: pick a particle P and one of its six neighboring locations
+// l' uniformly at random, plus q ∈ (0,1). If l' is empty, P moves there
+// when (i) it does not have five neighbors, (ii) Property 4 or 5 holds,
+// and (iii) q < λ^(e'−e) · γ^(e'_i−e_i) (Metropolis filter). If l' holds
+// a particle Q, P and Q swap with probability
+// min{1, γ^(|N_i(l')\{P}|−|N_i(l)|+|N_j(l)\{Q}|−|N_j(l')|)}.
+//
+// Setting γ = 1 on a homogeneous system recovers exactly the compression
+// chain of Cannon-Daymude-Randall-Richa (PODC '16), which serves as the
+// baseline throughout the benchmarks. The implementation supports any
+// number of colors k ≤ kMaxColors (the Section 5 generalization); the
+// paper's analysis covers k = 2.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/locality.hpp"
+#include "src/sops/particle_system.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+
+/// Bias parameters of Algorithm 1.
+struct Params {
+  double lambda = 4.0;       ///< λ > 1: preference for more neighbors.
+  double gamma = 4.0;        ///< γ > 1: preference for like-colored neighbors.
+  bool swaps_enabled = true; ///< Swap moves (Section 2.3; ablated in §3.2).
+};
+
+/// The weight λ^(e'−e) · γ^(e'_i−e_i) for the non-swap move of the
+/// particle at `l` toward direction `dir` (target must be empty). Exposed
+/// so tests can verify detailed balance against Lemma 9 directly.
+[[nodiscard]] double move_weight(const system::ParticleSystem& sys,
+                                 const Params& p, lattice::Node l, int dir);
+
+/// The weight γ^(...) for the swap of the particles at `l` and
+/// `l + dir` (target must be occupied).
+[[nodiscard]] double swap_weight(const system::ParticleSystem& sys,
+                                 const Params& p, lattice::Node l, int dir);
+
+class SeparationChain {
+ public:
+  struct Counters {
+    std::uint64_t steps = 0;
+    std::uint64_t move_proposals = 0;      ///< target location empty
+    std::uint64_t moves_accepted = 0;
+    std::uint64_t rejected_five = 0;       ///< condition (i) failed
+    std::uint64_t rejected_locality = 0;   ///< condition (ii) failed
+    std::uint64_t rejected_metropolis = 0; ///< condition (iii) failed
+    std::uint64_t swap_proposals = 0;      ///< target location occupied
+    std::uint64_t swaps_accepted = 0;      ///< includes same-color no-ops
+  };
+
+  /// Takes ownership of the configuration. Throws std::invalid_argument
+  /// for nonpositive λ or γ.
+  SeparationChain(system::ParticleSystem sys, Params params,
+                  std::uint64_t seed);
+
+  [[nodiscard]] const system::ParticleSystem& system() const noexcept {
+    return sys_;
+  }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  /// One iteration of M. Returns true iff the configuration changed.
+  bool step();
+
+  /// Runs `iterations` steps.
+  void run(std::uint64_t iterations);
+
+ private:
+  [[nodiscard]] double pow_lambda(int k) const noexcept {
+    return pow_lambda_[static_cast<std::size_t>(k + kMaxExp)];
+  }
+  [[nodiscard]] double pow_gamma(int k) const noexcept {
+    return pow_gamma_[static_cast<std::size_t>(k + kMaxExp)];
+  }
+
+  // Exponents reachable in one step: moves use e'−e, e'_i−e_i ∈ [−5, 5];
+  // swaps use a sum of two such differences, bounded by ±10.
+  static constexpr int kMaxExp = 12;
+
+  system::ParticleSystem sys_;
+  Params params_;
+  util::Rng rng_;
+  Counters counters_;
+  double pow_lambda_[2 * kMaxExp + 1];
+  double pow_gamma_[2 * kMaxExp + 1];
+};
+
+/// The PODC '16 compression chain: M with γ = 1 on a homogeneous system.
+[[nodiscard]] SeparationChain make_compression_chain(
+    std::span<const lattice::Node> positions, double lambda,
+    std::uint64_t seed);
+
+}  // namespace sops::core

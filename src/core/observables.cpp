@@ -1,0 +1,45 @@
+#include "src/core/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sops::core {
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (lag >= n || n < 2) return 0.0;
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double variance = 0.0;
+  for (const double x : series) variance += (x - mean) * (x - mean);
+  if (variance == 0.0) return 0.0;
+
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return cov / variance;
+}
+
+double integrated_autocorrelation_time(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 4) return 1.0;
+  double tau = 1.0;
+  const std::size_t max_lag = n / 4;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    const double rho = autocorrelation(series, lag);
+    if (rho <= 0.0) break;
+    tau += 2.0 * rho;
+  }
+  return std::max(1.0, tau);
+}
+
+double effective_sample_size(std::span<const double> series) {
+  if (series.empty()) return 0.0;
+  return static_cast<double>(series.size()) /
+         integrated_autocorrelation_time(series);
+}
+
+}  // namespace sops::core

@@ -1,0 +1,27 @@
+// Time-series diagnostics for Markov-chain output: autocorrelation,
+// integrated autocorrelation time, and effective sample size. Used by
+// the harnesses to size burn-in/spacing honestly, and exposed as part of
+// the public API since any user of the chain needs them to quote error
+// bars.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sops::core {
+
+/// Lag-k sample autocorrelation of the series (biased normalization, the
+/// standard estimator). Returns 0 for lag ≥ size or degenerate series.
+[[nodiscard]] double autocorrelation(std::span<const double> series,
+                                     std::size_t lag);
+
+/// Integrated autocorrelation time τ = 1 + 2 Σ_{k≥1} ρ(k), with the
+/// sum self-truncated at the first window where ρ turns non-positive
+/// (Geyer's initial positive sequence, simplified). At least 1.
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> series);
+
+/// Effective sample size n/τ.
+[[nodiscard]] double effective_sample_size(std::span<const double> series);
+
+}  // namespace sops::core

@@ -1,0 +1,31 @@
+#include "src/core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace sops::core {
+
+ScheduleResult run_schedule(system::ParticleSystem initial,
+                            const std::vector<ScheduleSegment>& schedule,
+                            std::uint64_t seed) {
+  if (schedule.empty()) {
+    throw std::invalid_argument("run_schedule: empty schedule");
+  }
+  std::vector<Measurement> history;
+  history.reserve(schedule.size());
+  std::uint64_t cumulative = 0;
+
+  system::ParticleSystem current = std::move(initial);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    SeparationChain chain(std::move(current), schedule[i].params,
+                          seed + i * 0x9e3779b9ULL);
+    chain.run(schedule[i].iterations);
+    cumulative += schedule[i].iterations;
+    Measurement m = measure(chain);
+    m.iteration = cumulative;
+    history.push_back(m);
+    current = chain.system();
+  }
+  return ScheduleResult{std::move(history), std::move(current)};
+}
+
+}  // namespace sops::core

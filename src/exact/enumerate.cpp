@@ -1,0 +1,122 @@
+#include "src/exact/enumerate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sops/invariants.hpp"
+
+namespace sops::exact {
+
+using lattice::kDegree;
+using lattice::Node;
+using system::Color;
+
+namespace {
+
+/// Ordering by (y, x) — matches the canonical translation anchor.
+bool node_less(const Node& a, const Node& b) {
+  return a.y < b.y || (a.y == b.y && a.x < b.x);
+}
+
+}  // namespace
+
+std::string State::key() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    os << nodes[i].x << ',' << nodes[i].y << ',' << int{colors[i]} << ';';
+  }
+  return os.str();
+}
+
+State canonicalize(std::vector<Node> nodes, std::vector<Color> colors) {
+  if (nodes.size() != colors.size() || nodes.empty()) {
+    throw std::invalid_argument("canonicalize: bad input");
+  }
+  // Sort node/color pairs by (y, x), then translate the first to origin.
+  std::vector<std::size_t> order(nodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return node_less(nodes[a], nodes[b]);
+  });
+  State out;
+  out.nodes.reserve(nodes.size());
+  out.colors.reserve(nodes.size());
+  const Node anchor = nodes[order[0]];
+  for (const std::size_t i : order) {
+    out.nodes.push_back(Node{nodes[i].x - anchor.x, nodes[i].y - anchor.y});
+    out.colors.push_back(colors[i]);
+  }
+  return out;
+}
+
+State state_of(const system::ParticleSystem& sys) {
+  return canonicalize(sys.positions(), sys.colors());
+}
+
+std::vector<std::vector<Node>> enumerate_shapes(std::size_t n) {
+  if (n == 0) return {};
+  // Grow shapes one node at a time, deduplicating canonical forms.
+  std::set<std::string> seen;
+  std::vector<std::vector<Node>> current{{Node{0, 0}}};
+  for (std::size_t size = 2; size <= n; ++size) {
+    std::vector<std::vector<Node>> next;
+    seen.clear();
+    for (const auto& shape : current) {
+      for (const Node& v : shape) {
+        for (int k = 0; k < kDegree; ++k) {
+          const Node u = lattice::neighbor(v, k);
+          if (std::find(shape.begin(), shape.end(), u) != shape.end()) {
+            continue;
+          }
+          std::vector<Node> grown = shape;
+          grown.push_back(u);
+          State canon = canonicalize(
+              grown, std::vector<Color>(grown.size(), Color{0}));
+          if (seen.insert(canon.key()).second) {
+            next.push_back(std::move(canon.nodes));
+          }
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<State> enumerate_states(
+    const std::vector<std::size_t>& color_counts) {
+  if (color_counts.empty() ||
+      color_counts.size() > static_cast<std::size_t>(system::kMaxColors)) {
+    throw std::invalid_argument("enumerate_states: bad color_counts");
+  }
+  const std::size_t n =
+      std::accumulate(color_counts.begin(), color_counts.end(), std::size_t{0});
+  if (n == 0) throw std::invalid_argument("enumerate_states: zero particles");
+
+  // Multiset permutations of the color sequence assigned to sorted nodes.
+  std::vector<Color> base_colors;
+  for (std::size_t c = 0; c < color_counts.size(); ++c) {
+    base_colors.insert(base_colors.end(), color_counts[c],
+                       static_cast<Color>(c));
+  }
+  std::sort(base_colors.begin(), base_colors.end());
+
+  std::vector<State> out;
+  for (const auto& shape : enumerate_shapes(n)) {
+    if (system::nodes_have_hole(shape)) continue;
+    std::vector<Color> colors = base_colors;
+    do {
+      State s;
+      s.nodes = shape;
+      s.colors = colors;
+      out.push_back(std::move(s));
+    } while (std::next_permutation(colors.begin(), colors.end()));
+  }
+  return out;
+}
+
+}  // namespace sops::exact

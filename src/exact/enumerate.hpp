@@ -1,0 +1,49 @@
+// Exhaustive enumeration of small particle-system configurations.
+//
+// Configurations are equivalence classes of arrangements up to
+// translation (Section 2.2); a colored state additionally carries one
+// color per node. These enumerations ground the exact verification of
+// Lemma 9: the explicit transition matrix of M is built over all states
+// of a small system and checked against the claimed stationary
+// distribution (see chain_matrix.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/sops/particle_system.hpp"
+
+namespace sops::exact {
+
+/// A colored configuration in canonical form: nodes sorted by (y, x),
+/// translated so the first node is the origin; colors[i] belongs to
+/// nodes[i].
+struct State {
+  std::vector<lattice::Node> nodes;
+  std::vector<system::Color> colors;
+
+  /// Unique text key ("x,y,c;x,y,c;..."), usable as a map key.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Canonicalizes an arbitrary colored arrangement.
+[[nodiscard]] State canonicalize(std::vector<lattice::Node> nodes,
+                                 std::vector<system::Color> colors);
+
+/// The canonical state of a live particle system (particle identities
+/// are erased — states are configurations of anonymous colored dots).
+[[nodiscard]] State state_of(const system::ParticleSystem& sys);
+
+/// All connected shapes (uncolored) of n nodes up to translation.
+/// Counts grow quickly; intended for n ≤ 7.
+[[nodiscard]] std::vector<std::vector<lattice::Node>> enumerate_shapes(
+    std::size_t n);
+
+/// All connected, hole-free colored states with the given number of
+/// particles of each color (color c appears color_counts[c] times).
+[[nodiscard]] std::vector<State> enumerate_states(
+    const std::vector<std::size_t>& color_counts);
+
+}  // namespace sops::exact

@@ -1,0 +1,44 @@
+#include "src/exact/exact_observables.hpp"
+
+#include <cmath>
+
+#include "src/metrics/brute_force.hpp"
+#include "src/sops/invariants.hpp"
+
+namespace sops::exact {
+
+ExactObservables compute_exact_observables(
+    const std::vector<std::size_t>& color_counts, const core::Params& params,
+    double beta, double delta, double alpha) {
+  const std::vector<State> states = enumerate_states(color_counts);
+
+  ExactObservables out;
+  double z = 0.0;
+  for (const State& s : states) {
+    const system::ParticleSystem sys(s.nodes, s.colors);
+    const auto p = static_cast<double>(sys.perimeter_by_identity());
+    const auto h = static_cast<double>(sys.hetero_edge_count());
+    const auto e = static_cast<double>(sys.edge_count());
+    const double weight = std::pow(params.lambda * params.gamma, -p) *
+                          std::pow(params.gamma, -h);
+    z += weight;
+    out.mean_perimeter += weight * p;
+    out.mean_hetero_edges += weight * h;
+    out.mean_hetero_fraction += weight * (e > 0 ? h / e : 0.0);
+    if (sys.num_colors() >= 2 &&
+        metrics::is_separated_brute(sys, beta, delta)) {
+      out.prob_separated += weight;
+    }
+    if (p <= alpha * static_cast<double>(system::p_min(sys.size()))) {
+      out.prob_alpha_compressed += weight;
+    }
+  }
+  out.mean_perimeter /= z;
+  out.mean_hetero_edges /= z;
+  out.mean_hetero_fraction /= z;
+  out.prob_separated /= z;
+  out.prob_alpha_compressed /= z;
+  return out;
+}
+
+}  // namespace sops::exact

@@ -1,0 +1,31 @@
+// Exact equilibrium observables on small systems: expectations under the
+// Lemma 9 distribution computed by full enumeration (no sampling error),
+// including the exact probability of (β, δ)-separation per Definition 3
+// via the brute-force subset search. These give rigorous miniature
+// versions of the Theorem 13/14/16 trends: exact curves of E[p], E[h],
+// and P[separated] as functions of λ and γ.
+#pragma once
+
+#include <vector>
+
+#include "src/core/markov_chain.hpp"
+#include "src/exact/enumerate.hpp"
+
+namespace sops::exact {
+
+struct ExactObservables {
+  double mean_perimeter = 0.0;        ///< E_π[p(σ)]
+  double mean_hetero_edges = 0.0;     ///< E_π[h(σ)]
+  double mean_hetero_fraction = 0.0;  ///< E_π[h(σ)/e(σ)]
+  double prob_separated = 0.0;        ///< P_π[(β, δ)-separated], exact
+  double prob_alpha_compressed = 0.0; ///< P_π[p ≤ α·p_min]
+};
+
+/// Computes the exact observables for the full state space with the
+/// given per-color counts under parameters `params`. β/δ/α configure the
+/// event probabilities. Feasible for ≤ ~6 particles.
+[[nodiscard]] ExactObservables compute_exact_observables(
+    const std::vector<std::size_t>& color_counts, const core::Params& params,
+    double beta, double delta, double alpha);
+
+}  // namespace sops::exact

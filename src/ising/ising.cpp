@@ -1,0 +1,111 @@
+#include "src/ising/ising.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/polymer/partition.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::ising {
+
+using lattice::kDegree;
+using lattice::Node;
+
+IsingModel::IsingModel(std::span<const Node> region, double coupling,
+                       std::uint64_t seed)
+    : coupling_(coupling), rng_(seed) {
+  if (region.empty()) throw std::invalid_argument("IsingModel: empty region");
+
+  util::FlatMap<std::uint32_t> index(region.size() * 2);
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    if (!index.insert(lattice::pack(region[i]),
+                      static_cast<std::uint32_t>(i))) {
+      throw std::invalid_argument("IsingModel: duplicate node");
+    }
+  }
+
+  spins_.resize(region.size());
+  neighbors_.resize(region.size());
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    spins_[i] = rng_.bernoulli(0.5) ? std::int8_t{1} : std::int8_t{-1};
+    for (int k = 0; k < kDegree; ++k) {
+      const Node u = lattice::neighbor(region[i], k);
+      if (const std::uint32_t* j = index.find(lattice::pack(u))) {
+        neighbors_[i].push_back(*j);
+        if (*j > i) {
+          edges_.emplace_back(static_cast<std::uint32_t>(i), *j);
+        }
+      }
+    }
+  }
+}
+
+void IsingModel::set_all(std::int8_t value) {
+  for (auto& s : spins_) s = value;
+}
+
+void IsingModel::glauber_step() {
+  const auto i = static_cast<std::size_t>(rng_.below(spins_.size()));
+  int field = 0;
+  for (const std::uint32_t j : neighbors_[i]) field += spins_[j];
+  // Heat bath: P(s_i = +1) = 1 / (1 + e^{-2K·field}).
+  const double p_plus =
+      1.0 / (1.0 + std::exp(-2.0 * coupling_ * static_cast<double>(field)));
+  spins_[i] = rng_.uniform() < p_plus ? std::int8_t{1} : std::int8_t{-1};
+}
+
+void IsingModel::glauber_steps(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) glauber_step();
+}
+
+void IsingModel::glauber_sweeps(std::uint64_t n) {
+  glauber_steps(n * spins_.size());
+}
+
+double IsingModel::magnetization() const {
+  std::int64_t sum = 0;
+  for (const std::int8_t s : spins_) sum += s;
+  return static_cast<double>(std::llabs(sum)) /
+         static_cast<double>(spins_.size());
+}
+
+std::int64_t IsingModel::edge_correlation() const {
+  std::int64_t sum = 0;
+  for (const auto& [a, b] : edges_) {
+    sum += static_cast<std::int64_t>(spins_[a]) * spins_[b];
+  }
+  return sum;
+}
+
+double IsingModel::log_partition_exact(std::span<const Node> region,
+                                       double coupling) {
+  if (region.size() > 26) {
+    throw std::invalid_argument("log_partition_exact: region too large");
+  }
+  const IsingModel model(region, coupling, 1);  // reuse edge structure
+  const std::size_t n = region.size();
+  double total = 0.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    std::int64_t corr = 0;
+    for (const auto& [a, b] : model.edges_) {
+      const bool aligned = (((mask >> a) ^ (mask >> b)) & 1u) == 0;
+      corr += aligned ? 1 : -1;
+    }
+    total += std::exp(coupling * static_cast<double>(corr));
+  }
+  return std::log(total);
+}
+
+double IsingModel::log_partition_high_temperature(std::span<const Node> region,
+                                                  double coupling) {
+  const IsingModel model(region, coupling, 1);
+  return static_cast<double>(region.size()) * std::log(2.0) +
+         static_cast<double>(model.edges_.size()) *
+             std::log(std::cosh(coupling)) +
+         polymer::log_xi_even(region, std::tanh(coupling));
+}
+
+double IsingModel::critical_coupling() noexcept { return std::log(3.0) / 4.0; }
+
+}  // namespace sops::ising

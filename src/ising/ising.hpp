@@ -1,0 +1,75 @@
+// The Ising model on finite regions of the triangular lattice — the
+// statistical-physics reference model the paper's analysis builds on
+// (Section 1: "our inspiration comes from the classical Ising model").
+//
+// Connection to the separation chain: for a *fixed* set of occupied
+// nodes, the color distribution π_P(σ) ∝ γ^{a(σ)} (a = homogeneous
+// edges) is exactly an Ising model with coupling K = ln(γ)/2, since
+// γ^{a} = γ^{(Σ_edges (s_u s_v + 1)/2)} ∝ e^{K Σ s_u s_v}. Under this
+// map the high-temperature edge weight is tanh K = (γ−1)/(γ+1) — the
+// paper's integration window γ ∈ (79/81, 81/79) is |tanh K| < 1/80.
+//
+// Provides Glauber (heat-bath) dynamics, exact partition functions on
+// small regions, and the high-temperature expansion identity
+//   Z = 2^N (cosh K)^{|E|} Σ_{even E'⊆E} (tanh K)^{|E'|}
+// ([12] §3.7.3), evaluated through the even-polymer machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::ising {
+
+class IsingModel {
+ public:
+  /// Free boundary conditions on the given vertex set; spins start
+  /// uniformly random.
+  IsingModel(std::span<const lattice::Node> region, double coupling,
+             std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return spins_.size(); }
+  [[nodiscard]] double coupling() const noexcept { return coupling_; }
+  [[nodiscard]] std::int8_t spin(std::size_t i) const { return spins_[i]; }
+
+  void set_all(std::int8_t value);
+
+  /// One heat-bath update of a uniformly random site.
+  void glauber_step();
+  void glauber_steps(std::uint64_t n);
+  /// n full sweeps (size() updates each).
+  void glauber_sweeps(std::uint64_t n);
+
+  /// |Σ s| / N — the absolute magnetization per site.
+  [[nodiscard]] double magnetization() const;
+  /// Σ_{edges} s_u s_v.
+  [[nodiscard]] std::int64_t edge_correlation() const;
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Exact ln Z by direct spin enumeration (region ≤ 26 sites).
+  [[nodiscard]] static double log_partition_exact(
+      std::span<const lattice::Node> region, double coupling);
+
+  /// Exact ln Z via the high-temperature expansion and the even-polymer
+  /// partition function: N·ln2 + |E|·ln cosh K + ln Ξ^{even}(tanh K).
+  [[nodiscard]] static double log_partition_high_temperature(
+      std::span<const lattice::Node> region, double coupling);
+
+  /// The critical coupling of the infinite triangular lattice,
+  /// K_c = ln(3)/4 ≈ 0.2747 (exact, Houtappel 1950).
+  [[nodiscard]] static double critical_coupling() noexcept;
+
+ private:
+  double coupling_;
+  std::vector<std::int8_t> spins_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  util::Rng rng_;
+};
+
+}  // namespace sops::ising

@@ -1,0 +1,47 @@
+// Constructions of particle arrangements on G_Δ: the hexagonal
+// minimum-perimeter family from Lemma 2 / Appendix A.1, plus the line,
+// parallelogram, and random-blob initial configurations used by the
+// experiments in Section 3.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::lattice {
+
+/// All nodes of the regular hexagon of side length `ell` centered at the
+/// origin: 3·ell² + 3·ell + 1 nodes (Figure 4a).
+[[nodiscard]] std::vector<Node> hexagon(std::int32_t ell);
+
+/// The Lemma 2 construction for arbitrary n: the largest full hexagon of
+/// side ell with 3ell²+3ell+1 ≤ n, plus the k leftover nodes added around
+/// the outside in a single layer, completing one side before starting the
+/// next (Figure 4b). Guarantees a connected, hole-free arrangement whose
+/// perimeter is at most 2√3·√n.
+[[nodiscard]] std::vector<Node> compact_blob(std::size_t n);
+
+/// n nodes in a straight line along direction 0 — the maximum-perimeter
+/// connected configuration.
+[[nodiscard]] std::vector<Node> line(std::size_t n);
+
+/// A parallelogram with `rows` rows of `cols` nodes.
+[[nodiscard]] std::vector<Node> parallelogram(std::int32_t cols,
+                                              std::int32_t rows);
+
+/// A random connected, hole-free arrangement of n nodes grown by repeated
+/// boundary accretion: starting from the origin, repeatedly attaches a
+/// uniformly random unoccupied node adjacent to the current arrangement,
+/// rejecting attachments that would enclose a hole. Used as the
+/// "arbitrary initial configuration" of Figures 2 and 3.
+[[nodiscard]] std::vector<Node> random_blob(std::size_t n, util::Rng& rng);
+
+/// Two compact blobs of sizes n1 and n2 joined by a single-node bridge —
+/// a deliberately *separated* arrangement for testing the separation
+/// detector and for worst-case mixing starts.
+[[nodiscard]] std::vector<Node> dumbbell(std::size_t n1, std::size_t n2,
+                                         std::int32_t gap);
+
+}  // namespace sops::lattice

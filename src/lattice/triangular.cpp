@@ -1,0 +1,49 @@
+#include "src/lattice/triangular.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sops::lattice {
+
+std::optional<int> direction_between(Node a, Node b) noexcept {
+  const Node delta{b.x - a.x, b.y - a.y};
+  for (int k = 0; k < kDegree; ++k) {
+    if (kDirections[static_cast<std::size_t>(k)] == delta) return k;
+  }
+  return std::nullopt;
+}
+
+bool adjacent(Node a, Node b) noexcept {
+  return direction_between(a, b).has_value();
+}
+
+std::int64_t distance(Node a, Node b) noexcept {
+  // Axial-coordinate hex distance: (|dx| + |dy| + |dx + dy|) / 2.
+  const std::int64_t dx = static_cast<std::int64_t>(b.x) - a.x;
+  const std::int64_t dy = static_cast<std::int64_t>(b.y) - a.y;
+  return (std::llabs(dx) + std::llabs(dy) + std::llabs(dx + dy)) / 2;
+}
+
+std::pair<double, double> embed(Node v) noexcept {
+  constexpr double kHalfSqrt3 = 0.86602540378443864676;
+  return {static_cast<double>(v.x) + 0.5 * static_cast<double>(v.y),
+          kHalfSqrt3 * static_cast<double>(v.y)};
+}
+
+EdgeRing EdgeRing::around(Node l, int dir) noexcept {
+  const Node lp = neighbor(l, dir);
+  EdgeRing ring;
+  // Counterclockwise around the pair; see the header diagram. Positions 0
+  // and 4 are the common neighbors of l and lp.
+  ring.nodes[0] = neighbor(l, dir + 1);   // common A (== neighbor(lp, dir+2))
+  ring.nodes[1] = neighbor(l, dir + 2);
+  ring.nodes[2] = neighbor(l, dir + 3);
+  ring.nodes[3] = neighbor(l, dir + 4);
+  ring.nodes[4] = neighbor(l, dir - 1);   // common B (== neighbor(lp, dir-2))
+  ring.nodes[5] = neighbor(lp, dir - 1);
+  ring.nodes[6] = neighbor(lp, dir);
+  ring.nodes[7] = neighbor(lp, dir + 1);
+  return ring;
+}
+
+}  // namespace sops::lattice

@@ -1,0 +1,105 @@
+#include "src/metrics/brute_force.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sops::metrics {
+
+using lattice::kDegree;
+using system::Color;
+using system::ParticleIndex;
+using system::ParticleSystem;
+
+namespace {
+
+struct EdgeList {
+  // Particle-index pairs (a < b) for every edge of the configuration.
+  std::vector<std::pair<int, int>> edges;
+};
+
+EdgeList build_edges(const ParticleSystem& sys) {
+  EdgeList out;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    for (int k = 0; k < kDegree; ++k) {
+      const ParticleIndex j =
+          sys.particle_at(lattice::neighbor(sys.position(pi), k));
+      if (j != system::kNoParticle && j > pi) {
+        out.edges.emplace_back(static_cast<int>(pi), static_cast<int>(j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<SeparationCertificate> best_certificate_brute(
+    const ParticleSystem& sys, double beta_budget) {
+  const std::size_t n = sys.size();
+  if (n > 20) {
+    throw std::invalid_argument("best_certificate_brute: system too large");
+  }
+  if (sys.num_colors() < 2) return std::nullopt;
+
+  const EdgeList edge_list = build_edges(sys);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+
+  // Per-color particle counts and membership masks.
+  std::vector<std::uint32_t> color_mask(
+      static_cast<std::size_t>(sys.num_colors()), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    color_mask[sys.color(static_cast<ParticleIndex>(i))] |=
+        (1u << i);
+  }
+
+  std::optional<SeparationCertificate> best;
+  const auto better = [&](const SeparationCertificate& a,
+                          const SeparationCertificate& b) {
+    const bool a_in = a.beta_hat <= beta_budget;
+    const bool b_in = b.beta_hat <= beta_budget;
+    if (a_in != b_in) return a_in;
+    if (a.delta_hat != b.delta_hat) return a.delta_hat < b.delta_hat;
+    return a.beta_hat < b.beta_hat;
+  };
+
+  for (std::uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+    // Boundary edges: one endpoint in R.
+    int boundary = 0;
+    for (const auto& [a, b] : edge_list.edges) {
+      boundary += (((mask >> a) ^ (mask >> b)) & 1u) != 0;
+    }
+    const auto region_size =
+        static_cast<std::size_t>(__builtin_popcount(mask));
+
+    for (int ci = 0; ci < sys.num_colors(); ++ci) {
+      const std::uint32_t cmask = color_mask[static_cast<std::size_t>(ci)];
+      const auto c_total = static_cast<std::size_t>(__builtin_popcount(cmask));
+      if (c_total == 0 || c_total == n) continue;
+      const auto c_inside =
+          static_cast<std::size_t>(__builtin_popcount(mask & cmask));
+
+      SeparationCertificate cert;
+      cert.majority_color = static_cast<Color>(ci);
+      cert.region_size = region_size;
+      cert.boundary_edges = boundary;
+      cert.beta_hat = static_cast<double>(boundary) / sqrt_n;
+      cert.density_inside = static_cast<double>(c_inside) /
+                            static_cast<double>(region_size);
+      cert.density_outside =
+          static_cast<double>(c_total - c_inside) /
+          static_cast<double>(n - region_size);
+      cert.delta_hat =
+          std::max(1.0 - cert.density_inside, cert.density_outside);
+      if (!best || better(cert, *best)) best = cert;
+    }
+  }
+  return best;
+}
+
+bool is_separated_brute(const ParticleSystem& sys, double beta, double delta) {
+  const auto cert = best_certificate_brute(sys, beta);
+  return cert.has_value() && cert->satisfies(beta, delta);
+}
+
+}  // namespace sops::metrics

@@ -1,0 +1,26 @@
+// Exhaustive evaluation of Definition 3 over ALL particle subsets R,
+// feasible for tiny systems (n ≤ ~18). This is the ground truth against
+// which the heuristic detector in separation.hpp is validated: the
+// detector must be *sound* (its certificates are genuine), and its
+// completeness gap can be measured exactly here.
+#pragma once
+
+#include <optional>
+
+#include "src/metrics/separation.hpp"
+#include "src/sops/particle_system.hpp"
+
+namespace sops::metrics {
+
+/// The best certificate over every subset R ⊆ particles and both color
+/// roles: among subsets with beta_hat ≤ beta_budget, the one minimizing
+/// delta_hat (ties broken by smaller beta_hat). Returns nullopt for
+/// homogeneous systems. Throws std::invalid_argument for n > 20.
+[[nodiscard]] std::optional<SeparationCertificate> best_certificate_brute(
+    const system::ParticleSystem& sys, double beta_budget);
+
+/// Exact (β, δ)-separation per Definition 3 (any subset R).
+[[nodiscard]] bool is_separated_brute(const system::ParticleSystem& sys,
+                                      double beta, double delta);
+
+}  // namespace sops::metrics

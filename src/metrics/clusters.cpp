@@ -1,0 +1,73 @@
+#include "src/metrics/clusters.hpp"
+
+#include <algorithm>
+
+namespace sops::metrics {
+
+using lattice::kDegree;
+using system::Color;
+using system::ParticleIndex;
+using system::ParticleSystem;
+
+namespace {
+
+/// BFS over same-color neighbors from `start`, marking `visited`.
+std::vector<ParticleIndex> flood_component(const ParticleSystem& sys, Color c,
+                                           ParticleIndex start,
+                                           std::vector<char>& visited) {
+  std::vector<ParticleIndex> component{start};
+  visited[static_cast<std::size_t>(start)] = 1;
+  std::size_t head = 0;
+  while (head < component.size()) {
+    const ParticleIndex v = component[head++];
+    for (int k = 0; k < kDegree; ++k) {
+      const ParticleIndex u =
+          sys.particle_at(lattice::neighbor(sys.position(v), k));
+      if (u == system::kNoParticle) continue;
+      if (visited[static_cast<std::size_t>(u)] || sys.color(u) != c) continue;
+      visited[static_cast<std::size_t>(u)] = 1;
+      component.push_back(u);
+    }
+  }
+  return component;
+}
+
+}  // namespace
+
+std::vector<std::size_t> monochromatic_component_sizes(
+    const ParticleSystem& sys, Color c) {
+  std::vector<char> visited(sys.size(), 0);
+  std::vector<std::size_t> sizes;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    if (visited[i] || sys.color(pi) != c) continue;
+    sizes.push_back(flood_component(sys, c, pi, visited).size());
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+std::vector<ParticleIndex> largest_monochromatic_component(
+    const ParticleSystem& sys, Color c) {
+  std::vector<char> visited(sys.size(), 0);
+  std::vector<ParticleIndex> best;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    if (visited[i] || sys.color(pi) != c) continue;
+    std::vector<ParticleIndex> component = flood_component(sys, c, pi, visited);
+    if (component.size() > best.size()) best = std::move(component);
+  }
+  return best;
+}
+
+double largest_component_fraction(const ParticleSystem& sys, Color c) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (sys.color(static_cast<ParticleIndex>(i)) == c) ++total;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(largest_monochromatic_component(sys, c).size()) /
+         static_cast<double>(total);
+}
+
+}  // namespace sops::metrics

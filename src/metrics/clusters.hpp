@@ -1,0 +1,28 @@
+// Monochromatic cluster statistics: connected components of the
+// same-color particle subgraphs, used by the separation detector and the
+// experiment readouts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sops/particle_system.hpp"
+
+namespace sops::metrics {
+
+/// Sizes of all connected components of the color-c subgraph, descending.
+[[nodiscard]] std::vector<std::size_t> monochromatic_component_sizes(
+    const system::ParticleSystem& sys, system::Color c);
+
+/// The particle indices of the largest color-c component (empty if no
+/// particle has color c).
+[[nodiscard]] std::vector<system::ParticleIndex>
+largest_monochromatic_component(const system::ParticleSystem& sys,
+                                system::Color c);
+
+/// Fraction of color-c particles lying in the largest color-c component —
+/// a simple scalar separation order parameter in [0, 1].
+[[nodiscard]] double largest_component_fraction(
+    const system::ParticleSystem& sys, system::Color c);
+
+}  // namespace sops::metrics

@@ -1,0 +1,17 @@
+#include "src/metrics/compression.hpp"
+
+namespace sops::metrics {
+
+double perimeter_ratio(const system::ParticleSystem& sys) {
+  const std::int64_t pmin = system::p_min(sys.size());
+  if (pmin == 0) return 1.0;
+  return static_cast<double>(sys.perimeter_by_identity()) /
+         static_cast<double>(pmin);
+}
+
+bool is_alpha_compressed(const system::ParticleSystem& sys, double alpha) {
+  return static_cast<double>(sys.perimeter_by_identity()) <=
+         alpha * static_cast<double>(system::p_min(sys.size()));
+}
+
+}  // namespace sops::metrics

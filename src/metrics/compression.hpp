@@ -1,0 +1,18 @@
+// α-compression (Section 2.2): a configuration of n particles is
+// α-compressed when p(σ) ≤ α · p_min(n).
+#pragma once
+
+#include "src/sops/invariants.hpp"
+#include "src/sops/particle_system.hpp"
+
+namespace sops::metrics {
+
+/// p(σ) / p_min(n). Uses the hole-free identity for p(σ); callers must
+/// ensure the configuration is connected and hole-free (the chain
+/// guarantees this after hole elimination).
+[[nodiscard]] double perimeter_ratio(const system::ParticleSystem& sys);
+
+[[nodiscard]] bool is_alpha_compressed(const system::ParticleSystem& sys,
+                                       double alpha);
+
+}  // namespace sops::metrics

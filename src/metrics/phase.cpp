@@ -1,0 +1,40 @@
+#include "src/metrics/phase.hpp"
+
+#include "src/metrics/compression.hpp"
+#include "src/metrics/separation.hpp"
+
+namespace sops::metrics {
+
+std::string phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompressedSeparated: return "compressed-separated";
+    case Phase::kCompressedIntegrated: return "compressed-integrated";
+    case Phase::kExpandedSeparated: return "expanded-separated";
+    case Phase::kExpandedIntegrated: return "expanded-integrated";
+  }
+  return "unknown";
+}
+
+std::string phase_code(Phase p) {
+  switch (p) {
+    case Phase::kCompressedSeparated: return "CS";
+    case Phase::kCompressedIntegrated: return "CI";
+    case Phase::kExpandedSeparated: return "ES";
+    case Phase::kExpandedIntegrated: return "EI";
+  }
+  return "??";
+}
+
+Phase classify(const system::ParticleSystem& sys,
+               const PhaseThresholds& thresholds) {
+  const bool compressed = is_alpha_compressed(sys, thresholds.alpha);
+  const bool separated =
+      is_separated(sys, thresholds.beta, thresholds.delta);
+  if (compressed) {
+    return separated ? Phase::kCompressedSeparated
+                     : Phase::kCompressedIntegrated;
+  }
+  return separated ? Phase::kExpandedSeparated : Phase::kExpandedIntegrated;
+}
+
+}  // namespace sops::metrics

@@ -1,0 +1,34 @@
+// The four-phase classification of Figure 3: compressed/expanded crossed
+// with separated/integrated.
+#pragma once
+
+#include <string>
+
+#include "src/sops/particle_system.hpp"
+
+namespace sops::metrics {
+
+enum class Phase {
+  kCompressedSeparated,
+  kCompressedIntegrated,
+  kExpandedSeparated,
+  kExpandedIntegrated,
+};
+
+[[nodiscard]] std::string phase_name(Phase p);
+/// Two-letter code used in the Figure 3 grid printout: CS, CI, ES, EI.
+[[nodiscard]] std::string phase_code(Phase p);
+
+/// Classification thresholds. "Compressed" means p(σ) ≤ α·p_min(n);
+/// "separated" means a (β, δ) certificate exists. Defaults are calibrated
+/// against the visual phases of Figure 3 (see EXPERIMENTS.md).
+struct PhaseThresholds {
+  double alpha = 3.0;
+  double beta = 6.0;
+  double delta = 0.25;
+};
+
+[[nodiscard]] Phase classify(const system::ParticleSystem& sys,
+                             const PhaseThresholds& thresholds = {});
+
+}  // namespace sops::metrics

@@ -1,0 +1,88 @@
+#include "src/metrics/profiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sops::metrics {
+
+using system::ParticleIndex;
+using system::ParticleSystem;
+
+double radius_of_gyration(const ParticleSystem& sys) {
+  double cx = 0.0, cy = 0.0;
+  std::vector<std::pair<double, double>> points;
+  points.reserve(sys.size());
+  for (const auto& node : sys.positions()) {
+    const auto [x, y] = lattice::embed(node);
+    points.emplace_back(x, y);
+    cx += x;
+    cy += y;
+  }
+  cx /= static_cast<double>(sys.size());
+  cy /= static_cast<double>(sys.size());
+  double sum = 0.0;
+  for (const auto& [x, y] : points) {
+    sum += (x - cx) * (x - cx) + (y - cy) * (y - cy);
+  }
+  return std::sqrt(sum / static_cast<double>(sys.size()));
+}
+
+std::vector<double> color_correlation_profile(const ParticleSystem& sys,
+                                              std::size_t max_r) {
+  std::vector<std::size_t> pairs(max_r, 0);
+  std::vector<std::size_t> same(max_r, 0);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const auto pj = static_cast<ParticleIndex>(j);
+      const std::int64_t r =
+          lattice::distance(sys.position(pi), sys.position(pj));
+      if (r < 1 || static_cast<std::size_t>(r) > max_r) continue;
+      const auto idx = static_cast<std::size_t>(r - 1);
+      ++pairs[idx];
+      same[idx] += (sys.color(pi) == sys.color(pj));
+    }
+  }
+  std::vector<double> out(max_r, -1.0);
+  for (std::size_t r = 0; r < max_r; ++r) {
+    if (pairs[r] > 0) {
+      out[r] = static_cast<double>(same[r]) / static_cast<double>(pairs[r]);
+    }
+  }
+  return out;
+}
+
+double color_dipole_moment(const ParticleSystem& sys) {
+  const auto hist = sys.color_histogram();
+  std::size_t present = 0;
+  for (const std::size_t c : hist) present += (c > 0);
+  if (present != 2) {
+    throw std::invalid_argument(
+        "color_dipole_moment: requires exactly two colors present");
+  }
+  double cx[2] = {0, 0}, cy[2] = {0, 0};
+  std::size_t count[2] = {0, 0};
+  // Map the two present colors onto slots 0/1 in order of appearance.
+  int slot_of_color[system::kMaxColors];
+  for (auto& s : slot_of_color) s = -1;
+  int next_slot = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    const auto c = sys.color(pi);
+    if (slot_of_color[c] < 0) slot_of_color[c] = next_slot++;
+    const int slot = slot_of_color[c];
+    const auto [x, y] = lattice::embed(sys.position(pi));
+    cx[slot] += x;
+    cy[slot] += y;
+    ++count[slot];
+  }
+  for (int s = 0; s < 2; ++s) {
+    cx[s] /= static_cast<double>(count[s]);
+    cy[s] /= static_cast<double>(count[s]);
+  }
+  const double separation = std::hypot(cx[0] - cx[1], cy[0] - cy[1]);
+  const double gyration = radius_of_gyration(sys);
+  return gyration > 0 ? separation / gyration : 0.0;
+}
+
+}  // namespace sops::metrics

@@ -1,0 +1,33 @@
+// Spatial order parameters complementing Definition 3: compactness and
+// color-correlation profiles, the standard physics-style readouts for
+// phase identification.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sops/particle_system.hpp"
+
+namespace sops::metrics {
+
+/// Radius of gyration in the Euclidean embedding: sqrt of the mean
+/// squared distance to the centroid. A compactness gauge — ≈ c·√n for
+/// compressed configurations, ≈ c·n for lines.
+[[nodiscard]] double radius_of_gyration(const system::ParticleSystem& sys);
+
+/// Pair color correlation at lattice distance r ∈ [1, max_r]:
+/// out[r-1] = P(same color | two particles at hex distance exactly r),
+/// or -1 when no pair realizes the distance. A separated system keeps
+/// the correlation above the mixed baseline out to distances comparable
+/// to the region diameter; an integrated one decays to ~0.5 within a
+/// couple of steps.
+[[nodiscard]] std::vector<double> color_correlation_profile(
+    const system::ParticleSystem& sys, std::size_t max_r);
+
+/// Color dipole moment: the Euclidean distance between the centroids of
+/// the two color classes, normalized by the radius of gyration. Near 0
+/// for integrated systems; Θ(1) for half-plane-style separation.
+/// Requires exactly 2 colors present (throws otherwise).
+[[nodiscard]] double color_dipole_moment(const system::ParticleSystem& sys);
+
+}  // namespace sops::metrics

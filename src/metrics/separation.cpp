@@ -1,0 +1,152 @@
+#include "src/metrics/separation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/metrics/clusters.hpp"
+
+namespace sops::metrics {
+
+using lattice::kDegree;
+using lattice::Node;
+using system::Color;
+using system::ParticleIndex;
+using system::ParticleSystem;
+
+namespace {
+
+/// Number of occupied neighbors of particle i that are inside R.
+int degree_in_region(const ParticleSystem& sys, ParticleIndex i,
+                     const std::vector<char>& in_region) {
+  const Node v = sys.position(i);
+  int deg_in = 0;
+  for (int k = 0; k < kDegree; ++k) {
+    const ParticleIndex p = sys.particle_at(lattice::neighbor(v, k));
+    if (p != system::kNoParticle && in_region[static_cast<std::size_t>(p)]) {
+      ++deg_in;
+    }
+  }
+  return deg_in;
+}
+
+/// Absorbs every particle with a strict majority of incident edges inside
+/// R (fixpoint). Each absorption strictly decreases the boundary length.
+void enclave_fill(const ParticleSystem& sys, std::vector<char>& in_region) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      if (in_region[i]) continue;
+      const auto pi = static_cast<ParticleIndex>(i);
+      const int deg = sys.neighbor_count(sys.position(pi));
+      const int deg_in = degree_in_region(sys, pi, in_region);
+      if (2 * deg_in > deg) {
+        in_region[i] = 1;
+        changed = true;
+      }
+    }
+  }
+}
+
+SeparationCertificate score(const ParticleSystem& sys, Color c,
+                            const std::vector<char>& in_region) {
+  SeparationCertificate cert;
+  cert.majority_color = c;
+
+  std::int64_t boundary = 0;
+  std::size_t region_size = 0;
+  std::size_t c_inside = 0;
+  std::size_t c_outside = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    if (in_region[i]) {
+      ++region_size;
+      if (sys.color(pi) == c) ++c_inside;
+      // Boundary edges counted from the inside endpoint only.
+      const int deg = sys.neighbor_count(sys.position(pi));
+      boundary += deg - degree_in_region(sys, pi, in_region);
+    } else if (sys.color(pi) == c) {
+      ++c_outside;
+    }
+  }
+
+  const std::size_t n = sys.size();
+  const std::size_t outside_size = n - region_size;
+  cert.region_size = region_size;
+  cert.boundary_edges = boundary;
+  cert.beta_hat =
+      static_cast<double>(boundary) / std::sqrt(static_cast<double>(n));
+  cert.density_inside =
+      region_size ? static_cast<double>(c_inside) / static_cast<double>(region_size)
+                  : 0.0;
+  cert.density_outside =
+      outside_size
+          ? static_cast<double>(c_outside) / static_cast<double>(outside_size)
+          : 0.0;
+  cert.delta_hat =
+      std::max(1.0 - cert.density_inside, cert.density_outside);
+  return cert;
+}
+
+/// Lexicographic preference: within the β budget prefer smaller δ_hat;
+/// out-of-budget certificates rank below in-budget ones, by β_hat.
+bool better(const SeparationCertificate& a, const SeparationCertificate& b,
+            double beta_budget) {
+  const bool a_in = a.beta_hat <= beta_budget;
+  const bool b_in = b.beta_hat <= beta_budget;
+  if (a_in != b_in) return a_in;
+  if (a_in) return a.delta_hat < b.delta_hat;
+  return a.beta_hat < b.beta_hat;
+}
+
+}  // namespace
+
+std::optional<SeparationCertificate> find_separation(const ParticleSystem& sys,
+                                                     double beta_budget) {
+  if (sys.num_colors() < 2) return std::nullopt;
+
+  std::optional<SeparationCertificate> best;
+  const auto consider = [&](const SeparationCertificate& cert) {
+    if (!best || better(cert, *best, beta_budget)) best = cert;
+  };
+
+  for (int ci = 0; ci < sys.num_colors(); ++ci) {
+    const auto c = static_cast<Color>(ci);
+
+    // Variant 1: all particles of color c.
+    std::vector<char> all_c(sys.size(), 0);
+    std::size_t count_c = 0;
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      if (sys.color(static_cast<ParticleIndex>(i)) == c) {
+        all_c[i] = 1;
+        ++count_c;
+      }
+    }
+    if (count_c == 0 || count_c == sys.size()) continue;
+    {
+      std::vector<char> region = all_c;
+      enclave_fill(sys, region);
+      consider(score(sys, c, region));
+    }
+
+    // Variant 2: largest connected component of color c.
+    const std::vector<ParticleIndex> component =
+        largest_monochromatic_component(sys, c);
+    if (!component.empty() && component.size() < count_c) {
+      std::vector<char> region(sys.size(), 0);
+      for (const ParticleIndex p : component) {
+        region[static_cast<std::size_t>(p)] = 1;
+      }
+      enclave_fill(sys, region);
+      consider(score(sys, c, region));
+    }
+  }
+  return best;
+}
+
+bool is_separated(const ParticleSystem& sys, double beta, double delta) {
+  const auto cert = find_separation(sys, beta);
+  return cert.has_value() && cert->satisfies(beta, delta);
+}
+
+}  // namespace sops::metrics

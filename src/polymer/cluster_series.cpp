@@ -1,0 +1,147 @@
+#include "src/polymer/cluster_series.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sops::polymer {
+
+namespace {
+
+/// Connectivity of an m-vertex graph given as an edge list, over all m
+/// vertices (i.e. "spanning": isolated vertices disconnect it).
+bool spanning_connected(std::size_t m,
+                        const std::vector<std::pair<int, int>>& edges,
+                        std::uint32_t edge_mask) {
+  if (m == 1) return true;
+  std::uint32_t component = 1u;  // vertex 0
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if ((edge_mask & (1u << e)) == 0) continue;
+      const auto [a, b] = edges[e];
+      const bool has_a = (component >> a) & 1u;
+      const bool has_b = (component >> b) & 1u;
+      if (has_a != has_b) {
+        component |= (1u << a) | (1u << b);
+        grew = true;
+      }
+    }
+  }
+  return component == (1u << m) - 1u;
+}
+
+}  // namespace
+
+double ursell_factor(const std::vector<std::vector<bool>>& h) {
+  const std::size_t m = h.size();
+  if (m == 0) throw std::invalid_argument("ursell_factor: empty graph");
+  if (m > 8) throw std::invalid_argument("ursell_factor: too many polymers");
+
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (h[i].size() != m) {
+      throw std::invalid_argument("ursell_factor: non-square adjacency");
+    }
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (h[i][j]) edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  if (edges.size() > 24) {
+    throw std::invalid_argument("ursell_factor: too many edges");
+  }
+  // Not a cluster if H itself is disconnected.
+  if (!spanning_connected(m, edges, (1u << edges.size()) - 1u)) return 0.0;
+
+  double total = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << edges.size()); ++mask) {
+    if (!spanning_connected(m, edges, mask)) continue;
+    const int bits = __builtin_popcount(mask);
+    total += (bits % 2 == 0) ? 1.0 : -1.0;
+  }
+  return total;
+}
+
+namespace {
+
+struct SeriesAccumulator {
+  std::span<const Polymer> polymers;
+  std::span<const double> weights;
+  const std::function<bool(const Polymer&, const Polymer&)>* incompatible;
+  std::vector<double>* by_order;
+
+  std::vector<std::size_t> chosen;  // nondecreasing index multiset
+
+  void emit() {
+    const std::size_t k = chosen.size();
+    // Incompatibility graph on the k (possibly repeated) polymers. A
+    // polymer is always incompatible with another copy of itself.
+    std::vector<std::vector<bool>> h(k, std::vector<bool>(k, false));
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        const bool inc =
+            chosen[a] == chosen[b] ||
+            (*incompatible)(polymers[chosen[a]], polymers[chosen[b]]);
+        h[a][b] = h[b][a] = inc;
+      }
+    }
+    const double ursell = ursell_factor(h);
+    if (ursell == 0.0) return;
+
+    // Ordered-multiset accounting: k!/∏mult! orderings times 1/k! gives
+    // ∏ 1/mult_i!.
+    double multiplicity_factor = 1.0;
+    double product = 1.0;
+    std::size_t run = 1;
+    for (std::size_t a = 0; a < k; ++a) {
+      product *= weights[chosen[a]];
+      if (a > 0 && chosen[a] == chosen[a - 1]) {
+        ++run;
+        multiplicity_factor /= static_cast<double>(run);
+      } else {
+        run = 1;
+      }
+    }
+    (*by_order)[k - 1] += multiplicity_factor * ursell * product;
+  }
+
+  void grow(std::size_t min_index, std::size_t max_polymers) {
+    if (!chosen.empty()) emit();
+    if (chosen.size() >= max_polymers) return;
+    for (std::size_t i = min_index; i < polymers.size(); ++i) {
+      chosen.push_back(i);
+      grow(i, max_polymers);
+      chosen.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> cluster_expansion_partial_sums(
+    std::span<const Polymer> polymers, std::span<const double> weights,
+    const std::function<bool(const Polymer&, const Polymer&)>& incompatible,
+    std::size_t max_polymers) {
+  if (polymers.size() != weights.size()) {
+    throw std::invalid_argument(
+        "cluster_expansion_partial_sums: size mismatch");
+  }
+  if (max_polymers == 0 || max_polymers > 6) {
+    throw std::invalid_argument(
+        "cluster_expansion_partial_sums: order must be in [1, 6]");
+  }
+  std::vector<double> by_order(max_polymers, 0.0);
+  SeriesAccumulator acc{polymers, weights, &incompatible, &by_order, {}};
+  acc.grow(0, max_polymers);
+
+  // Cumulative partial sums.
+  std::vector<double> partial(max_polymers, 0.0);
+  double running = 0.0;
+  for (std::size_t k = 0; k < max_polymers; ++k) {
+    running += by_order[k];
+    partial[k] = running;
+  }
+  return partial;
+}
+
+}  // namespace sops::polymer

@@ -1,0 +1,42 @@
+// The cluster expansion itself — Theorem 10, Equation 2:
+//
+//   ln Ξ = Σ_{clusters X} (1/|X|!) · ( Σ_{connected spanning G ⊆ H_X}
+//                                       (−1)^{|E(G)|} ) · Π_{ξ∈X} w(ξ)
+//
+// where X ranges over ordered multisets of polymers whose
+// incompatibility graph H_X is connected. The parenthesized sum is the
+// Ursell (truncated correlation) factor of H_X.
+//
+// The paper *uses* this series abstractly (via the Kotecký–Preiss bound
+// and the Theorem 11 volume/surface split); here we also evaluate its
+// partial sums directly, so tests can confirm that truncations of
+// Equation 2 converge to the exact ln Ξ computed independently — a
+// machine check of the identity the whole analysis rests on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/polymer/polymer.hpp"
+
+namespace sops::polymer {
+
+/// The Ursell factor of a cluster given its incompatibility graph as an
+/// adjacency matrix over m ≤ 8 polymers:
+///   Σ over connected spanning subgraphs G of (−1)^{|E(G)|}.
+/// Requires H to be connected; returns 0 otherwise (such X are not
+/// clusters and contribute nothing).
+[[nodiscard]] double ursell_factor(const std::vector<std::vector<bool>>& h);
+
+/// Partial sums of Equation 2 over clusters with at most `max_polymers`
+/// polymers drawn (with repetition) from `polymers` (order at most 6). Returns the value
+/// of the truncated series for each truncation order 1..max_polymers
+/// (out[k-1] = contribution of all clusters with ≤ k polymers).
+[[nodiscard]] std::vector<double> cluster_expansion_partial_sums(
+    std::span<const Polymer> polymers, std::span<const double> weights,
+    const std::function<bool(const Polymer&, const Polymer&)>& incompatible,
+    std::size_t max_polymers);
+
+}  // namespace sops::polymer

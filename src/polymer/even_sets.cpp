@@ -1,0 +1,102 @@
+#include "src/polymer/even_sets.hpp"
+
+#include <algorithm>
+
+#include "src/util/hash_table.hpp"
+
+namespace sops::polymer {
+
+using lattice::Node;
+
+double ht_weight(double gamma) noexcept {
+  return (gamma - 1.0) / (gamma + 1.0);
+}
+
+namespace {
+
+/// ESU-style enumeration (Wernicke 2006) on the line graph of G_Δ: every
+/// connected edge set containing the seed is emitted exactly once.
+/// Invariants: `ext` holds extension candidates; a candidate enters an
+/// extension list at most once along any root-to-node path because
+/// additions are restricted to exclusive neighbors — edges not in the
+/// current subgraph and not adjacent to it (extension candidates are
+/// always adjacent to it).
+struct EsuSearch {
+  std::size_t max_size = 0;
+  std::vector<Polymer>* out = nullptr;
+  Polymer sub;
+  util::FlatSet sub_vertices;  // packed endpoints of `sub`
+
+  [[nodiscard]] bool adjacent_to_sub(const Edge& e) const {
+    return sub_vertices.contains(lattice::pack(e.a)) ||
+           sub_vertices.contains(lattice::pack(e.b));
+  }
+
+  [[nodiscard]] bool in_sub(const Edge& e) const {
+    return std::find(sub.begin(), sub.end(), e) != sub.end();
+  }
+
+  void extend(std::vector<Edge> ext) {
+    out->push_back(canonical(sub));
+    if (sub.size() >= max_size) return;
+
+    while (!ext.empty()) {
+      const Edge w = ext.back();
+      ext.pop_back();
+
+      // Exclusive neighbors of w: adjacent to w but not to the current
+      // subgraph (and not in it). Computed before inserting w.
+      std::vector<Edge> next_ext = ext;
+      for (const Edge& u : adjacent_edges(w)) {
+        if (!in_sub(u) && !(u == w) && !adjacent_to_sub(u)) {
+          next_ext.push_back(u);
+        }
+      }
+
+      sub.push_back(w);
+      const bool added_a = sub_vertices.insert(lattice::pack(w.a));
+      const bool added_b = sub_vertices.insert(lattice::pack(w.b));
+      extend(std::move(next_ext));
+      sub.pop_back();
+      if (added_a) sub_vertices.erase(lattice::pack(w.a));
+      if (added_b) sub_vertices.erase(lattice::pack(w.b));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Polymer> enumerate_connected_edge_sets(const Edge& through,
+                                                   std::size_t max_size) {
+  std::vector<Polymer> out;
+  if (max_size == 0) return out;
+
+  EsuSearch search;
+  search.max_size = max_size;
+  search.out = &out;
+  search.sub.push_back(through);
+  search.sub_vertices.insert(lattice::pack(through.a));
+  search.sub_vertices.insert(lattice::pack(through.b));
+  search.extend(adjacent_edges(through));
+  return out;
+}
+
+std::vector<Polymer> enumerate_even_polymers(const Edge& through,
+                                             std::size_t max_size) {
+  std::vector<Polymer> out;
+  for (Polymer& p : enumerate_connected_edge_sets(through, max_size)) {
+    if (all_degrees_even(p)) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<std::size_t> even_counts_by_size(std::size_t max_size) {
+  const Edge e0 = Edge::make(Node{0, 0}, Node{1, 0});
+  std::vector<std::size_t> counts(max_size + 1, 0);
+  for (const Polymer& p : enumerate_even_polymers(e0, max_size)) {
+    ++counts[p.size()];
+  }
+  return counts;
+}
+
+}  // namespace sops::polymer

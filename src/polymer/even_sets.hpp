@@ -1,0 +1,37 @@
+// Even-polymer enumeration: connected edge sets with even degree at
+// every vertex.
+//
+// These are the high-temperature-expansion polymers used to prove
+// compression for γ near 1 (Theorem 15). The underlying identity (the
+// high-temperature expansion of the Ising model, [12] §3.7.3) maps our
+// color interaction γ^{#homogeneous edges} to edge weight
+// x = (γ − 1)/(γ + 1) per polymer edge — which is why the paper's window
+// γ ∈ (79/81, 81/79) is exactly |x| < 1/80.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/polymer/polymer.hpp"
+
+namespace sops::polymer {
+
+/// The high-temperature edge weight x = (γ − 1)/(γ + 1).
+[[nodiscard]] double ht_weight(double gamma) noexcept;
+
+/// All connected edge sets containing `through` with at most `max_size`
+/// edges (not necessarily even). Each set is reported exactly once.
+[[nodiscard]] std::vector<Polymer> enumerate_connected_edge_sets(
+    const Edge& through, std::size_t max_size);
+
+/// The even polymers through `through`: connected, every vertex of even
+/// degree, at most `max_size` edges.
+[[nodiscard]] std::vector<Polymer> enumerate_even_polymers(
+    const Edge& through, std::size_t max_size);
+
+/// counts[k] = number of even polymers with exactly k edges through a
+/// fixed edge (the smallest is the triangle, k = 3).
+[[nodiscard]] std::vector<std::size_t> even_counts_by_size(
+    std::size_t max_size);
+
+}  // namespace sops::polymer

@@ -1,0 +1,164 @@
+#include "src/polymer/kotecky_preiss.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/polymer/even_sets.hpp"
+#include "src/polymer/loops.hpp"
+
+namespace sops::polymer {
+
+namespace {
+
+/// Σ_{k > L} b^(k−1) q^k = (bq)^(L+1) / (b (1 − bq)), for bq < 1.
+double geometric_tail(double b, double q, std::size_t L, bool* convergent) {
+  const double r = b * q;
+  *convergent = r < 1.0;
+  if (!*convergent) return std::numeric_limits<double>::infinity();
+  return std::pow(r, static_cast<double>(L + 1)) / (b * (1.0 - r));
+}
+
+/// The log-grid of candidate budget constants for the best-c searches.
+constexpr double kCGrid[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                             1e-1, 0.2,  0.35, 0.5,  0.75, 1.0};
+
+/// Enumeration caches: the threshold searches evaluate many (γ, c)
+/// pairs, but the polymer enumerations depend only on the depth.
+const std::vector<std::size_t>& cached_loop_counts(std::size_t max_len) {
+  static std::vector<std::vector<std::size_t>> cache;
+  if (cache.size() <= max_len) cache.resize(max_len + 1);
+  if (cache[max_len].empty()) cache[max_len] = loop_counts_by_length(max_len);
+  return cache[max_len];
+}
+
+struct EvenStats {
+  std::vector<std::size_t> counts;
+  // (|ξ|, |[ξ]|) pairs for the exact head evaluation.
+  std::vector<std::pair<std::size_t, std::size_t>> size_and_closure;
+};
+
+const EvenStats& cached_even_stats(std::size_t max_size) {
+  static std::vector<EvenStats> cache;
+  if (cache.size() <= max_size) cache.resize(max_size + 1);
+  EvenStats& stats = cache[max_size];
+  if (stats.counts.empty()) {
+    stats.counts.assign(max_size + 1, 0);
+    const Edge e0 = Edge::make(lattice::Node{0, 0}, lattice::Node{1, 0});
+    for (const Polymer& p : enumerate_even_polymers(e0, max_size)) {
+      ++stats.counts[p.size()];
+      stats.size_and_closure.emplace_back(p.size(), even_closure_size(p));
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+KpReport check_kp_loops(double gamma, double c, std::size_t max_len) {
+  KpReport report;
+  report.gamma = gamma;
+  report.c = c;
+  report.counts = cached_loop_counts(max_len);
+
+  double head = 0.0;
+  for (std::size_t k = 0; k < report.counts.size(); ++k) {
+    if (report.counts[k] == 0) continue;
+    // |w| e^{c|[ξ]|} = γ^{−k} e^{ck}.
+    head += static_cast<double>(report.counts[k]) *
+            std::pow(std::exp(c) / gamma, static_cast<double>(k));
+  }
+  report.head = head;
+  report.tail_bound = geometric_tail(5.0, std::exp(c) / gamma, max_len,
+                                     &report.tail_convergent);
+  report.total = report.head + report.tail_bound;
+  report.satisfied = report.tail_convergent && report.total <= c;
+  return report;
+}
+
+KpReport check_kp_loops_best_c(double gamma, std::size_t max_len) {
+  KpReport best = check_kp_loops(gamma, kCGrid[0], max_len);
+  double best_margin = best.c - best.total;
+  for (const double c : kCGrid) {
+    const KpReport r = check_kp_loops(gamma, c, max_len);
+    const double margin = r.c - r.total;
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = r;
+    }
+  }
+  return best;
+}
+
+KpReport check_kp_even(double gamma, double c, std::size_t max_size) {
+  KpReport report;
+  report.gamma = gamma;
+  report.c = c;
+  const double x = std::abs(ht_weight(gamma));
+
+  const EvenStats& stats = cached_even_stats(max_size);
+  report.counts = stats.counts;
+  double head = 0.0;
+  for (const auto& [size, closure] : stats.size_and_closure) {
+    // Exact closure size for the enumerated head.
+    head += std::pow(x, static_cast<double>(size)) *
+            std::exp(c * static_cast<double>(closure));
+  }
+  report.head = head;
+  // Tail: connected-edge-set counting bound with closure ≤ 11k.
+  const double q = x * std::exp(11.0 * c);
+  report.tail_bound = geometric_tail(10.0 * std::exp(1.0), q, max_size,
+                                     &report.tail_convergent);
+  report.total = report.head + report.tail_bound;
+  report.satisfied = report.tail_convergent && report.total <= c;
+  return report;
+}
+
+KpReport check_kp_even_best_c(double gamma, std::size_t max_size) {
+  KpReport best = check_kp_even(gamma, kCGrid[0], max_size);
+  double best_margin = best.c - best.total;
+  for (const double c : kCGrid) {
+    const KpReport r = check_kp_even(gamma, c, max_size);
+    const double margin = r.c - r.total;
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = r;
+    }
+  }
+  return best;
+}
+
+double min_gamma_for_loops(std::size_t max_len, double tol) {
+  double lo = 1.0, hi = 64.0;
+  if (!check_kp_loops_best_c(hi, max_len).satisfied) return hi;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (check_kp_loops_best_c(mid, max_len).satisfied) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double max_ht_weight_for_even(std::size_t max_size, double tol) {
+  // γ from x: γ = (1 + x)/(1 − x); search on x directly.
+  const auto satisfied_at = [&](double x) {
+    const double gamma = (1.0 + x) / (1.0 - x);
+    return check_kp_even_best_c(gamma, max_size).satisfied;
+  };
+  double lo = 0.0, hi = 0.5;
+  if (satisfied_at(hi)) return hi;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (satisfied_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sops::polymer

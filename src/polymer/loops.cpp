@@ -1,0 +1,109 @@
+#include "src/polymer/loops.hpp"
+
+#include <algorithm>
+
+namespace sops::polymer {
+
+using lattice::kDegree;
+using lattice::Node;
+
+namespace {
+
+struct LoopSearch {
+  Node start;                     // path target (= a of the fixed edge)
+  std::size_t max_len = 0;        // max edges in the cycle
+  const EdgeSet* region = nullptr;  // allowed edges (optional)
+  std::vector<Node> path;         // current path, begins at b
+  util::FlatSet visited;
+  std::vector<Polymer>* out = nullptr;
+
+  [[nodiscard]] bool edge_allowed(Node u, Node v) const {
+    return region == nullptr || region->contains(Edge::make(u, v));
+  }
+
+  void dfs(Node current) {
+    // Cycle edges used so far = path.size(); closing needs at least
+    // distance(current, start) more.
+    const std::size_t used = path.size();
+    const auto needed =
+        static_cast<std::size_t>(lattice::distance(current, start));
+    if (used + needed > max_len) return;
+
+    for (int k = 0; k < kDegree; ++k) {
+      const Node next = lattice::neighbor(current, k);
+      if (next == start) {
+        // Closing the cycle; used >= 2 rules out re-traversing the fixed
+        // edge as a degenerate 2-cycle.
+        if (used >= 2 && edge_allowed(current, next)) {
+          Polymer cycle;
+          cycle.reserve(used + 1);
+          cycle.push_back(Edge::make(start, path[0]));
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            cycle.push_back(Edge::make(path[i], path[i + 1]));
+          }
+          cycle.push_back(Edge::make(path.back(), start));
+          out->push_back(canonical(std::move(cycle)));
+        }
+        continue;
+      }
+      if (visited.contains(lattice::pack(next))) continue;
+      if (!edge_allowed(current, next)) continue;
+      visited.insert(lattice::pack(next));
+      path.push_back(next);
+      dfs(next);
+      path.pop_back();
+      visited.erase(lattice::pack(next));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Polymer> enumerate_loops(const Edge& through, std::size_t max_len,
+                                     const std::vector<Edge>* region) {
+  std::vector<Polymer> out;
+  if (max_len < 3) return out;
+
+  std::optional<EdgeSet> region_set;
+  if (region != nullptr) {
+    region_set.emplace(*region);
+    if (!region_set->contains(through)) return out;
+  }
+
+  LoopSearch search;
+  search.start = through.a;
+  search.max_len = max_len;
+  search.region = region_set ? &*region_set : nullptr;
+  search.out = &out;
+  search.visited.insert(lattice::pack(through.a));
+  search.visited.insert(lattice::pack(through.b));
+  search.path.push_back(through.b);
+  search.dfs(through.b);
+  return out;
+}
+
+std::vector<std::size_t> loop_counts_by_length(std::size_t max_len) {
+  const Edge e0 = Edge::make(Node{0, 0}, Node{1, 0});
+  std::vector<std::size_t> counts(max_len + 1, 0);
+  for (const Polymer& loop : enumerate_loops(e0, max_len)) {
+    ++counts[loop.size()];
+  }
+  return counts;
+}
+
+std::vector<Polymer> loops_in_region(const std::vector<Edge>& region,
+                                     std::size_t max_len) {
+  std::vector<Polymer> out;
+  // Enumerate loops through each region edge; keep a loop only when the
+  // probe edge is its minimal edge, so each cycle is reported once.
+  std::vector<Edge> sorted_region = region;
+  std::sort(sorted_region.begin(), sorted_region.end());
+  for (const Edge& probe : sorted_region) {
+    for (Polymer& loop : enumerate_loops(probe, max_len, &region)) {
+      if (loop.front() == probe) out.push_back(std::move(loop));
+    }
+  }
+  return out;
+}
+
+}  // namespace sops::polymer

@@ -1,0 +1,37 @@
+// Loop-polymer enumeration: self-avoiding cycles on G_Δ.
+//
+// These are the low-temperature contour polymers used to prove
+// compression for γ > 4^(5/4) (Lemma 12 / Theorem 13). A loop through a
+// fixed edge e0 = (a, b) corresponds to exactly one self-avoiding path
+// from b to a avoiding e0, so the DFS below enumerates each undirected
+// cycle exactly once.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/polymer/polymer.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::polymer {
+
+/// All self-avoiding cycles containing `through`, with at most `max_len`
+/// edges. If `region` is provided, only cycles whose edges all belong to
+/// the region are returned.
+[[nodiscard]] std::vector<Polymer> enumerate_loops(
+    const Edge& through, std::size_t max_len,
+    const std::vector<Edge>* region = nullptr);
+
+/// counts[k] = number of cycles with exactly k edges through a fixed
+/// edge (counts[0..2] are zero; the smallest cycle is a triangle).
+[[nodiscard]] std::vector<std::size_t> loop_counts_by_length(
+    std::size_t max_len);
+
+/// All distinct cycles with every edge inside `region` (each cycle
+/// reported once). Intended for small regions.
+[[nodiscard]] std::vector<Polymer> loops_in_region(
+    const std::vector<Edge>& region, std::size_t max_len);
+
+}  // namespace sops::polymer

@@ -1,0 +1,162 @@
+#include "src/polymer/partition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/polymer/loops.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::polymer {
+
+using lattice::kDegree;
+using lattice::Node;
+
+namespace {
+
+/// DFS over polymers in index order; at each index either skip it or
+/// (if compatible with everything chosen) take it.
+struct XiSearch {
+  std::span<const Polymer> polymers;
+  std::span<const double> weights;
+  const std::function<bool(const Polymer&, const Polymer&)>* incompatible;
+  std::vector<std::size_t> chosen;
+
+  double sum(std::size_t i, double product) {
+    if (i == polymers.size()) return product;
+    // Branch 1: skip polymer i.
+    double total = sum(i + 1, product);
+    // Branch 2: take polymer i if compatible with all chosen.
+    bool ok = true;
+    for (const std::size_t j : chosen) {
+      if ((*incompatible)(polymers[i], polymers[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      chosen.push_back(i);
+      total += sum(i + 1, product * weights[i]);
+      chosen.pop_back();
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+double exact_xi(
+    std::span<const Polymer> polymers, std::span<const double> weights,
+    const std::function<bool(const Polymer&, const Polymer&)>& incompatible) {
+  if (polymers.size() != weights.size()) {
+    throw std::invalid_argument("exact_xi: polymers/weights size mismatch");
+  }
+  XiSearch search{polymers, weights, &incompatible, {}};
+  return search.sum(0, 1.0);
+}
+
+std::vector<Edge> edges_within(std::span<const Node> vertices) {
+  util::FlatSet in_region(vertices.size() * 2);
+  for (const Node& v : vertices) in_region.insert(lattice::pack(v));
+  std::vector<Edge> out;
+  for (const Node& v : vertices) {
+    for (int k = 0; k < kDegree; ++k) {
+      const Node u = lattice::neighbor(v, k);
+      if (lattice::pack(u) > lattice::pack(v) &&
+          in_region.contains(lattice::pack(u))) {
+        out.push_back(Edge::make(v, u));
+      }
+    }
+  }
+  return canonical(std::move(out));
+}
+
+std::size_t boundary_edge_count(std::span<const Node> vertices) {
+  util::FlatSet in_region(vertices.size() * 2);
+  for (const Node& v : vertices) in_region.insert(lattice::pack(v));
+  std::size_t count = 0;
+  for (const Node& v : vertices) {
+    for (int k = 0; k < kDegree; ++k) {
+      if (!in_region.contains(lattice::pack(lattice::neighbor(v, k)))) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double log_xi_even(std::span<const Node> vertices, double x) {
+  if (vertices.size() > 26) {
+    throw std::invalid_argument("log_xi_even: region too large (2^V blowup)");
+  }
+  const std::vector<Edge> edges = edges_within(vertices);
+
+  // Map vertices to bit indices.
+  util::FlatMap<int> index(vertices.size() * 2);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    index.insert(lattice::pack(vertices[i]), static_cast<int>(i));
+  }
+  std::vector<std::pair<int, int>> bit_edges;
+  bit_edges.reserve(edges.size());
+  for (const Edge& e : edges) {
+    bit_edges.emplace_back(*index.find(lattice::pack(e.a)),
+                           *index.find(lattice::pack(e.b)));
+  }
+
+  const std::size_t n = vertices.size();
+  double total = 0.0;
+  for (std::uint64_t spins = 0; spins < (std::uint64_t{1} << n); ++spins) {
+    double product = 1.0;
+    for (const auto& [a, b] : bit_edges) {
+      const bool aligned = (((spins >> a) ^ (spins >> b)) & 1u) == 0;
+      product *= aligned ? (1.0 + x) : (1.0 - x);
+    }
+    total += product;
+  }
+  return std::log(total) - static_cast<double>(n) * std::log(2.0);
+}
+
+double log_xi_loops(std::span<const Node> vertices, double gamma,
+                    std::size_t max_len) {
+  const std::vector<Edge> region = edges_within(vertices);
+  const std::vector<Polymer> loops = loops_in_region(region, max_len);
+  std::vector<double> weights;
+  weights.reserve(loops.size());
+  for (const Polymer& loop : loops) {
+    weights.push_back(std::pow(gamma, -static_cast<double>(loop.size())));
+  }
+  const double xi =
+      exact_xi(loops, weights,
+               [](const Polymer& a, const Polymer& b) { return share_edge(a, b); });
+  return std::log(xi);
+}
+
+double fit_volume_constant(std::span<const RegionStat> stats,
+                           double* c_required) {
+  if (stats.empty()) {
+    throw std::invalid_argument("fit_volume_constant: no regions");
+  }
+  const auto objective = [&](double psi) {
+    double worst = 0.0;
+    for (const RegionStat& s : stats) {
+      const double deviation =
+          std::abs(s.log_xi - psi * static_cast<double>(s.volume));
+      worst = std::max(worst, deviation / static_cast<double>(s.boundary));
+    }
+    return worst;
+  };
+  double lo = -1.0, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (objective(m1) < objective(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  const double psi = 0.5 * (lo + hi);
+  if (c_required != nullptr) *c_required = objective(psi);
+  return psi;
+}
+
+}  // namespace sops::polymer

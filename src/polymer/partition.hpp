@@ -1,0 +1,67 @@
+// Polymer partition functions Ξ_Λ on finite regions, and the numeric
+// verification of Theorem 11's volume/surface decomposition
+//
+//     e^{ψ|Λ| − c|∂Λ|}  ≤  Ξ_Λ  ≤  e^{ψ|Λ| + c|∂Λ|}.
+//
+// Two exact evaluation routes:
+//   * generic: Ξ as the weighted independent-set polynomial of the
+//     incompatibility graph, by branching DFS (small regions);
+//   * even polymers: the high-temperature identity
+//     Σ_{even E ⊆ Λ} x^{|E|} = 2^{−|V|} Σ_{s ∈ {±1}^V} Π_{(u,v)∈Λ} (1 + x·s_u·s_v),
+//     evaluated by direct spin enumeration — this equals Ξ_Λ for the
+//     even-polymer model because an even edge set decomposes uniquely
+//     into vertex-disjoint connected even components.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/polymer/polymer.hpp"
+
+namespace sops::polymer {
+
+/// Exact Ξ = Σ over pairwise-compatible subsets of Π w(ξ), by DFS over
+/// the incompatibility structure. `incompatible(i, j)` must be symmetric.
+/// Intended for at most a few hundred polymers on small regions.
+[[nodiscard]] double exact_xi(
+    std::span<const Polymer> polymers, std::span<const double> weights,
+    const std::function<bool(const Polymer&, const Polymer&)>& incompatible);
+
+/// All edges of G_Δ with both endpoints in `vertices`.
+[[nodiscard]] std::vector<Edge> edges_within(
+    std::span<const lattice::Node> vertices);
+
+/// Edges with exactly one endpoint in `vertices` (the |∂Λ| of the
+/// even-polymer setting).
+[[nodiscard]] std::size_t boundary_edge_count(
+    std::span<const lattice::Node> vertices);
+
+/// ln Ξ_Λ for the even-polymer model with edge weight x on the region
+/// induced by `vertices`, via exact spin enumeration. Throws
+/// std::invalid_argument if |vertices| > 26 (2^|V| blowup guard).
+[[nodiscard]] double log_xi_even(std::span<const lattice::Node> vertices,
+                                 double x);
+
+/// ln Ξ_Λ for the loop-polymer model with weight γ^{−|ξ|} over loops of
+/// at most `max_len` edges inside the region, compatibility =
+/// edge-disjointness, via exact_xi.
+[[nodiscard]] double log_xi_loops(std::span<const lattice::Node> vertices,
+                                  double gamma, std::size_t max_len);
+
+/// One region's contribution to the Theorem 11 check.
+struct RegionStat {
+  std::size_t volume = 0;    ///< |Λ|
+  std::size_t boundary = 0;  ///< |∂Λ|
+  double log_xi = 0.0;       ///< ln Ξ_Λ
+};
+
+/// Fits the volume constant ψ minimizing max_i |lnΞ_i − ψ|Λ_i|| / |∂Λ_i|
+/// (ternary search; the objective is convex in ψ). Returns ψ and writes
+/// the achieved max ratio — the smallest c for which Theorem 11's bounds
+/// hold across the given regions — to `c_required`.
+[[nodiscard]] double fit_volume_constant(std::span<const RegionStat> stats,
+                                         double* c_required);
+
+}  // namespace sops::polymer

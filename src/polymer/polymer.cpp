@@ -1,0 +1,156 @@
+#include "src/polymer/polymer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/hash_table.hpp"
+
+namespace sops::polymer {
+
+using lattice::kDegree;
+using lattice::Node;
+
+Edge Edge::make(Node u, Node v) {
+  if (!lattice::adjacent(u, v)) {
+    throw std::invalid_argument("Edge::make: endpoints not adjacent");
+  }
+  if (lattice::pack(u) <= lattice::pack(v)) return Edge{u, v};
+  return Edge{v, u};
+}
+
+Polymer canonical(Polymer edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+EdgeSet::EdgeSet(const std::vector<Edge>& edges) : dirs_(edges.size() * 2) {
+  for (const Edge& e : edges) insert(e);
+}
+
+bool EdgeSet::insert(const Edge& e) {
+  const int dir = *lattice::direction_between(e.a, e.b);
+  const std::uint64_t key = lattice::pack(e.a);
+  const auto bit = static_cast<std::uint8_t>(1u << dir);
+  if (std::uint8_t* mask = dirs_.find(key)) {
+    if ((*mask & bit) != 0) return false;
+    *mask = static_cast<std::uint8_t>(*mask | bit);
+  } else {
+    dirs_.insert(key, bit);
+  }
+  ++size_;
+  return true;
+}
+
+bool EdgeSet::contains(const Edge& e) const noexcept {
+  const auto dir = lattice::direction_between(e.a, e.b);
+  if (!dir) return false;
+  const std::uint8_t* mask = dirs_.find(lattice::pack(e.a));
+  return mask != nullptr && (*mask & (1u << *dir)) != 0;
+}
+
+std::vector<Edge> adjacent_edges(const Edge& e) {
+  std::vector<Edge> out;
+  out.reserve(10);
+  for (const Node endpoint : {e.a, e.b}) {
+    for (int k = 0; k < kDegree; ++k) {
+      const Edge candidate = Edge::make(endpoint, lattice::neighbor(endpoint, k));
+      if (!(candidate == e)) out.push_back(candidate);
+    }
+  }
+  return canonical(std::move(out));
+}
+
+bool share_edge(const Polymer& x, const Polymer& y) {
+  // Both sorted: linear merge scan.
+  std::size_t i = 0, j = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) return true;
+    if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+util::FlatSet vertex_set(const Polymer& p) {
+  util::FlatSet verts(p.size() * 4);
+  for (const Edge& e : p) {
+    verts.insert(lattice::pack(e.a));
+    verts.insert(lattice::pack(e.b));
+  }
+  return verts;
+}
+
+}  // namespace
+
+bool share_vertex(const Polymer& x, const Polymer& y) {
+  const util::FlatSet xv = vertex_set(x);
+  for (const Edge& e : y) {
+    if (xv.contains(lattice::pack(e.a)) || xv.contains(lattice::pack(e.b))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t vertex_count(const Polymer& p) { return vertex_set(p).size(); }
+
+bool all_degrees_even(const Polymer& p) {
+  util::FlatMap<int> degree(p.size() * 4);
+  for (const Edge& e : p) {
+    for (const Node v : {e.a, e.b}) {
+      if (int* d = degree.find(lattice::pack(v))) {
+        ++*d;
+      } else {
+        degree.insert(lattice::pack(v), 1);
+      }
+    }
+  }
+  bool even = true;
+  degree.for_each([&](std::uint64_t, int d) { even = even && (d % 2 == 0); });
+  return even;
+}
+
+bool edges_connected(const Polymer& p) {
+  if (p.empty()) return true;
+  // BFS over edges via shared endpoints.
+  std::vector<char> visited(p.size(), 0);
+  std::vector<std::size_t> queue{0};
+  visited[0] = 1;
+  std::size_t head = 0;
+  std::size_t count = 1;
+  const auto touches = [](const Edge& x, const Edge& y) {
+    return x.a == y.a || x.a == y.b || x.b == y.a || x.b == y.b;
+  };
+  while (head < queue.size()) {
+    const Edge& cur = p[queue[head++]];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!visited[i] && touches(cur, p[i])) {
+        visited[i] = 1;
+        queue.push_back(i);
+        ++count;
+      }
+    }
+  }
+  return count == p.size();
+}
+
+std::size_t even_closure_size(const Polymer& p) {
+  // All edges incident to any vertex of the polymer (its own included).
+  std::vector<Edge> closure(p.begin(), p.end());
+  util::FlatSet verts = vertex_set(p);
+  verts.for_each([&](std::uint64_t key) {
+    const Node v = lattice::unpack(key);
+    for (int k = 0; k < kDegree; ++k) {
+      closure.push_back(Edge::make(v, lattice::neighbor(v, k)));
+    }
+  });
+  return canonical(std::move(closure)).size();
+}
+
+}  // namespace sops::polymer

@@ -1,0 +1,95 @@
+// Abstract polymer models (Section 4).
+//
+// A polymer is a finite connected edge set ξ ⊆ E(G_Δ). The paper uses
+// two instances:
+//   * loop polymers — self-avoiding cycles, compatible when edge-disjoint
+//     (the low-temperature contour representation, for γ > 4^(5/4));
+//   * even polymers — connected edge sets with even degree at every
+//     vertex, compatible when vertex-disjoint (the high-temperature
+//     representation, for γ near 1).
+// This header provides the shared edge/polymer value types; loops.hpp
+// and even_sets.hpp provide the enumerations, kotecky_preiss.hpp the
+// convergence condition, and partition.hpp the partition functions and
+// the Theorem 11 volume/surface decomposition checks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::polymer {
+
+/// An undirected lattice edge in canonical form (a < b by packed key).
+struct Edge {
+  lattice::Node a;
+  lattice::Node b;
+
+  /// Canonicalizes endpoint order; endpoints must be adjacent.
+  static Edge make(lattice::Node u, lattice::Node v);
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend std::strong_ordering operator<=>(const Edge& x, const Edge& y) {
+    if (const auto c = lattice::pack(x.a) <=> lattice::pack(y.a); c != 0) {
+      return c;
+    }
+    return lattice::pack(x.b) <=> lattice::pack(y.b);
+  }
+};
+
+/// A polymer: a sorted, duplicate-free vector of edges. Sortedness is the
+/// canonical form used for set operations and deduplication.
+using Polymer = std::vector<Edge>;
+
+/// Sorts and deduplicates in place, returning the canonical polymer.
+[[nodiscard]] Polymer canonical(Polymer edges);
+
+/// Exact membership set for edges: maps each canonical first endpoint to
+/// a bitmask over the direction toward the second endpoint, so lookups
+/// are collision-free (unlike hashing the endpoint pair into 64 bits).
+class EdgeSet {
+ public:
+  EdgeSet() = default;
+  explicit EdgeSet(const std::vector<Edge>& edges);
+
+  /// Returns true if newly inserted.
+  bool insert(const Edge& e);
+  [[nodiscard]] bool contains(const Edge& e) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  util::FlatMap<std::uint8_t> dirs_;
+  std::size_t size_ = 0;
+};
+
+/// All (up to 10) edges of G_Δ sharing an endpoint with `e`, excluding e.
+[[nodiscard]] std::vector<Edge> adjacent_edges(const Edge& e);
+
+/// True iff the two (canonical) polymers share an edge.
+[[nodiscard]] bool share_edge(const Polymer& x, const Polymer& y);
+
+/// True iff the two polymers share a vertex.
+[[nodiscard]] bool share_vertex(const Polymer& x, const Polymer& y);
+
+/// Number of distinct vertices touched by the polymer.
+[[nodiscard]] std::size_t vertex_count(const Polymer& p);
+
+/// True iff every vertex of the polymer has even degree within it.
+[[nodiscard]] bool all_degrees_even(const Polymer& p);
+
+/// True iff the polymer's edges form one connected subgraph.
+[[nodiscard]] bool edges_connected(const Polymer& p);
+
+/// |[ξ]| for loop polymers (compatibility = edge-disjointness): the
+/// closure is the polymer itself.
+[[nodiscard]] inline std::size_t loop_closure_size(const Polymer& p) {
+  return p.size();
+}
+
+/// |[ξ]| for even polymers (compatibility = vertex-disjointness): all
+/// edges sharing an endpoint with the polymer, including its own.
+[[nodiscard]] std::size_t even_closure_size(const Polymer& p);
+
+}  // namespace sops::polymer

@@ -1,0 +1,62 @@
+// The Schelling model of segregation [33, 34] — the social-science
+// reference model the paper positions itself against (Section 1).
+//
+// Agents of two colors plus vacancies on a hexagonal patch of G_Δ. An
+// agent is unhappy when the like-colored fraction of its occupied
+// neighbors falls below the tolerance threshold; unhappy agents relocate
+// to uniformly random vacant sites. Unlike the paper's particle system,
+// Schelling agents sit on a fixed residential region (no geometry
+// change, no connectivity constraint) — this contrast is exactly what
+// the E11 baseline bench measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::schelling {
+
+enum class Site : std::uint8_t { kVacant = 0, kColorA = 1, kColorB = 2 };
+
+class SchellingModel {
+ public:
+  /// Hexagonal region of the given radius; `vacancy` fraction of sites
+  /// left empty, remaining sites split evenly between the two colors,
+  /// all placed uniformly at random. `tolerance` in [0, 1].
+  SchellingModel(std::int32_t radius, double vacancy, double tolerance,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_; }
+  [[nodiscard]] double tolerance() const noexcept { return tolerance_; }
+  [[nodiscard]] Site site(std::size_t i) const { return sites_[i]; }
+
+  /// One relocation attempt: picks a uniformly random agent; if unhappy,
+  /// moves it to a uniformly random vacant site. Returns true if a move
+  /// happened.
+  bool step();
+  void run(std::uint64_t steps);
+
+  /// Fraction of agents currently unhappy.
+  [[nodiscard]] double unhappy_fraction() const;
+
+  /// Homogeneous fraction of agent-agent adjacencies — the segregation
+  /// order parameter (0.5 ≈ mixed, → 1 as ghettos form).
+  [[nodiscard]] double segregation_index() const;
+
+ private:
+  [[nodiscard]] bool unhappy(std::size_t i) const;
+
+  double tolerance_;
+  std::vector<Site> sites_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::vector<std::uint32_t> vacancies_;  // indices of vacant sites
+  std::size_t agents_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace sops::schelling

@@ -1,0 +1,204 @@
+#include "src/sops/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/lattice/shapes.hpp"
+#include "src/util/hash_table.hpp"
+
+namespace sops::system {
+
+using lattice::kDegree;
+using lattice::Node;
+
+namespace {
+
+/// BFS over occupied nodes starting from `start`; returns visit count.
+std::size_t bfs_occupied(const util::FlatSet& occ, Node start) {
+  util::FlatSet visited;
+  std::vector<Node> queue{start};
+  visited.insert(lattice::pack(start));
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Node v = queue[head++];
+    for (int k = 0; k < kDegree; ++k) {
+      const Node u = lattice::neighbor(v, k);
+      const std::uint64_t key = lattice::pack(u);
+      if (occ.contains(key) && visited.insert(key)) queue.push_back(u);
+    }
+  }
+  return queue.size();
+}
+
+util::FlatSet occupancy_set(std::span<const Node> nodes) {
+  util::FlatSet occ(nodes.size() * 2);
+  for (const Node& v : nodes) occ.insert(lattice::pack(v));
+  return occ;
+}
+
+struct Box {
+  std::int32_t min_x, max_x, min_y, max_y;
+};
+
+Box bounding_box(std::span<const Node> nodes) {
+  Box b{nodes[0].x, nodes[0].x, nodes[0].y, nodes[0].y};
+  for (const Node& v : nodes) {
+    b.min_x = std::min(b.min_x, v.x);
+    b.max_x = std::max(b.max_x, v.x);
+    b.min_y = std::min(b.min_y, v.y);
+    b.max_y = std::max(b.max_y, v.y);
+  }
+  return b;
+}
+
+/// Flood-fills unoccupied nodes from the expanded bounding box's corner;
+/// returns stats on the unreached unoccupied nodes (the holes).
+HoleStats hole_stats_impl(std::span<const Node> nodes) {
+  const util::FlatSet occ = occupancy_set(nodes);
+  Box b = bounding_box(nodes);
+  --b.min_x; ++b.max_x; --b.min_y; ++b.max_y;
+
+  const auto in_box = [&](Node v) {
+    return v.x >= b.min_x && v.x <= b.max_x && v.y >= b.min_y && v.y <= b.max_y;
+  };
+
+  // Exterior flood fill within the expanded box. The one-node margin ring
+  // is entirely unoccupied and 6-connected, so every exterior cell in the
+  // box is reached; unreached unoccupied cells belong to holes.
+  util::FlatSet reached;
+  std::vector<Node> queue{Node{b.min_x, b.min_y}};
+  reached.insert(lattice::pack(queue[0]));
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Node v = queue[head++];
+    for (int k = 0; k < kDegree; ++k) {
+      const Node u = lattice::neighbor(v, k);
+      if (!in_box(u)) continue;
+      const std::uint64_t key = lattice::pack(u);
+      if (occ.contains(key) || reached.contains(key)) continue;
+      reached.insert(key);
+      queue.push_back(u);
+    }
+  }
+
+  // Group the unreached unoccupied cells into connected components.
+  HoleStats stats;
+  util::FlatSet seen;
+  for (std::int32_t y = b.min_y; y <= b.max_y; ++y) {
+    for (std::int32_t x = b.min_x; x <= b.max_x; ++x) {
+      const Node v{x, y};
+      const std::uint64_t key = lattice::pack(v);
+      if (occ.contains(key) || reached.contains(key) || seen.contains(key)) {
+        continue;
+      }
+      // New hole component: BFS it.
+      ++stats.hole_count;
+      std::vector<Node> hole_queue{v};
+      seen.insert(key);
+      std::size_t hh = 0;
+      while (hh < hole_queue.size()) {
+        const Node w = hole_queue[hh++];
+        ++stats.hole_area;
+        for (int k = 0; k < kDegree; ++k) {
+          const Node u = lattice::neighbor(w, k);
+          const std::uint64_t ukey = lattice::pack(u);
+          if (!in_box(u) || occ.contains(ukey) || reached.contains(ukey) ||
+              seen.contains(ukey)) {
+            continue;
+          }
+          seen.insert(ukey);
+          hole_queue.push_back(u);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+std::int64_t perimeter_walk_impl(std::span<const Node> nodes) {
+  if (nodes.size() <= 1) return 0;
+  const util::FlatSet occ = occupancy_set(nodes);
+
+  // Start node: lexicographically minimal (y, then x) — bottom-most then
+  // left-most, so its SW/SE/W neighbors are guaranteed unoccupied.
+  Node start = nodes[0];
+  for (const Node& v : nodes) {
+    if (v.y < start.y || (v.y == start.y && v.x < start.x)) start = v;
+  }
+
+  const auto first_occupied_ccw = [&](Node v, int from_dir) -> int {
+    for (int offset = 1; offset <= kDegree; ++offset) {
+      const int k = lattice::dir_mod(from_dir + offset);
+      if (occ.contains(lattice::pack(lattice::neighbor(v, k)))) return k;
+    }
+    return -1;  // isolated node
+  };
+
+  // From the start node, the exterior lies in directions W/SW/SE (3,4,5);
+  // scan CCW from direction 5 so the first boundary edge found is the
+  // boundary edge leaving `start` with the exterior on its right.
+  const int first_dir = first_occupied_ccw(start, 5);
+  if (first_dir < 0) {
+    throw std::invalid_argument("perimeter_walk: disconnected (isolated node)");
+  }
+
+  std::int64_t steps = 0;
+  Node v = start;
+  int out_dir = first_dir;
+  const std::int64_t cap = 6 * static_cast<std::int64_t>(nodes.size()) + 16;
+  do {
+    const Node u = lattice::neighbor(v, out_dir);
+    ++steps;
+    if (steps > cap) {
+      throw std::logic_error("perimeter_walk: walk failed to close");
+    }
+    // Arrived at u from v; continue scanning CCW from the back direction.
+    const int back = lattice::opposite(out_dir);
+    v = u;
+    out_dir = first_occupied_ccw(v, back);
+  } while (!(v == start && out_dir == first_dir));
+  return steps;
+}
+
+}  // namespace
+
+bool is_connected(const ParticleSystem& sys) {
+  return nodes_connected(sys.positions());
+}
+
+bool has_hole(const ParticleSystem& sys) {
+  return hole_stats(sys).hole_count > 0;
+}
+
+HoleStats hole_stats(const ParticleSystem& sys) {
+  return hole_stats_impl(sys.positions());
+}
+
+std::int64_t perimeter_walk(const ParticleSystem& sys) {
+  return perimeter_walk_impl(sys.positions());
+}
+
+bool nodes_connected(std::span<const Node> nodes) {
+  if (nodes.empty()) return true;
+  const util::FlatSet occ = occupancy_set(nodes);
+  return bfs_occupied(occ, nodes[0]) == nodes.size();
+}
+
+bool nodes_have_hole(std::span<const Node> nodes) {
+  if (nodes.empty()) return false;
+  return hole_stats_impl(nodes).hole_count > 0;
+}
+
+std::int64_t p_min(std::size_t n) {
+  if (n <= 1) return 0;
+  // p_min(n) = ceil(sqrt(12n - 3)) - 3; compute the integer ceiling square
+  // root exactly to avoid floating-point edge cases at perfect squares.
+  const auto target = static_cast<std::int64_t>(12 * n - 3);
+  auto root = static_cast<std::int64_t>(std::sqrt(static_cast<double>(target)));
+  while (root * root >= target) --root;
+  while (root * root < target) ++root;  // now root = ceil(sqrt(target))
+  return root - 3;
+}
+
+}  // namespace sops::system

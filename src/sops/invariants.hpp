@@ -1,0 +1,53 @@
+// Global invariant checks for particle-system configurations: BFS
+// connectivity, flood-fill hole detection, and the boundary-walk
+// perimeter of Section 2.2. These deliberately use algorithms that are
+// independent of ParticleSystem's incremental bookkeeping so that tests
+// can cross-validate the two (e.g. the identity e(σ) = 3n − p(σ) − 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/lattice/triangular.hpp"
+#include "src/sops/particle_system.hpp"
+
+namespace sops::system {
+
+/// True iff the particles form one connected component in G_Δ.
+[[nodiscard]] bool is_connected(const ParticleSystem& sys);
+
+/// True iff some maximal finite connected component of unoccupied nodes
+/// exists (a hole, Section 2.2).
+[[nodiscard]] bool has_hole(const ParticleSystem& sys);
+
+/// Number of distinct holes and their total node count.
+struct HoleStats {
+  std::size_t hole_count = 0;
+  std::size_t hole_area = 0;
+};
+[[nodiscard]] HoleStats hole_stats(const ParticleSystem& sys);
+
+/// Perimeter p(σ): the length of the closed boundary walk P that encloses
+/// all particles and no unoccupied node. Requires a connected
+/// configuration; works whether or not holes are present (holes do not
+/// contribute — the walk follows the *outer* boundary). n = 1 gives 0.
+[[nodiscard]] std::int64_t perimeter_walk(const ParticleSystem& sys);
+
+/// Generic connectivity test over a plain node set (used by the exact
+/// enumeration module).
+[[nodiscard]] bool nodes_connected(std::span<const lattice::Node> nodes);
+
+/// Generic hole test over a plain node set.
+[[nodiscard]] bool nodes_have_hole(std::span<const lattice::Node> nodes);
+
+/// Minimum possible perimeter for n particles: the p_min(n) used by the
+/// α-compression definition. Via the identity p = 3n − 3 − e, minimizing
+/// the perimeter maximizes the edge count, whose exact maximum over
+/// n-vertex subgraphs of G_Δ is ⌊3n − √(12n − 3)⌋ (Harary–Harborth
+/// 1976), giving the closed form p_min(n) = ⌈√(12n − 3)⌉ − 3. Satisfies
+/// p_min(n) ≤ 2√3·√n (Lemma 2); tests verify both the bound and that the
+/// Lemma 2 construction achieves p_min(n) up to +1 for all small n.
+[[nodiscard]] std::int64_t p_min(std::size_t n);
+
+}  // namespace sops::system

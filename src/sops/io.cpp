@@ -1,0 +1,56 @@
+#include "src/sops/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sops::system {
+
+void save_configuration(const ParticleSystem& sys, std::ostream& os) {
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto idx = static_cast<ParticleIndex>(i);
+    const lattice::Node v = sys.position(idx);
+    os << v.x << ' ' << v.y << ' ' << static_cast<int>(sys.color(idx)) << '\n';
+  }
+}
+
+void save_configuration(const ParticleSystem& sys, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_configuration: cannot open " + path);
+  save_configuration(sys, out);
+  if (!out) throw std::runtime_error("save_configuration: write failed");
+}
+
+ParticleSystem load_configuration(std::istream& is) {
+  std::vector<lattice::Node> nodes;
+  std::vector<Color> colors;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::int32_t x = 0, y = 0;
+    int color = 0;
+    if (!(ls >> x >> y >> color) || color < 0 ||
+        color >= static_cast<int>(kMaxColors)) {
+      throw std::runtime_error("load_configuration: bad line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    nodes.push_back(lattice::Node{x, y});
+    colors.push_back(static_cast<Color>(color));
+  }
+  if (nodes.empty()) {
+    throw std::runtime_error("load_configuration: no particles");
+  }
+  return ParticleSystem(nodes, colors);
+}
+
+ParticleSystem load_configuration_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_configuration: cannot open " + path);
+  return load_configuration(in);
+}
+
+}  // namespace sops::system

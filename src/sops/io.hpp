@@ -1,0 +1,19 @@
+// Plain-text (de)serialization of configurations: one "x y color" line
+// per particle. Used by the harnesses to checkpoint and replay runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/sops/particle_system.hpp"
+
+namespace sops::system {
+
+void save_configuration(const ParticleSystem& sys, std::ostream& os);
+void save_configuration(const ParticleSystem& sys, const std::string& path);
+
+/// Parses a configuration. Throws std::runtime_error on malformed input.
+[[nodiscard]] ParticleSystem load_configuration(std::istream& is);
+[[nodiscard]] ParticleSystem load_configuration_file(const std::string& path);
+
+}  // namespace sops::system

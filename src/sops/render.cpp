@@ -1,0 +1,75 @@
+#include "src/sops/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/ascii_canvas.hpp"
+
+namespace sops::system {
+
+using lattice::Node;
+
+std::string render_ascii(const ParticleSystem& sys) {
+  const auto& nodes = sys.positions();
+  std::int32_t min_y = nodes[0].y, max_y = nodes[0].y;
+  std::int32_t min_c = 2 * nodes[0].x + nodes[0].y;
+  std::int32_t max_c = min_c;
+  for (const Node& v : nodes) {
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+    const std::int32_t c = 2 * v.x + v.y;
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+  }
+  util::AsciiCanvas canvas(static_cast<std::size_t>(max_c - min_c + 1),
+                           static_cast<std::size_t>(max_y - min_y + 1), '.');
+  static constexpr char kGlyphs[kMaxColors] = {'o', 'x', 'a', 'b',
+                                               'c', 'd', 'e', 'f'};
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const Node v = sys.position(static_cast<ParticleIndex>(i));
+    canvas.put(2 * v.x + v.y - min_c, max_y - v.y,
+               kGlyphs[sys.color(static_cast<ParticleIndex>(i))]);
+  }
+  return canvas.str();
+}
+
+util::Image render_image(const ParticleSystem& sys, double scale) {
+  static constexpr util::Rgb kPalette[kMaxColors] = {
+      {214, 69, 65},    // red
+      {31, 119, 180},   // blue
+      {44, 160, 44},    // green
+      {255, 159, 28},   // orange
+      {148, 103, 189},  // purple
+      {23, 190, 207},   // cyan
+      {140, 86, 75},    // brown
+      {127, 127, 127},  // gray
+  };
+
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const Node& v : sys.positions()) {
+    const auto [ex, ey] = lattice::embed(v);
+    min_x = std::min(min_x, ex);
+    max_x = std::max(max_x, ex);
+    min_y = std::min(min_y, ey);
+    max_y = std::max(max_y, ey);
+  }
+  const double margin = 1.5;
+  const auto width = static_cast<std::size_t>(
+      std::ceil((max_x - min_x + 2 * margin) * scale));
+  const auto height = static_cast<std::size_t>(
+      std::ceil((max_y - min_y + 2 * margin) * scale));
+  util::Image img(std::max<std::size_t>(width, 8),
+                  std::max<std::size_t>(height, 8));
+
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto idx = static_cast<ParticleIndex>(i);
+    const auto [ex, ey] = lattice::embed(sys.position(idx));
+    const double px = (ex - min_x + margin) * scale;
+    // Flip y so larger lattice y is drawn higher.
+    const double py = (max_y - ey + margin) * scale;
+    img.fill_disk(px, py, scale * 0.45, kPalette[sys.color(idx)]);
+  }
+  return img;
+}
+
+}  // namespace sops::system

@@ -1,0 +1,21 @@
+// Rendering of particle-system configurations: ASCII for terminals and
+// PPM images mirroring the paper's Figures 2-3 panels.
+#pragma once
+
+#include <string>
+
+#include "src/sops/particle_system.hpp"
+#include "src/util/ppm.hpp"
+
+namespace sops::system {
+
+/// Terminal rendering. Color 0 prints 'o', color 1 'x', colors 2+ use
+/// 'a'..'f'. Rows are offset to suggest the triangular geometry.
+[[nodiscard]] std::string render_ascii(const ParticleSystem& sys);
+
+/// Raster rendering with one filled disk per particle on the Euclidean
+/// embedding of G_Δ. `scale` is pixels per lattice unit.
+[[nodiscard]] util::Image render_image(const ParticleSystem& sys,
+                                       double scale = 18.0);
+
+}  // namespace sops::system

@@ -1,0 +1,48 @@
+#include "src/util/ascii_canvas.hpp"
+
+#include <stdexcept>
+
+namespace sops::util {
+
+AsciiCanvas::AsciiCanvas(std::size_t width, std::size_t height, char fill)
+    : width_(width), height_(height), cells_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("AsciiCanvas: zero dimension");
+  }
+}
+
+void AsciiCanvas::put(std::ptrdiff_t x, std::ptrdiff_t y, char c) noexcept {
+  if (x < 0 || y < 0 || static_cast<std::size_t>(x) >= width_ ||
+      static_cast<std::size_t>(y) >= height_) {
+    return;
+  }
+  cells_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)] = c;
+}
+
+void AsciiCanvas::text(std::ptrdiff_t x, std::ptrdiff_t y,
+                       const std::string& s) noexcept {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    put(x + static_cast<std::ptrdiff_t>(i), y, s[i]);
+  }
+}
+
+char AsciiCanvas::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("AsciiCanvas::at");
+  }
+  return cells_[y * width_ + x];
+}
+
+std::string AsciiCanvas::str() const {
+  std::string out;
+  out.reserve((width_ + 1) * height_);
+  for (std::size_t y = 0; y < height_; ++y) {
+    std::size_t end = width_;
+    while (end > 0 && cells_[y * width_ + end - 1] == ' ') --end;
+    out.append(&cells_[y * width_], end);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace sops::util

@@ -1,0 +1,32 @@
+// Character-cell canvas for terminal rendering of lattice configurations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sops::util {
+
+/// A width x height grid of characters, origin at top-left. Out-of-range
+/// writes are ignored so callers can draw without pre-clipping.
+class AsciiCanvas {
+ public:
+  AsciiCanvas(std::size_t width, std::size_t height, char fill = ' ');
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+
+  void put(std::ptrdiff_t x, std::ptrdiff_t y, char c) noexcept;
+  void text(std::ptrdiff_t x, std::ptrdiff_t y, const std::string& s) noexcept;
+  [[nodiscard]] char at(std::size_t x, std::size_t y) const;
+
+  /// Joins rows with newlines; trailing spaces on each row are trimmed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<char> cells_;
+};
+
+}  // namespace sops::util

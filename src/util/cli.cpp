@@ -1,0 +1,114 @@
+#include "src/util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace sops::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view msg, std::string_view arg) {
+  std::ostringstream os;
+  os << "cli: " << msg << ": '" << arg << "'";
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+void Cli::add_flag(std::string name, std::string help) {
+  specs_[name] = Spec{std::move(help), /*is_flag=*/true, ""};
+  flags_[std::move(name)] = false;
+}
+
+void Cli::add_option(std::string name, std::string help,
+                     std::string default_value) {
+  values_[name] = default_value;
+  specs_[std::move(name)] =
+      Spec{std::move(help), /*is_flag=*/false, std::move(default_value)};
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (!arg.starts_with("--")) fail("expected --option", arg);
+    arg.remove_prefix(2);
+
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) fail("unknown option", name);
+
+    if (it->second.is_flag) {
+      if (inline_value) fail("flag does not take a value", name);
+      flags_[name] = true;
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) fail("option requires a value", name);
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+std::string Cli::help_text(std::string_view program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value> (default: " << spec.default_value << ")";
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+const Cli::Spec& Cli::spec_or_throw(std::string_view name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) fail("option was never declared", name);
+  return it->second;
+}
+
+bool Cli::flag(std::string_view name) const {
+  if (!spec_or_throw(name).is_flag) fail("not a flag", name);
+  return flags_.find(name)->second;
+}
+
+std::string Cli::str(std::string_view name) const {
+  if (spec_or_throw(name).is_flag) fail("is a flag, not an option", name);
+  return values_.find(name)->second;
+}
+
+std::int64_t Cli::integer(std::string_view name) const {
+  const std::string v = str(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    fail("expected integer value", name);
+  }
+  return out;
+}
+
+double Cli::real(std::string_view name) const {
+  const std::string v = str(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) fail("expected real value", name);
+    return out;
+  } catch (const std::logic_error&) {
+    fail("expected real value", name);
+  }
+}
+
+}  // namespace sops::util

@@ -1,0 +1,51 @@
+// Minimal command-line parser for the example and bench harnesses.
+//
+// Supports `--flag`, `--key value`, and `--key=value` forms. Unknown
+// arguments raise an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sops::util {
+
+class Cli {
+ public:
+  /// Declares an option with a help string and optional default.
+  /// Declaration must precede parse().
+  void add_flag(std::string name, std::string help);
+  void add_option(std::string name, std::string help,
+                  std::string default_value);
+
+  /// Parses argv. Throws std::invalid_argument on unknown or malformed
+  /// arguments. Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string help_text(std::string_view program) const;
+
+  [[nodiscard]] bool flag(std::string_view name) const;
+  [[nodiscard]] std::string str(std::string_view name) const;
+  [[nodiscard]] std::int64_t integer(std::string_view name) const;
+  [[nodiscard]] double real(std::string_view name) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  const Spec& spec_or_throw(std::string_view name) const;
+
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::map<std::string, bool, std::less<>> flags_;
+  bool help_ = false;
+};
+
+}  // namespace sops::util

@@ -1,0 +1,102 @@
+#include "src/util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sops::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (cells_.empty()) throw std::logic_error("Table: add() before row()");
+  if (cells_.back().size() >= header_.size()) {
+    throw std::logic_error("Table: row has more cells than header columns");
+  }
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+
+namespace {
+
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    write_csv_cell(os, header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      write_csv_cell(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : cells_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      const std::string& cell = (i < row.size()) ? row[i] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (auto w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  write_csv(out);
+  if (!out) throw std::runtime_error("Table: write failed for " + path);
+}
+
+}  // namespace sops::util

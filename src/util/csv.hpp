@@ -1,0 +1,45 @@
+// Tabular output for experiment harnesses: CSV files plus aligned
+// plain-text tables mirroring the rows a paper table/figure reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sops::util {
+
+/// In-memory table with a header row. Cells are strings; numeric helpers
+/// format with stable precision so CSV outputs are diffable run-to-run.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 6);
+  Table& add(std::int64_t value);
+  Table& add(std::size_t value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row_cells(std::size_t i) const {
+    return cells_.at(i);
+  }
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+  /// Writes an aligned, human-readable table.
+  void write_pretty(std::ostream& os) const;
+  /// Convenience: write_csv to the named file; throws on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace sops::util

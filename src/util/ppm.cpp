@@ -1,0 +1,56 @@
+#include "src/util/ppm.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace sops::util {
+
+Image::Image(std::size_t width, std::size_t height, Rgb fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: zero dimension");
+  }
+}
+
+void Image::set(std::ptrdiff_t x, std::ptrdiff_t y, Rgb c) noexcept {
+  if (x < 0 || y < 0 || static_cast<std::size_t>(x) >= width_ ||
+      static_cast<std::size_t>(y) >= height_) {
+    return;
+  }
+  pixels_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)] = c;
+}
+
+Rgb Image::get(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::get");
+  return pixels_[y * width_ + x];
+}
+
+void Image::fill_disk(double cx, double cy, double radius, Rgb c) noexcept {
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(cx - radius));
+  const auto x1 = static_cast<std::ptrdiff_t>(std::ceil(cx + radius));
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(cy - radius));
+  const auto y1 = static_cast<std::ptrdiff_t>(std::ceil(cy + radius));
+  const double r2 = radius * radius;
+  for (std::ptrdiff_t y = y0; y <= y1; ++y) {
+    for (std::ptrdiff_t x = x0; x <= x1; ++x) {
+      const double dx = static_cast<double>(x) + 0.5 - cx;
+      const double dy = static_cast<double>(y) + 0.5 - cy;
+      if (dx * dx + dy * dy <= r2) set(x, y, c);
+    }
+  }
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Image: cannot open " + path);
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (const Rgb& p : pixels_) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  if (!out) throw std::runtime_error("Image: write failed for " + path);
+}
+
+}  // namespace sops::util

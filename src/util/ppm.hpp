@@ -1,0 +1,44 @@
+// Minimal PPM (P6) image writer for rendering particle configurations to
+// disk without any image-library dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sops::util {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// RGB raster, origin at top-left.
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Rgb fill = {255, 255, 255});
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+
+  /// Out-of-range writes are ignored.
+  void set(std::ptrdiff_t x, std::ptrdiff_t y, Rgb c) noexcept;
+  [[nodiscard]] Rgb get(std::size_t x, std::size_t y) const;
+
+  /// Filled disk; used to draw particles.
+  void fill_disk(double cx, double cy, double radius, Rgb c) noexcept;
+
+  /// Writes binary PPM (P6). Throws std::runtime_error on I/O failure.
+  void save_ppm(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace sops::util

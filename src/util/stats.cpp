@@ -1,0 +1,107 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sops::util {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::sem() const noexcept {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(n_));
+}
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double total_variation(const std::map<std::string, double>& p,
+                       const std::map<std::string, double>& q) {
+  double sum = 0.0;
+  for (const auto& [k, pv] : p) {
+    const auto it = q.find(k);
+    const double qv = (it == q.end()) ? 0.0 : it->second;
+    sum += std::abs(pv - qv);
+  }
+  for (const auto& [k, qv] : q) {
+    if (!p.contains(k)) sum += qv;
+  }
+  return sum / 2.0;
+}
+
+std::map<std::string, double> normalize(
+    const std::map<std::string, std::size_t>& counts) {
+  std::size_t total = 0;
+  for (const auto& [k, c] : counts) total += c;
+  std::map<std::string, double> out;
+  if (total == 0) return out;
+  for (const auto& [k, c] : counts) {
+    out[k] = static_cast<double>(c) / static_cast<double>(total);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = (counts_[i] * max_width) / peak;
+    os << "[" << bucket_low(i) << ", " << bucket_low(i + 1) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+double wilson_halfwidth(std::size_t k, std::size_t n) {
+  if (n == 0) return 1.0;
+  constexpr double z = 1.96;
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double denom = 1.0 + z * z / nn;
+  const double half =
+      (z / denom) * std::sqrt(phat * (1.0 - phat) / nn + z * z / (4.0 * nn * nn));
+  return half;
+}
+
+}  // namespace sops::util

@@ -1,0 +1,80 @@
+// Streaming statistics and distribution-comparison helpers used by the
+// experiment harnesses and property tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sops::util {
+
+/// Welford online accumulator for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean (0 for fewer than two samples).
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantile of a sample (copies and sorts; fine for harness sizes).
+/// `q` in [0, 1]; linear interpolation between order statistics.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Total-variation distance between two discrete distributions given as
+/// key->probability maps. Missing keys are treated as probability zero.
+[[nodiscard]] double total_variation(const std::map<std::string, double>& p,
+                                     const std::map<std::string, double>& q);
+
+/// Normalizes a key->count map into a key->probability map.
+[[nodiscard]] std::map<std::string, double> normalize(
+    const std::map<std::string, std::size_t>& counts);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::span<const std::size_t> buckets() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] double bucket_low(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  /// Renders a compact ASCII bar chart, one line per bucket.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Two-sided binomial (Wilson) confidence half-width for a frequency
+/// estimate k/n at ~95% confidence. Used when reporting w.h.p. events.
+[[nodiscard]] double wilson_halfwidth(std::size_t k, std::size_t n);
+
+}  // namespace sops::util

@@ -1,0 +1,224 @@
+#include "src/amoebot/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/coloring.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/sops/invariants.hpp"
+#include "src/util/stats.hpp"
+
+namespace sops::amoebot {
+namespace {
+
+using lattice::Node;
+using system::ParticleSystem;
+
+World make_world(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = core::balanced_random_colors(n, 2, rng);
+  return World(nodes, colors);
+}
+
+TEST(WorldTest, ConstructionAndOccupancy) {
+  const std::vector<Node> nodes{{0, 0}, {1, 0}};
+  const std::vector<Color> colors{0, 1};
+  World w(nodes, colors);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_TRUE(w.all_contracted());
+  EXPECT_TRUE(w.occupied(Node{0, 0}));
+  EXPECT_EQ(w.particle_at(Node{1, 0}), 1);
+  EXPECT_EQ(w.particle_at(Node{2, 0}), system::kNoParticle);
+}
+
+TEST(WorldTest, RejectsBadConstruction) {
+  const std::vector<Node> dup{{0, 0}, {0, 0}};
+  const std::vector<Color> colors{0, 0};
+  EXPECT_THROW(World(dup, colors), std::invalid_argument);
+}
+
+TEST(WorldTest, ExpandContractLifecycle) {
+  const std::vector<Node> nodes{{0, 0}, {1, 0}};
+  const std::vector<Color> colors{0, 1};
+  World w(nodes, colors);
+
+  w.expand(0, Node{0, 1});
+  EXPECT_TRUE(w.particle(0).expanded());
+  EXPECT_EQ(w.expanded_count(), 1u);
+  EXPECT_TRUE(w.occupied(Node{0, 0}));
+  EXPECT_TRUE(w.occupied(Node{0, 1}));
+  EXPECT_THROW(w.expand(0, Node{-1, 0}), std::logic_error);
+  EXPECT_THROW(w.snapshot(), std::logic_error);
+
+  w.contract_to_head(0);
+  EXPECT_FALSE(w.particle(0).expanded());
+  EXPECT_FALSE(w.occupied(Node{0, 0}));
+  EXPECT_TRUE(w.occupied(Node{0, 1}));
+
+  w.expand(0, Node{0, 0});
+  w.contract_to_tail(0);
+  EXPECT_TRUE(w.occupied(Node{0, 1}));
+  EXPECT_FALSE(w.occupied(Node{0, 0}));
+}
+
+TEST(WorldTest, ExpandValidatesTarget) {
+  const std::vector<Node> nodes{{0, 0}, {1, 0}};
+  const std::vector<Color> colors{0, 1};
+  World w(nodes, colors);
+  EXPECT_THROW(w.expand(0, Node{1, 0}), std::invalid_argument);  // occupied
+  EXPECT_THROW(w.expand(0, Node{3, 0}), std::invalid_argument);  // far
+}
+
+TEST(WorldTest, SwapExchangesContractedParticles) {
+  const std::vector<Node> nodes{{0, 0}, {1, 0}};
+  const std::vector<Color> colors{0, 1};
+  World w(nodes, colors);
+  w.swap(0, 1);
+  EXPECT_EQ(w.particle(0).tail, (Node{1, 0}));
+  EXPECT_EQ(w.particle(1).tail, (Node{0, 0}));
+  EXPECT_EQ(w.particle_at(Node{0, 0}), 1);
+}
+
+TEST(WorldTest, ExpandedNearbyDetection) {
+  const std::vector<Node> nodes{{0, 0}, {3, 0}};
+  const std::vector<Color> colors{0, 0};
+  World w(nodes, colors);
+  w.expand(0, Node{1, 0});
+  // (3,0) is adjacent to (2,0)... the expanded head is at (1,0), which is
+  // within distance 1 of node (2,0) — check from particle 1's view.
+  EXPECT_TRUE(w.expanded_nearby(Node{2, 0}, 1));
+  EXPECT_FALSE(w.expanded_nearby(Node{3, 0}, 1));  // head not adjacent
+  // Self is ignored.
+  EXPECT_FALSE(w.expanded_nearby(Node{0, 0}, 0));
+}
+
+TEST(WorldTest, SnapshotRoundTrip) {
+  World w = make_world(25, 9);
+  const ParticleSystem sys = w.snapshot();
+  EXPECT_EQ(sys.size(), 25u);
+  EXPECT_TRUE(system::is_connected(sys));
+}
+
+class SchedulerTest : public testing::TestWithParam<Scheduler> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerTest,
+                         testing::Values(Scheduler::kUniformRandom,
+                                         Scheduler::kRoundRobin,
+                                         Scheduler::kRandomPermutation),
+                         [](const testing::TestParamInfo<Scheduler>& info) {
+                           switch (info.param) {
+                             case Scheduler::kUniformRandom: return "uniform";
+                             case Scheduler::kRoundRobin: return "roundrobin";
+                             case Scheduler::kRandomPermutation:
+                               return "permutation";
+                           }
+                           return "unknown";
+                         });
+
+// The central guarantee of the translation: settled snapshots are always
+// connected and hole-free, under every scheduler.
+TEST_P(SchedulerTest, InvariantsHoldAtSettledSnapshots) {
+  Simulator sim(make_world(35, 4), core::Params{4.0, 4.0, true}, 11,
+                GetParam());
+  for (int block = 0; block < 15; ++block) {
+    sim.run(4000);
+    sim.settle();
+    const ParticleSystem sys = sim.world().snapshot();
+    ASSERT_TRUE(system::is_connected(sys)) << "block " << block;
+    ASSERT_FALSE(system::has_hole(sys)) << "block " << block;
+  }
+}
+
+TEST_P(SchedulerTest, MakesProgress) {
+  Simulator sim(make_world(30, 6), core::Params{4.0, 4.0, true}, 21,
+                GetParam());
+  sim.run(50000);
+  EXPECT_GT(sim.counters().expansions, 1000u);
+  EXPECT_GT(sim.counters().contract_forward, 100u);
+  EXPECT_GT(sim.counters().swaps, 10u);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  Simulator a(make_world(25, 3), core::Params{4.0, 4.0, true}, 5);
+  Simulator b(make_world(25, 3), core::Params{4.0, 4.0, true}, 5);
+  a.run(30000);
+  b.run(30000);
+  a.settle();
+  b.settle();
+  EXPECT_EQ(a.world().snapshot().positions(), b.world().snapshot().positions());
+  EXPECT_EQ(a.counters().contract_forward, b.counters().contract_forward);
+}
+
+TEST(SimulatorTest, SettleAlwaysFullyContracts) {
+  Simulator sim(make_world(40, 8), core::Params{4.0, 4.0, true}, 31);
+  for (int i = 0; i < 10; ++i) {
+    sim.run(777);  // odd count → expanded particles likely remain
+    sim.settle();
+    EXPECT_TRUE(sim.world().all_contracted());
+  }
+}
+
+TEST(SimulatorTest, SwapsDisabled) {
+  Simulator sim(make_world(30, 2), core::Params{4.0, 4.0, false}, 17);
+  sim.run(50000);
+  EXPECT_EQ(sim.counters().swaps, 0u);
+}
+
+// The distributed execution drives the same self-organization as the
+// centralized chain: strong compression and separation at λ = γ = 4.
+TEST(SimulatorTest, DistributedSeparationHappens) {
+  Simulator sim(make_world(50, 12), core::Params{4.0, 4.0, true}, 3);
+  sim.settle();
+  const double initial_hetero =
+      static_cast<double>(sim.world().snapshot().hetero_edge_count());
+  sim.run(2000000);
+  sim.settle();
+  const ParticleSystem final_sys = sim.world().snapshot();
+  const double final_hetero =
+      static_cast<double>(final_sys.hetero_edge_count());
+  EXPECT_LT(final_hetero, initial_hetero * 0.6);
+}
+
+// Statistical equivalence with the centralized chain M: equilibrium
+// means of the two gauges agree within tolerance (E10 of DESIGN.md).
+TEST(SimulatorTest, MatchesCentralizedChainStatistics) {
+  const core::Params params{3.0, 3.0, true};
+  constexpr std::size_t kN = 30;
+
+  // Centralized.
+  util::Rng rng_c(77);
+  const auto nodes = lattice::random_blob(kN, rng_c);
+  const auto colors = core::balanced_random_colors(kN, 2, rng_c);
+  core::SeparationChain chain(ParticleSystem(nodes, colors), params, 101);
+  util::Accumulator chain_hetero, chain_perimeter;
+  chain.run(500000);
+  for (int s = 0; s < 300; ++s) {
+    chain.run(10000);
+    const auto m = core::measure(chain);
+    chain_hetero.add(m.hetero_fraction);
+    chain_perimeter.add(m.perimeter_ratio);
+  }
+
+  // Distributed (same initial configuration).
+  Simulator sim(World(nodes, colors), params, 202);
+  util::Accumulator sim_hetero, sim_perimeter;
+  sim.run(1000000);  // activations; ~2 per chain step
+  for (int s = 0; s < 300; ++s) {
+    sim.run(20000);
+    sim.settle();
+    const ParticleSystem sys = sim.world().snapshot();
+    sim_hetero.add(
+        static_cast<double>(sys.hetero_edge_count()) /
+        static_cast<double>(sys.edge_count()));
+    sim_perimeter.add(
+        static_cast<double>(sys.perimeter_by_identity()) /
+        static_cast<double>(system::p_min(kN)));
+  }
+
+  EXPECT_NEAR(sim_hetero.mean(), chain_hetero.mean(), 0.05);
+  EXPECT_NEAR(sim_perimeter.mean(), chain_perimeter.mean(), 0.15);
+}
+
+}  // namespace
+}  // namespace sops::amoebot

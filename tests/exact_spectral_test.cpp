@@ -1,0 +1,77 @@
+// Spectral-gap computations on the explicit transition matrix, plus the
+// k-color generalization of Lemma 9 (Section 5) verified exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/exact/chain_matrix.hpp"
+
+namespace sops::exact {
+namespace {
+
+using core::Params;
+
+TEST(SpectralGap, InUnitInterval) {
+  const ChainMatrix m({2, 2}, Params{3.0, 2.0, true});
+  const double gap = m.spectral_gap();
+  EXPECT_GT(gap, 0.0);  // ergodic ⇒ strictly positive
+  EXPECT_LE(gap, 1.0 + 1e-12);
+}
+
+// Section 3.2's claim, made exact at small scale: swap moves accelerate
+// convergence. The spectral gap with swaps must be at least the gap
+// without them.
+TEST(SpectralGap, SwapsDoNotSlowMixing) {
+  for (const double gamma : {2.0, 4.0}) {
+    const ChainMatrix with_swaps({2, 2}, Params{3.0, gamma, true});
+    const ChainMatrix without({2, 2}, Params{3.0, gamma, false});
+    const double g_with = with_swaps.spectral_gap();
+    const double g_without = without.spectral_gap();
+    EXPECT_GE(g_with, g_without - 1e-9)
+        << "gamma=" << gamma << " with=" << g_with << " without=" << g_without;
+  }
+}
+
+// Stronger color bias means deeper energy wells between color layouts:
+// the gap at γ = 6 should not exceed the gap at γ = 1.5.
+TEST(SpectralGap, StrongColorBiasSlowsMixing) {
+  const ChainMatrix weak({2, 2}, Params{3.0, 1.5, true});
+  const ChainMatrix strong({2, 2}, Params{3.0, 6.0, true});
+  EXPECT_LT(strong.spectral_gap(), weak.spectral_gap());
+}
+
+TEST(SpectralGap, SingleStateDegenerate) {
+  // Two particles of one color have 3 states (edge orientations); the
+  // chain on them is still ergodic with a healthy gap.
+  const ChainMatrix m({2}, Params{4.0, 1.0, false});
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_GT(m.spectral_gap(), 0.05);
+}
+
+// The Section 5 generalization: with k = 3 colors the chain must still
+// satisfy detailed balance w.r.t. π(σ) ∝ (λγ)^{−p(σ)} γ^{−h(σ)}, where
+// h counts all bichromatic edges.
+TEST(MultiColor, ThreeColorDetailedBalance) {
+  for (const bool swaps : {true, false}) {
+    const ChainMatrix m({1, 1, 1}, Params{3.0, 2.5, swaps});
+    EXPECT_LT(m.max_row_sum_error(), 1e-12);
+    EXPECT_LT(m.max_detailed_balance_violation(), 1e-14) << swaps;
+    EXPECT_LT(m.max_stationarity_violation(), 1e-13);
+    EXPECT_TRUE(m.irreducible());
+  }
+}
+
+TEST(MultiColor, FourParticlesThreeColors) {
+  const ChainMatrix m({2, 1, 1}, Params{2.0, 3.0, true});
+  EXPECT_LT(m.max_detailed_balance_violation(), 1e-14);
+  EXPECT_TRUE(m.irreducible());
+  EXPECT_TRUE(m.aperiodic());
+}
+
+TEST(MultiColor, UnbalancedColorCounts) {
+  const ChainMatrix m({3, 1}, Params{4.0, 4.0, true});
+  EXPECT_LT(m.max_detailed_balance_violation(), 1e-14);
+  EXPECT_TRUE(m.irreducible());
+}
+
+}  // namespace
+}  // namespace sops::exact

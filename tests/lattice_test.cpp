@@ -1,0 +1,191 @@
+#include "src/lattice/triangular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace sops::lattice {
+namespace {
+
+TEST(Directions, SixDistinctUnitSteps) {
+  std::set<std::pair<int, int>> seen;
+  for (const Node& d : kDirections) seen.insert({d.x, d.y});
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Directions, OppositePairsCancel) {
+  for (int k = 0; k < kDegree; ++k) {
+    const Node d = kDirections[static_cast<std::size_t>(k)];
+    const Node o = kDirections[static_cast<std::size_t>(opposite(k))];
+    EXPECT_EQ(d.x + o.x, 0);
+    EXPECT_EQ(d.y + o.y, 0);
+  }
+}
+
+// d(k-1) + d(k+1) = d(k): the identity the EdgeRing construction uses.
+TEST(Directions, AdjacentDirectionSumIdentity) {
+  for (int k = 0; k < kDegree; ++k) {
+    const Node a = kDirections[static_cast<std::size_t>(dir_mod(k - 1))];
+    const Node b = kDirections[static_cast<std::size_t>(dir_mod(k + 1))];
+    const Node c = kDirections[static_cast<std::size_t>(k)];
+    EXPECT_EQ(a.x + b.x, c.x);
+    EXPECT_EQ(a.y + b.y, c.y);
+  }
+}
+
+TEST(Directions, CounterclockwiseOrderInEmbedding) {
+  double prev_angle = -1.0;
+  for (int k = 0; k < kDegree; ++k) {
+    const auto [x, y] = embed(kDirections[static_cast<std::size_t>(k)]);
+    double angle = std::atan2(y, x);
+    if (angle < 0) angle += 2 * M_PI;
+    EXPECT_GT(angle, prev_angle) << "direction " << k;
+    prev_angle = angle;
+  }
+}
+
+TEST(DirMod, HandlesNegatives) {
+  EXPECT_EQ(dir_mod(-1), 5);
+  EXPECT_EQ(dir_mod(-7), 5);
+  EXPECT_EQ(dir_mod(6), 0);
+  EXPECT_EQ(dir_mod(13), 1);
+}
+
+TEST(Neighbor, RoundTripWithOpposite) {
+  const Node v{3, -2};
+  for (int k = 0; k < kDegree; ++k) {
+    EXPECT_EQ(neighbor(neighbor(v, k), opposite(k)), v);
+  }
+}
+
+TEST(DirectionBetween, DetectsAllNeighbors) {
+  const Node v{-5, 9};
+  for (int k = 0; k < kDegree; ++k) {
+    const auto dir = direction_between(v, neighbor(v, k));
+    ASSERT_TRUE(dir.has_value());
+    EXPECT_EQ(*dir, k);
+  }
+  EXPECT_FALSE(direction_between(v, v).has_value());
+  EXPECT_FALSE(direction_between(v, Node{v.x + 2, v.y}).has_value());
+}
+
+TEST(Adjacent, SymmetricAndIrreflexive) {
+  const Node v{0, 0};
+  for (int k = 0; k < kDegree; ++k) {
+    EXPECT_TRUE(adjacent(v, neighbor(v, k)));
+    EXPECT_TRUE(adjacent(neighbor(v, k), v));
+  }
+  EXPECT_FALSE(adjacent(v, v));
+}
+
+TEST(Distance, MatchesNeighborStructure) {
+  const Node o{0, 0};
+  EXPECT_EQ(distance(o, o), 0);
+  for (int k = 0; k < kDegree; ++k) {
+    EXPECT_EQ(distance(o, neighbor(o, k)), 1);
+  }
+  EXPECT_EQ(distance(o, Node{3, 0}), 3);
+  EXPECT_EQ(distance(o, Node{2, 2}), 4);
+  EXPECT_EQ(distance(o, Node{-1, 3}), 3);  // along mixed directions
+  EXPECT_EQ(distance(Node{1, 1}, Node{-2, 3}), 3);
+}
+
+TEST(Distance, TriangleInequalityRandomSample) {
+  const Node a{0, 0}, b{5, -3}, c{-2, 7};
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c));
+}
+
+TEST(Pack, InjectiveRoundTrip) {
+  const Node samples[] = {{0, 0}, {1, -1}, {-1, 1}, {2147483647, -2147483648},
+                          {-5, 12}};
+  std::set<std::uint64_t> keys;
+  for (const Node& v : samples) {
+    EXPECT_EQ(unpack(pack(v)), v);
+    keys.insert(pack(v));
+  }
+  EXPECT_EQ(keys.size(), std::size(samples));
+}
+
+TEST(Embed, UnitEdgeLengths) {
+  const Node o{0, 0};
+  const auto [ox, oy] = embed(o);
+  for (int k = 0; k < kDegree; ++k) {
+    const auto [x, y] = embed(neighbor(o, k));
+    const double len = std::hypot(x - ox, y - oy);
+    EXPECT_NEAR(len, 1.0, 1e-12);
+  }
+}
+
+TEST(EdgeRingTest, NodesExcludeEndpointsAndAreDistinct) {
+  const Node l{2, 3};
+  for (int dir = 0; dir < kDegree; ++dir) {
+    const Node lp = neighbor(l, dir);
+    const EdgeRing ring = EdgeRing::around(l, dir);
+    std::set<std::uint64_t> keys;
+    for (const Node& v : ring.nodes) {
+      EXPECT_NE(v, l);
+      EXPECT_NE(v, lp);
+      keys.insert(pack(v));
+    }
+    EXPECT_EQ(keys.size(), 8u);
+  }
+}
+
+TEST(EdgeRingTest, CommonNeighborsAreAdjacentToBothEndpoints) {
+  const Node l{0, 0};
+  for (int dir = 0; dir < kDegree; ++dir) {
+    const Node lp = neighbor(l, dir);
+    const EdgeRing ring = EdgeRing::around(l, dir);
+    for (const std::size_t idx : {EdgeRing::kCommonA, EdgeRing::kCommonB}) {
+      EXPECT_TRUE(adjacent(ring.nodes[idx], l));
+      EXPECT_TRUE(adjacent(ring.nodes[idx], lp));
+    }
+  }
+}
+
+TEST(EdgeRingTest, ConsecutiveRingNodesAreAdjacent) {
+  const Node l{-4, 1};
+  for (int dir = 0; dir < kDegree; ++dir) {
+    const EdgeRing ring = EdgeRing::around(l, dir);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_TRUE(adjacent(ring.nodes[i], ring.nodes[(i + 1) % 8]))
+          << "dir " << dir << " pos " << i;
+    }
+  }
+}
+
+TEST(EdgeRingTest, NonConsecutiveRingNodesAreNotAdjacent) {
+  const Node l{0, 0};
+  for (int dir = 0; dir < kDegree; ++dir) {
+    const EdgeRing ring = EdgeRing::around(l, dir);
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t j = i + 2; j < 8; ++j) {
+        if (i == 0 && j == 7) continue;  // cyclically consecutive
+        EXPECT_FALSE(adjacent(ring.nodes[i], ring.nodes[j]))
+            << "dir " << dir << " pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(EdgeRingTest, RingIsExactlyTheUnionNeighborhood) {
+  const Node l{1, 1};
+  for (int dir = 0; dir < kDegree; ++dir) {
+    const Node lp = neighbor(l, dir);
+    std::set<std::uint64_t> expected;
+    for (int k = 0; k < kDegree; ++k) {
+      const Node a = neighbor(l, k);
+      const Node b = neighbor(lp, k);
+      if (a != lp) expected.insert(pack(a));
+      if (b != l) expected.insert(pack(b));
+    }
+    std::set<std::uint64_t> actual;
+    const EdgeRing ring = EdgeRing::around(l, dir);
+    for (const Node& v : ring.nodes) actual.insert(pack(v));
+    EXPECT_EQ(actual, expected) << "dir " << dir;
+  }
+}
+
+}  // namespace
+}  // namespace sops::lattice

@@ -1,0 +1,145 @@
+// Tests for the brute-force Definition 3 ground truth, the spatial
+// order-parameter profiles, and the detector-vs-brute-force comparison.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/coloring.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/brute_force.hpp"
+#include "src/metrics/profiles.hpp"
+#include "src/metrics/separation.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::metrics {
+namespace {
+
+using lattice::Node;
+using system::Color;
+using system::ParticleSystem;
+
+ParticleSystem striped_row(std::size_t n) {
+  // Row of n: left half color 0, right half color 1 — one boundary edge.
+  std::vector<Color> colors(n);
+  for (std::size_t i = 0; i < n; ++i) colors[i] = i < n / 2 ? 0 : 1;
+  return ParticleSystem(lattice::line(n), colors);
+}
+
+ParticleSystem alternating_row(std::size_t n) {
+  return ParticleSystem(lattice::line(n), core::alternating_colors(n, 2));
+}
+
+TEST(BruteForce, StripedRowIsPerfectlySeparated) {
+  const ParticleSystem sys = striped_row(10);
+  const auto cert = best_certificate_brute(sys, 6.0);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_DOUBLE_EQ(cert->delta_hat, 0.0);
+  EXPECT_EQ(cert->boundary_edges, 1);
+  EXPECT_TRUE(is_separated_brute(sys, 1.0, 0.0));
+}
+
+TEST(BruteForce, AlternatingRowNotSeparatedAtTightBudget) {
+  // Any R splitting the colors of an alternating row of 12 needs many
+  // boundary edges; with β small and δ small, separation must fail.
+  const ParticleSystem sys = alternating_row(12);
+  EXPECT_FALSE(is_separated_brute(sys, 1.0, 0.1));
+}
+
+TEST(BruteForce, HomogeneousReturnsNothing) {
+  const ParticleSystem sys(lattice::line(6));
+  EXPECT_FALSE(best_certificate_brute(sys, 6.0).has_value());
+}
+
+TEST(BruteForce, GuardsLargeSystems) {
+  util::Rng rng(1);
+  const auto nodes = lattice::random_blob(21, rng);
+  const auto colors = core::balanced_random_colors(21, 2, rng);
+  EXPECT_THROW((void)best_certificate_brute(ParticleSystem(nodes, colors), 6.0),
+               std::invalid_argument);
+}
+
+// Soundness of the heuristic detector, verified against ground truth:
+// whenever the detector claims (β, δ)-separation, the brute force
+// agrees (its best certificate is at least as good).
+TEST(BruteForce, DetectorIsSound) {
+  util::Rng rng(999);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.below(8));
+    const auto nodes = lattice::random_blob(n, rng);
+    const auto colors = core::balanced_random_colors(n, 2, rng);
+    const ParticleSystem sys(nodes, colors);
+
+    const auto heuristic = find_separation(sys, 6.0);
+    const auto brute = best_certificate_brute(sys, 6.0);
+    ASSERT_TRUE(heuristic.has_value());
+    ASSERT_TRUE(brute.has_value());
+    // Brute force optimizes over all subsets, so within the β budget its
+    // δ̂ is a lower bound on the detector's.
+    if (heuristic->beta_hat <= 6.0) {
+      EXPECT_LE(brute->delta_hat, heuristic->delta_hat + 1e-12)
+          << "trial " << trial;
+    }
+    // And any separation the detector certifies is genuine.
+    if (heuristic->satisfies(6.0, 0.25)) {
+      EXPECT_TRUE(is_separated_brute(sys, 6.0, 0.25)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Profiles, RadiusOfGyrationOrdersShapes) {
+  const ParticleSystem blob(lattice::compact_blob(37));
+  const ParticleSystem row(lattice::line(37));
+  EXPECT_LT(radius_of_gyration(blob), radius_of_gyration(row) / 2.0);
+  // Single particle: zero.
+  EXPECT_DOUBLE_EQ(
+      radius_of_gyration(ParticleSystem(std::vector<Node>{{0, 0}})), 0.0);
+}
+
+TEST(Profiles, CorrelationProfileSeparatedVsAlternating) {
+  const ParticleSystem separated = striped_row(20);
+  const ParticleSystem mixed = alternating_row(20);
+  const auto sep_profile = color_correlation_profile(separated, 5);
+  const auto mix_profile = color_correlation_profile(mixed, 5);
+  ASSERT_EQ(sep_profile.size(), 5u);
+  // Striped: neighbors nearly always share color. Alternating: never.
+  EXPECT_GT(sep_profile[0], 0.9);
+  EXPECT_LT(mix_profile[0], 0.1);
+  // Alternating row at even distance: always same color.
+  EXPECT_GT(mix_profile[1], 0.9);
+}
+
+TEST(Profiles, CorrelationProfileMarksUnrealizedDistances) {
+  const ParticleSystem pair(std::vector<Node>{{0, 0}, {1, 0}},
+                            std::vector<Color>{0, 1});
+  const auto profile = color_correlation_profile(pair, 3);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);   // the one pair differs
+  EXPECT_DOUBLE_EQ(profile[1], -1.0);  // no pair at distance 2
+  EXPECT_DOUBLE_EQ(profile[2], -1.0);
+}
+
+TEST(Profiles, DipoleMomentSeparatesPhases) {
+  // Half-plane coloring of a hexagon: large dipole.
+  const auto nodes = lattice::hexagon(4);
+  std::vector<Color> split, checker;
+  for (const Node& v : nodes) {
+    split.push_back(v.x < 0 ? Color{0} : Color{1});
+    checker.push_back(static_cast<Color>(((v.x + v.y) % 2 + 2) % 2));
+  }
+  const double separated =
+      color_dipole_moment(ParticleSystem(nodes, split));
+  const double integrated =
+      color_dipole_moment(ParticleSystem(nodes, checker));
+  EXPECT_GT(separated, 1.0);
+  EXPECT_LT(integrated, 0.3);
+}
+
+TEST(Profiles, DipoleRequiresExactlyTwoColors) {
+  const ParticleSystem one_color(lattice::line(4));
+  EXPECT_THROW((void)color_dipole_moment(one_color), std::invalid_argument);
+  const ParticleSystem three(lattice::line(3), std::vector<Color>{0, 1, 2});
+  EXPECT_THROW((void)color_dipole_moment(three), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sops::metrics

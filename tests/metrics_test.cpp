@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/clusters.hpp"
+#include "src/metrics/compression.hpp"
+#include "src/metrics/phase.hpp"
+#include "src/metrics/separation.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::metrics {
+namespace {
+
+using lattice::Node;
+using system::Color;
+using system::ParticleSystem;
+
+/// Hexagon of side 4 (61 particles) colored by half-plane: strongly
+/// compressed and strongly separated.
+ParticleSystem separated_hexagon() {
+  const auto nodes = lattice::hexagon(4);
+  std::vector<Color> colors;
+  colors.reserve(nodes.size());
+  for (const Node& v : nodes) colors.push_back(v.x < 0 ? Color{0} : Color{1});
+  return ParticleSystem(nodes, colors);
+}
+
+/// Hexagon of side 4 colored in a fine checkerboard-like mix: compressed
+/// but integrated.
+ParticleSystem integrated_hexagon() {
+  const auto nodes = lattice::hexagon(4);
+  std::vector<Color> colors;
+  colors.reserve(nodes.size());
+  for (const Node& v : nodes) {
+    colors.push_back(static_cast<Color>(((v.x + 3 * v.y) % 2 + 2) % 2));
+  }
+  return ParticleSystem(nodes, colors);
+}
+
+TEST(Compression, HexagonIsMaximallyCompressed) {
+  const ParticleSystem sys(lattice::hexagon(3));  // 37 particles, p=18
+  EXPECT_NEAR(perimeter_ratio(sys), 1.0, 1e-9);
+  EXPECT_TRUE(is_alpha_compressed(sys, 1.0));
+}
+
+TEST(Compression, LineIsNotCompressed) {
+  const ParticleSystem sys(lattice::line(37));
+  EXPECT_GT(perimeter_ratio(sys), 3.0);
+  EXPECT_FALSE(is_alpha_compressed(sys, 3.0));
+}
+
+TEST(Clusters, ComponentSizesOnStripedRow) {
+  // Row of 6: colors 0,0,1,1,0,0 → color-0 components {2,2}, color-1 {2}.
+  const auto nodes = lattice::line(6);
+  const std::vector<Color> colors{0, 0, 1, 1, 0, 0};
+  const ParticleSystem sys(nodes, colors);
+  const auto sizes0 = monochromatic_component_sizes(sys, 0);
+  ASSERT_EQ(sizes0.size(), 2u);
+  EXPECT_EQ(sizes0[0], 2u);
+  EXPECT_EQ(sizes0[1], 2u);
+  const auto sizes1 = monochromatic_component_sizes(sys, 1);
+  ASSERT_EQ(sizes1.size(), 1u);
+  EXPECT_EQ(sizes1[0], 2u);
+  EXPECT_DOUBLE_EQ(largest_component_fraction(sys, 0), 0.5);
+  EXPECT_DOUBLE_EQ(largest_component_fraction(sys, 1), 1.0);
+}
+
+TEST(Clusters, AbsentColorGivesZeroFraction) {
+  const ParticleSystem sys(lattice::line(3),
+                           std::vector<Color>{0, 0, 0});
+  EXPECT_DOUBLE_EQ(largest_component_fraction(sys, 1), 0.0);
+  EXPECT_TRUE(monochromatic_component_sizes(sys, 1).empty());
+}
+
+TEST(Separation, HalfPlaneHexagonIsSeparated) {
+  const ParticleSystem sys = separated_hexagon();
+  const auto cert = find_separation(sys, /*beta_budget=*/6.0);
+  ASSERT_TRUE(cert.has_value());
+  // Perfect split: δ_hat = 0 and a straight interface.
+  EXPECT_DOUBLE_EQ(cert->delta_hat, 0.0);
+  EXPECT_LE(cert->beta_hat, 3.0);
+  EXPECT_TRUE(is_separated(sys, 6.0, 0.1));
+}
+
+TEST(Separation, CheckerboardHexagonIsNotSeparated) {
+  const ParticleSystem sys = integrated_hexagon();
+  EXPECT_FALSE(is_separated(sys, 6.0, 0.25));
+}
+
+TEST(Separation, HomogeneousSystemHasNoCertificate) {
+  const ParticleSystem sys(lattice::hexagon(2));
+  EXPECT_FALSE(find_separation(sys, 6.0).has_value());
+  EXPECT_FALSE(is_separated(sys, 6.0, 0.25));
+}
+
+TEST(Separation, CertificateSatisfiesItsOwnClaim) {
+  // Whatever the detector returns must be internally consistent.
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto nodes = lattice::random_blob(50, rng);
+    const auto colors = core::balanced_random_colors(50, 2, rng);
+    const ParticleSystem sys(nodes, colors);
+    const auto cert = find_separation(sys, 6.0);
+    ASSERT_TRUE(cert.has_value());
+    EXPECT_GE(cert->region_size, 1u);
+    EXPECT_LE(cert->region_size, sys.size());
+    EXPECT_GE(cert->density_inside, 0.0);
+    EXPECT_LE(cert->density_inside, 1.0);
+    EXPECT_GE(cert->density_outside, 0.0);
+    EXPECT_LE(cert->density_outside, 1.0);
+    EXPECT_GE(cert->boundary_edges, 0);
+    EXPECT_DOUBLE_EQ(
+        cert->delta_hat,
+        std::max(1.0 - cert->density_inside, cert->density_outside));
+    EXPECT_TRUE(cert->satisfies(cert->beta_hat, cert->delta_hat));
+  }
+}
+
+TEST(Separation, SingleMinorityParticleIsDegenerateButValidCertificate) {
+  // Hexagon side 3 all color 0 except the center: Definition 3 is
+  // genuinely satisfied by R = {center} with c1 = the minority color
+  // (6 boundary edges ≤ β√37 for β ≥ 1, density inside 1, none outside).
+  // The detector must find a certificate at least this good.
+  const auto nodes = lattice::hexagon(3);
+  std::vector<Color> colors(nodes.size(), Color{0});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == Node{0, 0}) colors[i] = Color{1};
+  }
+  const ParticleSystem sys(nodes, colors);
+  const auto cert = find_separation(sys, 6.0);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_LE(cert->delta_hat, 1.0 / 36.0 + 1e-12);
+  EXPECT_LE(cert->beta_hat, 6.0);
+}
+
+TEST(Separation, EnclaveGetsAbsorbed) {
+  // Balanced half-plane coloring of hexagon side 4, but with one deep
+  // right-side particle flipped to color 0 (an enclave). The detector's
+  // fill step must absorb the enclave into the color-1 region rather
+  // than pay 6 extra boundary edges around it, yielding a near-perfect
+  // balanced certificate.
+  const auto nodes = lattice::hexagon(4);
+  std::vector<Color> colors;
+  colors.reserve(nodes.size());
+  for (const Node& v : nodes) {
+    colors.push_back(v.x < 0 ? Color{0} : Color{1});
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == Node{2, 0}) colors[i] = Color{0};  // enclave
+  }
+  const ParticleSystem sys(nodes, colors);
+  ASSERT_TRUE(is_separated(sys, 6.0, 0.1));
+  const auto cert = find_separation(sys, 6.0);
+  ASSERT_TRUE(cert.has_value());
+  // A balanced region (roughly half the system), not the degenerate one.
+  EXPECT_GE(cert->region_size, sys.size() / 3);
+  EXPECT_LE(cert->delta_hat, 0.05);
+}
+
+TEST(Separation, DumbbellWithMatchedColorsIsStronglySeparated) {
+  // Two lobes of 19, colored by lobe, thin bridge.
+  const auto nodes = lattice::dumbbell(19, 19, 1);
+  std::vector<Color> colors(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    colors[i] = nodes[i].x <= 3 ? Color{0} : Color{1};
+  }
+  const ParticleSystem sys(nodes, colors);
+  const auto cert = find_separation(sys, 6.0);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_LE(cert->delta_hat, 0.05);
+  EXPECT_LE(cert->beta_hat, 1.0);
+}
+
+TEST(PhaseClassifier, FourCorners) {
+  // Compressed-separated.
+  EXPECT_EQ(classify(separated_hexagon()), Phase::kCompressedSeparated);
+  // Compressed-integrated.
+  EXPECT_EQ(classify(integrated_hexagon()), Phase::kCompressedIntegrated);
+  // Expanded-integrated: a long alternating line.
+  {
+    const auto nodes = lattice::line(61);
+    const auto colors = core::alternating_colors(61, 2);
+    EXPECT_EQ(classify(ParticleSystem(nodes, colors)),
+              Phase::kExpandedIntegrated);
+  }
+  // Expanded-separated: a long line, left half color 0.
+  {
+    const auto nodes = lattice::line(61);
+    std::vector<Color> colors(61);
+    for (std::size_t i = 0; i < 61; ++i) colors[i] = i < 30 ? 0 : 1;
+    EXPECT_EQ(classify(ParticleSystem(nodes, colors)),
+              Phase::kExpandedSeparated);
+  }
+}
+
+TEST(PhaseClassifier, NamesAndCodes) {
+  EXPECT_EQ(phase_name(Phase::kCompressedSeparated), "compressed-separated");
+  EXPECT_EQ(phase_code(Phase::kExpandedIntegrated), "EI");
+  EXPECT_EQ(phase_code(Phase::kCompressedIntegrated), "CI");
+  EXPECT_EQ(phase_name(Phase::kExpandedSeparated), "expanded-separated");
+}
+
+}  // namespace
+}  // namespace sops::metrics

@@ -1,0 +1,87 @@
+#include "src/core/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> series{1, 2, 3, 4, 5, 4, 3, 2};
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 0), 1.0);
+}
+
+TEST(Autocorrelation, IidSeriesNearZero) {
+  util::Rng rng(12);
+  std::vector<double> series(20000);
+  for (auto& x : series) x = rng.uniform();
+  EXPECT_LT(std::abs(autocorrelation(series, 1)), 0.03);
+  EXPECT_LT(std::abs(autocorrelation(series, 5)), 0.03);
+  EXPECT_NEAR(integrated_autocorrelation_time(series), 1.0, 0.2);
+  EXPECT_GT(effective_sample_size(series), 15000.0);
+}
+
+TEST(Autocorrelation, Ar1SeriesHasKnownDecay) {
+  // AR(1) with coefficient φ: ρ(k) = φ^k, τ = (1+φ)/(1−φ).
+  const double phi = 0.8;
+  util::Rng rng(13);
+  std::vector<double> series(200000);
+  double x = 0.0;
+  for (auto& out : series) {
+    x = phi * x + (rng.uniform() - 0.5);
+    out = x;
+  }
+  EXPECT_NEAR(autocorrelation(series, 1), phi, 0.03);
+  EXPECT_NEAR(autocorrelation(series, 3), phi * phi * phi, 0.05);
+  EXPECT_NEAR(integrated_autocorrelation_time(series),
+              (1 + phi) / (1 - phi), 1.5);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  const std::vector<double> constant{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(constant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(constant), 1.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(effective_sample_size(empty), 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(one, 1), 0.0);
+}
+
+// The chain's perimeter series is strongly autocorrelated at small
+// spacing and decorrelates as the sampling interval grows — the fact the
+// harnesses' spacing choices rest on.
+TEST(Autocorrelation, ChainSamplesDecorrelateWithSpacing) {
+  util::Rng rng(14);
+  const auto nodes = lattice::random_blob(40, rng);
+  const auto colors = balanced_random_colors(40, 2, rng);
+  SeparationChain chain(system::ParticleSystem(nodes, colors),
+                        Params{4.0, 4.0, true}, 15);
+  chain.run(500000);
+
+  const auto collect = [&](std::uint64_t spacing, std::size_t count) {
+    std::vector<double> series;
+    series.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      chain.run(spacing);
+      series.push_back(static_cast<double>(measure(chain).perimeter));
+    }
+    return series;
+  };
+
+  const auto tight = collect(50, 800);
+  const auto loose = collect(20000, 800);
+  EXPECT_GT(autocorrelation(tight, 1), 0.5);
+  EXPECT_LT(autocorrelation(loose, 1), 0.3);
+  EXPECT_GT(effective_sample_size(loose), effective_sample_size(tight));
+}
+
+}  // namespace
+}  // namespace sops::core

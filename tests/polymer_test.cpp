@@ -1,0 +1,331 @@
+#include "src/polymer/polymer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/lattice/shapes.hpp"
+#include "src/polymer/even_sets.hpp"
+#include "src/polymer/kotecky_preiss.hpp"
+#include "src/polymer/loops.hpp"
+#include "src/polymer/partition.hpp"
+
+namespace sops::polymer {
+namespace {
+
+using lattice::Node;
+
+Polymer triangle_at_origin() {
+  return canonical({Edge::make({0, 0}, {1, 0}), Edge::make({1, 0}, {0, 1}),
+                    Edge::make({0, 1}, {0, 0})});
+}
+
+TEST(EdgeTest, CanonicalOrderAndValidation) {
+  const Edge e1 = Edge::make({0, 0}, {1, 0});
+  const Edge e2 = Edge::make({1, 0}, {0, 0});
+  EXPECT_EQ(e1, e2);
+  EXPECT_THROW(Edge::make({0, 0}, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(Edge::make({0, 0}, {0, 0}), std::invalid_argument);
+}
+
+TEST(EdgeTest, AdjacentEdgesAreTenDistinct) {
+  const Edge e = Edge::make({0, 0}, {1, 0});
+  const auto adj = adjacent_edges(e);
+  EXPECT_EQ(adj.size(), 10u);
+  for (const Edge& f : adj) EXPECT_FALSE(f == e);
+  const std::set<Edge> dedupe(adj.begin(), adj.end());
+  EXPECT_EQ(dedupe.size(), 10u);
+}
+
+TEST(EdgeSetTest, InsertContains) {
+  EdgeSet s;
+  const Edge e = Edge::make({0, 0}, {1, 0});
+  EXPECT_FALSE(s.contains(e));
+  EXPECT_TRUE(s.insert(e));
+  EXPECT_FALSE(s.insert(e));
+  EXPECT_TRUE(s.contains(e));
+  EXPECT_EQ(s.size(), 1u);
+  // A different edge with the same first endpoint.
+  const Edge f = Edge::make({0, 0}, {0, 1});
+  EXPECT_FALSE(s.contains(f));
+  s.insert(f);
+  EXPECT_TRUE(s.contains(f));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PolymerOps, CanonicalSortsAndDedupes) {
+  Polymer p{Edge::make({1, 0}, {0, 1}), Edge::make({0, 0}, {1, 0}),
+            Edge::make({1, 0}, {0, 1})};
+  const Polymer c = canonical(std::move(p));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+}
+
+TEST(PolymerOps, ShareEdgeAndVertex) {
+  const Polymer t1 = triangle_at_origin();
+  const Polymer t2 = canonical({Edge::make({1, 0}, {2, 0}),
+                                Edge::make({2, 0}, {1, 1}),
+                                Edge::make({1, 1}, {1, 0})});
+  EXPECT_FALSE(share_edge(t1, t2));
+  EXPECT_TRUE(share_vertex(t1, t2));  // both touch (1,0)
+  EXPECT_TRUE(share_edge(t1, t1));
+
+  const Polymer far = canonical({Edge::make({10, 10}, {11, 10})});
+  EXPECT_FALSE(share_vertex(t1, far));
+}
+
+TEST(PolymerOps, DegreesAndConnectivity) {
+  const Polymer triangle = triangle_at_origin();
+  EXPECT_TRUE(all_degrees_even(triangle));
+  EXPECT_TRUE(edges_connected(triangle));
+  EXPECT_EQ(vertex_count(triangle), 3u);
+
+  const Polymer path = canonical(
+      {Edge::make({0, 0}, {1, 0}), Edge::make({1, 0}, {2, 0})});
+  EXPECT_FALSE(all_degrees_even(path));
+  EXPECT_TRUE(edges_connected(path));
+
+  const Polymer split = canonical(
+      {Edge::make({0, 0}, {1, 0}), Edge::make({5, 5}, {6, 5})});
+  EXPECT_FALSE(edges_connected(split));
+}
+
+TEST(PolymerOps, BowtieIsEven) {
+  // Two triangles sharing the vertex (1,0): degree 4 there, 2 elsewhere.
+  const Polymer bowtie = canonical(
+      {Edge::make({0, 0}, {1, 0}), Edge::make({1, 0}, {0, 1}),
+       Edge::make({0, 1}, {0, 0}), Edge::make({1, 0}, {2, 0}),
+       Edge::make({2, 0}, {2, -1}), Edge::make({2, -1}, {1, 0})});
+  ASSERT_EQ(bowtie.size(), 6u);
+  EXPECT_TRUE(all_degrees_even(bowtie));
+  EXPECT_TRUE(edges_connected(bowtie));
+}
+
+TEST(PolymerOps, EvenClosureSizeOfTriangle) {
+  // Union of edges incident to the triangle's 3 vertices: 3*6 = 18
+  // incidences, triangle edges counted twice → 15 distinct edges.
+  EXPECT_EQ(even_closure_size(triangle_at_origin()), 15u);
+}
+
+TEST(Loops, SmallCountsMatchHandEnumeration) {
+  const auto counts = loop_counts_by_length(5);
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 0u);
+  EXPECT_EQ(counts[3], 2u);  // two triangles per edge
+  EXPECT_EQ(counts[4], 4u);  // four rhombi per edge
+  EXPECT_GT(counts[5], 0u);
+}
+
+TEST(Loops, AllResultsAreValidCycles) {
+  const Edge e0 = Edge::make({0, 0}, {1, 0});
+  for (const Polymer& loop : enumerate_loops(e0, 7)) {
+    EXPECT_TRUE(all_degrees_even(loop));
+    EXPECT_TRUE(edges_connected(loop));
+    EXPECT_GE(loop.size(), 3u);
+    EXPECT_LE(loop.size(), 7u);
+    // Cycles: #edges == #vertices.
+    EXPECT_EQ(loop.size(), vertex_count(loop));
+    // Contains the probe edge.
+    EXPECT_TRUE(std::binary_search(loop.begin(), loop.end(), e0));
+  }
+}
+
+TEST(Loops, NoDuplicates) {
+  const Edge e0 = Edge::make({0, 0}, {1, 0});
+  const auto loops = enumerate_loops(e0, 8);
+  const std::set<Polymer> unique(loops.begin(), loops.end());
+  EXPECT_EQ(unique.size(), loops.size());
+}
+
+TEST(Loops, CountsRespectNonBacktrackingBound) {
+  const auto counts = loop_counts_by_length(9);
+  for (std::size_t k = 3; k < counts.size(); ++k) {
+    EXPECT_LE(static_cast<double>(counts[k]),
+              std::pow(5.0, static_cast<double>(k - 1)))
+        << "k=" << k;
+  }
+}
+
+TEST(Loops, GrowthRateNearTriangularConnectiveConstant) {
+  // The number of self-avoiding cycles through an edge grows like μ^k
+  // with μ ≈ 4.15 on the triangular lattice; at small k the effective
+  // base should already be in a sane band.
+  const auto counts = loop_counts_by_length(10);
+  const double base = std::pow(static_cast<double>(counts[10]), 1.0 / 10.0);
+  EXPECT_GT(base, 2.0);
+  EXPECT_LT(base, 5.0);
+}
+
+TEST(Loops, RegionRestrictionWorks) {
+  // Region = edges of the single upward triangle; only 1 loop fits and
+  // only through its own edges.
+  const Polymer triangle = triangle_at_origin();
+  const auto loops = loops_in_region(triangle, 6);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0], triangle);
+}
+
+TEST(ConnectedEdgeSets, MatchesBruteForceOnSmallUniverse) {
+  // Universe: all 12 edges within hexagon(1). Brute-force all subsets
+  // containing e0 that are connected, sizes 1..4; compare with the ESU
+  // enumeration filtered to the universe.
+  const auto verts = lattice::hexagon(1);
+  const std::vector<Edge> universe = edges_within(verts);
+  ASSERT_EQ(universe.size(), 12u);
+  const Edge e0 = Edge::make({0, 0}, {1, 0});
+  ASSERT_TRUE(std::find(universe.begin(), universe.end(), e0) !=
+              universe.end());
+
+  std::set<Polymer> brute;
+  for (std::uint32_t mask = 0; mask < (1u << 12); ++mask) {
+    Polymer p;
+    for (std::size_t i = 0; i < 12; ++i) {
+      if (mask & (1u << i)) p.push_back(universe[i]);
+    }
+    if (p.size() < 1 || p.size() > 4) continue;
+    if (std::find(p.begin(), p.end(), e0) == p.end()) continue;
+    if (!edges_connected(p)) continue;
+    brute.insert(canonical(std::move(p)));
+  }
+
+  std::set<Polymer> esu;
+  const EdgeSet allowed(universe);
+  for (const Polymer& p : enumerate_connected_edge_sets(e0, 4)) {
+    bool inside = true;
+    for (const Edge& e : p) inside = inside && allowed.contains(e);
+    if (inside) esu.insert(p);
+  }
+  EXPECT_EQ(esu, brute);
+}
+
+TEST(ConnectedEdgeSets, NoDuplicates) {
+  const Edge e0 = Edge::make({0, 0}, {1, 0});
+  const auto sets = enumerate_connected_edge_sets(e0, 4);
+  const std::set<Polymer> unique(sets.begin(), sets.end());
+  EXPECT_EQ(unique.size(), sets.size());
+}
+
+TEST(EvenPolymers, SmallSizesAreExactlyTheCycles) {
+  // Below 6 edges every even connected set is a single cycle.
+  const auto even = even_counts_by_size(5);
+  const auto loops = loop_counts_by_length(5);
+  for (std::size_t k = 0; k <= 5; ++k) {
+    EXPECT_EQ(even[k], loops[k]) << "k=" << k;
+  }
+}
+
+TEST(EvenPolymers, SizeSixIncludesBowties) {
+  const auto even = even_counts_by_size(6);
+  const auto loops = loop_counts_by_length(6);
+  EXPECT_GT(even[6], loops[6]);
+}
+
+TEST(HtWeight, MapsPaperWindowToOneOver80) {
+  EXPECT_NEAR(ht_weight(81.0 / 79.0), 1.0 / 80.0, 1e-15);
+  EXPECT_NEAR(ht_weight(79.0 / 81.0), -1.0 / 80.0, 1e-15);
+  EXPECT_DOUBLE_EQ(ht_weight(1.0), 0.0);
+}
+
+TEST(KoteckyPreiss, LoopsSatisfiedAtLargeGammaNotAtSmall) {
+  EXPECT_TRUE(check_kp_loops_best_c(30.0, 9).satisfied);
+  EXPECT_FALSE(check_kp_loops_best_c(1.5, 9).satisfied);
+}
+
+TEST(KoteckyPreiss, LoopThresholdIsFiniteAndBelow30) {
+  const double threshold = min_gamma_for_loops(9);
+  EXPECT_GT(threshold, 3.0);
+  EXPECT_LT(threshold, 30.0);
+}
+
+TEST(KoteckyPreiss, EvenSatisfiedInsidePaperWindow) {
+  // γ = 1 (x = 0): trivially satisfied.
+  EXPECT_TRUE(check_kp_even_best_c(1.0, 6).satisfied);
+  // Inside the paper window.
+  EXPECT_TRUE(check_kp_even_best_c(81.0 / 79.0, 6).satisfied);
+  EXPECT_TRUE(check_kp_even_best_c(79.0 / 81.0, 6).satisfied);
+  // Far outside: x large.
+  EXPECT_FALSE(check_kp_even_best_c(3.0, 6).satisfied);
+}
+
+TEST(KoteckyPreiss, EvenWindowAtLeastPaperWidth) {
+  const double x_max = max_ht_weight_for_even(6);
+  EXPECT_GE(x_max, 1.0 / 80.0);
+}
+
+TEST(PartitionFunction, ExactXiOnTinySystems) {
+  // Two incompatible polymers: Ξ = 1 + w1 + w2.
+  const Polymer t = triangle_at_origin();
+  const Polymer t_shift =
+      canonical({Edge::make({0, 0}, {1, 0}), Edge::make({1, 0}, {1, -1}),
+                 Edge::make({1, -1}, {0, 0})});
+  const std::vector<Polymer> polymers{t, t_shift};
+  const std::vector<double> weights{0.5, 0.25};
+  const double xi_incomp = exact_xi(
+      polymers, weights,
+      [](const Polymer& a, const Polymer& b) { return share_edge(a, b); });
+  EXPECT_DOUBLE_EQ(xi_incomp, 1.0 + 0.5 + 0.25);
+
+  // Make them compatible: Ξ = (1 + w1)(1 + w2).
+  const double xi_comp = exact_xi(polymers, weights,
+                                  [](const Polymer&, const Polymer&) {
+                                    return false;
+                                  });
+  EXPECT_DOUBLE_EQ(xi_comp, 1.5 * 1.25);
+}
+
+TEST(PartitionFunction, EvenSpinSumMatchesBruteForce) {
+  // On hexagon(1): Σ_{even E} x^{|E|} by brute force over the 2^12 edge
+  // subsets must equal the spin-sum evaluation.
+  const auto verts = lattice::hexagon(1);
+  const std::vector<Edge> universe = edges_within(verts);
+  const double x = 0.2;
+  double brute = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << 12); ++mask) {
+    Polymer p;
+    for (std::size_t i = 0; i < 12; ++i) {
+      if (mask & (1u << i)) p.push_back(universe[i]);
+    }
+    if (!all_degrees_even(p)) continue;
+    brute += std::pow(x, static_cast<double>(p.size()));
+  }
+  EXPECT_NEAR(std::exp(log_xi_even(verts, x)), brute, 1e-9 * brute);
+}
+
+TEST(PartitionFunction, LogXiLoopsPositiveAndMonotoneInRegion) {
+  const auto small = lattice::hexagon(1);
+  const auto big = lattice::hexagon(2);
+  const double xi_small = log_xi_loops(small, 4.0, 6);
+  const double xi_big = log_xi_loops(big, 4.0, 6);
+  EXPECT_GT(xi_small, 0.0);
+  EXPECT_GT(xi_big, xi_small);
+}
+
+TEST(PartitionFunction, RegionHelpers) {
+  const auto verts = lattice::hexagon(1);
+  EXPECT_EQ(edges_within(verts).size(), 12u);
+  // Each of the 6 outer vertices has 3 neighbors outside; center has 0.
+  EXPECT_EQ(boundary_edge_count(verts), 18u);
+}
+
+TEST(PartitionFunction, VolumeSurfaceFit) {
+  // Theorem 11 numerics for the even model at x = 1/80: across nested
+  // hexagons, ln Ξ should be ψ|Λ| within a small surface correction.
+  std::vector<RegionStat> stats;
+  for (std::int32_t r = 1; r <= 2; ++r) {
+    const auto verts = lattice::hexagon(r);
+    RegionStat s;
+    s.volume = edges_within(verts).size();
+    s.boundary = boundary_edge_count(verts);
+    s.log_xi = log_xi_even(verts, 1.0 / 80.0);
+    stats.push_back(s);
+  }
+  double c_required = 1.0;
+  const double psi = fit_volume_constant(stats, &c_required);
+  EXPECT_LT(std::abs(psi), 0.01);   // tiny volume pressure at x = 1/80
+  EXPECT_LT(c_required, 0.001);     // surface term is small
+}
+
+}  // namespace
+}  // namespace sops::polymer

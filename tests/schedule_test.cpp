@@ -1,0 +1,83 @@
+#include "src/core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/coloring.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/sops/invariants.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+namespace {
+
+system::ParticleSystem start(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = balanced_random_colors(n, 2, rng);
+  return system::ParticleSystem(nodes, colors);
+}
+
+TEST(Schedule, EmptyScheduleThrows) {
+  EXPECT_THROW(run_schedule(start(10, 1), {}, 1), std::invalid_argument);
+}
+
+TEST(Schedule, CumulativeIterationsAndSegmentCount) {
+  const std::vector<ScheduleSegment> schedule{
+      {Params{4.0, 4.0, true}, 1000},
+      {Params{4.0, 1.0, true}, 2000},
+      {Params{2.0, 2.0, true}, 500},
+  };
+  const auto result = run_schedule(start(20, 2), schedule, 3);
+  ASSERT_EQ(result.at_segment_end.size(), 3u);
+  EXPECT_EQ(result.at_segment_end[0].iteration, 1000u);
+  EXPECT_EQ(result.at_segment_end[1].iteration, 3000u);
+  EXPECT_EQ(result.at_segment_end[2].iteration, 3500u);
+  EXPECT_EQ(result.final_configuration.size(), 20u);
+}
+
+TEST(Schedule, DeterministicGivenSeed) {
+  const std::vector<ScheduleSegment> schedule{
+      {Params{4.0, 4.0, true}, 30000},
+      {Params{4.0, 0.5, true}, 30000},
+  };
+  const auto a = run_schedule(start(25, 4), schedule, 9);
+  const auto b = run_schedule(start(25, 4), schedule, 9);
+  EXPECT_EQ(a.final_configuration.positions(),
+            b.final_configuration.positions());
+}
+
+TEST(Schedule, InvariantsSurviveParameterSwitches) {
+  const std::vector<ScheduleSegment> schedule{
+      {Params{4.0, 4.0, true}, 50000},
+      {Params{1.2, 0.5, false}, 50000},
+      {Params{6.0, 6.0, true}, 50000},
+  };
+  const auto result = run_schedule(start(30, 5), schedule, 11);
+  EXPECT_TRUE(system::is_connected(result.final_configuration));
+  EXPECT_FALSE(system::has_hole(result.final_configuration));
+}
+
+// The environmental-stimulus story: separation responds to γ switching
+// while compression persists (λ held high throughout).
+TEST(Schedule, SeparationTracksGammaStimulus) {
+  const std::uint64_t seg = 2000000;
+  const std::vector<ScheduleSegment> schedule{
+      {Params{4.0, 4.0, true}, seg},   // sort
+      {Params{4.0, 1.0, true}, seg},   // mix
+      {Params{4.0, 4.0, true}, seg},   // sort again
+  };
+  const auto result = run_schedule(start(60, 6), schedule, 13);
+  const double sorted1 = result.at_segment_end[0].hetero_fraction;
+  const double mixed = result.at_segment_end[1].hetero_fraction;
+  const double sorted2 = result.at_segment_end[2].hetero_fraction;
+  EXPECT_LT(sorted1, 0.25);
+  EXPECT_GT(mixed, 0.35);
+  EXPECT_LT(sorted2, 0.25);
+  // Compression persists in every phase.
+  for (const auto& m : result.at_segment_end) {
+    EXPECT_LT(m.perimeter_ratio, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace sops::core

@@ -1,0 +1,99 @@
+#include "src/schelling/schelling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.hpp"
+
+namespace sops::schelling {
+namespace {
+
+TEST(SchellingBasics, ConstructionInvariants) {
+  SchellingModel model(6, 0.15, 0.5, 1);
+  // Hexagon radius 6: 127 sites.
+  EXPECT_EQ(model.site_count(), 127u);
+  EXPECT_GT(model.agent_count(), 100u);
+  EXPECT_LT(model.agent_count(), 127u);
+
+  std::size_t vacant = 0, a = 0, b = 0;
+  for (std::size_t i = 0; i < model.site_count(); ++i) {
+    switch (model.site(i)) {
+      case Site::kVacant: ++vacant; break;
+      case Site::kColorA: ++a; break;
+      case Site::kColorB: ++b; break;
+    }
+  }
+  EXPECT_EQ(vacant + a + b, model.site_count());
+  EXPECT_EQ(a + b, model.agent_count());
+  EXPECT_LE(a > b ? a - b : b - a, 1u);  // balanced split
+}
+
+TEST(SchellingBasics, RejectsBadParameters) {
+  EXPECT_THROW(SchellingModel(0, 0.1, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(SchellingModel(4, 0.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(SchellingModel(4, 1.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(SchellingModel(4, 0.1, 1.5, 1), std::invalid_argument);
+}
+
+TEST(SchellingBasics, AgentCountConservedUnderDynamics) {
+  SchellingModel model(6, 0.2, 0.6, 5);
+  const std::size_t agents = model.agent_count();
+  model.run(20000);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < model.site_count(); ++i) {
+    live += (model.site(i) != Site::kVacant);
+  }
+  EXPECT_EQ(live, agents);
+}
+
+TEST(SchellingBasics, ZeroToleranceNobodyMoves) {
+  SchellingModel model(5, 0.2, 0.0, 3);
+  EXPECT_DOUBLE_EQ(model.unhappy_fraction(), 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.step());
+  }
+}
+
+// The classic Schelling result: even a mild preference (tolerance 0.5 —
+// agents just don't want to be a local minority) drives the segregation
+// index far above the mixed baseline.
+TEST(SchellingDynamics, MildToleranceSegregates) {
+  SchellingModel model(8, 0.15, 0.5, 11);
+  const double initial = model.segregation_index();
+  EXPECT_NEAR(initial, 0.5, 0.1);
+  model.run(300000);
+  EXPECT_GT(model.segregation_index(), 0.75);
+}
+
+TEST(SchellingDynamics, SegregationGrowsWithTolerance) {
+  util::Accumulator low, high;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SchellingModel lenient(7, 0.15, 0.3, seed);
+    SchellingModel picky(7, 0.15, 0.6, seed);
+    lenient.run(200000);
+    picky.run(200000);
+    low.add(lenient.segregation_index());
+    high.add(picky.segregation_index());
+  }
+  EXPECT_GT(high.mean(), low.mean());
+}
+
+TEST(SchellingDynamics, UnhappinessDropsOverTime) {
+  SchellingModel model(8, 0.15, 0.5, 21);
+  const double before = model.unhappy_fraction();
+  model.run(300000);
+  const double after = model.unhappy_fraction();
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(SchellingDynamics, DeterministicBySeed) {
+  SchellingModel a(6, 0.2, 0.5, 77);
+  SchellingModel b(6, 0.2, 0.5, 77);
+  a.run(50000);
+  b.run(50000);
+  for (std::size_t i = 0; i < a.site_count(); ++i) {
+    ASSERT_EQ(static_cast<int>(a.site(i)), static_cast<int>(b.site(i)));
+  }
+}
+
+}  // namespace
+}  // namespace sops::schelling

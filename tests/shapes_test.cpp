@@ -1,0 +1,119 @@
+#include "src/lattice/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/sops/invariants.hpp"
+#include "src/sops/particle_system.hpp"
+
+namespace sops::lattice {
+namespace {
+
+std::set<std::uint64_t> keyset(const std::vector<Node>& nodes) {
+  std::set<std::uint64_t> out;
+  for (const Node& v : nodes) out.insert(pack(v));
+  return out;
+}
+
+TEST(Hexagon, SizesMatchFormula) {
+  for (std::int32_t ell = 0; ell <= 8; ++ell) {
+    const auto nodes = hexagon(ell);
+    EXPECT_EQ(nodes.size(),
+              static_cast<std::size_t>(3 * ell * ell + 3 * ell + 1));
+    EXPECT_EQ(keyset(nodes).size(), nodes.size());  // no duplicates
+  }
+}
+
+TEST(Hexagon, NegativeSideThrows) {
+  EXPECT_THROW(hexagon(-1), std::invalid_argument);
+}
+
+TEST(Hexagon, AllNodesWithinDistance) {
+  const auto nodes = hexagon(3);
+  for (const Node& v : nodes) {
+    EXPECT_LE(distance(Node{0, 0}, v), 3);
+  }
+}
+
+TEST(CompactBlob, ExactSizeForAllSmallN) {
+  for (std::size_t n = 1; n <= 300; ++n) {
+    const auto nodes = compact_blob(n);
+    ASSERT_EQ(nodes.size(), n);
+    ASSERT_EQ(keyset(nodes).size(), n) << "duplicates at n=" << n;
+  }
+}
+
+TEST(CompactBlob, ConnectedAndHoleFree) {
+  for (std::size_t n : {1u, 2u, 6u, 7u, 8u, 19u, 36u, 37u, 61u, 100u, 169u}) {
+    const auto nodes = compact_blob(n);
+    EXPECT_TRUE(system::nodes_connected(nodes)) << n;
+    EXPECT_FALSE(system::nodes_have_hole(nodes)) << n;
+  }
+}
+
+// Lemma 2: the construction has perimeter at most 2*sqrt(3)*sqrt(n).
+TEST(CompactBlob, Lemma2PerimeterBound) {
+  for (std::size_t n = 1; n <= 400; ++n) {
+    const system::ParticleSystem sys(compact_blob(n));
+    const double p = n == 1 ? 0.0
+                            : static_cast<double>(system::perimeter_walk(sys));
+    EXPECT_LE(p, 2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n)) + 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Line, GeometryAndPerimeter) {
+  const auto nodes = line(5);
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_TRUE(system::nodes_connected(nodes));
+  EXPECT_FALSE(system::nodes_have_hole(nodes));
+  const system::ParticleSystem sys(nodes);
+  // A line of n has e = n-1, so p = 3n-3-(n-1) = 2n-2.
+  EXPECT_EQ(sys.edge_count(), 4);
+  EXPECT_EQ(system::perimeter_walk(sys), 8);
+}
+
+TEST(Parallelogram, SizeAndValidity) {
+  const auto nodes = parallelogram(5, 4);
+  EXPECT_EQ(nodes.size(), 20u);
+  EXPECT_TRUE(system::nodes_connected(nodes));
+  EXPECT_FALSE(system::nodes_have_hole(nodes));
+  EXPECT_THROW(parallelogram(0, 3), std::invalid_argument);
+}
+
+TEST(RandomBlob, AlwaysConnectedHoleFreeExactSize) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.below(90));
+    const auto nodes = random_blob(n, rng);
+    ASSERT_EQ(nodes.size(), n);
+    ASSERT_EQ(keyset(nodes).size(), n);
+    EXPECT_TRUE(system::nodes_connected(nodes));
+    EXPECT_FALSE(system::nodes_have_hole(nodes));
+  }
+}
+
+TEST(RandomBlob, DifferentSeedsGiveDifferentShapes) {
+  util::Rng rng_a(1), rng_b(2);
+  const auto a = random_blob(60, rng_a);
+  const auto b = random_blob(60, rng_b);
+  EXPECT_NE(keyset(a), keyset(b));
+}
+
+TEST(Dumbbell, ConnectedWithTwoLobes) {
+  const auto nodes = dumbbell(19, 19, 3);
+  EXPECT_EQ(nodes.size(), 19u + 19u + 3u);
+  EXPECT_EQ(keyset(nodes).size(), nodes.size());
+  EXPECT_TRUE(system::nodes_connected(nodes));
+  EXPECT_FALSE(system::nodes_have_hole(nodes));
+}
+
+TEST(Dumbbell, RejectsDegenerateArguments) {
+  EXPECT_THROW(dumbbell(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(dumbbell(5, 5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sops::lattice

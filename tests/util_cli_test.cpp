@@ -1,0 +1,90 @@
+#include "src/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sops::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.add_flag("full", "run at paper scale");
+  cli.add_option("n", "number of particles", "100");
+  cli.add_option("lambda", "bias parameter", "4.0");
+  cli.add_option("label", "run label", "default");
+  return cli;
+}
+
+template <std::size_t N>
+void parse(Cli& cli, const char* (&&args)[N]) {
+  cli.parse(static_cast<int>(N), args);
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  parse(cli, {"prog"});
+  EXPECT_FALSE(cli.flag("full"));
+  EXPECT_EQ(cli.integer("n"), 100);
+  EXPECT_DOUBLE_EQ(cli.real("lambda"), 4.0);
+  EXPECT_EQ(cli.str("label"), "default");
+}
+
+TEST(Cli, ParsesSeparateValueForm) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--n", "250", "--full"});
+  EXPECT_EQ(cli.integer("n"), 250);
+  EXPECT_TRUE(cli.flag("full"));
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--lambda=2.5", "--label=run-7"});
+  EXPECT_DOUBLE_EQ(cli.real("lambda"), 2.5);
+  EXPECT_EQ(cli.str("label"), "run-7");
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"prog", "--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"prog", "--n"}), std::invalid_argument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"prog", "--full=yes"}), std::invalid_argument);
+}
+
+TEST(Cli, NonIntegerValueThrows) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--n", "abc"});
+  EXPECT_THROW((void)cli.integer("n"), std::invalid_argument);
+}
+
+TEST(Cli, NonRealValueThrows) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--lambda", "4.0x"});
+  EXPECT_THROW((void)cli.real("lambda"), std::invalid_argument);
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--help"});
+  EXPECT_TRUE(cli.help_requested());
+  const std::string text = cli.help_text("prog");
+  EXPECT_NE(text.find("--n"), std::string::npos);
+  EXPECT_NE(text.find("--full"), std::string::npos);
+}
+
+TEST(Cli, QueryingUndeclaredThrows) {
+  Cli cli = make_cli();
+  parse(cli, {"prog"});
+  EXPECT_THROW((void)cli.str("nope"), std::invalid_argument);
+  EXPECT_THROW((void)cli.flag("n"), std::invalid_argument);    // option, not flag
+  EXPECT_THROW((void)cli.str("full"), std::invalid_argument);  // flag, not option
+}
+
+}  // namespace
+}  // namespace sops::util

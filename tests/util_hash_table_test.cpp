@@ -1,0 +1,119 @@
+#include "src/util/hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "src/util/rng.hpp"
+
+namespace sops::util {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_TRUE(m.insert(2, 20));
+  EXPECT_FALSE(m.insert(1, 11));  // overwrite
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 11);
+  EXPECT_EQ(m.find(3), nullptr);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+}
+
+TEST(FlatMap, HandlesExtremeKeys) {
+  FlatMap<int> m;
+  m.insert(0, 1);
+  m.insert(UINT64_MAX, 2);
+  m.insert(UINT64_MAX - 1, 3);
+  EXPECT_EQ(*m.find(0), 1);
+  EXPECT_EQ(*m.find(UINT64_MAX), 2);
+  EXPECT_EQ(*m.find(UINT64_MAX - 1), 3);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity) {
+  FlatMap<std::uint64_t> m(16);
+  for (std::uint64_t i = 0; i < 10000; ++i) m.insert(i * 7919, i);
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.find(i * 7919), nullptr) << i;
+    EXPECT_EQ(*m.find(i * 7919), i);
+  }
+}
+
+TEST(FlatMap, ClearResets) {
+  FlatMap<int> m;
+  for (std::uint64_t i = 0; i < 100; ++i) m.insert(i, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(m.contains(i));
+  m.insert(5, 2);
+  EXPECT_EQ(*m.find(5), 2);
+}
+
+TEST(FlatMap, ForEachVisitsAll) {
+  FlatMap<int> m;
+  for (std::uint64_t i = 0; i < 500; ++i) m.insert(i, static_cast<int>(i));
+  std::set<std::uint64_t> keys;
+  m.for_each([&](std::uint64_t k, int v) {
+    EXPECT_EQ(static_cast<std::uint64_t>(v), k);
+    keys.insert(k);
+  });
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+// Differential test against std::map under random insert/erase churn —
+// exercises backward-shift deletion heavily.
+TEST(FlatMap, DifferentialChurn) {
+  FlatMap<std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(2024);
+  for (int step = 0; step < 200000; ++step) {
+    const std::uint64_t key = rng.below(512);  // small key space → collisions
+    if (rng.bernoulli(0.55)) {
+      const std::uint64_t value = rng.next();
+      m.insert(key, value);
+      ref[key] = value;
+    } else {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+    }
+    if (step % 1000 == 0) {
+      ASSERT_EQ(m.size(), ref.size());
+    }
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), v);
+  }
+}
+
+TEST(FlatSet, BasicOperations) {
+  FlatSet s;
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(11));
+  EXPECT_TRUE(s.erase(10));
+  EXPECT_FALSE(s.erase(10));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, LargeInsertion) {
+  FlatSet s;
+  for (std::uint64_t i = 0; i < 50000; ++i) s.insert(i * i);
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    EXPECT_TRUE(s.contains(i * i)) << i;
+  }
+  EXPECT_EQ(s.size(), 50000u);
+}
+
+}  // namespace
+}  // namespace sops::util

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/ascii_canvas.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/ppm.hpp"
+
+namespace sops::util {
+namespace {
+
+TEST(AsciiCanvasTest, PutAndRead) {
+  AsciiCanvas c(4, 2);
+  c.put(0, 0, 'A');
+  c.put(3, 1, 'B');
+  EXPECT_EQ(c.at(0, 0), 'A');
+  EXPECT_EQ(c.at(3, 1), 'B');
+  EXPECT_EQ(c.at(1, 0), ' ');
+}
+
+TEST(AsciiCanvasTest, OutOfRangeWritesIgnored) {
+  AsciiCanvas c(2, 2);
+  c.put(-1, 0, 'X');
+  c.put(0, -1, 'X');
+  c.put(2, 0, 'X');
+  c.put(0, 2, 'X');
+  EXPECT_EQ(c.str(), "\n\n");  // untouched, trailing spaces trimmed
+}
+
+TEST(AsciiCanvasTest, TextAndTrimming) {
+  AsciiCanvas c(8, 1);
+  c.text(0, 0, "hi");
+  EXPECT_EQ(c.str(), "hi\n");
+}
+
+TEST(AsciiCanvasTest, ZeroDimensionThrows) {
+  EXPECT_THROW(AsciiCanvas(0, 3), std::invalid_argument);
+}
+
+TEST(ImageTest, SetGetAndBounds) {
+  Image img(4, 4);
+  img.set(1, 2, Rgb{10, 20, 30});
+  EXPECT_EQ(img.get(1, 2), (Rgb{10, 20, 30}));
+  EXPECT_EQ(img.get(0, 0), (Rgb{255, 255, 255}));
+  img.set(-1, 0, Rgb{0, 0, 0});  // ignored
+  EXPECT_THROW((void)img.get(4, 0), std::out_of_range);
+}
+
+TEST(ImageTest, FillDiskCoversCenter) {
+  Image img(10, 10);
+  img.fill_disk(5.0, 5.0, 2.0, Rgb{1, 2, 3});
+  EXPECT_EQ(img.get(5, 5), (Rgb{1, 2, 3}));
+  EXPECT_EQ(img.get(0, 0), (Rgb{255, 255, 255}));
+}
+
+TEST(ImageTest, SavePpmRoundTripHeader) {
+  Image img(3, 2, Rgb{9, 8, 7});
+  const std::string path = testing::TempDir() + "/sops_test.ppm";
+  img.save_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace after header
+  char first[3];
+  in.read(first, 3);
+  EXPECT_EQ(static_cast<unsigned char>(first[0]), 9);
+  EXPECT_EQ(static_cast<unsigned char>(first[1]), 8);
+  EXPECT_EQ(static_cast<unsigned char>(first[2]), 7);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"name", "value"});
+  t.row().add("plain").add("with,comma");
+  t.row().add("with\"quote").add("x");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\nplain,\"with,comma\"\n\"with\"\"quote\",x\n");
+}
+
+TEST(TableTest, NumericFormatting) {
+  Table t({"a", "b", "c"});
+  t.row().add(std::int64_t{-5}).add(std::size_t{7}).add(1.5, 3);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n-5,7,1.5\n");
+}
+
+TEST(TableTest, PrettyAligns) {
+  Table t({"col", "x"});
+  t.row().add("long-cell-content").add("1");
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("long-cell-content"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, OverfilledRowThrows) {
+  Table t({"only"});
+  t.row().add("1");
+  EXPECT_THROW(t.add("2"), std::logic_error);
+}
+
+TEST(TableTest, AddBeforeRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add("1"), std::logic_error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sops::util

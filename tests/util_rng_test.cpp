@@ -1,0 +1,143 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sops::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Mix64, IsInjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) equal += (a.next() == b.next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformOpenNeverZeroOrOne) {
+  Rng rng(321);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_open();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  const double mean = sum / kN;
+  // Standard error is ~0.00065; allow 5 sigma.
+  EXPECT_NEAR(mean, 0.5, 0.0033);
+}
+
+TEST(Rng, BelowIsInRangeAndUnbiased) {
+  Rng rng(5);
+  constexpr std::uint64_t kBound = 6;
+  std::array<int, kBound> counts{};
+  constexpr int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.below(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  const double expected = static_cast<double>(kDraws) / kBound;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // Chi-squared with 5 dof: 99.9th percentile is ~20.5.
+  EXPECT_LT(chi2, 25.0);
+}
+
+TEST(Rng, BelowHandlesBoundOne) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// Serial correlation sanity: lag-1 autocorrelation of uniforms ~ 0.
+TEST(Rng, LowSerialCorrelation) {
+  Rng rng(23);
+  constexpr int kN = 100000;
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = rng.uniform();
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= kN;
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i + 1 < kN; ++i) {
+    num += (xs[i] - mean) * (xs[i + 1] - mean);
+  }
+  for (double x : xs) den += (x - mean) * (x - mean);
+  EXPECT_LT(std::abs(num / den), 0.02);
+}
+
+}  // namespace
+}  // namespace sops::util

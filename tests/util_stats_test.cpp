@@ -1,0 +1,118 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sops::util {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.sem(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, ThrowsOnBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(TotalVariation, IdenticalIsZero) {
+  std::map<std::string, double> p{{"a", 0.5}, {"b", 0.5}};
+  EXPECT_DOUBLE_EQ(total_variation(p, p), 0.0);
+}
+
+TEST(TotalVariation, DisjointIsOne) {
+  std::map<std::string, double> p{{"a", 1.0}};
+  std::map<std::string, double> q{{"b", 1.0}};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 1.0);
+}
+
+TEST(TotalVariation, PartialOverlap) {
+  std::map<std::string, double> p{{"a", 0.7}, {"b", 0.3}};
+  std::map<std::string, double> q{{"a", 0.4}, {"c", 0.6}};
+  // |0.7-0.4| + |0.3-0| + |0-0.6| = 1.2; TV = 0.6.
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 0.6);
+}
+
+TEST(Normalize, SumsToOne) {
+  std::map<std::string, std::size_t> counts{{"a", 3}, {"b", 1}};
+  const auto probs = normalize(counts);
+  EXPECT_DOUBLE_EQ(probs.at("a"), 0.75);
+  EXPECT_DOUBLE_EQ(probs.at("b"), 0.25);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamped to 0
+  h.add(42.0);  // clamped to 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[4], 2u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+}
+
+TEST(HistogramTest, AsciiRenders) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.6);
+  h.add(0.7);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, ThrowsOnDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Wilson, ShrinksWithN) {
+  const double w10 = wilson_halfwidth(5, 10);
+  const double w1000 = wilson_halfwidth(500, 1000);
+  EXPECT_GT(w10, w1000);
+  EXPECT_GT(w10, 0.0);
+  EXPECT_LT(w1000, 0.05);
+}
+
+TEST(Wilson, EdgeCases) {
+  EXPECT_DOUBLE_EQ(wilson_halfwidth(0, 0), 1.0);
+  EXPECT_GE(wilson_halfwidth(0, 100), 0.0);
+  EXPECT_GE(wilson_halfwidth(100, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace sops::util
