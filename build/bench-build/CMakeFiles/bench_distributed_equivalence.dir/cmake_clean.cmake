@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributed_equivalence"
+  "../bench/bench_distributed_equivalence.pdb"
+  "CMakeFiles/bench_distributed_equivalence.dir/bench_distributed_equivalence.cpp.o"
+  "CMakeFiles/bench_distributed_equivalence.dir/bench_distributed_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

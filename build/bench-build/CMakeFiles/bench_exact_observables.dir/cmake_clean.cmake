@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exact_observables"
+  "../bench/bench_exact_observables.pdb"
+  "CMakeFiles/bench_exact_observables.dir/bench_exact_observables.cpp.o"
+  "CMakeFiles/bench_exact_observables.dir/bench_exact_observables.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_observables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_phase_diagram"
+  "../bench/bench_fig3_phase_diagram.pdb"
+  "CMakeFiles/bench_fig3_phase_diagram.dir/bench_fig3_phase_diagram.cpp.o"
+  "CMakeFiles/bench_fig3_phase_diagram.dir/bench_fig3_phase_diagram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_phase_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma2_pmin"
+  "../bench/bench_lemma2_pmin.pdb"
+  "CMakeFiles/bench_lemma2_pmin.dir/bench_lemma2_pmin.cpp.o"
+  "CMakeFiles/bench_lemma2_pmin.dir/bench_lemma2_pmin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma2_pmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma9_stationary"
+  "../bench/bench_lemma9_stationary.pdb"
+  "CMakeFiles/bench_lemma9_stationary.dir/bench_lemma9_stationary.cpp.o"
+  "CMakeFiles/bench_lemma9_stationary.dir/bench_lemma9_stationary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma9_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mixing_gap"
+  "../bench/bench_mixing_gap.pdb"
+  "CMakeFiles/bench_mixing_gap.dir/bench_mixing_gap.cpp.o"
+  "CMakeFiles/bench_mixing_gap.dir/bench_mixing_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixing_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_swap_ablation"
+  "../bench/bench_swap_ablation.pdb"
+  "CMakeFiles/bench_swap_ablation.dir/bench_swap_ablation.cpp.o"
+  "CMakeFiles/bench_swap_ablation.dir/bench_swap_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm11_cluster_expansion"
+  "../bench/bench_thm11_cluster_expansion.pdb"
+  "CMakeFiles/bench_thm11_cluster_expansion.dir/bench_thm11_cluster_expansion.cpp.o"
+  "CMakeFiles/bench_thm11_cluster_expansion.dir/bench_thm11_cluster_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_cluster_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm13_compression"
+  "../bench/bench_thm13_compression.pdb"
+  "CMakeFiles/bench_thm13_compression.dir/bench_thm13_compression.cpp.o"
+  "CMakeFiles/bench_thm13_compression.dir/bench_thm13_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm13_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

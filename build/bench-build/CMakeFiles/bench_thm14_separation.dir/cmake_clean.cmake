@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm14_separation"
+  "../bench/bench_thm14_separation.pdb"
+  "CMakeFiles/bench_thm14_separation.dir/bench_thm14_separation.cpp.o"
+  "CMakeFiles/bench_thm14_separation.dir/bench_thm14_separation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm14_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm15_16_integration"
+  "../bench/bench_thm15_16_integration.pdb"
+  "CMakeFiles/bench_thm15_16_integration.dir/bench_thm15_16_integration.cpp.o"
+  "CMakeFiles/bench_thm15_16_integration.dir/bench_thm15_16_integration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm15_16_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

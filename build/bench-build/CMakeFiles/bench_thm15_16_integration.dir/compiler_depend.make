@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_thm15_16_integration.
+# This may be replaced when dependencies are built.

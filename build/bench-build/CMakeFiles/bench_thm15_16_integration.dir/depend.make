@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm15_16_integration.
+# This may be replaced when dependencies are built.

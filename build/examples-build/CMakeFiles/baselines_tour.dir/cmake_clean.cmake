@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/baselines_tour"
+  "../examples/baselines_tour.pdb"
+  "CMakeFiles/baselines_tour.dir/baselines_tour.cpp.o"
+  "CMakeFiles/baselines_tour.dir/baselines_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/distributed_amoebot"
+  "../examples/distributed_amoebot.pdb"
+  "CMakeFiles/distributed_amoebot.dir/distributed_amoebot.cpp.o"
+  "CMakeFiles/distributed_amoebot.dir/distributed_amoebot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_amoebot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

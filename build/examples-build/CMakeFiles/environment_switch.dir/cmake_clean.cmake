@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/environment_switch"
+  "../examples/environment_switch.pdb"
+  "CMakeFiles/environment_switch.dir/environment_switch.cpp.o"
+  "CMakeFiles/environment_switch.dir/environment_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/figure2_timelapse"
+  "../examples/figure2_timelapse.pdb"
+  "CMakeFiles/figure2_timelapse.dir/figure2_timelapse.cpp.o"
+  "CMakeFiles/figure2_timelapse.dir/figure2_timelapse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_timelapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

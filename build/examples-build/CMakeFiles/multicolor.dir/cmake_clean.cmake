@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multicolor"
+  "../examples/multicolor.pdb"
+  "CMakeFiles/multicolor.dir/multicolor.cpp.o"
+  "CMakeFiles/multicolor.dir/multicolor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

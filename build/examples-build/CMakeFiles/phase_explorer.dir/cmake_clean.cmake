@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/phase_explorer"
+  "../examples/phase_explorer.pdb"
+  "CMakeFiles/phase_explorer.dir/phase_explorer.cpp.o"
+  "CMakeFiles/phase_explorer.dir/phase_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

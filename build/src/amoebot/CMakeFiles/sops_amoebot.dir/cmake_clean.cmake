@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_amoebot.dir/simulator.cpp.o"
+  "CMakeFiles/sops_amoebot.dir/simulator.cpp.o.d"
+  "CMakeFiles/sops_amoebot.dir/world.cpp.o"
+  "CMakeFiles/sops_amoebot.dir/world.cpp.o.d"
+  "libsops_amoebot.a"
+  "libsops_amoebot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_amoebot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

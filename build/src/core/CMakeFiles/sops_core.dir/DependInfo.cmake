@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coloring.cpp" "src/core/CMakeFiles/sops_core.dir/coloring.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/coloring.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/core/CMakeFiles/sops_core.dir/locality.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/locality.cpp.o.d"
+  "/root/repo/src/core/markov_chain.cpp" "src/core/CMakeFiles/sops_core.dir/markov_chain.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/markov_chain.cpp.o.d"
+  "/root/repo/src/core/observables.cpp" "src/core/CMakeFiles/sops_core.dir/observables.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/observables.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/sops_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/sops_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/sops_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sops/CMakeFiles/sops_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sops_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

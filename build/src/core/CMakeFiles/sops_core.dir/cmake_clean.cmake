@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_core.dir/coloring.cpp.o"
+  "CMakeFiles/sops_core.dir/coloring.cpp.o.d"
+  "CMakeFiles/sops_core.dir/locality.cpp.o"
+  "CMakeFiles/sops_core.dir/locality.cpp.o.d"
+  "CMakeFiles/sops_core.dir/markov_chain.cpp.o"
+  "CMakeFiles/sops_core.dir/markov_chain.cpp.o.d"
+  "CMakeFiles/sops_core.dir/observables.cpp.o"
+  "CMakeFiles/sops_core.dir/observables.cpp.o.d"
+  "CMakeFiles/sops_core.dir/runner.cpp.o"
+  "CMakeFiles/sops_core.dir/runner.cpp.o.d"
+  "CMakeFiles/sops_core.dir/schedule.cpp.o"
+  "CMakeFiles/sops_core.dir/schedule.cpp.o.d"
+  "libsops_core.a"
+  "libsops_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_exact.dir/chain_matrix.cpp.o"
+  "CMakeFiles/sops_exact.dir/chain_matrix.cpp.o.d"
+  "CMakeFiles/sops_exact.dir/enumerate.cpp.o"
+  "CMakeFiles/sops_exact.dir/enumerate.cpp.o.d"
+  "CMakeFiles/sops_exact.dir/exact_observables.cpp.o"
+  "CMakeFiles/sops_exact.dir/exact_observables.cpp.o.d"
+  "libsops_exact.a"
+  "libsops_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_ising.dir/ising.cpp.o"
+  "CMakeFiles/sops_ising.dir/ising.cpp.o.d"
+  "libsops_ising.a"
+  "libsops_ising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/shapes.cpp" "src/lattice/CMakeFiles/sops_lattice.dir/shapes.cpp.o" "gcc" "src/lattice/CMakeFiles/sops_lattice.dir/shapes.cpp.o.d"
+  "/root/repo/src/lattice/triangular.cpp" "src/lattice/CMakeFiles/sops_lattice.dir/triangular.cpp.o" "gcc" "src/lattice/CMakeFiles/sops_lattice.dir/triangular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_lattice.dir/shapes.cpp.o"
+  "CMakeFiles/sops_lattice.dir/shapes.cpp.o.d"
+  "CMakeFiles/sops_lattice.dir/triangular.cpp.o"
+  "CMakeFiles/sops_lattice.dir/triangular.cpp.o.d"
+  "libsops_lattice.a"
+  "libsops_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsops_lattice.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/brute_force.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/brute_force.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/brute_force.cpp.o.d"
+  "/root/repo/src/metrics/clusters.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/clusters.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/clusters.cpp.o.d"
+  "/root/repo/src/metrics/compression.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/compression.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/compression.cpp.o.d"
+  "/root/repo/src/metrics/phase.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/phase.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/phase.cpp.o.d"
+  "/root/repo/src/metrics/profiles.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/profiles.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/profiles.cpp.o.d"
+  "/root/repo/src/metrics/separation.cpp" "src/metrics/CMakeFiles/sops_metrics.dir/separation.cpp.o" "gcc" "src/metrics/CMakeFiles/sops_metrics.dir/separation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sops/CMakeFiles/sops_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sops_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/sops_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

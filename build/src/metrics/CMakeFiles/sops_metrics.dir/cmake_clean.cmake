@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_metrics.dir/brute_force.cpp.o"
+  "CMakeFiles/sops_metrics.dir/brute_force.cpp.o.d"
+  "CMakeFiles/sops_metrics.dir/clusters.cpp.o"
+  "CMakeFiles/sops_metrics.dir/clusters.cpp.o.d"
+  "CMakeFiles/sops_metrics.dir/compression.cpp.o"
+  "CMakeFiles/sops_metrics.dir/compression.cpp.o.d"
+  "CMakeFiles/sops_metrics.dir/phase.cpp.o"
+  "CMakeFiles/sops_metrics.dir/phase.cpp.o.d"
+  "CMakeFiles/sops_metrics.dir/profiles.cpp.o"
+  "CMakeFiles/sops_metrics.dir/profiles.cpp.o.d"
+  "CMakeFiles/sops_metrics.dir/separation.cpp.o"
+  "CMakeFiles/sops_metrics.dir/separation.cpp.o.d"
+  "libsops_metrics.a"
+  "libsops_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polymer/cluster_series.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/cluster_series.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/cluster_series.cpp.o.d"
+  "/root/repo/src/polymer/even_sets.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/even_sets.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/even_sets.cpp.o.d"
+  "/root/repo/src/polymer/kotecky_preiss.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/kotecky_preiss.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/kotecky_preiss.cpp.o.d"
+  "/root/repo/src/polymer/loops.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/loops.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/loops.cpp.o.d"
+  "/root/repo/src/polymer/partition.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/partition.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/partition.cpp.o.d"
+  "/root/repo/src/polymer/polymer.cpp" "src/polymer/CMakeFiles/sops_polymer.dir/polymer.cpp.o" "gcc" "src/polymer/CMakeFiles/sops_polymer.dir/polymer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lattice/CMakeFiles/sops_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

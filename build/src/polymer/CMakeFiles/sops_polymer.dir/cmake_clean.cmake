@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_polymer.dir/cluster_series.cpp.o"
+  "CMakeFiles/sops_polymer.dir/cluster_series.cpp.o.d"
+  "CMakeFiles/sops_polymer.dir/even_sets.cpp.o"
+  "CMakeFiles/sops_polymer.dir/even_sets.cpp.o.d"
+  "CMakeFiles/sops_polymer.dir/kotecky_preiss.cpp.o"
+  "CMakeFiles/sops_polymer.dir/kotecky_preiss.cpp.o.d"
+  "CMakeFiles/sops_polymer.dir/loops.cpp.o"
+  "CMakeFiles/sops_polymer.dir/loops.cpp.o.d"
+  "CMakeFiles/sops_polymer.dir/partition.cpp.o"
+  "CMakeFiles/sops_polymer.dir/partition.cpp.o.d"
+  "CMakeFiles/sops_polymer.dir/polymer.cpp.o"
+  "CMakeFiles/sops_polymer.dir/polymer.cpp.o.d"
+  "libsops_polymer.a"
+  "libsops_polymer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_polymer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_schelling.dir/schelling.cpp.o"
+  "CMakeFiles/sops_schelling.dir/schelling.cpp.o.d"
+  "libsops_schelling.a"
+  "libsops_schelling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_schelling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sops/invariants.cpp" "src/sops/CMakeFiles/sops_system.dir/invariants.cpp.o" "gcc" "src/sops/CMakeFiles/sops_system.dir/invariants.cpp.o.d"
+  "/root/repo/src/sops/io.cpp" "src/sops/CMakeFiles/sops_system.dir/io.cpp.o" "gcc" "src/sops/CMakeFiles/sops_system.dir/io.cpp.o.d"
+  "/root/repo/src/sops/particle_system.cpp" "src/sops/CMakeFiles/sops_system.dir/particle_system.cpp.o" "gcc" "src/sops/CMakeFiles/sops_system.dir/particle_system.cpp.o.d"
+  "/root/repo/src/sops/render.cpp" "src/sops/CMakeFiles/sops_system.dir/render.cpp.o" "gcc" "src/sops/CMakeFiles/sops_system.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lattice/CMakeFiles/sops_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sops_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

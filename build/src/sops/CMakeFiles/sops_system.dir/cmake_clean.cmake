@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_system.dir/invariants.cpp.o"
+  "CMakeFiles/sops_system.dir/invariants.cpp.o.d"
+  "CMakeFiles/sops_system.dir/io.cpp.o"
+  "CMakeFiles/sops_system.dir/io.cpp.o.d"
+  "CMakeFiles/sops_system.dir/particle_system.cpp.o"
+  "CMakeFiles/sops_system.dir/particle_system.cpp.o.d"
+  "CMakeFiles/sops_system.dir/render.cpp.o"
+  "CMakeFiles/sops_system.dir/render.cpp.o.d"
+  "libsops_system.a"
+  "libsops_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

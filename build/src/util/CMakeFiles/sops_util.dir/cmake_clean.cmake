@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sops_util.dir/ascii_canvas.cpp.o"
+  "CMakeFiles/sops_util.dir/ascii_canvas.cpp.o.d"
+  "CMakeFiles/sops_util.dir/cli.cpp.o"
+  "CMakeFiles/sops_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sops_util.dir/csv.cpp.o"
+  "CMakeFiles/sops_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sops_util.dir/ppm.cpp.o"
+  "CMakeFiles/sops_util.dir/ppm.cpp.o.d"
+  "CMakeFiles/sops_util.dir/rng.cpp.o"
+  "CMakeFiles/sops_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sops_util.dir/stats.cpp.o"
+  "CMakeFiles/sops_util.dir/stats.cpp.o.d"
+  "libsops_util.a"
+  "libsops_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sops_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoebot_test.dir/amoebot_test.cpp.o"
+  "CMakeFiles/amoebot_test.dir/amoebot_test.cpp.o.d"
+  "amoebot_test"
+  "amoebot_test.pdb"
+  "amoebot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoebot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_param_test.dir/chain_param_test.cpp.o"
+  "CMakeFiles/chain_param_test.dir/chain_param_test.cpp.o.d"
+  "chain_param_test"
+  "chain_param_test.pdb"
+  "chain_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_observables_test.dir/exact_observables_test.cpp.o"
+  "CMakeFiles/exact_observables_test.dir/exact_observables_test.cpp.o.d"
+  "exact_observables_test"
+  "exact_observables_test.pdb"
+  "exact_observables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_observables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_advanced_test.dir/metrics_advanced_test.cpp.o"
+  "CMakeFiles/metrics_advanced_test.dir/metrics_advanced_test.cpp.o.d"
+  "metrics_advanced_test"
+  "metrics_advanced_test.pdb"
+  "metrics_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_system_test.dir/particle_system_test.cpp.o"
+  "CMakeFiles/particle_system_test.dir/particle_system_test.cpp.o.d"
+  "particle_system_test"
+  "particle_system_test.pdb"
+  "particle_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

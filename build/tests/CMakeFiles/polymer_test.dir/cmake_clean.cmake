@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymer_test.dir/polymer_test.cpp.o"
+  "CMakeFiles/polymer_test.dir/polymer_test.cpp.o.d"
+  "polymer_test"
+  "polymer_test.pdb"
+  "polymer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schelling_test.dir/schelling_test.cpp.o"
+  "CMakeFiles/schelling_test.dir/schelling_test.cpp.o.d"
+  "schelling_test"
+  "schelling_test.pdb"
+  "schelling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schelling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_hash_table_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/util_render_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/particle_system_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_test[1]_include.cmake")
+include("/root/repo/build/tests/markov_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_param_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/observables_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/polymer_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_series_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/amoebot_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_spectral_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_observables_test[1]_include.cmake")
+include("/root/repo/build/tests/ising_test[1]_include.cmake")
+include("/root/repo/build/tests/schelling_test[1]_include.cmake")
