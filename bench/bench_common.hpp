@@ -1,9 +1,12 @@
 // Shared scaffolding for the per-figure/per-theorem bench harnesses.
 //
 // Every harness accepts:
-//   --full    paper-scale iteration counts (defaults are ~10x smaller so
-//             the whole suite runs in a few minutes)
-//   --seed S  base RNG seed
+//   --full         paper-scale iteration counts (defaults are ~10x smaller
+//                  so the whole suite runs in a few minutes)
+//   --seed S       base RNG seed
+//   --threads N    engine worker threads (0 = hardware concurrency);
+//                  results are bit-identical for every N — see src/engine
+//   --telemetry F  append per-task JSONL telemetry records to F
 // and prints a self-contained report: what the paper shows, what we
 // measured, and the qualitative comparison EXPERIMENTS.md records.
 #pragma once
@@ -11,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "src/util/cli.hpp"
@@ -20,6 +24,8 @@ namespace sops::bench {
 struct Options {
   bool full = false;
   std::uint64_t seed = 1;
+  unsigned threads = 0;    ///< engine pool size; 0 = hardware concurrency
+  std::string telemetry;   ///< JSONL telemetry path; empty = disabled
 
   /// Scales a default iteration budget up to paper scale under --full.
   [[nodiscard]] std::uint64_t scaled(std::uint64_t base,
@@ -33,6 +39,9 @@ inline Options parse_options(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("full", "run at paper scale");
   cli.add_option("seed", "base random seed", "1");
+  cli.add_option("threads", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("telemetry", "append per-task JSONL records to this file",
+                 "");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -45,7 +54,30 @@ inline Options parse_options(int argc, char** argv) {
   }
   Options opt;
   opt.full = cli.flag("full");
-  opt.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  try {
+    opt.seed = cli.unsigned_integer("seed");
+    const std::uint64_t threads = cli.unsigned_integer("threads");
+    if (threads > 4096) {
+      throw std::invalid_argument("cli: --threads out of range (max 4096)");
+    }
+    opt.threads = static_cast<unsigned>(threads);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    std::exit(1);
+  }
+  opt.telemetry = cli.str("telemetry");
+  if (!opt.telemetry.empty()) {
+    // Fail fast at the CLI instead of letting engine::ProgressSink throw
+    // out of main() mid-setup.
+    std::FILE* probe = std::fopen(opt.telemetry.c_str(), "a");
+    if (probe == nullptr) {
+      std::cerr << "cli: cannot open telemetry file '" << opt.telemetry
+                << "' for append\n"
+                << cli.help_text(argv[0]);
+      std::exit(1);
+    }
+    std::fclose(probe);
+  }
   return opt;
 }
 

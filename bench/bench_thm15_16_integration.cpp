@@ -2,6 +2,10 @@
 // system still compresses (Thm 15) but separation FAILS w.h.p. (Thm 16)
 // — counterintuitively including γ slightly above 1, where particles do
 // prefer like-colored neighbors.
+//
+// One ensemble task per γ-case (--threads N; bit-identical output for
+// every N), with per-sample compression/separation tallies accumulated
+// into each task's own row slot on the worker.
 
 #include <vector>
 
@@ -9,6 +13,7 @@
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
+#include "src/engine/ensemble.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
 #include "src/util/csv.hpp"
@@ -28,50 +33,68 @@ int main(int argc, char** argv) {
   constexpr double kBeta = 6.0;
   constexpr double kDelta = 0.25;
 
-  struct Case {
-    double gamma;
-    const char* note;
+  const std::vector<const char*> notes{
+      "window lower end (γ < 1)",
+      "γ = 1 (colors invisible)",
+      "window upper end (γ > 1!)",
+      "control: far outside window",
   };
-  const Case cases[] = {
-      {79.0 / 81.0, "window lower end (γ < 1)"},
-      {1.0, "γ = 1 (colors invisible)"},
-      {81.0 / 79.0, "window upper end (γ > 1!)"},
-      {4.0, "control: far outside window"},
+
+  engine::GridSpec spec;
+  spec.lambdas = {kLambda};
+  spec.gammas = {79.0 / 81.0, 1.0, 81.0 / 79.0, 4.0};
+  spec.base_seed = opt.seed;
+  spec.derive_seeds = false;  // every case reruns from the same base seed
+  const auto tasks = engine::grid_tasks(spec);
+
+  const std::size_t samples = opt.full ? 400 : 150;
+
+  struct Row {
+    std::size_t compressed = 0, separated = 0;
+    util::Accumulator hetero;
   };
+  std::vector<Row> rows(tasks.size());
+
+  engine::ChainJob job;
+  job.make_chain = [&](const engine::Task& t) {
+    util::Rng rng(t.seed);
+    const auto nodes = lattice::random_blob(kN, rng);
+    const auto colors = core::balanced_random_colors(kN, 2, rng);
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, true},
+                                 t.seed);
+  };
+  job.burn_in = opt.scaled(3000000);
+  job.interval = 20000;
+  job.samples = samples;
+  job.on_sample = [&](const engine::Task& t,
+                      const core::SeparationChain& ch) {
+    Row& row = rows[t.index];
+    const auto m = core::measure(ch);
+    row.compressed += (m.perimeter_ratio <= 3.0);
+    row.hetero.add(m.hetero_fraction);
+    if (metrics::is_separated(ch.system(), kBeta, kDelta)) ++row.separated;
+  };
+
+  engine::ThreadPool pool(opt.threads);
+  engine::ProgressSink sink(opt.telemetry);
+  const auto results = engine::run_chain_ensemble(pool, tasks, job, &sink);
 
   util::Table table({"gamma", "note", "freq 3-compressed", "freq separated",
                      "±95%", "mean hetero_frac"});
-  for (const Case& c : cases) {
-    util::Rng rng(opt.seed);
-    const auto nodes = lattice::random_blob(kN, rng);
-    const auto colors = core::balanced_random_colors(kN, 2, rng);
-    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                core::Params{kLambda, c.gamma, true},
-                                opt.seed);
-
-    const std::uint64_t burn = opt.scaled(3000000);
-    const std::uint64_t spacing = 20000;
-    const std::size_t samples = opt.full ? 400 : 150;
-
-    std::size_t compressed = 0, separated = 0;
-    util::Accumulator hetero;
-    core::sample_equilibrium(
-        chain, burn, spacing, samples, [&](const core::SeparationChain& ch) {
-          const auto m = core::measure(ch);
-          compressed += (m.perimeter_ratio <= 3.0);
-          hetero.add(m.hetero_fraction);
-          if (metrics::is_separated(ch.system(), kBeta, kDelta)) ++separated;
-        });
-
+  for (const auto& r : results) {
+    const Row& row = rows[r.task.index];
     table.row()
-        .add(c.gamma, 5)
-        .add(c.note)
-        .add(static_cast<double>(compressed) / static_cast<double>(samples),
+        .add(r.task.gamma, 5)
+        .add(notes[r.task.gamma_index])
+        .add(static_cast<double>(row.compressed) /
+                 static_cast<double>(samples),
              4)
-        .add(static_cast<double>(separated) / static_cast<double>(samples),
+        .add(static_cast<double>(row.separated) /
+                 static_cast<double>(samples),
              4)
-        .add(util::wilson_halfwidth(separated, samples), 3)
-        .add(hetero.mean(), 4);
+        .add(util::wilson_halfwidth(row.separated, samples), 3)
+        .add(row.hetero.mean(), 4);
   }
   table.write_pretty(std::cout);
   std::printf(

@@ -1,17 +1,22 @@
 // Phase explorer: sweep (λ, γ) and print the four-phase grid of
 // Figure 3 — compressed/expanded × separated/integrated — from the same
-// initial configuration.
+// initial configuration. The cells run in parallel on the ensemble
+// engine; the printed grid is bit-identical for every --threads value.
 //
 // Usage: phase_explorer [--n 100] [--iters 3000000] [--seed 2]
 //                       [--lambdas 1.1,2,4,6] [--gammas 0.5,1,2,4]
+//                       [--threads 0] [--telemetry FILE]
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
+#include "src/engine/ensemble.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/phase.hpp"
 #include "src/sops/render.hpp"
@@ -40,6 +45,9 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "random seed", "2");
   cli.add_option("lambdas", "comma-separated λ values", "1.1,2,4,6");
   cli.add_option("gammas", "comma-separated γ values", "0.5,1,2,4");
+  cli.add_option("threads", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("telemetry", "append per-task JSONL records to this file",
+                 "");
   cli.add_flag("render", "print the final configuration of each cell");
   try {
     cli.parse(argc, argv);
@@ -52,16 +60,59 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto n = static_cast<std::size_t>(cli.integer("n"));
-  const auto iters = static_cast<std::uint64_t>(cli.integer("iters"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
-  const auto lambdas = parse_list(cli.str("lambdas"));
-  const auto gammas = parse_list(cli.str("gammas"));
+  std::size_t n = 0;
+  std::uint64_t iters = 0;
+  std::uint64_t seed = 0;
+  unsigned threads = 0;
+  engine::GridSpec spec;
+  try {
+    n = static_cast<std::size_t>(cli.integer("n"));
+    iters = static_cast<std::uint64_t>(cli.integer("iters"));
+    seed = cli.unsigned_integer("seed");
+    threads = static_cast<unsigned>(cli.unsigned_integer("threads"));
+    spec.lambdas = parse_list(cli.str("lambdas"));
+    spec.gammas = parse_list(cli.str("gammas"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  const std::string telemetry = cli.str("telemetry");
+  if (!telemetry.empty()) {
+    std::FILE* probe = std::fopen(telemetry.c_str(), "a");
+    if (probe == nullptr) {
+      std::cerr << "cli: cannot open telemetry file '" << telemetry
+                << "' for append\n";
+      return 1;
+    }
+    std::fclose(probe);
+  }
+  const bool render = cli.flag("render");
+
+  spec.base_seed = seed;
+  spec.derive_seeds = false;  // Figure 3 protocol: shared start, shared seed
+  const auto tasks = engine::grid_tasks(spec);
 
   // One shared initial configuration, as in Figure 3.
   util::Rng rng(seed);
   const auto nodes = lattice::random_blob(n, rng);
   const auto colors = core::balanced_random_colors(n, 2, rng);
+
+  std::vector<metrics::Phase> phases(tasks.size());
+  std::vector<std::string> renders(render ? tasks.size() : 0);
+  engine::ChainJob job;
+  job.make_chain = [&](const engine::Task& t) {
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, true}, seed);
+  };
+  job.checkpoints = {iters};
+  job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
+    phases[t.index] = metrics::classify(c.system());
+    if (render) renders[t.index] = system::render_ascii(c.system());
+  };
+
+  engine::ThreadPool pool(threads);
+  engine::ProgressSink sink(telemetry);
+  const auto results = engine::run_chain_ensemble(pool, tasks, job, &sink);
 
   util::Table table({"lambda", "gamma", "p_ratio", "hetero_frac", "phase"});
   std::cout << "phase codes: CS=compressed-separated CI=compressed-integrated "
@@ -69,30 +120,20 @@ int main(int argc, char** argv) {
 
   // Grid header.
   std::cout << "        ";
-  for (const double g : gammas) std::cout << "γ=" << g << "\t";
+  for (const double g : spec.gammas) std::cout << "γ=" << g << "\t";
   std::cout << "\n";
 
-  for (const double lambda : lambdas) {
-    std::cout << "λ=" << lambda << "\t";
-    for (const double gamma : gammas) {
-      core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                  core::Params{lambda, gamma, true}, seed);
-      chain.run(iters);
-      const auto m = core::measure(chain);
-      const metrics::Phase phase = metrics::classify(chain.system());
-      std::cout << metrics::phase_code(phase) << "\t";
-      std::cout.flush();
-      table.row()
-          .add(lambda, 3)
-          .add(gamma, 3)
-          .add(m.perimeter_ratio, 4)
-          .add(m.hetero_fraction, 4)
-          .add(metrics::phase_name(phase));
-      if (cli.flag("render")) {
-        std::cout << "\n" << system::render_ascii(chain.system()) << "\n";
-      }
-    }
-    std::cout << "\n";
+  for (const auto& r : results) {
+    if (r.task.gamma_index == 0) std::cout << "λ=" << r.task.lambda << "\t";
+    std::cout << metrics::phase_code(phases[r.task.index]) << "\t";
+    table.row()
+        .add(r.task.lambda, 3)
+        .add(r.task.gamma, 3)
+        .add(r.series.back().perimeter_ratio, 4)
+        .add(r.series.back().hetero_fraction, 4)
+        .add(metrics::phase_name(phases[r.task.index]));
+    if (render) std::cout << "\n" << renders[r.task.index] << "\n";
+    if (r.task.gamma_index + 1 == spec.gammas.size()) std::cout << "\n";
   }
 
   std::cout << "\n";

@@ -1,0 +1,127 @@
+#include "src/engine/ensemble.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "src/engine/seed_stream.hpp"
+
+namespace sops::engine {
+
+std::vector<Task> grid_tasks(const GridSpec& spec) {
+  if (spec.lambdas.empty() || spec.gammas.empty() || spec.replicas == 0) {
+    throw std::invalid_argument(
+        "grid_tasks: lambdas, gammas, and replicas must be nonempty");
+  }
+  const SeedStream seeds(spec.base_seed);
+  std::vector<Task> tasks;
+  tasks.reserve(spec.lambdas.size() * spec.gammas.size() * spec.replicas);
+  for (std::size_t li = 0; li < spec.lambdas.size(); ++li) {
+    for (std::size_t gi = 0; gi < spec.gammas.size(); ++gi) {
+      for (std::size_t r = 0; r < spec.replicas; ++r) {
+        Task t;
+        t.index = tasks.size();
+        t.lambda_index = li;
+        t.gamma_index = gi;
+        t.replica = r;
+        t.lambda = spec.lambdas[li];
+        t.gamma = spec.gammas[gi];
+        t.seed = spec.derive_seeds ? seeds.at(t.index) : spec.base_seed;
+        tasks.push_back(t);
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<TaskResult> run_ensemble(ThreadPool& pool,
+                                     std::span<const Task> tasks,
+                                     const TaskFn& fn, ProgressSink* sink) {
+  std::vector<TaskResult> results(tasks.size());
+  pool.parallel_for(tasks.size(), [&](std::size_t i) {
+    const Task& task = tasks[i];
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::Measurement> series = fn(task);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    TaskResult& slot = results[i];
+    slot.task = task;
+    slot.steps = series.empty() ? 0 : series.back().iteration;
+    slot.series = std::move(series);
+    slot.wall_seconds = elapsed.count();
+    if (sink) {
+      sink->record({task.index, task.lambda, task.gamma, task.replica,
+                    task.seed, slot.steps, slot.wall_seconds});
+    }
+  });
+  return results;
+}
+
+std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
+                                           std::span<const Task> tasks,
+                                           const ChainJob& job,
+                                           ProgressSink* sink) {
+  if (!job.make_chain) {
+    throw std::invalid_argument("run_chain_ensemble: make_chain is required");
+  }
+  const TaskFn fn = [&job](const Task& task) {
+    core::SeparationChain chain = job.make_chain(task);
+    std::vector<core::Measurement> series;
+    if (!job.checkpoints.empty()) {
+      std::function<void(const core::SeparationChain&, std::uint64_t)> cb;
+      if (job.on_sample) {
+        cb = [&job, &task](const core::SeparationChain& c, std::uint64_t) {
+          job.on_sample(task, c);
+        };
+      }
+      series = core::run_with_checkpoints(chain, job.checkpoints, cb);
+    } else {
+      std::function<void(const core::SeparationChain&)> cb;
+      if (job.on_sample) {
+        cb = [&job, &task](const core::SeparationChain& c) {
+          job.on_sample(task, c);
+        };
+      }
+      series = core::sample_equilibrium(chain, job.burn_in, job.interval,
+                                        job.samples, cb);
+    }
+    return series;
+  };
+  return run_ensemble(pool, tasks, fn, sink);
+}
+
+std::vector<CellAggregate> aggregate_final(
+    const GridSpec& spec, std::span<const TaskResult> results) {
+  const std::size_t cells = spec.lambdas.size() * spec.gammas.size();
+  std::vector<CellAggregate> out(cells);
+  for (std::size_t li = 0; li < spec.lambdas.size(); ++li) {
+    for (std::size_t gi = 0; gi < spec.gammas.size(); ++gi) {
+      CellAggregate& cell = out[li * spec.gammas.size() + gi];
+      cell.lambda_index = li;
+      cell.gamma_index = gi;
+      cell.lambda = spec.lambdas[li];
+      cell.gamma = spec.gammas[gi];
+    }
+  }
+  // Results arrive ordered by Task::index (replica innermost), so this
+  // single pass accumulates every cell in replica order — the fixed
+  // order that makes the floating-point sums reproducible.
+  for (const TaskResult& r : results) {
+    if (r.series.empty()) continue;
+    const std::size_t cell_index =
+        r.task.lambda_index * spec.gammas.size() + r.task.gamma_index;
+    if (cell_index >= out.size()) {
+      throw std::out_of_range("aggregate_final: task outside the grid");
+    }
+    const core::Measurement& final = r.series.back();
+    out[cell_index].perimeter_ratio.add(final.perimeter_ratio);
+    out[cell_index].hetero_fraction.add(final.hetero_fraction);
+  }
+  return out;
+}
+
+double ci95_halfwidth(const util::Accumulator& acc) {
+  return 1.96 * acc.sem();
+}
+
+}  // namespace sops::engine

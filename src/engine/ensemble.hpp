@@ -1,0 +1,123 @@
+// Declarative ensemble execution: a parameter grid × replicas job spec
+// fanned out over the thread pool, with results collected in task order.
+//
+// Determinism contract (the whole point of this module): a task's output
+// depends only on its Task record — seed included — never on which
+// worker ran it or when. Results land in a pre-sized vector slot indexed
+// by Task::index, and aggregation walks that vector in index order, so
+// the same job spec produces byte-identical output at --threads 1, 8, or
+// 128. Wall-clock timings are reported only through the ProgressSink
+// side channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/engine/progress.hpp"
+#include "src/engine/thread_pool.hpp"
+#include "src/util/stats.hpp"
+
+namespace sops::engine {
+
+/// One unit of ensemble work, fully determined before execution.
+struct Task {
+  std::size_t index = 0;         ///< dense ordinal; also the result slot
+  std::size_t lambda_index = 0;  ///< position in GridSpec::lambdas
+  std::size_t gamma_index = 0;   ///< position in GridSpec::gammas
+  std::size_t replica = 0;       ///< replica ordinal at this grid cell
+  double lambda = 0.0;
+  double gamma = 0.0;
+  std::uint64_t seed = 0;        ///< RNG seed this task must use
+};
+
+/// A λ×γ parameter grid with independent replicas per cell.
+struct GridSpec {
+  std::vector<double> lambdas{1.0};
+  std::vector<double> gammas{1.0};
+  std::size_t replicas = 1;
+  std::uint64_t base_seed = 1;
+  /// true: per-task seeds via seed_stream (replicas differ). false:
+  /// every task runs from base_seed verbatim — the paper's "one shared
+  /// start per cell" protocol (Figure 3), and what keeps the retrofitted
+  /// harnesses byte-compatible with their serial predecessors.
+  bool derive_seeds = true;
+};
+
+/// Enumerates the grid λ-major (λ, then γ, then replica), assigning
+/// dense indices and seeds. The enumeration order fixes the result and
+/// aggregation order for good.
+[[nodiscard]] std::vector<Task> grid_tasks(const GridSpec& spec);
+
+struct TaskResult {
+  Task task;
+  std::vector<core::Measurement> series;  ///< checkpoint/sample history
+  std::uint64_t steps = 0;                ///< chain iterations executed
+  double wall_seconds = 0.0;              ///< telemetry only; not output
+};
+
+/// Arbitrary task body: receives the task, returns its measurement
+/// series. Must touch no shared mutable state except slots keyed by
+/// Task::index.
+using TaskFn = std::function<std::vector<core::Measurement>(const Task&)>;
+
+/// Fans `tasks` out over `pool`, returns results ordered by Task::index.
+/// Exceptions propagate per ThreadPool::parallel_for (lowest task index
+/// wins). `sink` (optional) receives one telemetry record per task.
+std::vector<TaskResult> run_ensemble(ThreadPool& pool,
+                                     std::span<const Task> tasks,
+                                     const TaskFn& fn,
+                                     ProgressSink* sink = nullptr);
+
+/// Declarative SeparationChain job: how to build each task's chain and
+/// which of the two core/runner protocols to drive it with.
+struct ChainJob {
+  /// Builds the chain for one task (typically from t.lambda, t.gamma,
+  /// t.seed). Called on the worker; must not touch shared mutable state.
+  std::function<core::SeparationChain(const Task&)> make_chain;
+
+  /// Checkpoint mode (used when non-empty): run to each absolute
+  /// iteration, recording a Measurement at each.
+  std::vector<std::uint64_t> checkpoints;
+
+  /// Equilibrium mode (used when checkpoints is empty): burn in, then
+  /// record `samples` measurements `interval` steps apart.
+  std::uint64_t burn_in = 0;
+  std::uint64_t interval = 0;
+  std::size_t samples = 0;
+
+  /// Optional per-checkpoint/per-sample hook with the live chain, for
+  /// derived observables (separation certificates, renders, …). Runs on
+  /// the worker: write only to slots keyed by Task::index.
+  std::function<void(const Task&, const core::SeparationChain&)> on_sample;
+};
+
+/// run_ensemble specialized to SeparationChain runs via core/runner.
+std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
+                                           std::span<const Task> tasks,
+                                           const ChainJob& job,
+                                           ProgressSink* sink = nullptr);
+
+/// Replica-aggregated final measurements at one grid cell.
+struct CellAggregate {
+  std::size_t lambda_index = 0;
+  std::size_t gamma_index = 0;
+  double lambda = 0.0;
+  double gamma = 0.0;
+  util::Accumulator perimeter_ratio;   ///< over each replica's final sample
+  util::Accumulator hetero_fraction;   ///< over each replica's final sample
+};
+
+/// Groups results by grid cell (order: λ-major, matching grid_tasks) and
+/// accumulates each replica's final Measurement. Accumulation order is
+/// replica order, so aggregates are bit-identical for any thread count.
+[[nodiscard]] std::vector<CellAggregate> aggregate_final(
+    const GridSpec& spec, std::span<const TaskResult> results);
+
+/// 95% normal-approximation confidence half-width of the mean.
+[[nodiscard]] double ci95_halfwidth(const util::Accumulator& acc);
+
+}  // namespace sops::engine

@@ -1,0 +1,43 @@
+#include "src/engine/progress.hpp"
+
+#include <stdexcept>
+
+namespace sops::engine {
+
+ProgressSink::ProgressSink(const std::string& jsonl_path) {
+  if (jsonl_path.empty()) return;
+  out_ = std::fopen(jsonl_path.c_str(), "a");
+  if (!out_) {
+    throw std::runtime_error("ProgressSink: cannot open telemetry file '" +
+                             jsonl_path + "'");
+  }
+}
+
+ProgressSink::~ProgressSink() {
+  if (out_) std::fclose(out_);
+}
+
+void ProgressSink::record(const Record& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  if (!out_) return;
+  const double steps_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.steps) / r.wall_seconds
+                           : 0.0;
+  std::fprintf(out_,
+               "{\"task\":%zu,\"lambda\":%.17g,\"gamma\":%.17g,"
+               "\"replica\":%zu,\"seed\":%llu,\"steps\":%llu,"
+               "\"wall_seconds\":%.6f,\"steps_per_sec\":%.1f}\n",
+               r.task_index, r.lambda, r.gamma, r.replica,
+               static_cast<unsigned long long>(r.seed),
+               static_cast<unsigned long long>(r.steps), r.wall_seconds,
+               steps_per_sec);
+  std::fflush(out_);
+}
+
+std::size_t ProgressSink::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+}  // namespace sops::engine

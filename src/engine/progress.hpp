@@ -1,0 +1,52 @@
+// Thread-safe per-task telemetry for ensemble runs.
+//
+// Workers report one record per finished task; the sink appends one JSON
+// object per line (JSONL) so downstream trajectory analysis can stream
+// the file without a parser state machine. Telemetry is timing-only
+// side-channel output: scientific results never flow through the sink,
+// so wall-clock jitter cannot perturb the bit-identical aggregates the
+// engine guarantees.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace sops::engine {
+
+class ProgressSink {
+ public:
+  struct Record {
+    std::size_t task_index = 0;
+    double lambda = 0.0;
+    double gamma = 0.0;
+    std::size_t replica = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t steps = 0;        ///< chain iterations the task executed
+    double wall_seconds = 0.0;
+  };
+
+  /// A disabled sink: record() only counts completions.
+  ProgressSink() = default;
+
+  /// Appends JSONL to `jsonl_path`; an empty path disables file output.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit ProgressSink(const std::string& jsonl_path);
+
+  ~ProgressSink();
+  ProgressSink(const ProgressSink&) = delete;
+  ProgressSink& operator=(const ProgressSink&) = delete;
+
+  /// Thread-safe: each record becomes one complete output line.
+  void record(const Record& r);
+
+  [[nodiscard]] std::size_t completed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* out_ = nullptr;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace sops::engine

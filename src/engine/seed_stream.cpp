@@ -1,0 +1,28 @@
+#include "src/engine/seed_stream.hpp"
+
+#include "src/util/rng.hpp"
+
+namespace sops::engine {
+
+namespace {
+// splitmix64's golden-ratio state increment (also the first step of
+// util::mix64, which is why the composition below is exactly the
+// splitmix64 output sequence).
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+std::uint64_t task_seed(std::uint64_t base_seed,
+                        std::uint64_t task_index) noexcept {
+  // Output `task_index` of the splitmix64 stream started at
+  // mix64(base_seed): the state at position i is start + i·golden, and
+  // mix64 applies the final +golden step plus the finalizer. Hashing the
+  // base first keeps small consecutive user seeds (1, 2, 3, …) from
+  // producing overlapping streams.
+  return util::mix64(util::mix64(base_seed) + kGolden * task_index);
+}
+
+std::uint64_t SeedStream::at(std::uint64_t index) const noexcept {
+  return task_seed(base_, index);
+}
+
+}  // namespace sops::engine

@@ -1,0 +1,37 @@
+// Deterministic per-task seed derivation.
+//
+// An ensemble's results must be bit-identical no matter how many workers
+// run it or in what order the scheduler interleaves tasks. The only way
+// to guarantee that is to fix every task's randomness *before* execution
+// starts: each task's seed is a pure function of (base_seed, task_index),
+// derived by walking the splitmix64 sequence of the base seed out to the
+// task's index and applying the splitmix64 finalizer. Random access, no
+// shared state, and statistically independent streams for neighboring
+// indices (the same construction the xoshiro authors recommend for
+// seeding parallel generators).
+#pragma once
+
+#include <cstdint>
+
+namespace sops::engine {
+
+/// The seed for task `task_index` of an ensemble keyed by `base_seed`.
+/// Pure and O(1): task_seed(b, i) never depends on calls for other
+/// indices.
+[[nodiscard]] std::uint64_t task_seed(std::uint64_t base_seed,
+                                      std::uint64_t task_index) noexcept;
+
+/// Random-access view of the seed sequence of one base seed.
+class SeedStream {
+ public:
+  explicit constexpr SeedStream(std::uint64_t base_seed) noexcept
+      : base_(base_seed) {}
+
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t at(std::uint64_t index) const noexcept;
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace sops::engine

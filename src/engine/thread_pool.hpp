@@ -1,0 +1,81 @@
+// Fixed-size worker pool with per-worker deques and work stealing.
+//
+// Each worker owns a deque: it pops its own tasks LIFO (cache-warm) and
+// steals FIFO from the other workers when its deque runs dry, so a long
+// task on one worker never strands queued work behind it. Submission
+// round-robins across the deques; tasks submitted from inside a worker
+// go to that worker's own deque.
+//
+// Determinism contract: the pool schedules *when* tasks run, never what
+// they compute. Ensemble results are reproducible because every task
+// carries its own seed (see seed_stream.hpp) and writes only to its own
+// output slot — see ensemble.cpp for the pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sops::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned workers = 0);
+
+  /// Drains all outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task. If the task throws, the first exception is held
+  /// and rethrown by the next wait_idle().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any).
+  void wait_idle();
+
+  /// Runs fn(0) … fn(count−1) across the pool and blocks until all are
+  /// done. If any invocations throw, rethrows the one with the lowest
+  /// index (a deterministic choice regardless of scheduling). Must not
+  /// be called from inside a pool task.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void worker_loop(std::size_t self);
+  [[nodiscard]] std::function<void()> take_task(std::size_t self);
+  [[nodiscard]] bool any_queued();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // state_mutex_ guards pending_/stop_/first_error_ and orders the
+  // sleep/wake handshake; worker queue mutexes are strict leaf locks.
+  std::mutex state_mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;
+  std::size_t next_worker_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sops::engine

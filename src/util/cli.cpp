@@ -99,6 +99,18 @@ std::int64_t Cli::integer(std::string_view name) const {
   return out;
 }
 
+std::uint64_t Cli::unsigned_integer(std::string_view name) const {
+  const std::string v = str(name);
+  // from_chars already rejects a leading '-' for unsigned targets; an
+  // explicit '+' must be rejected too since from_chars never accepts it.
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (v.empty() || ec != std::errc{} || ptr != v.data() + v.size()) {
+    fail("expected unsigned integer value", name);
+  }
+  return out;
+}
+
 double Cli::real(std::string_view name) const {
   const std::string v = str(name);
   try {

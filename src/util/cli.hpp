@@ -31,6 +31,10 @@ class Cli {
   [[nodiscard]] bool flag(std::string_view name) const;
   [[nodiscard]] std::string str(std::string_view name) const;
   [[nodiscard]] std::int64_t integer(std::string_view name) const;
+  /// Strict unsigned parse: rejects signs, garbage, trailing junk, and
+  /// values above uint64 range — sweep typos like `--threads 8x` or
+  /// `--threads -2` fail loudly instead of truncating.
+  [[nodiscard]] std::uint64_t unsigned_integer(std::string_view name) const;
   [[nodiscard]] double real(std::string_view name) const;
 
  private:

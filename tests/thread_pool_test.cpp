@@ -1,0 +1,130 @@
+#include "src/engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sops::engine {
+namespace {
+
+TEST(ThreadPool, IdlePoolConstructsAndJoins) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.wait_idle();  // nothing submitted: returns immediately
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<int> hits(kTasks, 0);
+  pool.parallel_for(kTasks, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kTasks));  // each exactly once
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, WorkStealingDrainsBehindABlockedWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> quick_done{0};
+  std::atomic<bool> release{false};
+  // Occupy one worker with a task that finishes only after every quick
+  // task has run. The quick tasks round-robined onto the blocked
+  // worker's own deque can then only execute if the other worker steals
+  // them — if stealing is broken, the deadline trips and release stays
+  // false.
+  std::atomic<bool> released_in_time{false};
+  pool.submit([&release, &released_in_time] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!release.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    released_in_time.store(release.load());
+  });
+  constexpr int kQuick = 20;
+  for (int i = 0; i < kQuick; ++i) {
+    pool.submit([&] {
+      if (++quick_done == kQuick) release.store(true);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_TRUE(released_in_time.load());
+  EXPECT_EQ(quick_done.load(), kQuick);
+}
+
+TEST(ThreadPool, SubmitExceptionSurfacesInWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // error consumed; pool remains usable
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexError) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    try {
+      pool.parallel_for(32, [](std::size_t i) {
+        if (i == 7) throw std::out_of_range("seven");
+        if (i == 23) throw std::runtime_error("twenty-three");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::out_of_range& e) {
+      EXPECT_STREQ(e.what(), "seven");  // index 7 < 23, deterministically
+    }
+  }
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  pool.submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&inner_ran] { ++inner_ran; });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(inner_ran.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+    // no wait_idle: the destructor must finish the queue before joining
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+}  // namespace
+}  // namespace sops::engine

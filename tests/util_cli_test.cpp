@@ -63,6 +63,28 @@ TEST(Cli, NonIntegerValueThrows) {
   EXPECT_THROW((void)cli.integer("n"), std::invalid_argument);
 }
 
+TEST(Cli, UnsignedParsesStrictly) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--n", "250"});
+  EXPECT_EQ(cli.unsigned_integer("n"), 250u);
+}
+
+TEST(Cli, UnsignedAcceptsFullRange) {
+  Cli cli = make_cli();
+  parse(cli, {"prog", "--n", "18446744073709551615"});
+  EXPECT_EQ(cli.unsigned_integer("n"), UINT64_MAX);
+}
+
+TEST(Cli, UnsignedRejectsGarbage) {
+  for (const char* bad : {"-2", "+3", "8x", "x8", "3.5", "", " 8",
+                          "18446744073709551616"}) {
+    Cli cli = make_cli();
+    parse(cli, {"prog", "--n", bad});
+    EXPECT_THROW((void)cli.unsigned_integer("n"), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
 TEST(Cli, NonRealValueThrows) {
   Cli cli = make_cli();
   parse(cli, {"prog", "--lambda", "4.0x"});
