@@ -3,10 +3,12 @@
 // segregation model. These ground the paper's Section 1 positioning.
 
 #include <cmath>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
+#include "src/engine/ensemble.hpp"
 #include "src/ising/ising.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/schelling/schelling.hpp"
@@ -22,32 +24,42 @@ int main(int argc, char** argv) {
                 "λ < 2.17 [PODC'16]; Ising orders above K_c = ln(3)/4; "
                 "Schelling segregates at mild tolerance");
 
-  // (a) Compression chain: equilibrium p/p_min across λ.
+  // (a) Compression chain: equilibrium p/p_min across λ. The five λ-rows
+  // are independent chains, fanned out over the ensemble engine
+  // (--threads N, --telemetry F; output bit-identical for every N).
   {
     util::Table table({"lambda", "regime [PODC'16]", "mean p/p_min", "sem"});
-    const struct {
-      double lambda;
-      const char* regime;
-    } rows[] = {
-        {1.5, "proven expanded (λ < 2.17)"},
-        {2.0, "proven expanded (λ < 2.17)"},
-        {3.0, "gap (no proof either way)"},
-        {4.0, "proven compressed (λ > 3.42)"},
-        {6.0, "proven compressed (λ > 3.42)"},
+    const std::vector<const char*> regimes{
+        "proven expanded (λ < 2.17)",
+        "proven expanded (λ < 2.17)",
+        "gap (no proof either way)",
+        "proven compressed (λ > 3.42)",
+        "proven compressed (λ > 3.42)",
     };
-    for (const auto& row : rows) {
+    engine::GridSpec spec;
+    spec.lambdas = {1.5, 2.0, 3.0, 4.0, 6.0};
+    spec.gammas = {1.0};  // the PODC'16 chain M: no color bias
+    spec.base_seed = opt.seed;
+    spec.derive_seeds = false;  // every λ-row reruns from the same seed
+    const auto tasks = engine::grid_tasks(spec);
+    const std::size_t samples = opt.full ? 300 : 120;
+
+    const engine::TaskFn fn = [&](const engine::Task& t) {
       core::SeparationChain chain = core::make_compression_chain(
-          lattice::line(100), row.lambda, opt.seed);
+          lattice::line(100), t.lambda, t.seed);
       chain.run(opt.scaled(4000000));
+      return core::sample_equilibrium(chain, 0, 20000, samples);
+    };
+    engine::ThreadPool pool(opt.threads);
+    engine::ProgressSink sink(opt.telemetry);
+    const auto results = engine::run_ensemble(pool, tasks, fn, &sink);
+
+    for (const auto& r : results) {
       util::Accumulator ratio;
-      const std::size_t samples = opt.full ? 300 : 120;
-      core::sample_equilibrium(chain, 0, 20000, samples,
-                               [&](const core::SeparationChain& c) {
-                                 ratio.add(core::measure(c).perimeter_ratio);
-                               });
+      for (const auto& m : r.series) ratio.add(m.perimeter_ratio);
       table.row()
-          .add(row.lambda, 3)
-          .add(row.regime)
+          .add(r.task.lambda, 3)
+          .add(regimes[r.task.lambda_index])
           .add(ratio.mean(), 4)
           .add(ratio.sem(), 3);
     }

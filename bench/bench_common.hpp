@@ -9,6 +9,15 @@
 //   --telemetry F  append per-task JSONL telemetry records to F
 // and prints a self-contained report: what the paper shows, what we
 // measured, and the qualitative comparison EXPERIMENTS.md records.
+//
+// Harnesses built on the ensemble engine additionally opt into the
+// multi-host sharding surface (parse_options(..., kWithShard)):
+//   --shard k/n      run shard k of n (contiguous task-index slice)
+//   --task-range a:b run the explicit half-open task range [a, b)
+//   --shard-out F    write this shard's wire-format result file to F
+//   --merge F1,F2,…  skip the sweep; merge shard files and report
+// See src/shard and DESIGN.md for the wire format and the byte-identity
+// contract.
 #pragma once
 
 #include <cstdint>
@@ -16,16 +25,30 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "src/util/cli.hpp"
 
 namespace sops::bench {
+
+inline constexpr bool kWithShard = true;
 
 struct Options {
   bool full = false;
   std::uint64_t seed = 1;
   unsigned threads = 0;    ///< engine pool size; 0 = hardware concurrency
   std::string telemetry;   ///< JSONL telemetry path; empty = disabled
+
+  // Sharding surface (populated only for kWithShard harnesses).
+  bool shard_set = false;          ///< --shard k/n given
+  std::uint64_t shard_k = 0;
+  std::uint64_t shard_n = 1;
+  bool range_set = false;          ///< --task-range a:b given
+  std::uint64_t range_begin = 0;
+  std::uint64_t range_end = 0;
+  std::string shard_out;           ///< worker result file; empty = disabled
+  std::vector<std::string> merge_inputs;  ///< --merge file list
 
   /// Scales a default iteration budget up to paper scale under --full.
   [[nodiscard]] std::uint64_t scaled(std::uint64_t base,
@@ -34,14 +57,39 @@ struct Options {
   }
 };
 
+/// Probes that `path` can be opened for append, so a bad output path
+/// fails at the CLI instead of after hours of sampling. Append mode
+/// keeps the probe from truncating an existing file.
+inline void require_writable(const std::string& path, const char* what,
+                             const util::Cli& cli, const char* program) {
+  std::FILE* probe = std::fopen(path.c_str(), "a");
+  if (probe == nullptr) {
+    std::cerr << "cli: cannot open " << what << " '" << path
+              << "' for writing\n"
+              << cli.help_text(program);
+    std::exit(1);
+  }
+  std::fclose(probe);
+}
+
 /// Parses the common flags; exits(0) on --help, exits(1) on bad args.
-inline Options parse_options(int argc, char** argv) {
+/// Pass kWithShard to expose the sharding surface.
+inline Options parse_options(int argc, char** argv, bool with_shard = false) {
   util::Cli cli;
   cli.add_flag("full", "run at paper scale");
   cli.add_option("seed", "base random seed", "1");
   cli.add_option("threads", "worker threads (0 = hardware concurrency)", "0");
   cli.add_option("telemetry", "append per-task JSONL records to this file",
                  "");
+  if (with_shard) {
+    cli.add_option("shard", "run shard k of n ('k/n'); needs --shard-out", "");
+    cli.add_option("task-range",
+                   "run the half-open task range 'a:b'; needs --shard-out",
+                   "");
+    cli.add_option("shard-out", "write this shard's result file here", "");
+    cli.add_option("merge",
+                   "merge comma-separated shard result files and report", "");
+  }
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -61,6 +109,46 @@ inline Options parse_options(int argc, char** argv) {
       throw std::invalid_argument("cli: --threads out of range (max 4096)");
     }
     opt.threads = static_cast<unsigned>(threads);
+
+    if (with_shard) {
+      if (!cli.str("shard").empty()) {
+        opt.shard_set = true;
+        std::tie(opt.shard_k, opt.shard_n) = cli.shard_of("shard");
+      }
+      if (!cli.str("task-range").empty()) {
+        opt.range_set = true;
+        std::tie(opt.range_begin, opt.range_end) = cli.index_range("task-range");
+      }
+      opt.shard_out = cli.str("shard-out");
+      const std::string merge = cli.str("merge");
+      for (std::size_t start = 0; !merge.empty();) {
+        const auto comma = merge.find(',', start);
+        const std::string item = merge.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (item.empty()) {
+          throw std::invalid_argument("cli: empty path in --merge list");
+        }
+        opt.merge_inputs.push_back(item);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+
+      if (opt.shard_set && opt.range_set) {
+        throw std::invalid_argument(
+            "cli: --shard and --task-range are mutually exclusive");
+      }
+      if ((opt.shard_set || opt.range_set) && opt.shard_out.empty()) {
+        throw std::invalid_argument(
+            "cli: --shard/--task-range require --shard-out (a sub-range "
+            "report would not be comparable to the full job)");
+      }
+      if (!opt.merge_inputs.empty() &&
+          (opt.shard_set || opt.range_set || !opt.shard_out.empty())) {
+        throw std::invalid_argument(
+            "cli: --merge cannot be combined with --shard/--task-range/"
+            "--shard-out");
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
     std::exit(1);
@@ -69,10 +157,18 @@ inline Options parse_options(int argc, char** argv) {
   if (!opt.telemetry.empty()) {
     // Fail fast at the CLI instead of letting engine::ProgressSink throw
     // out of main() mid-setup.
-    std::FILE* probe = std::fopen(opt.telemetry.c_str(), "a");
+    require_writable(opt.telemetry, "telemetry file", cli, argv[0]);
+  }
+  if (!opt.shard_out.empty()) {
+    // Same fail-fast rule for the shard result file: a worker must not
+    // discover an unwritable path after hours of sampling.
+    require_writable(opt.shard_out, "shard result file", cli, argv[0]);
+  }
+  for (const std::string& path : opt.merge_inputs) {
+    std::FILE* probe = std::fopen(path.c_str(), "r");
     if (probe == nullptr) {
-      std::cerr << "cli: cannot open telemetry file '" << opt.telemetry
-                << "' for append\n"
+      std::cerr << "cli: cannot open shard result file '" << path
+                << "' for reading\n"
                 << cli.help_text(argv[0]);
       std::exit(1);
     }

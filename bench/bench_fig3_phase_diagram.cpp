@@ -6,10 +6,15 @@
 // The 16 cells are independent chain runs, fanned out over the ensemble
 // engine: --threads N parallelizes the grid with bit-identical output
 // for every N (each cell's seed is fixed in its Task before execution).
+// The sweep also shards across hosts (--shard k/n --shard-out F on each
+// worker, then --merge F1,F2,… here): the phase code is carried per task
+// as an aux scalar, so the merged report is byte-identical to a
+// single-host run.
 
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
@@ -20,7 +25,7 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
 
   bench::banner("E2", "Figure 3 (phase diagram over λ and γ)",
                 "four distinct phases: compressed-separated (large λ, large "
@@ -38,13 +43,11 @@ int main(int argc, char** argv) {
   spec.gammas = {0.5, 1.0, 2.0, 4.0};
   spec.base_seed = opt.seed;
   spec.derive_seeds = false;  // Figure 3 protocol: one shared start per cell
-  const auto tasks = engine::grid_tasks(spec);
 
   util::Rng rng(opt.seed);
   const auto nodes = lattice::random_blob(100, rng);
   const auto colors = core::balanced_random_colors(100, 2, rng);
 
-  std::vector<metrics::Phase> phases(tasks.size());
   engine::ChainJob job;
   job.make_chain = [&](const engine::Task& t) {
     return core::SeparationChain(system::ParticleSystem(nodes, colors),
@@ -52,13 +55,24 @@ int main(int argc, char** argv) {
                                  t.seed);
   };
   job.checkpoints = {iters};
+  const shard::JobSpec jspec =
+      shard::grid_job("bench_fig3_phase_diagram", spec, job);
+
+  std::vector<metrics::Phase> phases(jspec.tasks.size());
   job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
     phases[t.index] = metrics::classify(c.system());
   };
 
   engine::ThreadPool pool(opt.threads);
   engine::ProgressSink sink(opt.telemetry);
-  const auto results = engine::run_chain_ensemble(pool, tasks, job, &sink);
+  const auto maybe = bench::run_or_merge_cli(
+      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
+      [&](const engine::TaskResult& r) {
+        return std::vector<double>{
+            static_cast<double>(static_cast<int>(phases[r.task.index]))};
+      });
+  if (!maybe) return 0;  // worker mode: shard file written
+  const std::vector<engine::TaskResult>& results = *maybe;
 
   util::Table table({"lambda", "gamma", "p/p_min", "hetero_frac", "phase"});
   std::printf("        ");
@@ -66,7 +80,8 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (const auto& r : results) {
     if (r.task.gamma_index == 0) std::printf("l=%-6.2f", r.task.lambda);
-    const metrics::Phase phase = phases[r.task.index];
+    const auto phase =
+        static_cast<metrics::Phase>(static_cast<int>(bench::aux_value(r, 0)));
     std::printf("%-8s", metrics::phase_code(phase).c_str());
     table.row()
         .add(r.task.lambda, 3)

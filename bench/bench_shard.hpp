@@ -1,0 +1,52 @@
+// Glue for sharded bench harnesses: converts the parsed CLI state into
+// the src/shard dispatch structure. Only harnesses that link sops_shard
+// include this header.
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "src/shard/harness.hpp"
+
+namespace sops::bench {
+
+/// Reads a packed aux scalar off a result, with a loud error naming the
+/// task if a (hand-edited or version-skewed) shard file lacks it.
+inline double aux_value(const engine::TaskResult& r, std::size_t i) {
+  if (i >= r.aux.size()) {
+    throw std::runtime_error(
+        "shard: result for task " + std::to_string(r.task.index) +
+        " lacks aux value " + std::to_string(i) +
+        " (shard file from an older harness version?)");
+  }
+  return r.aux[i];
+}
+
+inline shard::Modes shard_modes(const Options& opt) {
+  shard::Modes modes;
+  modes.shard_set = opt.shard_set;
+  modes.shard_k = opt.shard_k;
+  modes.shard_n = opt.shard_n;
+  modes.range_set = opt.range_set;
+  modes.range_begin = opt.range_begin;
+  modes.range_end = opt.range_end;
+  modes.out = opt.shard_out;
+  modes.merge_inputs = opt.merge_inputs;
+  return modes;
+}
+
+/// shard::run_or_merge at the CLI surface: a refused merge (incomplete
+/// tiling, foreign shard file, parse failure) is an expected operator
+/// error, so report it on stderr and exit 1 instead of std::terminate.
+template <typename Protocol>
+std::optional<std::vector<engine::TaskResult>> run_or_merge_cli(
+    const char* program, const shard::JobSpec& job, const shard::Modes& modes,
+    engine::ThreadPool& pool, const Protocol& protocol,
+    engine::ProgressSink* sink = nullptr, const shard::AuxFn& aux = {}) {
+  try {
+    return shard::run_or_merge(job, modes, pool, protocol, sink, aux);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", program, e.what());
+    std::exit(1);
+  }
+}
+
+}  // namespace sops::bench

@@ -7,12 +7,15 @@
 // The four n-rows are independent equilibrium runs fanned out over the
 // ensemble engine (--threads N; bit-identical output for every N). The
 // sweep axis is n rather than (λ, γ), so the tasks are built by hand and
-// keyed back to ns[] by Task::index.
+// keyed back to ns[] by Task::index; the n-sweep identity rides in the
+// JobSpec params so shards from mismatched configurations refuse to
+// merge. Shard with --shard k/n --shard-out F, combine with --merge.
 
 #include <cmath>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
@@ -23,7 +26,7 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
 
   bench::banner("E3", "Theorem 13 (compression for large γ)",
                 "γ > 4^(5/4) ≈ 5.66 and λγ > 6.83 ⇒ α-compressed w.h.p., "
@@ -36,12 +39,22 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> ns{25, 50, 100, 200};
   const std::size_t samples = opt.full ? 500 : 200;
 
-  std::vector<engine::Task> tasks(ns.size());
+  shard::JobSpec jspec;
+  jspec.name = "bench_thm13_compression";
+  jspec.grid.lambdas = {lambda};
+  jspec.grid.gammas = {gamma};
+  jspec.grid.base_seed = opt.seed;
+  jspec.grid.derive_seeds = false;  // seeds are opt.seed + n, set per task
+  jspec.samples = samples;
+  jspec.params = {"sweep=n", "ns=25,50,100,200",
+                  "burn_base=" + std::to_string(opt.scaled(20000)),
+                  "spacing_base=200"};
+  jspec.tasks.resize(ns.size());
   for (std::size_t i = 0; i < ns.size(); ++i) {
-    tasks[i].index = i;
-    tasks[i].lambda = lambda;
-    tasks[i].gamma = gamma;
-    tasks[i].seed = opt.seed + ns[i];
+    jspec.tasks[i].index = i;
+    jspec.tasks[i].lambda = lambda;
+    jspec.tasks[i].gamma = gamma;
+    jspec.tasks[i].seed = opt.seed + ns[i];
   }
 
   const engine::TaskFn fn = [&](const engine::Task& t) {
@@ -59,7 +72,10 @@ int main(int argc, char** argv) {
 
   engine::ThreadPool pool(opt.threads);
   engine::ProgressSink sink(opt.telemetry);
-  const auto results = engine::run_ensemble(pool, tasks, fn, &sink);
+  const auto maybe = bench::run_or_merge_cli(
+      argv[0], jspec, bench::shard_modes(opt), pool, fn, &sink);
+  if (!maybe) return 0;  // worker mode: shard file written
+  const std::vector<engine::TaskResult>& results = *maybe;
 
   util::Table table({"n", "samples", "p/p_min median", "p/p_min p95",
                      "freq 3-compressed", "±95%"});

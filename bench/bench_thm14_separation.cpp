@@ -5,11 +5,14 @@
 //
 // One ensemble task per γ (--threads N; bit-identical output for every
 // N). The separation certificates are computed in the per-sample hook on
-// the worker, into the task's own row slot.
+// the worker, into the task's own row slot; the resulting tallies travel
+// as aux scalars on the wire, so sharded runs (--shard/--shard-out, then
+// --merge) report byte-identically to a single host.
 
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
@@ -21,7 +24,7 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
 
   bench::banner("E4", "Theorem 14 (separation for large γ)",
                 "for any β > 2√(3α), δ < 1/2: γ large enough ⇒ "
@@ -37,15 +40,8 @@ int main(int argc, char** argv) {
   spec.gammas = {1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
   spec.base_seed = opt.seed;
   spec.derive_seeds = false;  // every γ-row reruns from the same base seed
-  const auto tasks = engine::grid_tasks(spec);
 
   const std::size_t samples = opt.full ? 400 : 150;
-
-  struct Row {
-    std::size_t separated = 0;
-    util::Accumulator hetero, delta_hat;
-  };
-  std::vector<Row> rows(tasks.size());
 
   engine::ChainJob job;
   job.make_chain = [&](const engine::Task& t) {
@@ -59,6 +55,15 @@ int main(int argc, char** argv) {
   job.burn_in = opt.scaled(3000000);
   job.interval = 20000;
   job.samples = samples;
+  const shard::JobSpec jspec = shard::grid_job(
+      "bench_thm14_separation", spec, job,
+      {"beta=6", "delta=0.25", "n=100"});
+
+  struct Row {
+    std::size_t separated = 0;
+    util::Accumulator hetero, delta_hat;
+  };
+  std::vector<Row> rows(jspec.tasks.size());
   job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
     Row& row = rows[t.index];
     const auto cert = metrics::find_separation(c.system(), kBeta);
@@ -69,21 +74,29 @@ int main(int argc, char** argv) {
 
   engine::ThreadPool pool(opt.threads);
   engine::ProgressSink sink(opt.telemetry);
-  const auto results = engine::run_chain_ensemble(pool, tasks, job, &sink);
+  const auto maybe = bench::run_or_merge_cli(
+      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
+      [&](const engine::TaskResult& r) {
+        const Row& row = rows[r.task.index];
+        return std::vector<double>{static_cast<double>(row.separated),
+                                   row.hetero.mean(), row.delta_hat.mean()};
+      });
+  if (!maybe) return 0;  // worker mode: shard file written
+  const std::vector<engine::TaskResult>& results = *maybe;
 
   util::Table table({"gamma", "samples", "freq separated", "±95%",
                      "mean hetero_frac", "mean delta_hat"});
   for (const auto& r : results) {
-    const Row& row = rows[r.task.index];
+    const auto separated =
+        static_cast<std::size_t>(bench::aux_value(r, 0));
     table.row()
         .add(r.task.gamma, 3)
         .add(samples)
-        .add(static_cast<double>(row.separated) /
-                 static_cast<double>(samples),
+        .add(static_cast<double>(separated) / static_cast<double>(samples),
              4)
-        .add(util::wilson_halfwidth(row.separated, samples), 3)
-        .add(row.hetero.mean(), 4)
-        .add(row.delta_hat.mean(), 4);
+        .add(util::wilson_halfwidth(separated, samples), 3)
+        .add(bench::aux_value(r, 1), 4)
+        .add(bench::aux_value(r, 2), 4);
   }
   table.write_pretty(std::cout);
   std::printf(

@@ -5,11 +5,13 @@
 //
 // One ensemble task per γ-case (--threads N; bit-identical output for
 // every N), with per-sample compression/separation tallies accumulated
-// into each task's own row slot on the worker.
+// into each task's own row slot on the worker and shipped as aux scalars
+// in sharded runs (--shard/--shard-out, then --merge).
 
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
@@ -21,7 +23,7 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
 
   bench::banner("E5", "Theorems 15 + 16 (integration for γ ≈ 1)",
                 "γ ∈ (79/81, 81/79), λ(γ+1) > 6.83 ⇒ compressed w.h.p. "
@@ -45,15 +47,8 @@ int main(int argc, char** argv) {
   spec.gammas = {79.0 / 81.0, 1.0, 81.0 / 79.0, 4.0};
   spec.base_seed = opt.seed;
   spec.derive_seeds = false;  // every case reruns from the same base seed
-  const auto tasks = engine::grid_tasks(spec);
 
   const std::size_t samples = opt.full ? 400 : 150;
-
-  struct Row {
-    std::size_t compressed = 0, separated = 0;
-    util::Accumulator hetero;
-  };
-  std::vector<Row> rows(tasks.size());
 
   engine::ChainJob job;
   job.make_chain = [&](const engine::Task& t) {
@@ -67,6 +62,15 @@ int main(int argc, char** argv) {
   job.burn_in = opt.scaled(3000000);
   job.interval = 20000;
   job.samples = samples;
+  const shard::JobSpec jspec = shard::grid_job(
+      "bench_thm15_16_integration", spec, job,
+      {"beta=6", "delta=0.25", "n=100"});
+
+  struct Row {
+    std::size_t compressed = 0, separated = 0;
+    util::Accumulator hetero;
+  };
+  std::vector<Row> rows(jspec.tasks.size());
   job.on_sample = [&](const engine::Task& t,
                       const core::SeparationChain& ch) {
     Row& row = rows[t.index];
@@ -78,23 +82,35 @@ int main(int argc, char** argv) {
 
   engine::ThreadPool pool(opt.threads);
   engine::ProgressSink sink(opt.telemetry);
-  const auto results = engine::run_chain_ensemble(pool, tasks, job, &sink);
+  const auto maybe = bench::run_or_merge_cli(
+      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
+      [&](const engine::TaskResult& r) {
+        const Row& row = rows[r.task.index];
+        return std::vector<double>{static_cast<double>(row.compressed),
+                                   static_cast<double>(row.separated),
+                                   row.hetero.mean()};
+      });
+  if (!maybe) return 0;  // worker mode: shard file written
+  const std::vector<engine::TaskResult>& results = *maybe;
 
   util::Table table({"gamma", "note", "freq 3-compressed", "freq separated",
                      "±95%", "mean hetero_frac"});
   for (const auto& r : results) {
-    const Row& row = rows[r.task.index];
+    const auto compressed =
+        static_cast<std::size_t>(bench::aux_value(r, 0));
+    const auto separated =
+        static_cast<std::size_t>(bench::aux_value(r, 1));
     table.row()
         .add(r.task.gamma, 5)
         .add(notes[r.task.gamma_index])
-        .add(static_cast<double>(row.compressed) /
+        .add(static_cast<double>(compressed) /
                  static_cast<double>(samples),
              4)
-        .add(static_cast<double>(row.separated) /
+        .add(static_cast<double>(separated) /
                  static_cast<double>(samples),
              4)
-        .add(util::wilson_halfwidth(row.separated, samples), 3)
-        .add(row.hetero.mean(), 4);
+        .add(util::wilson_halfwidth(separated, samples), 3)
+        .add(bench::aux_value(r, 2), 4);
   }
   table.write_pretty(std::cout);
   std::printf(

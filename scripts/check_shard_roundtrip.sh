@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Shard round-trip smoke check: run a harness unsharded, then split the
+# same job into N shards (workers at varying --threads), merge, and
+# require the merged report to be byte-identical to the unsharded one.
+# Also exercises the canonical merged artifact via sops_shard_merge and
+# the refusal path for an incomplete shard set.
+#
+# Usage: scripts/check_shard_roundtrip.sh [build-dir] [harness] [shards]
+#   build-dir  CMake build tree holding bench/ binaries (default: build)
+#   harness    sharded harness name (default: bench_fig3_phase_diagram)
+#   shards     shard count (default: 3)
+#
+# Works on a real multi-host run too: run each worker command on its own
+# host, copy the .shard files back, and merge on the coordinator.
+set -euo pipefail
+
+build_dir=${1:-build}
+harness=${2:-bench_fig3_phase_diagram}
+shards=${3:-3}
+
+bin="$build_dir/bench/$harness"
+merge_bin="$build_dir/bench/sops_shard_merge"
+[[ -x $bin ]] || { echo "error: $bin not built" >&2; exit 1; }
+[[ -x $merge_bin ]] || { echo "error: $merge_bin not built" >&2; exit 1; }
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/shard_roundtrip.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+echo "== unsharded reference ($harness)"
+"$bin" >"$work/reference.txt"
+
+inputs=()
+for ((k = 0; k < shards; ++k)); do
+  threads=$((k % 3 + 1))  # workers deliberately disagree on --threads
+  echo "== worker $k/$shards (--threads $threads)"
+  "$bin" --shard "$k/$shards" --shard-out "$work/part$k.shard" \
+    --threads "$threads"
+  inputs+=("$work/part$k.shard")
+done
+
+echo "== merge via harness --merge"
+merge_list=$(IFS=,; echo "${inputs[*]}")
+"$bin" --merge "$merge_list" >"$work/merged.txt"
+
+if ! diff -u "$work/reference.txt" "$work/merged.txt"; then
+  echo "FAIL: merged report differs from unsharded run" >&2
+  exit 1
+fi
+echo "ok: merged report byte-identical to unsharded run"
+
+echo "== canonical merged artifact via sops_shard_merge"
+"$merge_bin" --inputs "$merge_list" --out "$work/all.shard"
+# Merging the canonical artifact alone must reproduce the same report.
+"$bin" --merge "$work/all.shard" >"$work/from_artifact.txt"
+cmp "$work/reference.txt" "$work/from_artifact.txt"
+echo "ok: canonical artifact reproduces the report"
+
+echo "== refusal: incomplete shard set must be rejected"
+if "$merge_bin" --inputs "$work/part0.shard" >/dev/null 2>"$work/err.txt"; then
+  echo "FAIL: merge accepted an incomplete shard set" >&2
+  exit 1
+fi
+grep -q "missing task indices" "$work/err.txt" || {
+  echo "FAIL: refusal did not list missing task indices:" >&2
+  cat "$work/err.txt" >&2
+  exit 1
+}
+echo "ok: incomplete set refused with explicit missing indices"
+
+echo "PASS: $harness shard round-trip ($shards shards)"

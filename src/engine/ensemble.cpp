@@ -57,14 +57,11 @@ std::vector<TaskResult> run_ensemble(ThreadPool& pool,
   return results;
 }
 
-std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
-                                           std::span<const Task> tasks,
-                                           const ChainJob& job,
-                                           ProgressSink* sink) {
+TaskFn make_task_fn(const ChainJob& job) {
   if (!job.make_chain) {
-    throw std::invalid_argument("run_chain_ensemble: make_chain is required");
+    throw std::invalid_argument("make_task_fn: ChainJob::make_chain is required");
   }
-  const TaskFn fn = [&job](const Task& task) {
+  return [&job](const Task& task) {
     core::SeparationChain chain = job.make_chain(task);
     std::vector<core::Measurement> series;
     if (!job.checkpoints.empty()) {
@@ -87,7 +84,13 @@ std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
     }
     return series;
   };
-  return run_ensemble(pool, tasks, fn, sink);
+}
+
+std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
+                                           std::span<const Task> tasks,
+                                           const ChainJob& job,
+                                           ProgressSink* sink) {
+  return run_ensemble(pool, tasks, make_task_fn(job), sink);
 }
 
 std::vector<CellAggregate> aggregate_final(

@@ -57,6 +57,11 @@ struct TaskResult {
   std::vector<core::Measurement> series;  ///< checkpoint/sample history
   std::uint64_t steps = 0;                ///< chain iterations executed
   double wall_seconds = 0.0;              ///< telemetry only; not output
+  /// Harness-defined derived scalars (e.g. phase codes, certificate
+  /// tallies) computed on the worker. Part of the scientific result:
+  /// src/shard serializes aux verbatim so a merged run reports exactly
+  /// what a single-host run would.
+  std::vector<double> aux;
 };
 
 /// Arbitrary task body: receives the task, returns its measurement
@@ -94,6 +99,13 @@ struct ChainJob {
   /// the worker: write only to slots keyed by Task::index.
   std::function<void(const Task&, const core::SeparationChain&)> on_sample;
 };
+
+/// The TaskFn a ChainJob describes: build the chain, drive it through
+/// the checkpoint or equilibrium protocol, fire on_sample. The returned
+/// closure captures `job` by reference — keep the job alive while it
+/// runs. Exposed so sharded harnesses can run a sub-range of tasks
+/// through the identical protocol path.
+[[nodiscard]] TaskFn make_task_fn(const ChainJob& job);
 
 /// run_ensemble specialized to SeparationChain runs via core/runner.
 std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,

@@ -1,0 +1,86 @@
+#include "src/shard/harness.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/shard/merge.hpp"
+#include "src/shard/plan.hpp"
+
+namespace sops::shard {
+
+JobSpec grid_job(std::string name, const engine::GridSpec& grid,
+                 const engine::ChainJob& protocol,
+                 std::vector<std::string> params) {
+  JobSpec job;
+  job.name = std::move(name);
+  job.grid = grid;
+  job.checkpoints = protocol.checkpoints;
+  job.burn_in = protocol.burn_in;
+  job.interval = protocol.interval;
+  job.samples = protocol.samples;
+  job.params = std::move(params);
+  job.tasks = engine::grid_tasks(grid);
+  return job;
+}
+
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
+    const engine::TaskFn& fn, engine::ProgressSink* sink, const AuxFn& aux) {
+  if (!modes.merge_inputs.empty()) {
+    std::vector<ShardFile> files;
+    files.reserve(modes.merge_inputs.size());
+    for (const std::string& path : modes.merge_inputs) {
+      files.push_back(read_shard_file(path));
+    }
+    return merge_results(job, files);
+  }
+
+  const std::uint64_t total = job.tasks.size();
+  TaskRange range{0, total};
+  if (modes.shard_set && modes.range_set) {
+    throw std::invalid_argument(
+        "shard: --shard and --task-range are mutually exclusive");
+  }
+  if (modes.shard_set) {
+    range = shard_range(total, modes.shard_k, modes.shard_n);
+  } else if (modes.range_set) {
+    range = checked_range(total, modes.range_begin, modes.range_end);
+  }
+  const bool worker = !modes.out.empty();
+  if (!worker && (modes.shard_set || modes.range_set)) {
+    throw std::invalid_argument(
+        "shard: a partial run needs --shard-out (a sub-range report would "
+        "not be comparable to the full job)");
+  }
+
+  const std::span<const engine::Task> sub(
+      job.tasks.data() + range.begin, static_cast<std::size_t>(range.size()));
+  std::vector<engine::TaskResult> results =
+      engine::run_ensemble(pool, sub, fn, sink);
+  if (aux) {
+    for (engine::TaskResult& r : results) r.aux = aux(r);
+  }
+
+  if (worker) {
+    write_shard_file(modes.out, job, results);
+    std::printf(
+        "shard: job %s: wrote %llu task results (range %llu:%llu of %llu) "
+        "to %s\n",
+        job.name.c_str(), static_cast<unsigned long long>(range.size()),
+        static_cast<unsigned long long>(range.begin),
+        static_cast<unsigned long long>(range.end),
+        static_cast<unsigned long long>(total), modes.out.c_str());
+    return std::nullopt;
+  }
+  return results;
+}
+
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
+    const engine::ChainJob& protocol, engine::ProgressSink* sink,
+    const AuxFn& aux) {
+  return run_or_merge(job, modes, pool, engine::make_task_fn(protocol), sink,
+                      aux);
+}
+
+}  // namespace sops::shard

@@ -1,0 +1,71 @@
+// Bridge between the bench harness CLI surface and the shard subsystem.
+//
+// A sharded harness runs in exactly one of three modes, chosen by flags:
+//
+//   (full)      no shard flags       run every task, report as always
+//   (worker)    --shard k/n --shard-out F      (or --task-range a:b)
+//               run one contiguous slice through the same ThreadPool
+//               path, pack harness aux scalars, write the wire file F,
+//               print a one-line receipt, exit
+//   (merge)     --merge F1,F2,…     decode + validate the shard files
+//               against the locally reconstructed JobSpec (so mixing in
+//               a shard from a different --seed or --full run is
+//               refused), then report from the merged results
+//
+// run_or_merge owns that dispatch. The harness's report code reads only
+// (Task, series, aux) off the returned results, which is exactly what
+// the wire carries — so the merged report is byte-identical to the
+// full-mode report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/shard/wire.hpp"
+
+namespace sops::shard {
+
+/// Parsed shard CLI state (filled by bench::parse_options; plain data so
+/// bench_common.hpp needs no link-time dependency on this library).
+struct Modes {
+  bool shard_set = false;          ///< --shard k/n
+  std::uint64_t shard_k = 0;
+  std::uint64_t shard_n = 1;
+  bool range_set = false;          ///< --task-range a:b (half-open)
+  std::uint64_t range_begin = 0;
+  std::uint64_t range_end = 0;
+  std::string out;                 ///< --shard-out: worker result file
+  std::vector<std::string> merge_inputs;  ///< --merge file list
+};
+
+/// Packs a finished task's harness-side derived scalars (phase code,
+/// certificate tallies, …) into TaskResult::aux for the wire.
+using AuxFn = std::function<std::vector<double>(const engine::TaskResult&)>;
+
+/// Builds the JobSpec of a grid-driven harness: tasks = grid_tasks(grid),
+/// protocol copied from the ChainJob, `params` carried verbatim.
+[[nodiscard]] JobSpec grid_job(std::string name, const engine::GridSpec& grid,
+                               const engine::ChainJob& protocol,
+                               std::vector<std::string> params = {});
+
+/// Dispatches one harness invocation (see file comment). Returns the
+/// full index-ordered results in full/merge mode; returns nullopt in
+/// worker mode after writing `modes.out` (the caller should exit 0
+/// without reporting). Throws on invalid plans, malformed files, and
+/// inconsistent or incomplete shard sets.
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
+    const engine::TaskFn& fn, engine::ProgressSink* sink = nullptr,
+    const AuxFn& aux = {});
+
+/// ChainJob convenience overload (runs via engine::make_task_fn).
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
+    const engine::ChainJob& protocol, engine::ProgressSink* sink = nullptr,
+    const AuxFn& aux = {});
+
+}  // namespace sops::shard

@@ -1,0 +1,135 @@
+#include "src/shard/merge.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/shard/plan.hpp"
+
+namespace sops::shard {
+
+namespace {
+
+[[noreturn]] void mismatch(const std::string& label, std::string_view field) {
+  std::ostringstream os;
+  os << "merge: " << label << ": job spec mismatch in " << field
+     << " (all shards must come from the identical job spec)";
+  throw MergeError(os.str());
+}
+
+/// Bit-exact double comparison: the wire round-trips bits, so job specs
+/// agree iff their doubles agree as bit patterns (NaN payloads and -0.0
+/// included). Semantic tolerance here would let two subtly different
+/// sweeps merge into one lying report.
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+bool same_bits(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_bits(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void check_same_job(const JobSpec& expected, const JobSpec& actual,
+                    const std::string& label) {
+  if (actual.name != expected.name) mismatch(label, "job name");
+  if (!same_bits(actual.grid.lambdas, expected.grid.lambdas)) {
+    mismatch(label, "grid.lambdas");
+  }
+  if (!same_bits(actual.grid.gammas, expected.grid.gammas)) {
+    mismatch(label, "grid.gammas");
+  }
+  if (actual.grid.replicas != expected.grid.replicas) {
+    mismatch(label, "grid.replicas");
+  }
+  if (actual.grid.base_seed != expected.grid.base_seed) {
+    mismatch(label, "grid.base_seed");
+  }
+  if (actual.grid.derive_seeds != expected.grid.derive_seeds) {
+    mismatch(label, "grid.derive_seeds");
+  }
+  if (actual.checkpoints != expected.checkpoints) {
+    mismatch(label, "proto.checkpoints");
+  }
+  if (actual.burn_in != expected.burn_in) mismatch(label, "proto.burn_in");
+  if (actual.interval != expected.interval) mismatch(label, "proto.interval");
+  if (actual.samples != expected.samples) mismatch(label, "proto.samples");
+  if (actual.params != expected.params) mismatch(label, "params");
+
+  if (actual.tasks.size() != expected.tasks.size()) {
+    mismatch(label, "task table size");
+  }
+  std::vector<std::uint64_t> bad_indices;
+  for (std::size_t i = 0; i < expected.tasks.size(); ++i) {
+    const engine::Task& e = expected.tasks[i];
+    const engine::Task& a = actual.tasks[i];
+    if (a.seed != e.seed || a.lambda_index != e.lambda_index ||
+        a.gamma_index != e.gamma_index || a.replica != e.replica ||
+        !same_bits(a.lambda, e.lambda) || !same_bits(a.gamma, e.gamma)) {
+      bad_indices.push_back(i);
+    }
+  }
+  if (!bad_indices.empty()) {
+    std::ostringstream os;
+    os << "merge: " << label << ": task table disagrees with the plan "
+       << "(seed or parameter mismatch) at task indices "
+       << format_indices(bad_indices);
+    throw MergeError(os.str());
+  }
+}
+
+std::vector<engine::TaskResult> merge_results(const JobSpec& expected,
+                                              std::span<const ShardFile> files) {
+  if (files.empty()) {
+    throw MergeError("merge: no shard files given");
+  }
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    std::ostringstream label;
+    label << "shard file " << (f + 1) << " of " << files.size();
+    check_same_job(expected, files[f].job, label.str());
+  }
+
+  std::vector<std::uint64_t> indices;
+  for (const ShardFile& file : files) {
+    for (const engine::TaskResult& r : file.results) {
+      indices.push_back(r.task.index);
+    }
+  }
+  const Coverage cov = coverage_of_indices(expected.tasks.size(), indices);
+  if (!cov.complete()) {
+    std::ostringstream os;
+    os << "merge: shard set does not tile the job:";
+    if (!cov.missing.empty()) {
+      os << " missing task indices " << format_indices(cov.missing);
+    }
+    if (!cov.duplicated.empty()) {
+      if (!cov.missing.empty()) os << ";";
+      os << " duplicated task indices " << format_indices(cov.duplicated);
+    }
+    throw MergeError(os.str());
+  }
+
+  std::vector<engine::TaskResult> out(expected.tasks.size());
+  for (const ShardFile& file : files) {
+    for (const engine::TaskResult& r : file.results) {
+      out[r.task.index] = r;
+    }
+  }
+  return out;
+}
+
+std::vector<engine::TaskResult> merge_results(std::span<const ShardFile> files) {
+  if (files.empty()) {
+    throw MergeError("merge: no shard files given");
+  }
+  return merge_results(files[0].job, files);
+}
+
+}  // namespace sops::shard

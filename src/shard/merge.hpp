@@ -1,0 +1,48 @@
+// Coordinator-side merge of shard result files.
+//
+// Ingests any number of decoded shard files, proves they are fragments
+// of one job (field-by-field JobSpec comparison, element-wise task-table
+// check so a worker launched with the wrong seed is named by task
+// index), proves the fragments tile the task space exactly once, and
+// reconstructs the index-ordered result vector. Because every record is
+// re-serialized from values, re-encoding the merged results yields the
+// same bytes no matter how the job was sharded — the coordinator's
+// output is byte-identical to a single-host run.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/shard/wire.hpp"
+
+namespace sops::shard {
+
+/// Inconsistent or incomplete shard set. `what()` names the offending
+/// field or lists the offending task indices.
+class MergeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws MergeError naming the first differing field if `actual` does
+/// not describe the same job as `expected`. Task-table differences are
+/// reported as a list of mismatched task indices (seed or parameter
+/// drift on a worker). `label` names the offending input in messages.
+void check_same_job(const JobSpec& expected, const JobSpec& actual,
+                    const std::string& label);
+
+/// Merges shard files into the full index-ordered result vector,
+/// validating every file against `expected` and the union against the
+/// task table. Throws MergeError listing missing and duplicated task
+/// indices if the shards do not tile the job exactly once.
+[[nodiscard]] std::vector<engine::TaskResult> merge_results(
+    const JobSpec& expected, std::span<const ShardFile> files);
+
+/// As above, with the first file's header as the reference spec (the
+/// standalone coordinator has no harness context to rebuild one from).
+/// Throws MergeError on an empty file list.
+[[nodiscard]] std::vector<engine::TaskResult> merge_results(
+    std::span<const ShardFile> files);
+
+}  // namespace sops::shard

@@ -1,0 +1,91 @@
+#include "src/shard/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sops::shard {
+
+TaskRange shard_range(std::uint64_t total, std::uint64_t k, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("shard_range: shard count is zero");
+  if (k >= n) {
+    std::ostringstream os;
+    os << "shard_range: shard index " << k << " out of range for " << n
+       << " shards (need k < n)";
+    throw std::invalid_argument(os.str());
+  }
+  const std::uint64_t base = total / n;
+  const std::uint64_t extra = total % n;  // first `extra` shards take one more
+  TaskRange r;
+  r.begin = k * base + std::min(k, extra);
+  r.end = r.begin + base + (k < extra ? 1 : 0);
+  return r;
+}
+
+std::vector<TaskRange> shard_plan(std::uint64_t total, std::uint64_t n) {
+  std::vector<TaskRange> plan;
+  plan.reserve(n);
+  for (std::uint64_t k = 0; k < n; ++k) plan.push_back(shard_range(total, k, n));
+  return plan;
+}
+
+TaskRange checked_range(std::uint64_t total, std::uint64_t begin,
+                        std::uint64_t end) {
+  std::ostringstream os;
+  if (end <= begin) {
+    os << "task range " << begin << ":" << end << " is empty";
+    throw std::invalid_argument(os.str());
+  }
+  if (end > total) {
+    os << "task range " << begin << ":" << end << " exceeds the job's "
+       << total << " tasks";
+    throw std::invalid_argument(os.str());
+  }
+  return {begin, end};
+}
+
+Coverage coverage(std::uint64_t total, std::span<const TaskRange> ranges) {
+  std::vector<std::uint64_t> indices;
+  for (const TaskRange& r : ranges) {
+    for (std::uint64_t i = r.begin; i < r.end; ++i) indices.push_back(i);
+  }
+  return coverage_of_indices(total, indices);
+}
+
+Coverage coverage_of_indices(std::uint64_t total,
+                             std::span<const std::uint64_t> indices) {
+  std::vector<std::uint64_t> counts(total, 0);
+  Coverage out;
+  for (const std::uint64_t i : indices) {
+    if (i >= total) {
+      out.duplicated.push_back(i);  // outside the plan: never acceptable
+      continue;
+    }
+    ++counts[i];
+  }
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (counts[i] == 0) out.missing.push_back(i);
+    if (counts[i] > 1) out.duplicated.push_back(i);
+  }
+  std::sort(out.duplicated.begin(), out.duplicated.end());
+  return out;
+}
+
+std::string format_indices(std::span<const std::uint64_t> indices,
+                           std::size_t max_items) {
+  std::ostringstream os;
+  os << '[';
+  const std::size_t shown = std::min(indices.size(), max_items);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    os << indices[i];
+  }
+  if (indices.size() > shown) {
+    os << ", … " << (indices.size() - shown) << " more";
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace sops::shard

@@ -1,0 +1,70 @@
+// Shard planning over the dense task-index space.
+//
+// PR 1 made every ensemble task a pure function of its dense
+// Task::index (seed included), so a shard of a sweep is nothing more
+// than a contiguous index range. This module owns the arithmetic and the
+// fail-fast validation: balanced `k/n` splits, explicit `a:b` ranges,
+// and coverage checking that reports exactly which indices a shard set
+// misses or duplicates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sops::shard {
+
+/// Half-open range [begin, end) of dense task indices.
+struct TaskRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+  friend bool operator==(const TaskRange&, const TaskRange&) = default;
+};
+
+/// The contiguous range shard `k` of `n` owns in a job of `total` tasks:
+/// the first `total % n` shards take `ceil(total/n)` tasks, the rest
+/// `floor(total/n)`, so shard sizes differ by at most one and the
+/// concatenation of shards 0..n-1 is exactly [0, total). Throws
+/// std::invalid_argument on n == 0 or k >= n.
+[[nodiscard]] TaskRange shard_range(std::uint64_t total, std::uint64_t k,
+                                    std::uint64_t n);
+
+/// All `n` shard ranges of a job, in shard order.
+[[nodiscard]] std::vector<TaskRange> shard_plan(std::uint64_t total,
+                                                std::uint64_t n);
+
+/// Validates an explicit [begin, end) range against the job size. Throws
+/// std::invalid_argument on empty ranges or end > total.
+[[nodiscard]] TaskRange checked_range(std::uint64_t total,
+                                      std::uint64_t begin, std::uint64_t end);
+
+/// Which task indices a shard set fails to cover exactly once.
+struct Coverage {
+  std::vector<std::uint64_t> missing;     ///< in [0, total) but in no shard
+  std::vector<std::uint64_t> duplicated;  ///< claimed by more than one shard
+
+  [[nodiscard]] bool complete() const noexcept {
+    return missing.empty() && duplicated.empty();
+  }
+};
+
+/// Coverage of [0, total) by explicit ranges (planner-level check).
+[[nodiscard]] Coverage coverage(std::uint64_t total,
+                                std::span<const TaskRange> ranges);
+
+/// Coverage of [0, total) by raw index lists (merge-level check; the
+/// lists need not be sorted). Indices >= total are reported as
+/// duplicates of nothing — they land in `duplicated` so the caller
+/// refuses them loudly rather than silently dropping data.
+[[nodiscard]] Coverage coverage_of_indices(
+    std::uint64_t total, std::span<const std::uint64_t> indices);
+
+/// "[3, 4, 9]" — compact index list for error messages, elided past
+/// `max_items` as "[3, 4, … 17 more]".
+[[nodiscard]] std::string format_indices(
+    std::span<const std::uint64_t> indices, std::size_t max_items = 16);
+
+}  // namespace sops::shard

@@ -1,0 +1,88 @@
+// sops_shard_merge — standalone coordinator for sharded ensemble runs.
+//
+// Ingests shard result files collected from any number of worker hosts,
+// verifies they are consistent fragments of one job that tile the task
+// space exactly once, and (optionally) writes the canonical merged file:
+// the shared header plus every task result in index order. The merged
+// bytes are identical for every shard count and every worker thread
+// count, so `cmp` against a single-host `--shard 0/1` file is a full
+// end-to-end determinism check (see scripts/check_shard_roundtrip.sh).
+//
+// Exit status: 0 on a complete consistent shard set, 1 otherwise (the
+// offending task indices or spec field are printed to stderr).
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/shard/merge.hpp"
+#include "src/shard/wire.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (item.empty()) {
+      throw std::invalid_argument("cli: empty path in --inputs list");
+    }
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  util::Cli cli;
+  cli.add_option("inputs", "comma-separated shard result files to merge", "");
+  cli.add_option("out", "write the canonical merged result file here", "");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  try {
+    const std::string inputs = cli.str("inputs");
+    if (inputs.empty()) {
+      throw std::invalid_argument("cli: --inputs is required");
+    }
+    std::vector<shard::ShardFile> files;
+    for (const std::string& path : split_list(inputs)) {
+      files.push_back(shard::read_shard_file(path));
+      const shard::ShardFile& f = files.back();
+      std::printf("read %s: job %s, %zu of %zu task results\n", path.c_str(),
+                  f.job.name.c_str(), f.results.size(), f.job.tasks.size());
+    }
+
+    const auto merged = shard::merge_results(files);
+    std::printf("merged: job %s, %zu shards, %zu tasks, complete\n",
+                files[0].job.name.c_str(), files.size(), merged.size());
+
+    const std::string out = cli.str("out");
+    if (!out.empty()) {
+      shard::write_shard_file(out, files[0].job, merged);
+      std::printf("wrote canonical merged file: %s\n", out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Versioned, line-oriented wire format for sharded ensemble jobs.
+//
+// A shard result file is a plain-text artifact a worker host can emit
+// and a coordinator can ingest with zero shared state: one `JobSpec`
+// header describing the whole job (grid axes, seeding, chain protocol,
+// and the dense expected task table), followed by this shard's
+// `TaskResult` records. Design rules:
+//
+//  * Parse-or-fail. Every line has a fixed keyword and token count; any
+//    deviation — wrong magic, unknown version, short file, trailing
+//    bytes, out-of-order records — throws WireError with a line number.
+//    There are no defaults and no "best effort" recovery: a truncated
+//    scp is a refused file, not a silently shorter sweep.
+//  * Exact doubles. All floating-point values are serialized as C99
+//    hexfloats (`%a`), so decode(encode(x)) is bit-identical — including
+//    negative zero and denormals — and `nan`/`inf`/`-inf` round-trip as
+//    themselves. This is what makes a merged report byte-identical to a
+//    single-host run.
+//  * Deterministic bytes. encode() output depends only on the values,
+//    never on thread count or timing; TaskResult::wall_seconds is
+//    deliberately NOT serialized (it is telemetry, and would make two
+//    otherwise-identical shard files differ).
+//  * Versioned. Line 1 names the format and version. Readers reject
+//    versions they don't know; any change to the line grammar bumps
+//    kWireVersion (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+
+namespace sops::shard {
+
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Malformed wire input. `what()` includes the 1-based line number.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything that identifies one sweep: which harness, the parameter
+/// grid and seeding policy, the chain protocol driving each task, and
+/// the dense task table (index → λ, γ, replica, seed) every shard must
+/// agree on. Two shard files merge only if their JobSpecs are identical.
+struct JobSpec {
+  std::string name;        ///< harness identifier; single token, no spaces
+
+  engine::GridSpec grid;   ///< axes + replicas + seeding policy
+
+  /// Chain protocol (mirrors engine::ChainJob): checkpoint mode when
+  /// `checkpoints` is nonempty, equilibrium mode otherwise. Harnesses
+  /// that drive chains by hand leave these zero and describe themselves
+  /// via `params`.
+  std::vector<std::uint64_t> checkpoints;
+  std::uint64_t burn_in = 0;
+  std::uint64_t interval = 0;
+  std::uint64_t samples = 0;
+
+  /// Extra identity fields as "key=value" tokens (iteration budgets,
+  /// sweep axes that aren't λ/γ, --full scaling…). Order-significant;
+  /// compared verbatim on merge, so a shard run at default scale cannot
+  /// be merged into a --full job.
+  std::vector<std::string> params;
+
+  /// Dense expected task table; tasks[i].index == i. The merge step
+  /// checks every shard's table element-wise, so a worker launched with
+  /// the wrong --seed is reported by task index, not by a vague
+  /// "headers differ".
+  std::vector<engine::Task> tasks;
+};
+
+/// One decoded shard file: the job header plus the task results this
+/// shard carries (any strictly-increasing subset of the task table).
+struct ShardFile {
+  JobSpec job;
+  std::vector<engine::TaskResult> results;
+};
+
+/// Serializes header + results. Throws std::invalid_argument on specs
+/// that cannot round-trip (empty/multi-token name, tasks[i].index != i,
+/// params containing whitespace, results out of order or off-table).
+[[nodiscard]] std::string encode(
+    const JobSpec& job, std::span<const engine::TaskResult> results);
+
+/// Parses a complete wire document. Strict: throws WireError on any
+/// deviation from the grammar, including trailing content after `end`.
+/// Decoded results carry task identity copied from the header table and
+/// wall_seconds == 0 (not on the wire).
+[[nodiscard]] ShardFile decode(std::string_view text);
+
+/// encode() to `path` (truncating). Throws std::runtime_error on I/O
+/// failure, including short writes.
+void write_shard_file(const std::string& path, const JobSpec& job,
+                      std::span<const engine::TaskResult> results);
+
+/// Reads and decode()s `path`. Throws std::runtime_error if unreadable,
+/// WireError if malformed (message includes the path).
+[[nodiscard]] ShardFile read_shard_file(const std::string& path);
+
+}  // namespace sops::shard

@@ -111,6 +111,47 @@ std::uint64_t Cli::unsigned_integer(std::string_view name) const {
   return out;
 }
 
+namespace {
+
+/// Strict uint64 parse of one half of a composite value ("a:b", "k/n").
+std::uint64_t parse_u64_or(std::string_view text, std::string_view name) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (text.empty() || ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("expected unsigned integer component", name);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> Cli::index_range(
+    std::string_view name) const {
+  const std::string v = str(name);
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) fail("expected 'a:b' range", name);
+  const std::uint64_t begin =
+      parse_u64_or(std::string_view(v).substr(0, colon), name);
+  const std::uint64_t end =
+      parse_u64_or(std::string_view(v).substr(colon + 1), name);
+  if (end <= begin) fail("empty range (need a < b in 'a:b')", name);
+  return {begin, end};
+}
+
+std::pair<std::uint64_t, std::uint64_t> Cli::shard_of(
+    std::string_view name) const {
+  const std::string v = str(name);
+  const auto slash = v.find('/');
+  if (slash == std::string::npos) fail("expected 'k/n' shard", name);
+  const std::uint64_t k =
+      parse_u64_or(std::string_view(v).substr(0, slash), name);
+  const std::uint64_t n =
+      parse_u64_or(std::string_view(v).substr(slash + 1), name);
+  if (n == 0) fail("shard count must be positive", name);
+  if (k >= n) fail("shard index must satisfy k < n in 'k/n'", name);
+  return {k, n};
+}
+
 double Cli::real(std::string_view name) const {
   const std::string v = str(name);
   try {

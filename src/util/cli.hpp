@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sops::util {
@@ -36,6 +37,15 @@ class Cli {
   /// `--threads -2` fail loudly instead of truncating.
   [[nodiscard]] std::uint64_t unsigned_integer(std::string_view name) const;
   [[nodiscard]] double real(std::string_view name) const;
+  /// Parses "a:b" as the half-open index range [a, b). Same fail-fast
+  /// style as unsigned_integer: rejects empty ranges (b <= a), missing
+  /// halves, signs, and trailing garbage.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> index_range(
+      std::string_view name) const;
+  /// Parses "k/n" as shard k of n. Rejects n == 0, k >= n, signs, and
+  /// trailing garbage, so a mistyped `--shard 3/3` fails before any work.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> shard_of(
+      std::string_view name) const;
 
  private:
   struct Spec {

@@ -1,0 +1,472 @@
+#include "src/shard/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/engine/seed_stream.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/shard/harness.hpp"
+#include "src/shard/merge.hpp"
+#include "src/shard/plan.hpp"
+
+namespace sops::shard {
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+// ---- wire round-trip ----------------------------------------------------
+
+JobSpec tricky_job() {
+  JobSpec job;
+  job.name = "shard_test_job";
+  job.grid.lambdas = {1.5, 4.0};
+  job.grid.gammas = {0.5};
+  job.grid.replicas = 2;
+  job.grid.base_seed = 42;
+  job.grid.derive_seeds = true;
+  job.checkpoints = {0, 10000};
+  job.params = {"n=30", "alpha=3"};
+  job.tasks = engine::grid_tasks(job.grid);
+  return job;
+}
+
+std::vector<engine::TaskResult> tricky_results(const JobSpec& job) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<engine::TaskResult> results;
+
+  engine::TaskResult a;  // adversarial doubles in every float slot
+  a.task = job.tasks[0];
+  a.steps = 10000;
+  core::Measurement m;
+  m.iteration = 10000;
+  m.perimeter = -3;  // signed fields stay signed on the wire
+  m.edges = 77;
+  m.hetero_edges = 0;
+  m.perimeter_ratio = kNan;
+  m.hetero_fraction = -kInf;
+  a.series = {m};
+  a.aux = {kNan, kInf, -0.0, 5e-324 /* smallest denormal */, -1.0 / 3.0};
+  a.wall_seconds = 123.0;  // telemetry: must NOT survive the wire
+  results.push_back(a);
+
+  engine::TaskResult b;  // empty series, no aux
+  b.task = job.tasks[2];
+  b.steps = 0;
+  results.push_back(b);
+  return results;
+}
+
+TEST(Wire, RoundTripIsBitExactAndByteStable) {
+  const JobSpec job = tricky_job();
+  const auto results = tricky_results(job);
+  const std::string text = encode(job, results);
+
+  const ShardFile decoded = decode(text);
+  // Re-encoding the decoded file reproduces the bytes exactly — the
+  // property that makes merged artifacts byte-identical.
+  EXPECT_EQ(encode(decoded.job, decoded.results), text);
+
+  EXPECT_EQ(decoded.job.name, job.name);
+  EXPECT_EQ(decoded.job.grid.replicas, 2u);
+  EXPECT_TRUE(decoded.job.grid.derive_seeds);
+  EXPECT_EQ(decoded.job.checkpoints, job.checkpoints);
+  EXPECT_EQ(decoded.job.params, job.params);
+  ASSERT_EQ(decoded.job.tasks.size(), 4u);
+  EXPECT_EQ(decoded.job.tasks[3].seed, engine::task_seed(42, 3));
+
+  ASSERT_EQ(decoded.results.size(), 2u);
+  const engine::TaskResult& a = decoded.results[0];
+  EXPECT_EQ(a.task.index, 0u);
+  EXPECT_EQ(a.steps, 10000u);
+  ASSERT_EQ(a.series.size(), 1u);
+  EXPECT_EQ(a.series[0].perimeter, -3);
+  EXPECT_TRUE(std::isnan(a.series[0].perimeter_ratio));
+  EXPECT_EQ(bits_of(a.series[0].hetero_fraction),
+            bits_of(-std::numeric_limits<double>::infinity()));
+  ASSERT_EQ(a.aux.size(), 5u);
+  EXPECT_TRUE(std::isnan(a.aux[0]));
+  EXPECT_EQ(bits_of(a.aux[2]), bits_of(-0.0));  // negative zero preserved
+  EXPECT_EQ(bits_of(a.aux[3]), bits_of(5e-324));
+  EXPECT_EQ(bits_of(a.aux[4]), bits_of(-1.0 / 3.0));
+  EXPECT_EQ(a.wall_seconds, 0.0);  // telemetry stripped by design
+
+  const engine::TaskResult& b = decoded.results[1];
+  EXPECT_EQ(b.task.index, 2u);
+  EXPECT_TRUE(b.series.empty());
+  EXPECT_TRUE(b.aux.empty());
+}
+
+TEST(Wire, EncodeRejectsUnencodableSpecs) {
+  JobSpec job = tricky_job();
+  job.name = "two tokens";
+  EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
+  job = tricky_job();
+  job.params = {"has space"};
+  EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
+  job = tricky_job();
+  job.tasks[1].index = 5;  // not dense
+  EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
+
+  job = tricky_job();
+  auto results = tricky_results(job);
+  std::swap(results[0], results[1]);  // out of order
+  EXPECT_THROW((void)encode(job, results), std::invalid_argument);
+}
+
+TEST(Wire, DecodeIsStrict) {
+  const JobSpec job = tricky_job();
+  const std::string good = encode(job, tricky_results(job));
+  ASSERT_NO_THROW((void)decode(good));
+
+  const auto expect_rejected = [](std::string text, const char* what) {
+    EXPECT_THROW((void)decode(text), WireError) << what << ":\n" << text;
+  };
+
+  expect_rejected("", "empty input");
+  expect_rejected("sops-shard-wire v2\n", "unknown version");
+  expect_rejected("not-a-shard-file v1\n", "bad magic");
+
+  // Truncation anywhere — drop the trailing 'end' line.
+  expect_rejected(good.substr(0, good.size() - 4), "missing end marker");
+  // Truncation mid-results.
+  expect_rejected(good.substr(0, good.find("\nr ") + 1), "truncated results");
+  // Trailing garbage after end.
+  expect_rejected(good + "extra\n", "trailing content");
+  // Double space = empty token.
+  {
+    std::string t = good;
+    t.replace(t.find(" v1"), 1, "  ");
+    expect_rejected(t, "empty token");
+  }
+  // Tampered count.
+  {
+    std::string t = good;
+    t.replace(t.find("tasks 4"), 7, "tasks 3");
+    expect_rejected(t, "task count mismatch");
+  }
+  // Non-numeric where a number belongs.
+  {
+    std::string t = good;
+    t.replace(t.find("grid.base_seed 42"), 17, "grid.base_seed xx");
+    expect_rejected(t, "bad integer");
+  }
+}
+
+TEST(Wire, DecodeRejectsDisorderedOrOffTableResults) {
+  const JobSpec job = tricky_job();
+  auto results = tricky_results(job);
+
+  // Duplicate result index (encode refuses; forge via string surgery).
+  std::string text = encode(job, results);
+  const auto r_pos = text.find("\nr 2 ");
+  ASSERT_NE(r_pos, std::string::npos);
+  std::string dup = text;
+  dup.replace(r_pos, 5, "\nr 0 ");  // second record repeats index 0
+  EXPECT_THROW((void)decode(dup), WireError);
+
+  std::string off = text;
+  off.replace(r_pos, 5, "\nr 9 ");  // index outside the 4-task table
+  EXPECT_THROW((void)decode(off), WireError);
+}
+
+// ---- planner ------------------------------------------------------------
+
+TEST(Plan, BalancedContiguousCoverage) {
+  for (const std::uint64_t total : {0ull, 1ull, 7ull, 16ull, 100ull}) {
+    for (const std::uint64_t n : {1ull, 2ull, 3ull, 7ull, 16ull}) {
+      const auto plan = shard_plan(total, n);
+      ASSERT_EQ(plan.size(), n);
+      EXPECT_EQ(plan.front().begin, 0u);
+      EXPECT_EQ(plan.back().end, total);
+      std::uint64_t max_size = 0, min_size = UINT64_MAX;
+      for (std::size_t k = 0; k < plan.size(); ++k) {
+        if (k > 0) {
+          EXPECT_EQ(plan[k].begin, plan[k - 1].end);  // contiguous
+        }
+        max_size = std::max(max_size, plan[k].size());
+        min_size = std::min(min_size, plan[k].size());
+      }
+      EXPECT_LE(max_size - min_size, 1u) << total << "/" << n;
+      EXPECT_TRUE(coverage(total, plan).complete());
+    }
+  }
+}
+
+TEST(Plan, RejectsBadShards) {
+  EXPECT_THROW((void)shard_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)shard_range(10, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)shard_range(10, 7, 3), std::invalid_argument);
+}
+
+TEST(Plan, CheckedRangeValidates) {
+  EXPECT_EQ(checked_range(10, 2, 5), (TaskRange{2, 5}));
+  EXPECT_THROW((void)checked_range(10, 5, 5), std::invalid_argument);
+  EXPECT_THROW((void)checked_range(10, 6, 2), std::invalid_argument);
+  EXPECT_THROW((void)checked_range(10, 2, 11), std::invalid_argument);
+}
+
+TEST(Plan, CoverageReportsExactIndices) {
+  const std::vector<TaskRange> gappy{{0, 3}, {5, 8}};
+  const Coverage gap = coverage(8, gappy);
+  EXPECT_EQ(gap.missing, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_TRUE(gap.duplicated.empty());
+
+  const std::vector<TaskRange> overlapping{{0, 5}, {3, 8}};
+  const Coverage dup = coverage(8, overlapping);
+  EXPECT_TRUE(dup.missing.empty());
+  EXPECT_EQ(dup.duplicated, (std::vector<std::uint64_t>{3, 4}));
+
+  const Coverage stray = coverage_of_indices(4, std::vector<std::uint64_t>{0, 1, 2, 3, 9});
+  EXPECT_TRUE(stray.missing.empty());
+  EXPECT_EQ(stray.duplicated, (std::vector<std::uint64_t>{9}));
+}
+
+// ---- end-to-end: shard → merge == single host ---------------------------
+
+engine::GridSpec small_spec() {
+  engine::GridSpec spec;
+  spec.lambdas = {2.0, 4.0};
+  spec.gammas = {1.0, 4.0};
+  spec.replicas = 2;
+  spec.base_seed = 11;
+  return spec;
+}
+
+engine::ChainJob small_chain_job() {
+  engine::ChainJob job;
+  job.make_chain = [](const engine::Task& t) {
+    util::Rng rng(t.seed);
+    const auto nodes = lattice::random_blob(30, rng);
+    const auto colors = core::balanced_random_colors(30, 2, rng);
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, true},
+                                 t.seed);
+  };
+  job.checkpoints = {0, 10000, 30000};
+  return job;
+}
+
+AuxFn final_hetero_aux() {
+  return [](const engine::TaskResult& r) {
+    return std::vector<double>{
+        r.series.empty() ? 0.0 : r.series.back().hetero_fraction};
+  };
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(EndToEnd, TwoShardsMergeBitIdenticalToSingleHost) {
+  const engine::ChainJob cjob = small_chain_job();
+  const JobSpec job = grid_job("shard_e2e", small_spec(), cjob, {"n=30"});
+
+  // Single host, 2 threads.
+  engine::ThreadPool pool_a(2);
+  const auto whole =
+      run_or_merge(job, Modes{}, pool_a, cjob, nullptr, final_hetero_aux());
+  ASSERT_TRUE(whole.has_value());
+
+  // Two workers at different thread counts, writing shard files.
+  const std::string f0 = temp_path("shard_e2e_0.shard");
+  const std::string f1 = temp_path("shard_e2e_1.shard");
+  {
+    Modes w0;
+    w0.shard_set = true;
+    w0.shard_k = 0;
+    w0.shard_n = 2;
+    w0.out = f0;
+    engine::ThreadPool pool(1);
+    EXPECT_FALSE(
+        run_or_merge(job, w0, pool, cjob, nullptr, final_hetero_aux())
+            .has_value());
+  }
+  {
+    Modes w1;
+    w1.shard_set = true;
+    w1.shard_k = 1;
+    w1.shard_n = 2;
+    w1.out = f1;
+    engine::ThreadPool pool(3);
+    EXPECT_FALSE(
+        run_or_merge(job, w1, pool, cjob, nullptr, final_hetero_aux())
+            .has_value());
+  }
+
+  // Coordinator merge.
+  Modes merge;
+  merge.merge_inputs = {f1, f0};  // order must not matter
+  engine::ThreadPool pool_b(1);
+  const auto merged = run_or_merge(job, merge, pool_b, cjob);
+  ASSERT_TRUE(merged.has_value());
+
+  // The merged artifact is byte-identical to the single-host one.
+  EXPECT_EQ(encode(job, *merged), encode(job, *whole));
+
+  // And a canonical re-merge through the file API agrees too.
+  const std::vector<ShardFile> files{read_shard_file(f0), read_shard_file(f1)};
+  EXPECT_EQ(encode(job, merge_results(files)), encode(job, *whole));
+
+  std::remove(f0.c_str());
+  std::remove(f1.c_str());
+}
+
+TEST(EndToEnd, TaskRangeWorkersTileTheJobToo) {
+  const engine::ChainJob cjob = small_chain_job();
+  const JobSpec job = grid_job("shard_e2e_ranges", small_spec(), cjob);
+  engine::ThreadPool pool(2);
+
+  const auto whole = run_or_merge(job, Modes{}, pool, cjob);
+  ASSERT_TRUE(whole.has_value());
+
+  const std::string f0 = temp_path("shard_range_0.shard");
+  const std::string f1 = temp_path("shard_range_1.shard");
+  const std::string f2 = temp_path("shard_range_2.shard");
+  const std::uint64_t cuts[][2] = {{0, 3}, {3, 4}, {4, 8}};
+  const std::string* paths[] = {&f0, &f1, &f2};
+  for (int i = 0; i < 3; ++i) {
+    Modes w;
+    w.range_set = true;
+    w.range_begin = cuts[i][0];
+    w.range_end = cuts[i][1];
+    w.out = *paths[i];
+    EXPECT_FALSE(run_or_merge(job, w, pool, cjob).has_value());
+  }
+
+  Modes merge;
+  merge.merge_inputs = {f0, f1, f2};
+  const auto merged = run_or_merge(job, merge, pool, cjob);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(encode(job, *merged), encode(job, *whole));
+
+  std::remove(f0.c_str());
+  std::remove(f1.c_str());
+  std::remove(f2.c_str());
+}
+
+TEST(EndToEnd, PartialRunWithoutOutIsRefused) {
+  const engine::ChainJob cjob = small_chain_job();
+  const JobSpec job = grid_job("shard_noout", small_spec(), cjob);
+  engine::ThreadPool pool(1);
+  Modes w;
+  w.shard_set = true;
+  w.shard_k = 0;
+  w.shard_n = 2;
+  EXPECT_THROW((void)run_or_merge(job, w, pool, cjob), std::invalid_argument);
+}
+
+// ---- merge refusals -----------------------------------------------------
+
+/// Two shard files of a tiny synthetic job, built without running chains.
+struct TwoShards {
+  JobSpec job;
+  ShardFile a, b;
+};
+
+TwoShards synthetic_shards() {
+  TwoShards s;
+  s.job.name = "merge_refusals";
+  s.job.grid.lambdas = {4.0};
+  s.job.grid.gammas = {1.0, 2.0};
+  s.job.grid.replicas = 2;
+  s.job.grid.base_seed = 9;
+  s.job.tasks = engine::grid_tasks(s.job.grid);
+  s.a.job = s.job;
+  s.b.job = s.job;
+  for (std::size_t i = 0; i < 4; ++i) {
+    engine::TaskResult r;
+    r.task = s.job.tasks[i];
+    r.steps = 100 + i;
+    (i < 2 ? s.a : s.b).results.push_back(r);
+  }
+  return s;
+}
+
+TEST(Merge, AcceptsACompleteTiling) {
+  const TwoShards s = synthetic_shards();
+  const std::vector<ShardFile> files{s.a, s.b};
+  const auto merged = merge_results(s.job, files);
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(merged[i].task.index, i);
+    EXPECT_EQ(merged[i].steps, 100 + i);
+  }
+}
+
+TEST(Merge, RefusesMissingShardListingIndices) {
+  const TwoShards s = synthetic_shards();
+  const std::vector<ShardFile> files{s.a};  // shard b absent
+  try {
+    (void)merge_results(s.job, files);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing task indices [2, 3]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RefusesOverlapListingIndices) {
+  const TwoShards s = synthetic_shards();
+  ShardFile b_plus = s.b;
+  b_plus.results.insert(b_plus.results.begin(), s.a.results[1]);  // index 1 twice
+  const std::vector<ShardFile> files{s.a, b_plus};
+  try {
+    (void)merge_results(s.job, files);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicated task indices [1]"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RefusesSeedMismatchListingIndices) {
+  const TwoShards s = synthetic_shards();
+  ShardFile bad = s.b;
+  bad.job.tasks[3].seed ^= 1;  // worker ran with a different seed table
+  const std::vector<ShardFile> files{s.a, bad};
+  try {
+    (void)merge_results(s.job, files);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("seed or parameter mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("[3]"), std::string::npos) << what;
+  }
+}
+
+TEST(Merge, RefusesForeignJobNamingTheField) {
+  const TwoShards s = synthetic_shards();
+  ShardFile foreign = s.b;
+  foreign.job.grid.base_seed = 77;
+  foreign.job.tasks = engine::grid_tasks(foreign.job.grid);
+  const std::vector<ShardFile> files{s.a, foreign};
+  try {
+    (void)merge_results(s.job, files);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("grid.base_seed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RefusesEmptyInput) {
+  EXPECT_THROW((void)merge_results(std::vector<ShardFile>{}), MergeError);
+}
+
+}  // namespace
+}  // namespace sops::shard

@@ -91,6 +91,46 @@ TEST(Cli, NonRealValueThrows) {
   EXPECT_THROW((void)cli.real("lambda"), std::invalid_argument);
 }
 
+TEST(Cli, IndexRangeParsesHalfOpen) {
+  Cli cli = make_cli();
+  cli.add_option("task-range", "a:b", "0:0");
+  parse(cli, {"prog", "--task-range", "3:17"});
+  const auto [begin, end] = cli.index_range("task-range");
+  EXPECT_EQ(begin, 3u);
+  EXPECT_EQ(end, 17u);
+}
+
+TEST(Cli, IndexRangeRejectsGarbage) {
+  for (const char* bad : {"3", "3:", ":7", "7:3", "3:3", "3:4:5", "3:4x",
+                          "x3:4", "-1:4", "3: 4", ""}) {
+    Cli cli = make_cli();
+    cli.add_option("task-range", "a:b", "0:1");
+    parse(cli, {"prog", "--task-range", bad});
+    EXPECT_THROW((void)cli.index_range("task-range"), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Cli, ShardOfParsesKOfN) {
+  Cli cli = make_cli();
+  cli.add_option("shard", "k/n", "0/1");
+  parse(cli, {"prog", "--shard", "2/5"});
+  const auto [k, n] = cli.shard_of("shard");
+  EXPECT_EQ(k, 2u);
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(Cli, ShardOfRejectsGarbage) {
+  for (const char* bad : {"2", "2/", "/5", "5/5", "7/5", "2/0", "0/0",
+                          "1/2/3", "2/5x", "x2/5", "-1/5", ""}) {
+    Cli cli = make_cli();
+    cli.add_option("shard", "k/n", "0/1");
+    parse(cli, {"prog", "--shard", bad});
+    EXPECT_THROW((void)cli.shard_of("shard"), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
 TEST(Cli, HelpRequested) {
   Cli cli = make_cli();
   parse(cli, {"prog", "--help"});
