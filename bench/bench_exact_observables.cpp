@@ -4,56 +4,112 @@
 // γ and λ. The rigorous miniature of the Theorem 13/14/16 trends: the
 // same monotonicities the paper proves asymptotically appear exactly at
 // n = 6.
+//
+// The 14 sweep points (γ-sweep at λ = 4, then λ-sweep at γ = 1) are
+// independent exact computations fanned out over the ensemble engine
+// (--threads N); the five observables travel as aux scalars, so the
+// sweep shards across hosts (--shard/--shard-out, then --merge or
+// --merge-dir) with a byte-identical merged report.
 
-#include "bench/bench_common.hpp"
+#include <iostream>
+#include <memory>
+#include <vector>
+
 #include "src/exact/exact_observables.hpp"
+#include "src/harness/harness.hpp"
 #include "src/util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
-  (void)opt;
+  harness::Spec spec;
+  spec.name = "bench_exact_observables";
+  spec.experiment = "E14 (extension)";
+  spec.paper_artifact = "exact equilibrium curves (n = 6)";
+  spec.claim =
+      "E[p], E[h], P[separated], P[compressed] under the exact "
+      "Lemma 9 distribution — zero sampling error";
 
-  bench::banner("E14 (extension)", "exact equilibrium curves (n = 6)",
-                "E[p], E[h], P[separated], P[compressed] under the exact "
-                "Lemma 9 distribution — zero sampling error");
+  spec.sweep = [](const harness::Options& opt) {
+    const std::vector<std::size_t> counts{3, 3};
+    const double beta = 1.2, delta = 0.15, alpha = 1.25;
+    std::printf(
+        "events: (β=%.1f, δ=%.1f)-separation, α=%.1f compression\n\n", beta,
+        delta, alpha);
 
-  const std::vector<std::size_t> counts{3, 3};
-  const double beta = 1.2, delta = 0.15, alpha = 1.25;
-  std::printf("events: (β=%.1f, δ=%.1f)-separation, α=%.1f compression\n\n",
-              beta, delta, alpha);
+    const std::vector<double> gammas{0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0};
+    const std::vector<double> lambdas{1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0};
 
-  std::printf("-- sweep γ at λ = 4 --\n");
-  util::Table by_gamma({"gamma", "E[p]", "E[h]", "E[h/e]", "P[separated]",
-                        "P[compressed]"});
-  for (const double gamma : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0}) {
-    const auto obs = exact::compute_exact_observables(
-        counts, core::Params{4.0, gamma, true}, beta, delta, alpha);
-    by_gamma.row()
-        .add(gamma, 3)
-        .add(obs.mean_perimeter, 4)
-        .add(obs.mean_hetero_edges, 4)
-        .add(obs.mean_hetero_fraction, 4)
-        .add(obs.prob_separated, 4)
-        .add(obs.prob_alpha_compressed, 4);
-  }
-  by_gamma.write_pretty(std::cout);
+    harness::Sweep sw;
+    sw.job.grid.lambdas = {4.0};
+    sw.job.grid.gammas = {1.0};
+    sw.job.grid.base_seed = opt.seed;
+    sw.job.grid.derive_seeds = false;  // exact computation: seeds unused
+    sw.job.params = {"model=exact-3+3",
+                     "sweeps=gamma@lambda4,lambda@gamma1",
+                     "gammas=0.5,1,1.5,2,3,5,8",
+                     "lambdas=1,1.5,2,3,4,6,10",
+                     "beta=1.2", "delta=0.15", "alpha=1.25"};
+    // Tasks 0..6: the γ-sweep at λ = 4; tasks 7..13: the λ-sweep at
+    // γ = 1 — the report's table order.
+    sw.job.tasks.resize(gammas.size() + lambdas.size());
+    for (std::size_t i = 0; i < sw.job.tasks.size(); ++i) {
+      auto& t = sw.job.tasks[i];
+      t.index = i;
+      t.lambda = i < gammas.size() ? 4.0 : lambdas[i - gammas.size()];
+      t.gamma = i < gammas.size() ? gammas[i] : 1.0;
+      t.seed = opt.seed;  // deterministic: seed is unused
+    }
 
-  std::printf("\n-- sweep λ at γ = 1 --\n");
-  util::Table by_lambda({"lambda", "E[p]", "P[compressed]"});
-  for (const double lambda : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 10.0}) {
-    const auto obs = exact::compute_exact_observables(
-        counts, core::Params{lambda, 1.0, true}, beta, delta, alpha);
-    by_lambda.row()
-        .add(lambda, 3)
-        .add(obs.mean_perimeter, 4)
-        .add(obs.prob_alpha_compressed, 4);
-  }
-  by_lambda.write_pretty(std::cout);
+    auto obs_rows = std::make_shared<std::vector<exact::ExactObservables>>(
+        sw.job.tasks.size());
+    sw.fn = [counts, beta, delta, alpha, obs_rows](const engine::Task& t) {
+      (*obs_rows)[t.index] = exact::compute_exact_observables(
+          counts, core::Params{t.lambda, t.gamma, true}, beta, delta, alpha);
+      return std::vector<core::Measurement>{};
+    };
+    sw.aux = [obs_rows](const engine::TaskResult& r) {
+      const auto& obs = (*obs_rows)[r.task.index];
+      return std::vector<double>{obs.mean_perimeter, obs.mean_hetero_edges,
+                                 obs.mean_hetero_fraction,
+                                 obs.prob_separated,
+                                 obs.prob_alpha_compressed};
+    };
 
-  std::printf(
-      "\nexpected shape: E[h] falls and P[separated] rises monotonically "
-      "in γ; E[p] falls and P[compressed] rises monotonically in λ — the "
-      "paper's trends, exact at n = 6.\n");
-  return 0;
+    sw.report = [gammas](const harness::Options&,
+                         std::span<const engine::TaskResult> results) {
+      std::printf("-- sweep γ at λ = 4 --\n");
+      util::Table by_gamma({"gamma", "E[p]", "E[h]", "E[h/e]",
+                            "P[separated]", "P[compressed]"});
+      for (const auto& r : results) {
+        if (r.task.index >= gammas.size()) continue;
+        by_gamma.row()
+            .add(r.task.gamma, 3)
+            .add(harness::aux_value(r, 0), 4)
+            .add(harness::aux_value(r, 1), 4)
+            .add(harness::aux_value(r, 2), 4)
+            .add(harness::aux_value(r, 3), 4)
+            .add(harness::aux_value(r, 4), 4);
+      }
+      by_gamma.write_pretty(std::cout);
+
+      std::printf("\n-- sweep λ at γ = 1 --\n");
+      util::Table by_lambda({"lambda", "E[p]", "P[compressed]"});
+      for (const auto& r : results) {
+        if (r.task.index < gammas.size()) continue;
+        by_lambda.row()
+            .add(r.task.lambda, 3)
+            .add(harness::aux_value(r, 0), 4)
+            .add(harness::aux_value(r, 4), 4);
+      }
+      by_lambda.write_pretty(std::cout);
+
+      std::printf(
+          "\nexpected shape: E[h] falls and P[separated] rises monotonically "
+          "in γ; E[p] falls and P[compressed] rises monotonically in λ — the "
+          "paper's trends, exact at n = 6.\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

@@ -1,13 +1,20 @@
 // E1 — Figure 2: time-lapse of M on 100 particles (50+50), λ = γ = 4,
 // with snapshots at 0 / 50k / 1.05M / 17.05M / 68.25M iterations.
 // Default run scales the checkpoints 1:10; --full uses the paper's.
+//
+// The run is a one-task ChainJob in checkpoint mode, so it rides the
+// engine (--threads N, --telemetry F). It is not shardable: the ASCII
+// render at each checkpoint prints during execution and cannot be
+// reproduced from a wire file.
 
+#include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench/bench_common.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
 #include "src/sops/render.hpp"
@@ -15,47 +22,74 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  harness::Spec spec;
+  spec.name = "bench_fig2_timeline";
+  spec.experiment = "E1";
+  spec.paper_artifact = "Figure 2 (time-lapse, λ=4, γ=4, n=100)";
+  spec.claim =
+      "much of the compression and separation occurs within the "
+      "first million iterations; swaps enabled";
+  spec.shardable = false;  // renders print during execution
 
-  bench::banner("E1", "Figure 2 (time-lapse, λ=4, γ=4, n=100)",
-                "much of the compression and separation occurs within the "
-                "first million iterations; swaps enabled");
+  spec.sweep = [](const harness::Options& opt) {
+    std::vector<std::uint64_t> checkpoints{0, 50000, 1050000, 17050000,
+                                           68250000};
+    if (!opt.full) {
+      for (auto& c : checkpoints) c /= 10;
+      std::printf("(scaled 1:10 — pass --full for the paper's counts)\n\n");
+    }
 
-  std::vector<std::uint64_t> checkpoints{0, 50000, 1050000, 17050000,
-                                         68250000};
-  if (!opt.full) {
-    for (auto& c : checkpoints) c /= 10;
-    std::printf("(scaled 1:10 — pass --full for the paper's counts)\n\n");
-  }
+    engine::GridSpec grid;  // a single (λ=4, γ=4) cell
+    grid.lambdas = {4.0};
+    grid.gammas = {4.0};
+    grid.base_seed = opt.seed;
+    grid.derive_seeds = false;
 
-  util::Rng rng(opt.seed);
-  const auto nodes = lattice::random_blob(100, rng);
-  const auto colors = core::balanced_random_colors(100, 2, rng);
-  core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                              core::Params{4.0, 4.0, true}, opt.seed);
+    util::Rng rng(opt.seed);
+    const auto nodes = lattice::random_blob(100, rng);
+    const auto colors = core::balanced_random_colors(100, 2, rng);
 
-  util::Table table({"iteration", "p/p_min", "hetero_frac", "beta_hat",
-                     "delta_hat", "separated(6,0.25)"});
-  const auto history = core::run_with_checkpoints(
-      chain, checkpoints,
-      [&](const core::SeparationChain& c, std::uint64_t iteration) {
-        const auto m = core::measure(c);
-        const auto cert = metrics::find_separation(c.system(), 6.0);
-        table.row()
-            .add(static_cast<std::int64_t>(iteration))
-            .add(m.perimeter_ratio, 4)
-            .add(m.hetero_fraction, 4)
-            .add(cert ? cert->beta_hat : -1.0, 3)
-            .add(cert ? cert->delta_hat : -1.0, 3)
-            .add(cert && cert->satisfies(6.0, 0.25) ? "yes" : "no");
-        std::printf("--- iteration %llu ---\n%s\n",
-                    static_cast<unsigned long long>(iteration),
-                    system::render_ascii(c.system()).c_str());
-      });
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->make_chain = [nodes, colors](const engine::Task& t) {
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
+    };
+    chain->checkpoints = checkpoints;
 
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: p/p_min and hetero_frac drop steeply within the "
-      "first checkpoints, then refine slowly — matching Figure 2.\n");
-  return 0;
+    harness::Sweep sw;
+    sw.job = shard::grid_job({}, grid, *chain);
+
+    auto table = std::make_shared<util::Table>(std::vector<std::string>{
+        "iteration", "p/p_min", "hetero_frac", "beta_hat", "delta_hat",
+        "separated(6,0.25)"});
+    chain->on_sample = [table](const engine::Task&,
+                               const core::SeparationChain& c) {
+      const auto m = core::measure(c);
+      const auto cert = metrics::find_separation(c.system(), 6.0);
+      table->row()
+          .add(static_cast<std::int64_t>(m.iteration))
+          .add(m.perimeter_ratio, 4)
+          .add(m.hetero_fraction, 4)
+          .add(cert ? cert->beta_hat : -1.0, 3)
+          .add(cert ? cert->delta_hat : -1.0, 3)
+          .add(cert && cert->satisfies(6.0, 0.25) ? "yes" : "no");
+      std::printf("--- iteration %llu ---\n%s\n",
+                  static_cast<unsigned long long>(m.iteration),
+                  system::render_ascii(c.system()).c_str());
+    };
+    sw.chain = chain;
+
+    sw.report = [table](const harness::Options&,
+                        std::span<const engine::TaskResult>) {
+      table->write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: p/p_min and hetero_frac drop steeply within "
+          "the first checkpoints, then refine slowly — matching Figure "
+          "2.\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

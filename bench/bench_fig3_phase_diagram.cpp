@@ -7,95 +7,102 @@
 // engine: --threads N parallelizes the grid with bit-identical output
 // for every N (each cell's seed is fixed in its Task before execution).
 // The sweep also shards across hosts (--shard k/n --shard-out F on each
-// worker, then --merge F1,F2,… here): the phase code is carried per task
-// as an aux scalar, so the merged report is byte-identical to a
-// single-host run.
+// worker, then --merge F1,F2,… or --merge-dir DIR here): the phase code
+// is carried per task as an aux scalar, so the merged report is
+// byte-identical to a single-host run.
 
+#include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
-#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/phase.hpp"
 #include "src/util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
+  harness::Spec spec;
+  spec.name = "bench_fig3_phase_diagram";
+  spec.experiment = "E2";
+  spec.paper_artifact = "Figure 3 (phase diagram over λ and γ)";
+  spec.claim =
+      "four distinct phases: compressed-separated (large λ, large "
+      "γ), compressed-integrated (large λ, γ ≈ 1), "
+      "expanded-separated (small λ, large γ), expanded-integrated "
+      "(small λ, small γ)";
 
-  bench::banner("E2", "Figure 3 (phase diagram over λ and γ)",
-                "four distinct phases: compressed-separated (large λ, large "
-                "γ), compressed-integrated (large λ, γ ≈ 1), "
-                "expanded-separated (small λ, large γ), expanded-integrated "
-                "(small λ, small γ)");
+  spec.sweep = [](const harness::Options& opt) {
+    const std::uint64_t iters = opt.full ? 50000000 : 2000000;
+    std::printf("iterations per cell: %llu%s\n\n",
+                static_cast<unsigned long long>(iters),
+                opt.full ? "" : " (scaled 1:25 — pass --full)");
 
-  const std::uint64_t iters = opt.full ? 50000000 : 2000000;
-  std::printf("iterations per cell: %llu%s\n\n",
-              static_cast<unsigned long long>(iters),
-              opt.full ? "" : " (scaled 1:25 — pass --full)");
+    engine::GridSpec grid;
+    grid.lambdas = {1.1, 2.0, 4.0, 6.0};
+    grid.gammas = {0.5, 1.0, 2.0, 4.0};
+    grid.base_seed = opt.seed;
+    grid.derive_seeds = false;  // Figure 3 protocol: one shared start per cell
 
-  engine::GridSpec spec;
-  spec.lambdas = {1.1, 2.0, 4.0, 6.0};
-  spec.gammas = {0.5, 1.0, 2.0, 4.0};
-  spec.base_seed = opt.seed;
-  spec.derive_seeds = false;  // Figure 3 protocol: one shared start per cell
+    util::Rng rng(opt.seed);
+    const auto nodes = lattice::random_blob(100, rng);
+    const auto colors = core::balanced_random_colors(100, 2, rng);
 
-  util::Rng rng(opt.seed);
-  const auto nodes = lattice::random_blob(100, rng);
-  const auto colors = core::balanced_random_colors(100, 2, rng);
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->make_chain = [nodes, colors](const engine::Task& t) {
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
+    };
+    chain->checkpoints = {iters};
 
-  engine::ChainJob job;
-  job.make_chain = [&](const engine::Task& t) {
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+    harness::Sweep sw;
+    sw.job = shard::grid_job({}, grid, *chain);
+
+    auto phases =
+        std::make_shared<std::vector<metrics::Phase>>(sw.job.tasks.size());
+    chain->on_sample = [phases](const engine::Task& t,
+                                const core::SeparationChain& c) {
+      (*phases)[t.index] = metrics::classify(c.system());
+    };
+    sw.chain = chain;
+    sw.aux = [phases](const engine::TaskResult& r) {
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>((*phases)[r.task.index]))};
+    };
+
+    sw.report = [grid](const harness::Options&,
+                       std::span<const engine::TaskResult> results) {
+      util::Table table({"lambda", "gamma", "p/p_min", "hetero_frac",
+                         "phase"});
+      std::printf("        ");
+      for (const double g : grid.gammas) std::printf("g=%-6.2f", g);
+      std::printf("\n");
+      for (const auto& r : results) {
+        if (r.task.gamma_index == 0) std::printf("l=%-6.2f", r.task.lambda);
+        const auto phase = static_cast<metrics::Phase>(
+            static_cast<int>(harness::aux_value(r, 0)));
+        std::printf("%-8s", metrics::phase_code(phase).c_str());
+        table.row()
+            .add(r.task.lambda, 3)
+            .add(r.task.gamma, 3)
+            .add(r.series.back().perimeter_ratio, 4)
+            .add(r.series.back().hetero_fraction, 4)
+            .add(metrics::phase_name(phase));
+        if (r.task.gamma_index + 1 == grid.gammas.size()) std::printf("\n");
+      }
+      std::printf("\n");
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: compression (p/p_min small) appears as λ grows; "
+          "separation (small hetero_frac) as γ grows; all four corners "
+          "realized — matching Figure 3.\n");
+      return 0;
+    };
+    return sw;
   };
-  job.checkpoints = {iters};
-  const shard::JobSpec jspec =
-      shard::grid_job("bench_fig3_phase_diagram", spec, job);
-
-  std::vector<metrics::Phase> phases(jspec.tasks.size());
-  job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
-    phases[t.index] = metrics::classify(c.system());
-  };
-
-  engine::ThreadPool pool(opt.threads);
-  engine::ProgressSink sink(opt.telemetry);
-  const auto maybe = bench::run_or_merge_cli(
-      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
-      [&](const engine::TaskResult& r) {
-        return std::vector<double>{
-            static_cast<double>(static_cast<int>(phases[r.task.index]))};
-      });
-  if (!maybe) return 0;  // worker mode: shard file written
-  const std::vector<engine::TaskResult>& results = *maybe;
-
-  util::Table table({"lambda", "gamma", "p/p_min", "hetero_frac", "phase"});
-  std::printf("        ");
-  for (const double g : spec.gammas) std::printf("g=%-6.2f", g);
-  std::printf("\n");
-  for (const auto& r : results) {
-    if (r.task.gamma_index == 0) std::printf("l=%-6.2f", r.task.lambda);
-    const auto phase =
-        static_cast<metrics::Phase>(static_cast<int>(bench::aux_value(r, 0)));
-    std::printf("%-8s", metrics::phase_code(phase).c_str());
-    table.row()
-        .add(r.task.lambda, 3)
-        .add(r.task.gamma, 3)
-        .add(r.series.back().perimeter_ratio, 4)
-        .add(r.series.back().hetero_fraction, 4)
-        .add(metrics::phase_name(phase));
-    if (r.task.gamma_index + 1 == spec.gammas.size()) std::printf("\n");
-  }
-  std::printf("\n");
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: compression (p/p_min small) appears as λ grows; "
-      "separation (small hetero_frac) as γ grows; all four corners "
-      "realized — matching Figure 3.\n");
-  return 0;
+  return harness::run(spec, argc, argv);
 }

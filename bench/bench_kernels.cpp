@@ -1,12 +1,22 @@
 // E12 — kernel microbenchmarks (google-benchmark): the cost of the hot
 // operations underlying every experiment — chain steps, locality checks,
 // neighbor counts, hash-table ops, RNG draws, invariant checkers.
+//
+// A `single` harness over the google-benchmark loop: the harness owns
+// the common flags (--seed/--threads are accepted but unused here) and
+// forwards every --benchmark_* argument verbatim to the library
+// (--benchmark_filter, --benchmark_format, …). Timings are inherently
+// machine-dependent, so the byte-identity contract does not apply.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "src/core/coloring.hpp"
 #include "src/core/locality.hpp"
 #include "src/core/markov_chain.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
 #include "src/sops/invariants.hpp"
@@ -121,4 +131,30 @@ BENCHMARK(BM_SeparationDetector);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sops::harness::Spec spec;
+  spec.name = "bench_kernels";
+  spec.experiment = "E12";
+  spec.paper_artifact = "kernel microbenchmarks (google-benchmark)";
+  spec.claim =
+      "hot-path costs: chain steps, locality checks, neighbor counts, "
+      "hash-table ops, RNG draws, invariant checkers";
+  spec.passthrough_prefix = "--benchmark_";
+
+  spec.single = [&](const sops::harness::Options& opt) {
+    // Rebuild an argv for the library from the forwarded arguments.
+    std::vector<std::string> own(opt.passthrough.begin(),
+                                 opt.passthrough.end());
+    std::vector<char*> bargv{argv[0]};
+    for (auto& s : own) bargv.push_back(s.data());
+    int bargc = static_cast<int>(bargv.size());
+    benchmark::Initialize(&bargc, bargv.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) {
+      return sops::harness::kUsageError;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  };
+  return sops::harness::run(spec, argc, argv);
+}

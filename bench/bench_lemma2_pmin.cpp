@@ -2,63 +2,128 @@
 // construction of Appendix A.1. We verify the bound for every n up to a
 // limit, confirm the constructive arrangement is connected, hole-free,
 // and within +1 of the exact minimum, and report the worst ratio.
+//
+// The nine sampled constructions are ensemble tasks (--threads N), each
+// shipping {p_min, walk perimeter, connected, hole-free} as aux scalars,
+// so the sample shards across hosts (--shard/--shard-out, then --merge
+// or --merge-dir). The exhaustive n ≤ limit bound scan is a fast pure
+// computation that runs inside the report step — workers skip it and
+// the merged report recomputes it locally, byte-identical either way.
 
 #include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "bench/bench_common.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/sops/invariants.hpp"
 #include "src/util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  harness::Spec spec;
+  spec.name = "bench_lemma2_pmin";
+  spec.experiment = "E6";
+  spec.paper_artifact = "Lemma 2 / Figure 4 (p_min(n) ≤ 2√3·√n)";
+  spec.claim =
+      "hexagonal constructions give perimeter ≤ 2√3·√n for all n";
 
-  bench::banner("E6", "Lemma 2 / Figure 4 (p_min(n) ≤ 2√3·√n)",
-                "hexagonal constructions give perimeter ≤ 2√3·√n for all n");
+  spec.sweep = [](const harness::Options& opt) {
+    const std::vector<std::size_t> ns{7, 19, 25, 37, 61, 100, 169, 500,
+                                      1000};
+    const std::size_t limit = opt.full ? 5000 : 1000;
 
-  const std::size_t limit = opt.full ? 5000 : 1000;
-  double worst_ratio = 0.0;
-  std::size_t worst_n = 0;
-  std::size_t construction_gap_count = 0;
-
-  for (std::size_t n = 2; n <= limit; ++n) {
-    const double bound = 2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n));
-    const auto pmin = static_cast<double>(system::p_min(n));
-    if (pmin > bound + 1e-9) {
-      std::printf("VIOLATION at n=%zu: p_min=%.0f > %.3f\n", n, pmin, bound);
-      return 1;
+    harness::Sweep sw;
+    sw.job.grid.lambdas = {0.0};  // combinatorial check: no chain params
+    sw.job.grid.gammas = {0.0};
+    sw.job.grid.base_seed = opt.seed;
+    sw.job.grid.derive_seeds = false;
+    sw.job.params = {"sweep=construction-n",
+                     "ns=7,19,25,37,61,100,169,500,1000",
+                     "limit=" + std::to_string(limit)};
+    sw.job.tasks.resize(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      sw.job.tasks[i].index = i;
+      sw.job.tasks[i].seed = opt.seed;  // deterministic: seed is unused
     }
-    const double ratio = pmin / bound;
-    if (ratio > worst_ratio) {
-      worst_ratio = ratio;
-      worst_n = n;
-    }
-  }
 
-  // Constructive check on a sample of n (the walk is O(n) each).
-  util::Table table({"n", "p_min(n)", "construction p", "2*sqrt(3)*sqrt(n)",
-                     "connected", "hole-free"});
-  for (std::size_t n : {7u, 19u, 25u, 37u, 61u, 100u, 169u, 500u, 1000u}) {
-    if (n > limit) continue;
-    const auto blob = lattice::compact_blob(n);
-    const system::ParticleSystem sys(blob);
-    const std::int64_t walk = system::perimeter_walk(sys);
-    construction_gap_count += (walk != system::p_min(n));
-    table.row()
-        .add(static_cast<std::int64_t>(n))
-        .add(system::p_min(n))
-        .add(walk)
-        .add(2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n)), 5)
-        .add(system::is_connected(sys) ? "yes" : "NO")
-        .add(system::has_hole(sys) ? "NO" : "yes");
-  }
-  table.write_pretty(std::cout);
+    struct Row {
+      std::int64_t pmin = 0, walk = 0;
+      bool connected = false, has_hole = true;
+    };
+    auto rows = std::make_shared<std::vector<Row>>(sw.job.tasks.size());
+    sw.fn = [ns, rows](const engine::Task& t) {
+      const std::size_t n = ns[t.index];
+      const auto blob = lattice::compact_blob(n);
+      const system::ParticleSystem sys(blob);
+      Row& row = (*rows)[t.index];
+      row.pmin = system::p_min(n);
+      row.walk = system::perimeter_walk(sys);
+      row.connected = system::is_connected(sys);
+      row.has_hole = system::has_hole(sys);
+      return std::vector<core::Measurement>{};
+    };
+    // Perimeters are tiny integers, exact as wire doubles.
+    sw.aux = [rows](const engine::TaskResult& r) {
+      const Row& row = (*rows)[r.task.index];
+      return std::vector<double>{
+          static_cast<double>(row.pmin), static_cast<double>(row.walk),
+          row.connected ? 1.0 : 0.0, row.has_hole ? 1.0 : 0.0};
+    };
 
-  std::printf(
-      "\nbound verified for all n ≤ %zu; tightest at n=%zu "
-      "(p_min/bound = %.4f). Construction met the exact optimum in all "
-      "but %zu sampled n (it can be +1 just below full hexagons).\n",
-      limit, worst_n, worst_ratio, construction_gap_count);
-  return 0;
+    sw.report = [ns, limit](const harness::Options&,
+                            std::span<const engine::TaskResult> results) {
+      double worst_ratio = 0.0;
+      std::size_t worst_n = 0;
+      std::size_t construction_gap_count = 0;
+
+      for (std::size_t n = 2; n <= limit; ++n) {
+        const double bound =
+            2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n));
+        const auto pmin = static_cast<double>(system::p_min(n));
+        if (pmin > bound + 1e-9) {
+          std::printf("VIOLATION at n=%zu: p_min=%.0f > %.3f\n", n, pmin,
+                      bound);
+          return 1;
+        }
+        const double ratio = pmin / bound;
+        if (ratio > worst_ratio) {
+          worst_ratio = ratio;
+          worst_n = n;
+        }
+      }
+
+      // Constructive check on the sampled n (computed by the tasks).
+      util::Table table({"n", "p_min(n)", "construction p",
+                         "2*sqrt(3)*sqrt(n)", "connected", "hole-free"});
+      for (const auto& r : results) {
+        const std::size_t n = ns[r.task.index];
+        if (n > limit) continue;
+        const auto pmin =
+            static_cast<std::int64_t>(harness::aux_value(r, 0));
+        const auto walk =
+            static_cast<std::int64_t>(harness::aux_value(r, 1));
+        construction_gap_count += (walk != pmin);
+        table.row()
+            .add(static_cast<std::int64_t>(n))
+            .add(pmin)
+            .add(walk)
+            .add(2.0 * std::sqrt(3.0) * std::sqrt(static_cast<double>(n)), 5)
+            .add(harness::aux_value(r, 2) != 0.0 ? "yes" : "NO")
+            .add(harness::aux_value(r, 3) != 0.0 ? "NO" : "yes");
+      }
+      table.write_pretty(std::cout);
+
+      std::printf(
+          "\nbound verified for all n ≤ %zu; tightest at n=%zu "
+          "(p_min/bound = %.4f). Construction met the exact optimum in all "
+          "but %zu sampled n (it can be +1 just below full hexagons).\n",
+          limit, worst_n, worst_ratio, construction_gap_count);
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

@@ -4,48 +4,87 @@
 // computed exactly. We chart the gap across γ, λ, and the swap ablation,
 // quantifying at small scale (a) how strong color bias slows mixing and
 // (b) how much swap moves help — the two dynamics claims of Section 3.2.
+//
+// The 12 (λ, γ) cells are independent exact diagonalizations fanned out
+// over the ensemble engine (--threads N); the two gaps travel as aux
+// scalars, so the grid also shards across hosts (--shard/--shard-out,
+// then --merge or --merge-dir) with a byte-identical merged report.
 
-#include "bench/bench_common.hpp"
+#include <array>
+#include <iostream>
+#include <memory>
+#include <vector>
+
 #include "src/exact/chain_matrix.hpp"
+#include "src/harness/harness.hpp"
 #include "src/util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
-  (void)opt;
+  harness::Spec spec;
+  spec.name = "bench_mixing_gap";
+  spec.experiment = "E13 (extension)";
+  spec.paper_artifact = "Section 5 (mixing time, open problem)";
+  spec.claim =
+      "no nontrivial mixing bounds are known for M; on small "
+      "systems we compute the spectral gap exactly";
 
-  bench::banner("E13 (extension)", "Section 5 (mixing time, open problem)",
-                "no nontrivial mixing bounds are known for M; on small "
-                "systems we compute the spectral gap exactly");
+  spec.sweep = [](const harness::Options& opt) {
+    const std::vector<std::size_t> color_counts{2, 2};
+    std::printf("system: 2+2 particles, %zu states\n\n",
+                exact::ChainMatrix(color_counts, core::Params{4.0, 4.0, true})
+                    .num_states());
 
-  const std::vector<std::size_t> color_counts{2, 2};
-  std::printf("system: 2+2 particles, %zu states\n\n",
-              exact::ChainMatrix(color_counts, core::Params{4.0, 4.0, true})
-                  .num_states());
+    engine::GridSpec grid;
+    grid.lambdas = {2.0, 4.0};
+    grid.gammas = {1.0, 1.5, 2.0, 4.0, 6.0, 10.0};
+    grid.base_seed = opt.seed;  // exact computation: seeds are unused
+    grid.derive_seeds = false;
 
-  util::Table table({"lambda", "gamma", "gap (swaps on)", "gap (swaps off)",
-                     "swap speedup"});
-  for (const double lambda : {2.0, 4.0}) {
-    for (const double gamma : {1.0, 1.5, 2.0, 4.0, 6.0, 10.0}) {
-      const exact::ChainMatrix with_swaps(color_counts,
-                                          core::Params{lambda, gamma, true});
+    harness::Sweep sw;
+    sw.job.grid = grid;
+    sw.job.tasks = engine::grid_tasks(grid);
+    sw.job.params = {"model=exact-2+2", "ablation=swaps-on-vs-off"};
+
+    // Per-task {gap with swaps, gap without}, carried as aux scalars.
+    auto gaps = std::make_shared<std::vector<std::array<double, 2>>>(
+        sw.job.tasks.size());
+    sw.fn = [color_counts, gaps](const engine::Task& t) {
+      const exact::ChainMatrix with_swaps(
+          color_counts, core::Params{t.lambda, t.gamma, true});
       const exact::ChainMatrix without(color_counts,
-                                       core::Params{lambda, gamma, false});
-      const double g_with = with_swaps.spectral_gap();
-      const double g_without = without.spectral_gap();
-      table.row()
-          .add(lambda, 3)
-          .add(gamma, 3)
-          .add(g_with, 5)
-          .add(g_without, 5)
-          .add(g_without > 0 ? g_with / g_without : 0.0, 4);
-    }
-  }
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: the gap shrinks as γ grows (deeper color wells = "
-      "slower mixing) and the swap chain's gap is never smaller, with the "
-      "speedup growing with γ — the exact small-scale counterpart of the "
-      "Section 3.2 observations.\n");
-  return 0;
+                                       core::Params{t.lambda, t.gamma, false});
+      (*gaps)[t.index] = {with_swaps.spectral_gap(), without.spectral_gap()};
+      return std::vector<core::Measurement>{};
+    };
+    sw.aux = [gaps](const engine::TaskResult& r) {
+      const auto& g = (*gaps)[r.task.index];
+      return std::vector<double>{g[0], g[1]};
+    };
+
+    sw.report = [](const harness::Options&,
+                   std::span<const engine::TaskResult> results) {
+      util::Table table({"lambda", "gamma", "gap (swaps on)",
+                         "gap (swaps off)", "swap speedup"});
+      for (const auto& r : results) {
+        const double g_with = harness::aux_value(r, 0);
+        const double g_without = harness::aux_value(r, 1);
+        table.row()
+            .add(r.task.lambda, 3)
+            .add(r.task.gamma, 3)
+            .add(g_with, 5)
+            .add(g_without, 5)
+            .add(g_without > 0 ? g_with / g_without : 0.0, 4);
+      }
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: the gap shrinks as γ grows (deeper color wells = "
+          "slower mixing) and the swap chain's gap is never smaller, with the "
+          "speedup growing with γ — the exact small-scale counterpart of the "
+          "Section 3.2 observations.\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

@@ -5,16 +5,19 @@
 //
 // Each (seed, swaps) pair is one ensemble task fanned out over the
 // engine (--threads N, --telemetry F): milestone iterations land in the
-// task's own slot, and the report walks results in task order, so the
-// output is bit-identical for every thread count.
+// task's own slot and travel as aux scalars on the wire, so the output
+// is bit-identical for every thread count and across sharded runs
+// (--shard/--shard-out, then --merge or --merge-dir).
 
+#include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "bench/bench_common.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
-#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/util/csv.hpp"
 
@@ -43,82 +46,111 @@ std::vector<std::uint64_t> milestones_reached(
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  harness::Spec spec;
+  spec.name = "bench_swap_ablation";
+  spec.experiment = "E9";
+  spec.paper_artifact = "Section 3.2 (swap-move ablation)";
+  spec.claim =
+      "separation still occurs without swap moves, but takes much "
+      "longer (swaps free particles trapped in the interior)";
 
-  bench::banner("E9", "Section 3.2 (swap-move ablation)",
-                "separation still occurs without swap moves, but takes much "
-                "longer (swaps free particles trapped in the interior)");
+  spec.sweep = [](const harness::Options& opt) {
+    constexpr std::size_t kN = 100;
+    const std::vector<double> milestones{0.30, 0.20, 0.15};
+    const std::uint64_t limit = opt.scaled(30000000, 5);
+    const int kSeeds = opt.full ? 5 : 3;
 
-  constexpr std::size_t kN = 100;
-  const std::vector<double> milestones{0.30, 0.20, 0.15};
-  const std::uint64_t limit = opt.scaled(30000000, 5);
-  const int kSeeds = opt.full ? 5 : 3;
+    harness::Sweep sw;
+    sw.job.grid.lambdas = {4.0};
+    sw.job.grid.gammas = {4.0};
+    sw.job.grid.base_seed = opt.seed;
+    sw.job.grid.derive_seeds = false;  // seeds are opt.seed + ordinal
+    sw.job.params = {"sweep=seed-x-swaps",
+                     "seeds=" + std::to_string(kSeeds),
+                     "milestones=0.30,0.20,0.15",
+                     "limit=" + std::to_string(limit), "check_every=10000"};
 
-  // One task per (seed, variant), swaps-on first — the table's row order.
-  std::vector<engine::Task> tasks(static_cast<std::size_t>(kSeeds) * 2);
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    tasks[i].index = i;
-    tasks[i].replica = i / 2;                  // the seed ordinal
-    tasks[i].gamma_index = i % 2;              // 0 = swaps on, 1 = off
-    tasks[i].lambda = 4.0;
-    tasks[i].gamma = 4.0;
-    tasks[i].seed = opt.seed + static_cast<std::uint64_t>(i / 2);
-  }
-
-  std::vector<std::vector<std::uint64_t>> reached_by_task(tasks.size());
-  const engine::TaskFn fn = [&](const engine::Task& t) {
-    const bool swaps = t.gamma_index == 0;
-    util::Rng rng(t.seed);
-    const auto nodes = lattice::random_blob(kN, rng);
-    const auto colors = core::balanced_random_colors(kN, 2, rng);
-    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                core::Params{t.lambda, t.gamma, swaps},
-                                t.seed);
-    reached_by_task[t.index] =
-        milestones_reached(chain, milestones, limit, 10000);
-    return std::vector<core::Measurement>{core::measure(chain)};
-  };
-
-  engine::ThreadPool pool(opt.threads);
-  engine::ProgressSink sink(opt.telemetry);
-  const auto results = engine::run_ensemble(pool, tasks, fn, &sink);
-
-  util::Table table({"swaps", "seed", "iters to h<=0.30", "iters to h<=0.20",
-                     "iters to h<=0.15"});
-  double total_with = 0.0, total_without = 0.0;
-  int reached_with = 0, reached_without = 0;
-  for (const auto& r : results) {
-    const bool swaps = r.task.gamma_index == 0;
-    const auto& reached = reached_by_task[r.task.index];
-    auto& total = swaps ? total_with : total_without;
-    auto& count = swaps ? reached_with : reached_without;
-    if (reached.back() != 0) {
-      total += static_cast<double>(reached.back());
-      ++count;
+    // One task per (seed, variant), swaps-on first — the table's row
+    // order.
+    sw.job.tasks.resize(static_cast<std::size_t>(kSeeds) * 2);
+    for (std::size_t i = 0; i < sw.job.tasks.size(); ++i) {
+      sw.job.tasks[i].index = i;
+      sw.job.tasks[i].replica = i / 2;      // the seed ordinal
+      sw.job.tasks[i].gamma_index = i % 2;  // 0 = swaps on, 1 = off
+      sw.job.tasks[i].lambda = 4.0;
+      sw.job.tasks[i].gamma = 4.0;
+      sw.job.tasks[i].seed = opt.seed + static_cast<std::uint64_t>(i / 2);
     }
-    table.row()
-        .add(swaps ? "on" : "off")
-        .add(static_cast<std::int64_t>(r.task.replica))
-        .add(reached[0] ? std::to_string(reached[0]) : ">limit")
-        .add(reached[1] ? std::to_string(reached[1]) : ">limit")
-        .add(reached[2] ? std::to_string(reached[2]) : ">limit");
-  }
-  table.write_pretty(std::cout);
 
-  if (reached_with > 0) {
-    std::printf("\nmean iterations to h<=0.15 with swaps:    %.0f (%d/%d runs)\n",
-                total_with / reached_with, reached_with, kSeeds);
-  }
-  if (reached_without > 0) {
-    std::printf("mean iterations to h<=0.15 without swaps: %.0f (%d/%d runs)\n",
-                total_without / reached_without, reached_without, kSeeds);
-  } else {
-    std::printf(
-        "mean iterations to h<=0.15 without swaps: not reached within %llu\n",
-        static_cast<unsigned long long>(limit));
-  }
-  std::printf(
-      "\nexpected shape: both variants separate; the swapless chain needs "
-      "substantially more iterations — matching Section 3.2.\n");
-  return 0;
+    auto reached_by_task = std::make_shared<
+        std::vector<std::vector<std::uint64_t>>>(sw.job.tasks.size());
+    sw.fn = [milestones, limit, reached_by_task](const engine::Task& t) {
+      const bool swaps = t.gamma_index == 0;
+      util::Rng rng(t.seed);
+      const auto nodes = lattice::random_blob(kN, rng);
+      const auto colors = core::balanced_random_colors(kN, 2, rng);
+      core::SeparationChain chain(system::ParticleSystem(nodes, colors),
+                                  core::Params{t.lambda, t.gamma, swaps},
+                                  t.seed);
+      (*reached_by_task)[t.index] =
+          milestones_reached(chain, milestones, limit, 10000);
+      return std::vector<core::Measurement>{core::measure(chain)};
+    };
+    // Milestone iterations are < 2^53, so they round-trip exactly as
+    // wire doubles.
+    sw.aux = [reached_by_task](const engine::TaskResult& r) {
+      const auto& reached = (*reached_by_task)[r.task.index];
+      return std::vector<double>(reached.begin(), reached.end());
+    };
+
+    sw.report = [limit, kSeeds](const harness::Options&,
+                                std::span<const engine::TaskResult> results) {
+      util::Table table({"swaps", "seed", "iters to h<=0.30",
+                         "iters to h<=0.20", "iters to h<=0.15"});
+      double total_with = 0.0, total_without = 0.0;
+      int reached_with = 0, reached_without = 0;
+      for (const auto& r : results) {
+        const bool swaps = r.task.gamma_index == 0;
+        const std::uint64_t reached[3] = {
+            static_cast<std::uint64_t>(harness::aux_value(r, 0)),
+            static_cast<std::uint64_t>(harness::aux_value(r, 1)),
+            static_cast<std::uint64_t>(harness::aux_value(r, 2))};
+        auto& total = swaps ? total_with : total_without;
+        auto& count = swaps ? reached_with : reached_without;
+        if (reached[2] != 0) {
+          total += static_cast<double>(reached[2]);
+          ++count;
+        }
+        table.row()
+            .add(swaps ? "on" : "off")
+            .add(static_cast<std::int64_t>(r.task.replica))
+            .add(reached[0] ? std::to_string(reached[0]) : ">limit")
+            .add(reached[1] ? std::to_string(reached[1]) : ">limit")
+            .add(reached[2] ? std::to_string(reached[2]) : ">limit");
+      }
+      table.write_pretty(std::cout);
+
+      if (reached_with > 0) {
+        std::printf(
+            "\nmean iterations to h<=0.15 with swaps:    %.0f (%d/%d runs)\n",
+            total_with / reached_with, reached_with, kSeeds);
+      }
+      if (reached_without > 0) {
+        std::printf(
+            "mean iterations to h<=0.15 without swaps: %.0f (%d/%d runs)\n",
+            total_without / reached_without, reached_without, kSeeds);
+      } else {
+        std::printf(
+            "mean iterations to h<=0.15 without swaps: not reached within "
+            "%llu\n",
+            static_cast<unsigned long long>(limit));
+      }
+      std::printf(
+          "\nexpected shape: both variants separate; the swapless chain "
+          "needs substantially more iterations — matching Section 3.2.\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

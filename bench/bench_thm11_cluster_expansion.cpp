@@ -5,11 +5,16 @@
 //       and the even/high-temperature model (γ ≈ 1, window width 1/80);
 //   (c) the Theorem 11 volume/surface decomposition, verified exactly:
 //       ln Ξ_Λ = ψ|Λ| ± c|∂Λ| across regions of different shape and size.
+//
+// A `single` harness: one serial pass of exact numerics, not a task
+// grid.
 
 #include <cmath>
+#include <iostream>
+#include <string>
 #include <vector>
 
-#include "bench/bench_common.hpp"
+#include "src/harness/harness.hpp"
 #include "src/ising/ising.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/polymer/even_sets.hpp"
@@ -20,119 +25,126 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv);
+  harness::Spec spec;
+  spec.name = "bench_thm11_cluster_expansion";
+  spec.experiment = "E8";
+  spec.paper_artifact = "Theorems 10 + 11 (cluster expansion machinery)";
+  spec.claim =
+      "Kotecký–Preiss convergence for loop polymers (γ > 4^(5/4)) "
+      "and even polymers (γ ∈ (79/81, 81/79) ⇔ |x| < 1/80); "
+      "volume/surface split e^{ψ|Λ| ± c|∂Λ|}";
 
-  bench::banner("E8", "Theorems 10 + 11 (cluster expansion machinery)",
-                "Kotecký–Preiss convergence for loop polymers (γ > 4^(5/4)) "
-                "and even polymers (γ ∈ (79/81, 81/79) ⇔ |x| < 1/80); "
-                "volume/surface split e^{ψ|Λ| ± c|∂Λ|}");
+  spec.single = [](const harness::Options& opt) {
+    // (a) Loop counts and growth.
+    const std::size_t loop_depth = opt.full ? 12 : 10;
+    const auto loop_counts = polymer::loop_counts_by_length(loop_depth);
+    util::Table loops(
+        {"length k", "loops through edge", "growth N_k/N_(k-1)"});
+    for (std::size_t k = 3; k < loop_counts.size(); ++k) {
+      const double growth =
+          (k > 3 && loop_counts[k - 1] > 0)
+              ? static_cast<double>(loop_counts[k]) /
+                    static_cast<double>(loop_counts[k - 1])
+              : 0.0;
+      loops.row()
+          .add(static_cast<std::int64_t>(k))
+          .add(loop_counts[k])
+          .add(growth, 4);
+    }
+    loops.write_pretty(std::cout);
+    std::printf(
+        "(growth base approaches the triangular-lattice connective constant "
+        "~4.15 — the '4' in the paper's 4^(5/4))\n\n");
 
-  // (a) Loop counts and growth.
-  const std::size_t loop_depth = opt.full ? 12 : 10;
-  const auto loop_counts = polymer::loop_counts_by_length(loop_depth);
-  util::Table loops(
-      {"length k", "loops through edge", "growth N_k/N_(k-1)"});
-  for (std::size_t k = 3; k < loop_counts.size(); ++k) {
-    const double growth =
-        (k > 3 && loop_counts[k - 1] > 0)
-            ? static_cast<double>(loop_counts[k]) /
-                  static_cast<double>(loop_counts[k - 1])
-            : 0.0;
-    loops.row()
-        .add(static_cast<std::int64_t>(k))
-        .add(loop_counts[k])
-        .add(growth, 4);
-  }
-  loops.write_pretty(std::cout);
-  std::printf(
-      "(growth base approaches the triangular-lattice connective constant "
-      "~4.15 — the '4' in the paper's 4^(5/4))\n\n");
+    // (b) Kotecký–Preiss numerics.
+    const double paper_loop_threshold = std::pow(4.0, 1.25);
+    util::Table kp({"model", "parameter", "KP head", "KP tail", "budget c",
+                    "satisfied"});
+    for (const double gamma : {paper_loop_threshold, 10.0, 20.0, 40.0}) {
+      const auto r = polymer::check_kp_loops_best_c(gamma, loop_depth);
+      kp.row()
+          .add("loops")
+          .add(gamma, 4)
+          .add(r.head, 4)
+          .add(r.tail_bound, 4)
+          .add(r.c, 4)
+          .add(r.satisfied ? "yes" : "no");
+    }
+    const std::size_t even_depth = opt.full ? 7 : 6;
+    for (const double gamma :
+         {79.0 / 81.0, 81.0 / 79.0, 1.1, 1.5}) {
+      const auto r = polymer::check_kp_even_best_c(gamma, even_depth);
+      kp.row()
+          .add("even")
+          .add(gamma, 5)
+          .add(r.head, 5)
+          .add(r.tail_bound, 5)
+          .add(r.c, 4)
+          .add(r.satisfied ? "yes" : "no");
+    }
+    kp.write_pretty(std::cout);
 
-  // (b) Kotecký–Preiss numerics.
-  const double paper_loop_threshold = std::pow(4.0, 1.25);
-  util::Table kp({"model", "parameter", "KP head", "KP tail", "budget c",
-                  "satisfied"});
-  for (const double gamma : {paper_loop_threshold, 10.0, 20.0, 40.0}) {
-    const auto r = polymer::check_kp_loops_best_c(gamma, loop_depth);
-    kp.row()
-        .add("loops")
-        .add(gamma, 4)
-        .add(r.head, 4)
-        .add(r.tail_bound, 4)
-        .add(r.c, 4)
-        .add(r.satisfied ? "yes" : "no");
-  }
-  const std::size_t even_depth = opt.full ? 7 : 6;
-  for (const double gamma :
-       {79.0 / 81.0, 81.0 / 79.0, 1.1, 1.5}) {
-    const auto r = polymer::check_kp_even_best_c(gamma, even_depth);
-    kp.row()
-        .add("even")
-        .add(gamma, 5)
-        .add(r.head, 5)
-        .add(r.tail_bound, 5)
-        .add(r.c, 4)
-        .add(r.satisfied ? "yes" : "no");
-  }
-  kp.write_pretty(std::cout);
+    const double gamma_min = polymer::min_gamma_for_loops(loop_depth);
+    const double x_max = polymer::max_ht_weight_for_even(even_depth);
+    std::printf(
+        "\nloop-model threshold with generic weights γ^{-|ξ|}: γ ≥ %.2f "
+        "(paper's contour weights achieve 4^(5/4) ≈ %.2f)\n",
+        gamma_min, paper_loop_threshold);
+    std::printf(
+        "even-model max |x| satisfying KP: %.4f (paper window is |x| < "
+        "1/80 = 0.0125 — our generic check certifies a %s window)\n\n",
+        x_max, x_max >= 1.0 / 80.0 ? "wider" : "narrower");
 
-  const double gamma_min = polymer::min_gamma_for_loops(loop_depth);
-  const double x_max = polymer::max_ht_weight_for_even(even_depth);
-  std::printf(
-      "\nloop-model threshold with generic weights γ^{-|ξ|}: γ ≥ %.2f "
-      "(paper's contour weights achieve 4^(5/4) ≈ %.2f)\n",
-      gamma_min, paper_loop_threshold);
-  std::printf(
-      "even-model max |x| satisfying KP: %.4f (paper window is |x| < "
-      "1/80 = 0.0125 — our generic check certifies a %s window)\n\n",
-      x_max, x_max >= 1.0 / 80.0 ? "wider" : "narrower");
+    // (c) Theorem 11 numerics: exact ln Ξ vs ψ|Λ| ± c|∂Λ| across regions.
+    const auto run_fit = [&](double x, const char* label) {
+      std::vector<polymer::RegionStat> stats;
+      util::Table regions({"region", "|Lambda|", "|dLambda|", "ln Xi"});
+      const auto add_region = [&](const std::vector<lattice::Node>& verts,
+                                  const std::string& name) {
+        polymer::RegionStat s;
+        s.volume = polymer::edges_within(verts).size();
+        s.boundary = polymer::boundary_edge_count(verts);
+        s.log_xi = polymer::log_xi_even(verts, x);
+        stats.push_back(s);
+        regions.row()
+            .add(name)
+            .add(s.volume)
+            .add(s.boundary)
+            .add(s.log_xi, 6);
+      };
+      add_region(lattice::hexagon(1), "hexagon r=1");
+      add_region(lattice::hexagon(2), "hexagon r=2");
+      add_region(lattice::parallelogram(6, 4), "parallelogram 6x4");
+      add_region(lattice::parallelogram(12, 2), "parallelogram 12x2");
 
-  // (c) Theorem 11 numerics: exact ln Ξ vs ψ|Λ| ± c|∂Λ| across regions.
-  const auto run_fit = [&](double x, const char* label) {
-    std::vector<polymer::RegionStat> stats;
-    util::Table regions({"region", "|Lambda|", "|dLambda|", "ln Xi"});
-    const auto add_region = [&](const std::vector<lattice::Node>& verts,
-                                const std::string& name) {
-      polymer::RegionStat s;
-      s.volume = polymer::edges_within(verts).size();
-      s.boundary = polymer::boundary_edge_count(verts);
-      s.log_xi = polymer::log_xi_even(verts, x);
-      stats.push_back(s);
-      regions.row()
-          .add(name)
-          .add(s.volume)
-          .add(s.boundary)
-          .add(s.log_xi, 6);
+      double c_required = 0.0;
+      const double psi = polymer::fit_volume_constant(stats, &c_required);
+      std::printf("even model at x=%.4f (%s):\n", x, label);
+      regions.write_pretty(std::cout);
+      std::printf(
+          "  fitted ψ = %.6f, required surface constant c = %.6f\n\n", psi,
+          c_required);
     };
-    add_region(lattice::hexagon(1), "hexagon r=1");
-    add_region(lattice::hexagon(2), "hexagon r=2");
-    add_region(lattice::parallelogram(6, 4), "parallelogram 6x4");
-    add_region(lattice::parallelogram(12, 2), "parallelogram 12x2");
+    run_fit(1.0 / 80.0, "paper window edge");
+    run_fit(0.15, "well inside convergence");
 
-    double c_required = 0.0;
-    const double psi = polymer::fit_volume_constant(stats, &c_required);
-    std::printf("even model at x=%.4f (%s):\n", x, label);
-    regions.write_pretty(std::cout);
-    std::printf("  fitted ψ = %.6f, required surface constant c = %.6f\n\n",
-                psi, c_required);
+    // High-temperature expansion identity (the [12] §3.7.3 tool behind
+    // Theorem 15), exact on a 19-site region.
+    const auto region = lattice::hexagon(2);
+    const double k_small = std::log(81.0 / 79.0) / 2.0;
+    const double direct =
+        ising::IsingModel::log_partition_exact(region, k_small);
+    const double ht =
+        ising::IsingModel::log_partition_high_temperature(region, k_small);
+    std::printf(
+        "HT-expansion identity on hexagon r=2 at K=ln(81/79)/2: direct "
+        "ln Z = %.10f, HT ln Z = %.10f (diff %.2e)\n",
+        direct, ht, std::abs(direct - ht));
+    std::printf(
+        "\nexpected shape: KP satisfied for large γ (loops) and inside the "
+        "γ≈1 window (even); ln Ξ within a small c·|∂Λ| of ψ|Λ| across "
+        "differently-shaped regions — Theorem 11's decomposition.\n");
+    return 0;
   };
-  run_fit(1.0 / 80.0, "paper window edge");
-  run_fit(0.15, "well inside convergence");
-
-  // High-temperature expansion identity (the [12] §3.7.3 tool behind
-  // Theorem 15), exact on a 19-site region.
-  const auto region = lattice::hexagon(2);
-  const double k_small = std::log(81.0 / 79.0) / 2.0;
-  const double direct = ising::IsingModel::log_partition_exact(region, k_small);
-  const double ht =
-      ising::IsingModel::log_partition_high_temperature(region, k_small);
-  std::printf(
-      "HT-expansion identity on hexagon r=2 at K=ln(81/79)/2: direct "
-      "ln Z = %.10f, HT ln Z = %.10f (diff %.2e)\n",
-      direct, ht, std::abs(direct - ht));
-  std::printf(
-      "\nexpected shape: KP satisfied for large γ (loops) and inside the "
-      "γ≈1 window (even); ln Ξ within a small c·|∂Λ| of ψ|Λ| across "
-      "differently-shaped regions — Theorem 11's decomposition.\n");
-  return 0;
+  return harness::run(spec, argc, argv);
 }

@@ -9,95 +9,99 @@
 // sweep axis is n rather than (λ, γ), so the tasks are built by hand and
 // keyed back to ns[] by Task::index; the n-sweep identity rides in the
 // JobSpec params so shards from mismatched configurations refuse to
-// merge. Shard with --shard k/n --shard-out F, combine with --merge.
+// merge. Shard with --shard k/n --shard-out F, combine with --merge or
+// --merge-dir.
 
 #include <cmath>
+#include <iostream>
+#include <string>
 #include <vector>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
-#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
+  harness::Spec spec;
+  spec.name = "bench_thm13_compression";
+  spec.experiment = "E3";
+  spec.paper_artifact = "Theorem 13 (compression for large γ)";
+  spec.claim =
+      "γ > 4^(5/4) ≈ 5.66 and λγ > 6.83 ⇒ α-compressed w.h.p., "
+      "failure probability ζ^√n";
 
-  bench::banner("E3", "Theorem 13 (compression for large γ)",
-                "γ > 4^(5/4) ≈ 5.66 and λγ > 6.83 ⇒ α-compressed w.h.p., "
-                "failure probability ζ^√n");
+  spec.sweep = [](const harness::Options& opt) {
+    const double lambda = 4.0, gamma = 6.0;
+    std::printf("λ=%.1f γ=%.1f (λγ=%.0f > 6.83, γ > 5.66)\n\n", lambda,
+                gamma, lambda * gamma);
 
-  const double lambda = 4.0, gamma = 6.0;
-  std::printf("λ=%.1f γ=%.1f (λγ=%.0f > 6.83, γ > 5.66)\n\n", lambda, gamma,
-              lambda * gamma);
+    const std::vector<std::size_t> ns{25, 50, 100, 200};
+    const std::size_t samples = opt.full ? 500 : 200;
 
-  const std::vector<std::size_t> ns{25, 50, 100, 200};
-  const std::size_t samples = opt.full ? 500 : 200;
-
-  shard::JobSpec jspec;
-  jspec.name = "bench_thm13_compression";
-  jspec.grid.lambdas = {lambda};
-  jspec.grid.gammas = {gamma};
-  jspec.grid.base_seed = opt.seed;
-  jspec.grid.derive_seeds = false;  // seeds are opt.seed + n, set per task
-  jspec.samples = samples;
-  jspec.params = {"sweep=n", "ns=25,50,100,200",
-                  "burn_base=" + std::to_string(opt.scaled(20000)),
-                  "spacing_base=200"};
-  jspec.tasks.resize(ns.size());
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    jspec.tasks[i].index = i;
-    jspec.tasks[i].lambda = lambda;
-    jspec.tasks[i].gamma = gamma;
-    jspec.tasks[i].seed = opt.seed + ns[i];
-  }
-
-  const engine::TaskFn fn = [&](const engine::Task& t) {
-    const std::size_t n = ns[t.index];
-    util::Rng rng(t.seed);
-    const auto nodes = lattice::random_blob(n, rng);
-    const auto colors = core::balanced_random_colors(n, 2, rng);
-    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                core::Params{t.lambda, t.gamma, true},
-                                t.seed);
-    const std::uint64_t burn = opt.scaled(20000) * n;
-    const std::uint64_t spacing = 200 * n;
-    return core::sample_equilibrium(chain, burn, spacing, samples);
-  };
-
-  engine::ThreadPool pool(opt.threads);
-  engine::ProgressSink sink(opt.telemetry);
-  const auto maybe = bench::run_or_merge_cli(
-      argv[0], jspec, bench::shard_modes(opt), pool, fn, &sink);
-  if (!maybe) return 0;  // worker mode: shard file written
-  const std::vector<engine::TaskResult>& results = *maybe;
-
-  util::Table table({"n", "samples", "p/p_min median", "p/p_min p95",
-                     "freq 3-compressed", "±95%"});
-  for (const auto& r : results) {
-    std::vector<double> ratios;
-    std::size_t compressed = 0;
-    for (const auto& m : r.series) {
-      ratios.push_back(m.perimeter_ratio);
-      compressed += (m.perimeter_ratio <= 3.0);
+    harness::Sweep sw;
+    sw.job.grid.lambdas = {lambda};
+    sw.job.grid.gammas = {gamma};
+    sw.job.grid.base_seed = opt.seed;
+    sw.job.grid.derive_seeds = false;  // seeds are opt.seed + n, set per task
+    sw.job.samples = samples;
+    sw.job.params = {"sweep=n", "ns=25,50,100,200",
+                     "burn_base=" + std::to_string(opt.scaled(20000)),
+                     "spacing_base=200"};
+    sw.job.tasks.resize(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      sw.job.tasks[i].index = i;
+      sw.job.tasks[i].lambda = lambda;
+      sw.job.tasks[i].gamma = gamma;
+      sw.job.tasks[i].seed = opt.seed + ns[i];
     }
-    table.row()
-        .add(static_cast<std::int64_t>(ns[r.task.index]))
-        .add(samples)
-        .add(util::quantile(ratios, 0.5), 4)
-        .add(util::quantile(ratios, 0.95), 4)
-        .add(static_cast<double>(compressed) / static_cast<double>(samples),
-             4)
-        .add(util::wilson_halfwidth(compressed, samples), 3);
-  }
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: 3-compression frequency ≈ 1 at every n, with the "
-      "p/p_min distribution concentrating as n grows (w.h.p. in √n).\n");
-  return 0;
+
+    sw.fn = [ns, samples, opt](const engine::Task& t) {
+      const std::size_t n = ns[t.index];
+      util::Rng rng(t.seed);
+      const auto nodes = lattice::random_blob(n, rng);
+      const auto colors = core::balanced_random_colors(n, 2, rng);
+      core::SeparationChain chain(system::ParticleSystem(nodes, colors),
+                                  core::Params{t.lambda, t.gamma, true},
+                                  t.seed);
+      const std::uint64_t burn = opt.scaled(20000) * n;
+      const std::uint64_t spacing = 200 * n;
+      return core::sample_equilibrium(chain, burn, spacing, samples);
+    };
+
+    sw.report = [ns, samples](const harness::Options&,
+                              std::span<const engine::TaskResult> results) {
+      util::Table table({"n", "samples", "p/p_min median", "p/p_min p95",
+                         "freq 3-compressed", "±95%"});
+      for (const auto& r : results) {
+        std::vector<double> ratios;
+        std::size_t compressed = 0;
+        for (const auto& m : r.series) {
+          ratios.push_back(m.perimeter_ratio);
+          compressed += (m.perimeter_ratio <= 3.0);
+        }
+        table.row()
+            .add(static_cast<std::int64_t>(ns[r.task.index]))
+            .add(samples)
+            .add(util::quantile(ratios, 0.5), 4)
+            .add(util::quantile(ratios, 0.95), 4)
+            .add(static_cast<double>(compressed) /
+                     static_cast<double>(samples),
+                 4)
+            .add(util::wilson_halfwidth(compressed, samples), 3);
+      }
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: 3-compression frequency ≈ 1 at every n, with "
+          "the p/p_min distribution concentrating as n grows (w.h.p. in "
+          "√n).\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
 }

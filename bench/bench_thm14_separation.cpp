@@ -7,16 +7,16 @@
 // N). The separation certificates are computed in the per-sample hook on
 // the worker, into the task's own row slot; the resulting tallies travel
 // as aux scalars on the wire, so sharded runs (--shard/--shard-out, then
-// --merge) report byte-identically to a single host.
+// --merge or --merge-dir) report byte-identically to a single host.
 
+#include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
-#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
 #include "src/util/csv.hpp"
@@ -24,85 +24,92 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
+  harness::Spec spec;
+  spec.name = "bench_thm14_separation";
+  spec.experiment = "E4";
+  spec.paper_artifact = "Theorem 14 (separation for large γ)";
+  spec.claim =
+      "for any β > 2√(3α), δ < 1/2: γ large enough ⇒ "
+      "(β, δ)-separated w.h.p.; separation strengthens with γ";
 
-  bench::banner("E4", "Theorem 14 (separation for large γ)",
-                "for any β > 2√(3α), δ < 1/2: γ large enough ⇒ "
-                "(β, δ)-separated w.h.p.; separation strengthens with γ");
+  spec.sweep = [](const harness::Options& opt) {
+    constexpr std::size_t kN = 100;
+    constexpr double kLambda = 4.0;
+    constexpr double kBeta = 6.0;
+    constexpr double kDelta = 0.25;
 
-  constexpr std::size_t kN = 100;
-  constexpr double kLambda = 4.0;
-  constexpr double kBeta = 6.0;
-  constexpr double kDelta = 0.25;
+    engine::GridSpec grid;
+    grid.lambdas = {kLambda};
+    grid.gammas = {1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+    grid.base_seed = opt.seed;
+    grid.derive_seeds = false;  // every γ-row reruns from the same base seed
 
-  engine::GridSpec spec;
-  spec.lambdas = {kLambda};
-  spec.gammas = {1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
-  spec.base_seed = opt.seed;
-  spec.derive_seeds = false;  // every γ-row reruns from the same base seed
+    const std::size_t samples = opt.full ? 400 : 150;
 
-  const std::size_t samples = opt.full ? 400 : 150;
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->make_chain = [](const engine::Task& t) {
+      util::Rng rng(t.seed);
+      const auto nodes = lattice::random_blob(kN, rng);
+      const auto colors = core::balanced_random_colors(kN, 2, rng);
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
+    };
+    chain->burn_in = opt.scaled(3000000);
+    chain->interval = 20000;
+    chain->samples = samples;
 
-  engine::ChainJob job;
-  job.make_chain = [&](const engine::Task& t) {
-    util::Rng rng(t.seed);
-    const auto nodes = lattice::random_blob(kN, rng);
-    const auto colors = core::balanced_random_colors(kN, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+    harness::Sweep sw;
+    sw.job = shard::grid_job({}, grid, *chain,
+                             {"beta=6", "delta=0.25", "n=100"});
+
+    struct Row {
+      std::size_t separated = 0;
+      util::Accumulator hetero, delta_hat;
+    };
+    auto rows = std::make_shared<std::vector<Row>>(sw.job.tasks.size());
+    chain->on_sample = [rows](const engine::Task& t,
+                              const core::SeparationChain& c) {
+      Row& row = (*rows)[t.index];
+      const auto cert = metrics::find_separation(c.system(), kBeta);
+      if (cert && cert->satisfies(kBeta, kDelta)) ++row.separated;
+      if (cert) row.delta_hat.add(cert->delta_hat);
+      row.hetero.add(core::measure(c).hetero_fraction);
+    };
+    sw.chain = chain;
+    sw.aux = [rows](const engine::TaskResult& r) {
+      const Row& row = (*rows)[r.task.index];
+      return std::vector<double>{static_cast<double>(row.separated),
+                                 row.hetero.mean(), row.delta_hat.mean()};
+    };
+
+    sw.report = [samples](const harness::Options&,
+                          std::span<const engine::TaskResult> results) {
+      util::Table table({"gamma", "samples", "freq separated", "±95%",
+                         "mean hetero_frac", "mean delta_hat"});
+      for (const auto& r : results) {
+        const auto separated =
+            static_cast<std::size_t>(harness::aux_value(r, 0));
+        table.row()
+            .add(r.task.gamma, 3)
+            .add(samples)
+            .add(static_cast<double>(separated) /
+                     static_cast<double>(samples),
+                 4)
+            .add(util::wilson_halfwidth(separated, samples), 3)
+            .add(harness::aux_value(r, 1), 4)
+            .add(harness::aux_value(r, 2), 4);
+      }
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: separation frequency rises to ≈ 1 and "
+          "hetero_frac falls monotonically as γ grows; γ = 1 (no color "
+          "bias) stays integrated. The proofs require γ > 5.66; simulation "
+          "separates far earlier (the paper notes its bounds are not tight, "
+          "§3.2).\n");
+      return 0;
+    };
+    return sw;
   };
-  job.burn_in = opt.scaled(3000000);
-  job.interval = 20000;
-  job.samples = samples;
-  const shard::JobSpec jspec = shard::grid_job(
-      "bench_thm14_separation", spec, job,
-      {"beta=6", "delta=0.25", "n=100"});
-
-  struct Row {
-    std::size_t separated = 0;
-    util::Accumulator hetero, delta_hat;
-  };
-  std::vector<Row> rows(jspec.tasks.size());
-  job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
-    Row& row = rows[t.index];
-    const auto cert = metrics::find_separation(c.system(), kBeta);
-    if (cert && cert->satisfies(kBeta, kDelta)) ++row.separated;
-    if (cert) row.delta_hat.add(cert->delta_hat);
-    row.hetero.add(core::measure(c).hetero_fraction);
-  };
-
-  engine::ThreadPool pool(opt.threads);
-  engine::ProgressSink sink(opt.telemetry);
-  const auto maybe = bench::run_or_merge_cli(
-      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
-      [&](const engine::TaskResult& r) {
-        const Row& row = rows[r.task.index];
-        return std::vector<double>{static_cast<double>(row.separated),
-                                   row.hetero.mean(), row.delta_hat.mean()};
-      });
-  if (!maybe) return 0;  // worker mode: shard file written
-  const std::vector<engine::TaskResult>& results = *maybe;
-
-  util::Table table({"gamma", "samples", "freq separated", "±95%",
-                     "mean hetero_frac", "mean delta_hat"});
-  for (const auto& r : results) {
-    const auto separated =
-        static_cast<std::size_t>(bench::aux_value(r, 0));
-    table.row()
-        .add(r.task.gamma, 3)
-        .add(samples)
-        .add(static_cast<double>(separated) / static_cast<double>(samples),
-             4)
-        .add(util::wilson_halfwidth(separated, samples), 3)
-        .add(bench::aux_value(r, 1), 4)
-        .add(bench::aux_value(r, 2), 4);
-  }
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: separation frequency rises to ≈ 1 and hetero_frac "
-      "falls monotonically as γ grows; γ = 1 (no color bias) stays "
-      "integrated. The proofs require γ > 5.66; simulation separates far "
-      "earlier (the paper notes its bounds are not tight, §3.2).\n");
-  return 0;
+  return harness::run(spec, argc, argv);
 }

@@ -6,16 +6,16 @@
 // One ensemble task per γ-case (--threads N; bit-identical output for
 // every N), with per-sample compression/separation tallies accumulated
 // into each task's own row slot on the worker and shipped as aux scalars
-// in sharded runs (--shard/--shard-out, then --merge).
+// in sharded runs (--shard/--shard-out, then --merge or --merge-dir).
 
+#include <iostream>
+#include <memory>
 #include <vector>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_shard.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
-#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
 #include "src/util/csv.hpp"
@@ -23,99 +23,103 @@
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const bench::Options opt = bench::parse_options(argc, argv, bench::kWithShard);
+  harness::Spec spec;
+  spec.name = "bench_thm15_16_integration";
+  spec.experiment = "E5";
+  spec.paper_artifact = "Theorems 15 + 16 (integration for γ ≈ 1)";
+  spec.claim =
+      "γ ∈ (79/81, 81/79), λ(γ+1) > 6.83 ⇒ compressed w.h.p. "
+      "(Thm 15) AND separation fails w.h.p. (Thm 16), even for "
+      "γ > 1";
 
-  bench::banner("E5", "Theorems 15 + 16 (integration for γ ≈ 1)",
-                "γ ∈ (79/81, 81/79), λ(γ+1) > 6.83 ⇒ compressed w.h.p. "
-                "(Thm 15) AND separation fails w.h.p. (Thm 16), even for "
-                "γ > 1");
+  spec.sweep = [](const harness::Options& opt) {
+    constexpr std::size_t kN = 100;
+    constexpr double kLambda = 6.0;  // λ(γ+1) ≈ 12 > 6.83
+    constexpr double kBeta = 6.0;
+    constexpr double kDelta = 0.25;
 
-  constexpr std::size_t kN = 100;
-  constexpr double kLambda = 6.0;  // λ(γ+1) ≈ 12 > 6.83
-  constexpr double kBeta = 6.0;
-  constexpr double kDelta = 0.25;
+    const std::vector<const char*> notes{
+        "window lower end (γ < 1)",
+        "γ = 1 (colors invisible)",
+        "window upper end (γ > 1!)",
+        "control: far outside window",
+    };
 
-  const std::vector<const char*> notes{
-      "window lower end (γ < 1)",
-      "γ = 1 (colors invisible)",
-      "window upper end (γ > 1!)",
-      "control: far outside window",
+    engine::GridSpec grid;
+    grid.lambdas = {kLambda};
+    grid.gammas = {79.0 / 81.0, 1.0, 81.0 / 79.0, 4.0};
+    grid.base_seed = opt.seed;
+    grid.derive_seeds = false;  // every case reruns from the same base seed
+
+    const std::size_t samples = opt.full ? 400 : 150;
+
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->make_chain = [](const engine::Task& t) {
+      util::Rng rng(t.seed);
+      const auto nodes = lattice::random_blob(kN, rng);
+      const auto colors = core::balanced_random_colors(kN, 2, rng);
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
+    };
+    chain->burn_in = opt.scaled(3000000);
+    chain->interval = 20000;
+    chain->samples = samples;
+
+    harness::Sweep sw;
+    sw.job = shard::grid_job({}, grid, *chain,
+                             {"beta=6", "delta=0.25", "n=100"});
+
+    struct Row {
+      std::size_t compressed = 0, separated = 0;
+      util::Accumulator hetero;
+    };
+    auto rows = std::make_shared<std::vector<Row>>(sw.job.tasks.size());
+    chain->on_sample = [rows](const engine::Task& t,
+                              const core::SeparationChain& ch) {
+      Row& row = (*rows)[t.index];
+      const auto m = core::measure(ch);
+      row.compressed += (m.perimeter_ratio <= 3.0);
+      row.hetero.add(m.hetero_fraction);
+      if (metrics::is_separated(ch.system(), kBeta, kDelta)) ++row.separated;
+    };
+    sw.chain = chain;
+    sw.aux = [rows](const engine::TaskResult& r) {
+      const Row& row = (*rows)[r.task.index];
+      return std::vector<double>{static_cast<double>(row.compressed),
+                                 static_cast<double>(row.separated),
+                                 row.hetero.mean()};
+    };
+
+    sw.report = [notes, samples](const harness::Options&,
+                                 std::span<const engine::TaskResult> results) {
+      util::Table table({"gamma", "note", "freq 3-compressed",
+                         "freq separated", "±95%", "mean hetero_frac"});
+      for (const auto& r : results) {
+        const auto compressed =
+            static_cast<std::size_t>(harness::aux_value(r, 0));
+        const auto separated =
+            static_cast<std::size_t>(harness::aux_value(r, 1));
+        table.row()
+            .add(r.task.gamma, 5)
+            .add(notes[r.task.gamma_index])
+            .add(static_cast<double>(compressed) /
+                     static_cast<double>(samples),
+                 4)
+            .add(static_cast<double>(separated) /
+                     static_cast<double>(samples),
+                 4)
+            .add(util::wilson_halfwidth(separated, samples), 3)
+            .add(harness::aux_value(r, 2), 4);
+      }
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: all three window rows are compressed (freq ≈ 1) "
+          "yet NOT separated (freq ≈ 0, hetero_frac near the mixed baseline "
+          "~0.5), including γ = 81/79 > 1; the γ = 4 control row separates.\n");
+      return 0;
+    };
+    return sw;
   };
-
-  engine::GridSpec spec;
-  spec.lambdas = {kLambda};
-  spec.gammas = {79.0 / 81.0, 1.0, 81.0 / 79.0, 4.0};
-  spec.base_seed = opt.seed;
-  spec.derive_seeds = false;  // every case reruns from the same base seed
-
-  const std::size_t samples = opt.full ? 400 : 150;
-
-  engine::ChainJob job;
-  job.make_chain = [&](const engine::Task& t) {
-    util::Rng rng(t.seed);
-    const auto nodes = lattice::random_blob(kN, rng);
-    const auto colors = core::balanced_random_colors(kN, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
-  };
-  job.burn_in = opt.scaled(3000000);
-  job.interval = 20000;
-  job.samples = samples;
-  const shard::JobSpec jspec = shard::grid_job(
-      "bench_thm15_16_integration", spec, job,
-      {"beta=6", "delta=0.25", "n=100"});
-
-  struct Row {
-    std::size_t compressed = 0, separated = 0;
-    util::Accumulator hetero;
-  };
-  std::vector<Row> rows(jspec.tasks.size());
-  job.on_sample = [&](const engine::Task& t,
-                      const core::SeparationChain& ch) {
-    Row& row = rows[t.index];
-    const auto m = core::measure(ch);
-    row.compressed += (m.perimeter_ratio <= 3.0);
-    row.hetero.add(m.hetero_fraction);
-    if (metrics::is_separated(ch.system(), kBeta, kDelta)) ++row.separated;
-  };
-
-  engine::ThreadPool pool(opt.threads);
-  engine::ProgressSink sink(opt.telemetry);
-  const auto maybe = bench::run_or_merge_cli(
-      argv[0], jspec, bench::shard_modes(opt), pool, job, &sink,
-      [&](const engine::TaskResult& r) {
-        const Row& row = rows[r.task.index];
-        return std::vector<double>{static_cast<double>(row.compressed),
-                                   static_cast<double>(row.separated),
-                                   row.hetero.mean()};
-      });
-  if (!maybe) return 0;  // worker mode: shard file written
-  const std::vector<engine::TaskResult>& results = *maybe;
-
-  util::Table table({"gamma", "note", "freq 3-compressed", "freq separated",
-                     "±95%", "mean hetero_frac"});
-  for (const auto& r : results) {
-    const auto compressed =
-        static_cast<std::size_t>(bench::aux_value(r, 0));
-    const auto separated =
-        static_cast<std::size_t>(bench::aux_value(r, 1));
-    table.row()
-        .add(r.task.gamma, 5)
-        .add(notes[r.task.gamma_index])
-        .add(static_cast<double>(compressed) /
-                 static_cast<double>(samples),
-             4)
-        .add(static_cast<double>(separated) /
-                 static_cast<double>(samples),
-             4)
-        .add(util::wilson_halfwidth(separated, samples), 3)
-        .add(bench::aux_value(r, 2), 4);
-  }
-  table.write_pretty(std::cout);
-  std::printf(
-      "\nexpected shape: all three window rows are compressed (freq ≈ 1) "
-      "yet NOT separated (freq ≈ 0, hetero_frac near the mixed baseline "
-      "~0.5), including γ = 81/79 > 1; the γ = 4 control row separates.\n");
-  return 0;
+  return harness::run(spec, argc, argv);
 }

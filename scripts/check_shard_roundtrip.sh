@@ -2,8 +2,10 @@
 # Shard round-trip smoke check: run a harness unsharded, then split the
 # same job into N shards (workers at varying --threads), merge, and
 # require the merged report to be byte-identical to the unsharded one.
-# Also exercises the canonical merged artifact via sops_shard_merge and
-# the refusal path for an incomplete shard set.
+# Also exercises the canonical merged artifact via sops_shard_merge (both
+# the --inputs list and the --merge-dir glob form), the refusal path for
+# an incomplete shard set, and the exit-code contract: usage errors exit
+# 2, data-validation failures exit 1.
 #
 # Usage: scripts/check_shard_roundtrip.sh [build-dir] [harness] [shards]
 #   build-dir  CMake build tree holding bench/ binaries (default: build)
@@ -25,6 +27,20 @@ merge_bin="$build_dir/bench/sops_shard_merge"
 
 work=$(mktemp -d "${TMPDIR:-/tmp}/shard_roundtrip.XXXXXX")
 trap 'rm -rf "$work"' EXIT
+mkdir "$work/parts"
+
+# Runs "$@" expecting exit code $1, with stderr kept in $work/err.txt.
+expect_rc() {
+  local want=$1
+  shift
+  local rc=0
+  "$@" >/dev/null 2>"$work/err.txt" || rc=$?
+  if [[ $rc -ne $want ]]; then
+    echo "FAIL: '$*' exited $rc, expected $want" >&2
+    cat "$work/err.txt" >&2
+    exit 1
+  fi
+}
 
 echo "== unsharded reference ($harness)"
 "$bin" >"$work/reference.txt"
@@ -33,9 +49,9 @@ inputs=()
 for ((k = 0; k < shards; ++k)); do
   threads=$((k % 3 + 1))  # workers deliberately disagree on --threads
   echo "== worker $k/$shards (--threads $threads)"
-  "$bin" --shard "$k/$shards" --shard-out "$work/part$k.shard" \
+  "$bin" --shard "$k/$shards" --shard-out "$work/parts/part$k.shard" \
     --threads "$threads"
-  inputs+=("$work/part$k.shard")
+  inputs+=("$work/parts/part$k.shard")
 done
 
 echo "== merge via harness --merge"
@@ -48,23 +64,43 @@ if ! diff -u "$work/reference.txt" "$work/merged.txt"; then
 fi
 echo "ok: merged report byte-identical to unsharded run"
 
+echo "== merge via harness --merge-dir"
+"$bin" --merge-dir "$work/parts" >"$work/merged_dir.txt"
+cmp "$work/reference.txt" "$work/merged_dir.txt"
+echo "ok: --merge-dir report byte-identical to unsharded run"
+
 echo "== canonical merged artifact via sops_shard_merge"
 "$merge_bin" --inputs "$merge_list" --out "$work/all.shard"
 # Merging the canonical artifact alone must reproduce the same report.
 "$bin" --merge "$work/all.shard" >"$work/from_artifact.txt"
 cmp "$work/reference.txt" "$work/from_artifact.txt"
-echo "ok: canonical artifact reproduces the report"
+# The --merge-dir glob form must produce the identical canonical bytes.
+"$merge_bin" --merge-dir "$work/parts" --out "$work/all_dir.shard"
+cmp "$work/all.shard" "$work/all_dir.shard"
+echo "ok: canonical artifact reproduces the report (list and dir forms)"
 
-echo "== refusal: incomplete shard set must be rejected"
-if "$merge_bin" --inputs "$work/part0.shard" >/dev/null 2>"$work/err.txt"; then
-  echo "FAIL: merge accepted an incomplete shard set" >&2
-  exit 1
-fi
+echo "== refusal: incomplete shard set must be rejected (exit 1)"
+expect_rc 1 "$merge_bin" --inputs "$work/parts/part0.shard"
 grep -q "missing task indices" "$work/err.txt" || {
   echo "FAIL: refusal did not list missing task indices:" >&2
   cat "$work/err.txt" >&2
   exit 1
 }
-echo "ok: incomplete set refused with explicit missing indices"
+if (( shards > 1 )); then
+  # The worker manifest lets the merge name the absent file itself.
+  grep -q "missing shard file" "$work/err.txt" || {
+    echo "FAIL: refusal did not name the missing shard file:" >&2
+    cat "$work/err.txt" >&2
+    exit 1
+  }
+fi
+echo "ok: incomplete set refused with explicit missing indices and file"
+
+echo "== usage errors must exit 2"
+expect_rc 2 "$bin" --no-such-flag
+expect_rc 2 "$bin" --shard "0/$shards"             # --shard without --shard-out
+expect_rc 2 "$merge_bin"                           # neither input mode
+expect_rc 2 "$merge_bin" --inputs a --merge-dir b  # both input modes
+echo "ok: usage errors exit 2, data errors exit 1"
 
 echo "PASS: $harness shard round-trip ($shards shards)"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Single-command CI: configure, build, run the full test suite, then
+# smoke-check the sharded-harness round-trip (worker → merge →
+# byte-identical report) for two grid harnesses — one chain-backed
+# (bench_thm13_compression) and one exact/aux-backed (bench_mixing_gap,
+# retrofitted onto the engine by the harness framework).
+#
+# Usage: scripts/run_ci.sh [build-dir]
+#   build-dir  CMake build tree to create/reuse (default: build)
+#
+# Environment:
+#   CMAKE_BUILD_TYPE  build type (default: Release)
+#   JOBS              parallel build/test jobs (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+build_type=${CMAKE_BUILD_TYPE:-Release}
+jobs=${JOBS:-$(nproc)}
+
+echo "== configure ($build_dir, $build_type)"
+cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE="$build_type"
+
+echo "== build (-j$jobs)"
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== ctest"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "== shard round-trip smoke (bench_thm13_compression)"
+scripts/check_shard_roundtrip.sh "$build_dir" bench_thm13_compression 2
+
+echo "== shard round-trip smoke (bench_mixing_gap)"
+scripts/check_shard_roundtrip.sh "$build_dir" bench_mixing_gap 3
+
+echo "PASS: CI green"

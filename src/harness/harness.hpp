@@ -1,0 +1,93 @@
+// Declarative harness framework: one spec, one entry point.
+//
+// A bench harness is a Spec — its identity (banner fields + wire job
+// name) plus exactly one workload shape:
+//
+//   * a `sweep` factory, for grid-shaped workloads: builds a Sweep
+//     (JobSpec task table, per-task body, aux packing, report renderer)
+//     from the parsed Options. harness::run owns everything else —
+//     option parsing, the thread pool and telemetry sink, full/worker/
+//     merge dispatch through shard::run_or_merge, and report emission.
+//     Sharding flags are exposed whenever `shardable` is true (the
+//     default); set it false for sweeps whose execution prints (e.g. a
+//     timeline render per checkpoint), which cannot be reproduced from a
+//     wire file.
+//   * a `single` body, for workloads that are not a task grid (closed-
+//     form numerics, external benchmark loops): runs after the banner
+//     with the parsed Options and owns its own output.
+//
+// The contract that makes the framework worth having: a Sweep's report
+// reads only (Task, series, aux) off the results — exactly what the
+// wire carries — so the default and --full reports are byte-identical
+// at every --threads N and across any worker/merge split. See DESIGN.md
+// §6.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/engine/ensemble.hpp"
+#include "src/harness/options.hpp"
+#include "src/shard/harness.hpp"
+
+namespace sops::harness {
+
+/// Reads a packed aux scalar off a result, with a loud error naming the
+/// task if a (hand-edited or version-skewed) shard file lacks it.
+[[nodiscard]] double aux_value(const engine::TaskResult& r, std::size_t i);
+
+/// One grid-shaped workload, built from the parsed Options. Preamble
+/// lines (scaling notes and anything else that must precede the sweep in
+/// every mode) print from the factory itself.
+struct Sweep {
+  /// Job identity: grid, protocol, params, dense task table. `name` is
+  /// filled in by harness::run from Spec::name.
+  shard::JobSpec job;
+
+  /// Per-task body. Leave empty to run `chain` via engine::make_task_fn.
+  engine::TaskFn fn;
+
+  /// Declarative chain protocol; used when `fn` is empty. Held by
+  /// shared_ptr because make_task_fn captures the ChainJob by reference
+  /// and the Sweep must keep it alive through the run.
+  std::shared_ptr<engine::ChainJob> chain;
+
+  /// Packs harness-side derived scalars into TaskResult::aux (worker
+  /// side; travels on the wire).
+  shard::AuxFn aux;
+
+  /// Renders the report from the index-ordered results. Runs in full and
+  /// merge modes, never in worker mode. Returns the process exit code.
+  std::function<int(const Options&, std::span<const engine::TaskResult>)>
+      report;
+};
+
+struct Spec {
+  std::string name;             ///< wire job name; single token, no spaces
+  const char* experiment;       ///< banner: experiment id ("E2", …)
+  const char* paper_artifact;   ///< banner: figure/theorem reproduced
+  const char* claim;            ///< banner: the paper's claim
+
+  /// Exactly one of `sweep` / `single` must be set.
+  std::function<Sweep(const Options&)> sweep;
+  std::function<int(const Options&)> single;
+
+  /// Expose --shard/--task-range/--shard-out/--merge/--merge-dir
+  /// (sweeps only). False for sweeps whose execution itself prints.
+  bool shardable = true;
+
+  /// Forward arguments with this prefix verbatim to Options::passthrough
+  /// instead of rejecting them (e.g. "--benchmark_").
+  const char* passthrough_prefix = nullptr;
+};
+
+/// The whole harness: parse → banner → dispatch → report. Returns the
+/// process exit code (0 on success and after a worker's shard file is
+/// written; kDataError on refused merges and malformed shard files;
+/// parse_options exits kUsageError on bad flags before any work).
+[[nodiscard]] int run(const Spec& spec, int argc, char** argv);
+
+}  // namespace sops::harness

@@ -1,80 +1,37 @@
-// Shared scaffolding for the per-figure/per-theorem bench harnesses.
-//
-// Every harness accepts:
-//   --full         paper-scale iteration counts (defaults are ~10x smaller
-//                  so the whole suite runs in a few minutes)
-//   --seed S       base RNG seed
-//   --threads N    engine worker threads (0 = hardware concurrency);
-//                  results are bit-identical for every N — see src/engine
-//   --telemetry F  append per-task JSONL telemetry records to F
-// and prints a self-contained report: what the paper shows, what we
-// measured, and the qualitative comparison EXPERIMENTS.md records.
-//
-// Harnesses built on the ensemble engine additionally opt into the
-// multi-host sharding surface (parse_options(..., kWithShard)):
-//   --shard k/n      run shard k of n (contiguous task-index slice)
-//   --task-range a:b run the explicit half-open task range [a, b)
-//   --shard-out F    write this shard's wire-format result file to F
-//   --merge F1,F2,…  skip the sweep; merge shard files and report
-// See src/shard and DESIGN.md for the wire format and the byte-identity
-// contract.
-#pragma once
+#include "src/harness/options.hpp"
 
-#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <stdexcept>
-#include <string>
 #include <tuple>
-#include <vector>
 
 #include "src/util/cli.hpp"
 
-namespace sops::bench {
+namespace sops::harness {
 
-inline constexpr bool kWithShard = true;
-
-struct Options {
-  bool full = false;
-  std::uint64_t seed = 1;
-  unsigned threads = 0;    ///< engine pool size; 0 = hardware concurrency
-  std::string telemetry;   ///< JSONL telemetry path; empty = disabled
-
-  // Sharding surface (populated only for kWithShard harnesses).
-  bool shard_set = false;          ///< --shard k/n given
-  std::uint64_t shard_k = 0;
-  std::uint64_t shard_n = 1;
-  bool range_set = false;          ///< --task-range a:b given
-  std::uint64_t range_begin = 0;
-  std::uint64_t range_end = 0;
-  std::string shard_out;           ///< worker result file; empty = disabled
-  std::vector<std::string> merge_inputs;  ///< --merge file list
-
-  /// Scales a default iteration budget up to paper scale under --full.
-  [[nodiscard]] std::uint64_t scaled(std::uint64_t base,
-                                     std::uint64_t full_scale = 10) const {
-    return full ? base * full_scale : base;
-  }
-};
+namespace {
 
 /// Probes that `path` can be opened for append, so a bad output path
 /// fails at the CLI instead of after hours of sampling. Append mode
 /// keeps the probe from truncating an existing file.
-inline void require_writable(const std::string& path, const char* what,
-                             const util::Cli& cli, const char* program) {
+void require_writable(const std::string& path, const char* what,
+                      const util::Cli& cli, const char* program) {
   std::FILE* probe = std::fopen(path.c_str(), "a");
   if (probe == nullptr) {
     std::cerr << "cli: cannot open " << what << " '" << path
               << "' for writing\n"
               << cli.help_text(program);
-    std::exit(1);
+    std::exit(kUsageError);
   }
   std::fclose(probe);
 }
 
-/// Parses the common flags; exits(0) on --help, exits(1) on bad args.
-/// Pass kWithShard to expose the sharding surface.
-inline Options parse_options(int argc, char** argv, bool with_shard = false) {
+}  // namespace
+
+Options parse_options(int argc, char** argv, bool with_shard,
+                      const char* passthrough_prefix) {
   util::Cli cli;
   cli.add_flag("full", "run at paper scale");
   cli.add_option("seed", "base random seed", "1");
@@ -89,12 +46,19 @@ inline Options parse_options(int argc, char** argv, bool with_shard = false) {
     cli.add_option("shard-out", "write this shard's result file here", "");
     cli.add_option("merge",
                    "merge comma-separated shard result files and report", "");
+    cli.add_option("merge-dir",
+                   "merge every *.shard / *.sopsshard file in this directory "
+                   "and report",
+                   "");
+  }
+  if (passthrough_prefix != nullptr) {
+    cli.set_passthrough_prefix(passthrough_prefix);
   }
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
-    std::exit(1);
+    std::exit(kUsageError);
   }
   if (cli.help_requested()) {
     std::cout << cli.help_text(argv[0]);
@@ -102,6 +66,7 @@ inline Options parse_options(int argc, char** argv, bool with_shard = false) {
   }
   Options opt;
   opt.full = cli.flag("full");
+  opt.passthrough = cli.passthrough();
   try {
     opt.seed = cli.unsigned_integer("seed");
     const std::uint64_t threads = cli.unsigned_integer("threads");
@@ -117,9 +82,11 @@ inline Options parse_options(int argc, char** argv, bool with_shard = false) {
       }
       if (!cli.str("task-range").empty()) {
         opt.range_set = true;
-        std::tie(opt.range_begin, opt.range_end) = cli.index_range("task-range");
+        std::tie(opt.range_begin, opt.range_end) =
+            cli.index_range("task-range");
       }
       opt.shard_out = cli.str("shard-out");
+      opt.merge_dir = cli.str("merge-dir");
       const std::string merge = cli.str("merge");
       for (std::size_t start = 0; !merge.empty();) {
         const auto comma = merge.find(',', start);
@@ -142,16 +109,20 @@ inline Options parse_options(int argc, char** argv, bool with_shard = false) {
             "cli: --shard/--task-range require --shard-out (a sub-range "
             "report would not be comparable to the full job)");
       }
-      if (!opt.merge_inputs.empty() &&
+      if (!opt.merge_inputs.empty() && !opt.merge_dir.empty()) {
+        throw std::invalid_argument(
+            "cli: --merge and --merge-dir are mutually exclusive");
+      }
+      if ((!opt.merge_inputs.empty() || !opt.merge_dir.empty()) &&
           (opt.shard_set || opt.range_set || !opt.shard_out.empty())) {
         throw std::invalid_argument(
-            "cli: --merge cannot be combined with --shard/--task-range/"
-            "--shard-out");
+            "cli: --merge/--merge-dir cannot be combined with --shard/"
+            "--task-range/--shard-out");
       }
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
-    std::exit(1);
+    std::exit(kUsageError);
   }
   opt.telemetry = cli.str("telemetry");
   if (!opt.telemetry.empty()) {
@@ -164,25 +135,7 @@ inline Options parse_options(int argc, char** argv, bool with_shard = false) {
     // discover an unwritable path after hours of sampling.
     require_writable(opt.shard_out, "shard result file", cli, argv[0]);
   }
-  for (const std::string& path : opt.merge_inputs) {
-    std::FILE* probe = std::fopen(path.c_str(), "r");
-    if (probe == nullptr) {
-      std::cerr << "cli: cannot open shard result file '" << path
-                << "' for reading\n"
-                << cli.help_text(argv[0]);
-      std::exit(1);
-    }
-    std::fclose(probe);
-  }
   return opt;
 }
 
-inline void banner(const char* experiment, const char* paper_artifact,
-                   const char* claim) {
-  std::printf("=============================================================\n");
-  std::printf("%s — %s\n", experiment, paper_artifact);
-  std::printf("paper: %s\n", claim);
-  std::printf("=============================================================\n");
-}
-
-}  // namespace sops::bench
+}  // namespace sops::harness

@@ -1,6 +1,8 @@
 #include "src/shard/harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "src/shard/merge.hpp"
@@ -62,7 +64,15 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
   }
 
   if (worker) {
-    write_shard_file(modes.out, job, results);
+    // --task-range workers make no claim about how many sibling files
+    // exist (n_shards 0); --shard k/n workers declare the full plan.
+    Manifest manifest{1, range.begin, range.end};
+    if (modes.shard_set) {
+      manifest.n_shards = modes.shard_n;
+    } else if (modes.range_set) {
+      manifest.n_shards = 0;
+    }
+    write_shard_file(modes.out, job, results, manifest);
     std::printf(
         "shard: job %s: wrote %llu task results (range %llu:%llu of %llu) "
         "to %s\n",
@@ -81,6 +91,31 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
     const AuxFn& aux) {
   return run_or_merge(job, modes, pool, engine::make_task_fn(protocol), sink,
                       aux);
+}
+
+std::vector<std::string> list_shard_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("shard: '" + dir + "' is not a directory");
+  }
+  std::vector<std::string> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".shard") || name.ends_with(".sopsshard")) {
+      out.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw std::runtime_error("shard: cannot read directory '" + dir + "'");
+  }
+  if (out.empty()) {
+    throw std::runtime_error("shard: no *.shard or *.sopsshard files in '" +
+                             dir + "'");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace sops::shard

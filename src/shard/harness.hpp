@@ -29,8 +29,9 @@
 
 namespace sops::shard {
 
-/// Parsed shard CLI state (filled by bench::parse_options; plain data so
-/// bench_common.hpp needs no link-time dependency on this library).
+/// Parsed shard CLI state (filled by harness::parse_options; plain data
+/// so src/harness/options needs no link-time dependency on this
+/// library).
 struct Modes {
   bool shard_set = false;          ///< --shard k/n
   std::uint64_t shard_k = 0;
@@ -67,5 +68,13 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
     const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
     const engine::ChainJob& protocol, engine::ProgressSink* sink = nullptr,
     const AuxFn& aux = {});
+
+/// Expands `--merge-dir DIR`: every regular file in DIR whose name ends
+/// in ".shard" or ".sopsshard", sorted by filename so the merge input
+/// order (and thus every error message) is reproducible. Throws
+/// std::runtime_error if DIR is not a readable directory or matches no
+/// files — an empty merge is a missing-transfer bug, not a no-op.
+[[nodiscard]] std::vector<std::string> list_shard_files(
+    const std::string& dir);
 
 }  // namespace sops::shard

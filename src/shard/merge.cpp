@@ -96,6 +96,26 @@ std::vector<engine::TaskResult> merge_results(const JobSpec& expected,
     check_same_job(expected, files[f].job, label.str());
   }
 
+  // Manifests are transport metadata, not job identity — but files that
+  // declare conflicting expected shard-file counts cannot come from one
+  // planned split, so refuse before coverage turns that into a vaguer
+  // missing/duplicated-indices report. n_shards == 0 (--task-range
+  // workers) makes no claim.
+  std::uint64_t declared_shards = 0;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::uint64_t n = files[f].manifest.n_shards;
+    if (n == 0) continue;
+    if (declared_shards != 0 && n != declared_shards) {
+      std::ostringstream os;
+      os << "merge: shard file " << (f + 1) << " of " << files.size()
+         << ": manifest expects " << n << " shard files, earlier input"
+         << " expects " << declared_shards
+         << " (inputs come from different split plans)";
+      throw MergeError(os.str());
+    }
+    declared_shards = n;
+  }
+
   std::vector<std::uint64_t> indices;
   for (const ShardFile& file : files) {
     for (const engine::TaskResult& r : file.results) {
@@ -112,6 +132,27 @@ std::vector<engine::TaskResult> merge_results(const JobSpec& expected,
     if (!cov.duplicated.empty()) {
       if (!cov.missing.empty()) os << ";";
       os << " duplicated task indices " << format_indices(cov.duplicated);
+    }
+    // When every input agrees it came from a planned k/n split, name the
+    // missing file(s) — "rerun shard 1/3" beats a raw index list.
+    if (declared_shards > 1 && !cov.missing.empty()) {
+      const std::vector<TaskRange> plan =
+          shard_plan(expected.tasks.size(), declared_shards);
+      for (std::uint64_t k = 0; k < declared_shards; ++k) {
+        bool present = false;
+        for (const ShardFile& file : files) {
+          if (file.manifest.n_shards == declared_shards &&
+              file.manifest.begin == plan[k].begin &&
+              file.manifest.end == plan[k].end) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          os << "; missing shard file " << k << "/" << declared_shards
+             << " covering tasks " << plan[k].begin << ":" << plan[k].end;
+        }
+      }
     }
     throw MergeError(os.str());
   }

@@ -1,15 +1,20 @@
 // sops_shard_merge — standalone coordinator for sharded ensemble runs.
 //
-// Ingests shard result files collected from any number of worker hosts,
-// verifies they are consistent fragments of one job that tile the task
-// space exactly once, and (optionally) writes the canonical merged file:
-// the shared header plus every task result in index order. The merged
-// bytes are identical for every shard count and every worker thread
-// count, so `cmp` against a single-host `--shard 0/1` file is a full
-// end-to-end determinism check (see scripts/check_shard_roundtrip.sh).
+// Ingests shard result files collected from any number of worker hosts
+// (an explicit --inputs list, or --merge-dir to glob a transfer
+// directory), verifies they are consistent fragments of one job that
+// tile the task space exactly once, and (optionally) writes the
+// canonical merged file: the shared header plus every task result in
+// index order. The merged bytes are identical for every shard count and
+// every worker thread count, so `cmp` against a single-host
+// `--shard 0/1` file is a full end-to-end determinism check (see
+// scripts/check_shard_roundtrip.sh).
 //
-// Exit status: 0 on a complete consistent shard set, 1 otherwise (the
-// offending task indices or spec field are printed to stderr).
+// Exit status: 0 on a complete consistent shard set; 2 on usage errors
+// (bad flags, neither or both input modes); 1 on data-validation
+// failures (unreadable or malformed files, inconsistent or incomplete
+// shard sets — the offending file, task indices, or spec field are
+// printed to stderr).
 
 #include <cstdio>
 #include <exception>
@@ -17,11 +22,15 @@
 #include <string>
 #include <vector>
 
+#include "src/shard/harness.hpp"
 #include "src/shard/merge.hpp"
 #include "src/shard/wire.hpp"
 #include "src/util/cli.hpp"
 
 namespace {
+
+constexpr int kUsageError = 2;
+constexpr int kDataError = 1;
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -46,25 +55,41 @@ int main(int argc, char** argv) {
   using namespace sops;
   util::Cli cli;
   cli.add_option("inputs", "comma-separated shard result files to merge", "");
+  cli.add_option("merge-dir",
+                 "directory of *.shard / *.sopsshard files to merge", "");
   cli.add_option("out", "write the canonical merged result file here", "");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
-    return 1;
+    return kUsageError;
   }
   if (cli.help_requested()) {
     std::cout << cli.help_text(argv[0]);
     return 0;
   }
 
-  try {
-    const std::string inputs = cli.str("inputs");
-    if (inputs.empty()) {
-      throw std::invalid_argument("cli: --inputs is required");
+  const std::string inputs = cli.str("inputs");
+  const std::string merge_dir = cli.str("merge-dir");
+  if (inputs.empty() == merge_dir.empty()) {
+    std::cerr << "cli: exactly one of --inputs or --merge-dir is required\n"
+              << cli.help_text(argv[0]);
+    return kUsageError;
+  }
+  std::vector<std::string> paths;
+  if (!inputs.empty()) {
+    try {
+      paths = split_list(inputs);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+      return kUsageError;
     }
+  }
+
+  try {
+    if (!merge_dir.empty()) paths = shard::list_shard_files(merge_dir);
     std::vector<shard::ShardFile> files;
-    for (const std::string& path : split_list(inputs)) {
+    for (const std::string& path : paths) {
       files.push_back(shard::read_shard_file(path));
       const shard::ShardFile& f = files.back();
       std::printf("read %s: job %s, %zu of %zu task results\n", path.c_str(),
@@ -82,7 +107,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
-    return 1;
+    return kDataError;
   }
   return 0;
 }

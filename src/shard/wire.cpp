@@ -179,7 +179,8 @@ std::vector<std::uint64_t> get_counted_u64s(Lines& lines,
 }
 
 void check_encodable(const JobSpec& job,
-                     std::span<const engine::TaskResult> results) {
+                     std::span<const engine::TaskResult> results,
+                     const Manifest& manifest) {
   if (!is_token(job.name)) {
     throw std::invalid_argument("wire: job name must be one nonempty token");
   }
@@ -195,11 +196,19 @@ void check_encodable(const JobSpec& job,
           "wire: task table must be dense (tasks[i].index == i)");
     }
   }
+  if (manifest.begin > manifest.end || manifest.end > job.tasks.size()) {
+    throw std::invalid_argument(
+        "wire: manifest range must satisfy begin <= end <= tasks");
+  }
   std::uint64_t prev = 0;
   bool first = true;
   for (const engine::TaskResult& r : results) {
     if (r.task.index >= job.tasks.size()) {
       throw std::invalid_argument("wire: result task index outside the table");
+    }
+    if (r.task.index < manifest.begin || r.task.index >= manifest.end) {
+      throw std::invalid_argument(
+          "wire: result task index outside the manifest range");
     }
     if (!first && r.task.index <= prev) {
       throw std::invalid_argument(
@@ -213,8 +222,11 @@ void check_encodable(const JobSpec& job,
 }  // namespace
 
 std::string encode(const JobSpec& job,
-                   std::span<const engine::TaskResult> results) {
-  check_encodable(job, results);
+                   std::span<const engine::TaskResult> results,
+                   const std::optional<Manifest>& manifest) {
+  const Manifest mf =
+      manifest.value_or(Manifest{1, 0, job.tasks.size()});
+  check_encodable(job, results, mf);
   std::string out;
   out.reserve(256 + 96 * job.tasks.size() + 96 * results.size());
 
@@ -223,6 +235,12 @@ std::string encode(const JobSpec& job,
   put_u64(out, kWireVersion);
   out += "\njob ";
   out += job.name;
+  out += "\nmanifest ";
+  put_u64(out, mf.n_shards);
+  out += ' ';
+  put_u64(out, mf.begin);
+  out += ' ';
+  put_u64(out, mf.end);
 
   const auto put_axis = [&out](std::string_view key,
                                std::span<const double> values) {
@@ -348,6 +366,15 @@ ShardFile decode(std::string_view text) {
     const auto tokens = expect_line(lines, "job", 2, 2);
     job.name = std::string(tokens[1]);
   }
+  {
+    const auto tokens = expect_line(lines, "manifest", 4, 4);
+    file.manifest.n_shards = get_u64(tokens[1], lines.line_no());
+    file.manifest.begin = get_u64(tokens[2], lines.line_no());
+    file.manifest.end = get_u64(tokens[3], lines.line_no());
+    if (file.manifest.begin > file.manifest.end) {
+      bad(lines.line_no(), "manifest range must satisfy begin <= end");
+    }
+  }
   job.grid.lambdas = get_counted_doubles(lines, "grid.lambdas");
   job.grid.gammas = get_counted_doubles(lines, "grid.gammas");
   {
@@ -394,6 +421,9 @@ ShardFile decode(std::string_view text) {
   {
     const auto tokens = expect_line(lines, "tasks", 2, 2);
     const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    if (file.manifest.end > count) {
+      bad(lines.line_no(), "manifest range extends past the task table");
+    }
     job.tasks.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
       const auto t = expect_line(lines, "t", 8, 8);
@@ -424,6 +454,9 @@ ShardFile decode(std::string_view text) {
       const std::uint64_t index = get_u64(r[1], lines.line_no());
       if (index >= job.tasks.size()) {
         bad(lines.line_no(), "result task index outside the task table");
+      }
+      if (index < file.manifest.begin || index >= file.manifest.end) {
+        bad(lines.line_no(), "result task index outside the manifest range");
       }
       if (i > 0 && index <= prev_index) {
         bad(lines.line_no(),
@@ -468,8 +501,9 @@ ShardFile decode(std::string_view text) {
 }
 
 void write_shard_file(const std::string& path, const JobSpec& job,
-                      std::span<const engine::TaskResult> results) {
-  const std::string text = encode(job, results);
+                      std::span<const engine::TaskResult> results,
+                      const std::optional<Manifest>& manifest) {
+  const std::string text = encode(job, results, manifest);
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     throw std::runtime_error("wire: cannot open '" + path + "' for writing");

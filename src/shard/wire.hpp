@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -36,7 +37,10 @@
 
 namespace sops::shard {
 
-inline constexpr std::uint32_t kWireVersion = 1;
+// v2 added the `manifest` line (expected shard-file count + this file's
+// task range) so an incomplete merge can name the missing *file*, not
+// just the missing task indices.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 /// Malformed wire input. `what()` includes the 1-based line number.
 class WireError : public std::runtime_error {
@@ -75,18 +79,39 @@ struct JobSpec {
   std::vector<engine::Task> tasks;
 };
 
+/// Provenance of one shard file within a planned split: how many shard
+/// files the producing run expects in total, and the half-open task
+/// range [begin, end) this file claims. `n_shards == 0` means "not part
+/// of a counted split" (a `--task-range` worker); a canonical merged
+/// artifact is its own complete set of one. The manifest is transport
+/// metadata — it is NOT part of job identity and two files may carry
+/// different manifests — but it lets an incomplete merge name the
+/// missing file ("shard 1/3 covering tasks 6:11") instead of only the
+/// missing task indices.
+struct Manifest {
+  std::uint64_t n_shards = 1;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
 /// One decoded shard file: the job header plus the task results this
-/// shard carries (any strictly-increasing subset of the task table).
+/// shard carries (any strictly-increasing subset of the task table
+/// within the manifest's range).
 struct ShardFile {
   JobSpec job;
+  Manifest manifest;
   std::vector<engine::TaskResult> results;
 };
 
-/// Serializes header + results. Throws std::invalid_argument on specs
-/// that cannot round-trip (empty/multi-token name, tasks[i].index != i,
-/// params containing whitespace, results out of order or off-table).
+/// Serializes header + results. A nullopt manifest means "complete set
+/// of one covering the whole table" ({1, 0, tasks.size()}). Throws
+/// std::invalid_argument on specs that cannot round-trip
+/// (empty/multi-token name, tasks[i].index != i, params containing
+/// whitespace, results out of order, off-table, or outside the
+/// manifest's range).
 [[nodiscard]] std::string encode(
-    const JobSpec& job, std::span<const engine::TaskResult> results);
+    const JobSpec& job, std::span<const engine::TaskResult> results,
+    const std::optional<Manifest>& manifest = std::nullopt);
 
 /// Parses a complete wire document. Strict: throws WireError on any
 /// deviation from the grammar, including trailing content after `end`.
@@ -97,7 +122,8 @@ struct ShardFile {
 /// encode() to `path` (truncating). Throws std::runtime_error on I/O
 /// failure, including short writes.
 void write_shard_file(const std::string& path, const JobSpec& job,
-                      std::span<const engine::TaskResult> results);
+                      std::span<const engine::TaskResult> results,
+                      const std::optional<Manifest>& manifest = std::nullopt);
 
 /// Reads and decode()s `path`. Throws std::runtime_error if unreadable,
 /// WireError if malformed (message includes the path).

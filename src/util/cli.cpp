@@ -28,11 +28,20 @@ void Cli::add_option(std::string name, std::string help,
       Spec{std::move(help), /*is_flag=*/false, std::move(default_value)};
 }
 
+void Cli::set_passthrough_prefix(std::string prefix) {
+  passthrough_prefix_ = std::move(prefix);
+}
+
 void Cli::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       help_ = true;
+      continue;
+    }
+    if (!passthrough_prefix_.empty() && arg.starts_with(passthrough_prefix_)) {
+      // Library flags are --name=value single tokens; keep them verbatim.
+      passthrough_.emplace_back(arg);
       continue;
     }
     if (!arg.starts_with("--")) fail("expected --option", arg);

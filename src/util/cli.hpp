@@ -22,6 +22,15 @@ class Cli {
   void add_option(std::string name, std::string help,
                   std::string default_value);
 
+  /// Arguments starting with `prefix` (e.g. "--benchmark_") are collected
+  /// verbatim into passthrough() instead of being parsed, so a harness can
+  /// forward an embedded library's flag namespace without declaring every
+  /// flag. Must be set before parse().
+  void set_passthrough_prefix(std::string prefix);
+  [[nodiscard]] const std::vector<std::string>& passthrough() const noexcept {
+    return passthrough_;
+  }
+
   /// Parses argv. Throws std::invalid_argument on unknown or malformed
   /// arguments. Recognizes --help and sets help_requested().
   void parse(int argc, const char* const* argv);
@@ -59,6 +68,8 @@ class Cli {
   std::map<std::string, Spec, std::less<>> specs_;
   std::map<std::string, std::string, std::less<>> values_;
   std::map<std::string, bool, std::less<>> flags_;
+  std::string passthrough_prefix_;
+  std::vector<std::string> passthrough_;
   bool help_ = false;
 };
 

@@ -135,8 +135,9 @@ TEST(Wire, DecodeIsStrict) {
   };
 
   expect_rejected("", "empty input");
-  expect_rejected("sops-shard-wire v2\n", "unknown version");
-  expect_rejected("not-a-shard-file v1\n", "bad magic");
+  expect_rejected("sops-shard-wire v3\n", "unknown version");
+  expect_rejected("sops-shard-wire v1\n", "obsolete version");
+  expect_rejected("not-a-shard-file v2\n", "bad magic");
 
   // Truncation anywhere — drop the trailing 'end' line.
   expect_rejected(good.substr(0, good.size() - 4), "missing end marker");
@@ -147,7 +148,7 @@ TEST(Wire, DecodeIsStrict) {
   // Double space = empty token.
   {
     std::string t = good;
-    t.replace(t.find(" v1"), 1, "  ");
+    t.replace(t.find(" v2"), 1, "  ");
     expect_rejected(t, "empty token");
   }
   // Tampered count.

@@ -140,6 +140,31 @@ TEST(Cli, HelpRequested) {
   EXPECT_NE(text.find("--full"), std::string::npos);
 }
 
+TEST(Cli, PassthroughPrefixCollectsVerbatim) {
+  Cli cli = make_cli();
+  cli.set_passthrough_prefix("--benchmark_");
+  parse(cli, {"prog", "--benchmark_filter=Step", "--n", "250",
+              "--benchmark_repetitions=3"});
+  EXPECT_EQ(cli.integer("n"), 250);
+  ASSERT_EQ(cli.passthrough().size(), 2u);
+  EXPECT_EQ(cli.passthrough()[0], "--benchmark_filter=Step");
+  EXPECT_EQ(cli.passthrough()[1], "--benchmark_repetitions=3");
+}
+
+TEST(Cli, PassthroughStillRejectsOtherUnknowns) {
+  Cli cli = make_cli();
+  cli.set_passthrough_prefix("--benchmark_");
+  EXPECT_THROW(parse(cli, {"prog", "--bench_filter=Step"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, NoPassthroughWithoutPrefix) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"prog", "--benchmark_filter=Step"}),
+               std::invalid_argument);
+  EXPECT_TRUE(cli.passthrough().empty());
+}
+
 TEST(Cli, QueryingUndeclaredThrows) {
   Cli cli = make_cli();
   parse(cli, {"prog"});
