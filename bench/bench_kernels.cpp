@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,17 +36,46 @@ core::SeparationChain make_chain(std::size_t n, std::uint64_t seed) {
                                core::Params{4.0, 4.0, true}, seed);
 }
 
-void BM_ChainStep(benchmark::State& state) {
+// Old-vs-new step kernels. Both twins burn in 50k steps first so the
+// timing loop measures the steady-state regime rather than the drift
+// toward it (the configuration keeps evolving *during* measurement, and
+// without burn-in the early, uncompressed part of the trajectory — with
+// its different move/swap mix — would dominate the comparison). The
+// probes_per_step counter is the per-iteration delta of occupancy-table
+// lookups: the single-gather kernel should sit near 10, the reference
+// path near 30-40.
+constexpr std::uint64_t kStepBurnIn = 50'000;
+
+template <bool kReference>
+void chain_step_impl(benchmark::State& state) {
   core::SeparationChain chain =
       make_chain(static_cast<std::size_t>(state.range(0)), 42);
+  chain.run(kStepBurnIn);
+  const std::uint64_t probes_before = chain.system().occupancy_lookups();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(chain.step());
+    if constexpr (kReference) {
+      benchmark::DoNotOptimize(chain.step_reference());
+    } else {
+      benchmark::DoNotOptimize(chain.step());
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto iters = static_cast<std::int64_t>(state.iterations());
+  state.SetItemsProcessed(iters);
+  state.counters["probes_per_step"] = benchmark::Counter(
+      static_cast<double>(chain.system().occupancy_lookups() - probes_before) /
+      static_cast<double>(state.iterations()));
 }
+
+void BM_ChainStep(benchmark::State& state) { chain_step_impl<false>(state); }
 BENCHMARK(BM_ChainStep)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
 
-void BM_PropertyCheck(benchmark::State& state) {
+void BM_ChainStep_Reference(benchmark::State& state) {
+  chain_step_impl<true>(state);
+}
+BENCHMARK(BM_ChainStep_Reference)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
+
+template <bool kReference>
+void property_check_impl(benchmark::State& state) {
   core::SeparationChain chain = make_chain(100, 7);
   chain.run(100000);
   const auto& sys = chain.system();
@@ -54,11 +84,39 @@ void BM_PropertyCheck(benchmark::State& state) {
     const auto i =
         static_cast<system::ParticleIndex>(rng.below(sys.size()));
     const int dir = static_cast<int>(rng.below(6));
-    benchmark::DoNotOptimize(
-        core::move_preserves_invariants(sys, sys.position(i), dir));
+    if constexpr (kReference) {
+      benchmark::DoNotOptimize(
+          core::move_preserves_invariants_reference(sys, sys.position(i), dir));
+    } else {
+      benchmark::DoNotOptimize(
+          core::move_preserves_invariants(sys, sys.position(i), dir));
+    }
   }
 }
+
+void BM_PropertyCheck(benchmark::State& state) {
+  property_check_impl<false>(state);
+}
 BENCHMARK(BM_PropertyCheck);
+
+void BM_PropertyCheck_Reference(benchmark::State& state) {
+  property_check_impl<true>(state);
+}
+BENCHMARK(BM_PropertyCheck_Reference);
+
+void BM_NeighborhoodGather(benchmark::State& state) {
+  core::SeparationChain chain = make_chain(100, 8);
+  chain.run(100000);
+  const auto& sys = chain.system();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const auto i =
+        static_cast<system::ParticleIndex>(rng.below(sys.size()));
+    const int dir = static_cast<int>(rng.below(6));
+    benchmark::DoNotOptimize(sys.gather_neighborhood(sys.position(i), dir, i));
+  }
+}
+BENCHMARK(BM_NeighborhoodGather);
 
 void BM_NeighborCount(benchmark::State& state) {
   core::SeparationChain chain = make_chain(100, 9);

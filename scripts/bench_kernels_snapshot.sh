@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Records one point of the kernel-performance trajectory: runs the
+# old-vs-new step/locality/count microbenches of bench_kernels with
+# --benchmark_format=json and distills machine note + items/sec (+ the
+# probes_per_step counter) into a stable, diff-friendly JSON file.
+#
+# Usage: scripts/bench_kernels_snapshot.sh [build-dir] [out-file]
+#   build-dir  CMake build tree holding bench/bench_kernels (default: build)
+#   out-file   snapshot destination (default: BENCH_kernels.json)
+#
+#        scripts/bench_kernels_snapshot.sh --compare [build-dir] [baseline]
+#   Re-measures and prints a WARN line per benchmark whose items/sec
+#   dropped more than 25% below the committed baseline (default:
+#   BENCH_kernels.json). Always exits 0 — perf drift warns, never gates
+#   CI — except when the benchmark binary itself is missing/broken.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+compare=0
+if [[ ${1:-} == --compare ]]; then
+  compare=1
+  shift
+fi
+build_dir=${1:-build}
+out=${2:-BENCH_kernels.json}
+
+bin=$build_dir/bench/bench_kernels
+[[ -x $bin ]] || { echo "error: $bin not built" >&2; exit 1; }
+
+filter='BM_ChainStep(_Reference)?/(400|1600)|BM_PropertyCheck(_Reference)?$|BM_NeighborhoodGather$|BM_NeighborCount$'
+raw=$(mktemp "${TMPDIR:-/tmp}/bench_kernels.XXXXXX.json")
+trap 'rm -f "$raw"' EXIT
+
+# The harness prints its report banner on stdout, so route the JSON
+# through --benchmark_out instead of --benchmark_format=json on stdout.
+"$bin" --benchmark_filter="$filter" --benchmark_min_time=0.5 \
+  --benchmark_format=json --benchmark_out="$raw" \
+  --benchmark_out_format=json > /dev/null
+
+build_type=$(grep -m1 '^CMAKE_BUILD_TYPE' "$build_dir/CMakeCache.txt" 2>/dev/null \
+  | cut -d= -f2)
+
+distill() {
+  # $1 = raw google-benchmark JSON; emits the snapshot document.
+  jq --arg machine "$(uname -srm), $(nproc) cores" \
+     --arg build_type "${build_type:-unknown}" '{
+    machine: $machine,
+    build_type: $build_type,
+    benchmarks: [.benchmarks[] | {
+      name,
+      items_per_second: (.items_per_second // null),
+      ns_per_op: .cpu_time,
+      probes_per_step: (.probes_per_step // null)
+    }]
+  }' "$1"
+}
+
+if (( compare )); then
+  baseline=${2:-BENCH_kernels.json}
+  [[ -f $baseline ]] || { echo "note: no baseline $baseline; skipping kernel perf comparison"; exit 0; }
+  current=$(mktemp "${TMPDIR:-/tmp}/bench_kernels_cur.XXXXXX.json")
+  trap 'rm -f "$raw" "$current"' EXIT
+  distill "$raw" > "$current"
+  jq -n --slurpfile base "$baseline" --slurpfile cur "$current" '
+    [$base[0].benchmarks[] as $b
+     | ($cur[0].benchmarks[] | select(.name == $b.name)) as $c
+     | select($b.items_per_second != null and $c.items_per_second != null)
+     | select($c.items_per_second < 0.75 * $b.items_per_second)
+     | "WARN: \($b.name) slowed: \($c.items_per_second | floor) items/s vs baseline \($b.items_per_second | floor)"]
+    | .[]' -r
+  echo "kernel perf comparison done (warn-only, threshold 25%)"
+else
+  distill "$raw" > "$out"
+  echo "wrote $out"
+fi

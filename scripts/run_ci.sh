@@ -33,4 +33,7 @@ scripts/check_shard_roundtrip.sh "$build_dir" bench_thm13_compression 2
 echo "== shard round-trip smoke (bench_mixing_gap)"
 scripts/check_shard_roundtrip.sh "$build_dir" bench_mixing_gap 3
 
+echo "== kernel perf vs recorded snapshot (warn-only)"
+scripts/bench_kernels_snapshot.sh --compare "$build_dir" BENCH_kernels.json
+
 echo "PASS: CI green"

@@ -1,5 +1,7 @@
 #include "src/core/locality.hpp"
 
+#include "src/core/neighborhood.hpp"
+
 namespace sops::core {
 
 RingOccupancy RingOccupancy::read(const system::ParticleSystem& sys,
@@ -64,6 +66,12 @@ bool property5(const RingOccupancy& ring) noexcept {
 
 bool move_preserves_invariants(const system::ParticleSystem& sys,
                                lattice::Node l, int dir) noexcept {
+  const NeighborhoodView nb = NeighborhoodView::gather(sys, l, dir);
+  return nb.move_locality_ok();
+}
+
+bool move_preserves_invariants_reference(const system::ParticleSystem& sys,
+                                         lattice::Node l, int dir) noexcept {
   const RingOccupancy ring = RingOccupancy::read(sys, l, dir);
   return property4(ring) || property5(ring);
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/core/neighborhood.hpp"
+
 namespace sops::core {
 
 using lattice::Node;
@@ -12,6 +14,20 @@ using system::ParticleSystem;
 
 double move_weight(const ParticleSystem& sys, const Params& p, Node l,
                    int dir) {
+  const NeighborhoodView nb = NeighborhoodView::gather(sys, l, dir);
+  if (nb.lp_occupied()) {
+    throw std::invalid_argument("move_weight: target occupied");
+  }
+  if (!nb.l_occupied()) {
+    throw std::invalid_argument("move_weight: no particle at l");
+  }
+  const Color ci = nb.color_at(NeighborhoodView::kNodeL);
+  return std::pow(p.lambda, nb.e_prime() - nb.e()) *
+         std::pow(p.gamma, nb.e_prime_i(ci) - nb.e_i(ci));
+}
+
+double move_weight_reference(const ParticleSystem& sys, const Params& p,
+                             Node l, int dir) {
   const Node lp = lattice::neighbor(l, dir);
   if (sys.occupied(lp)) {
     throw std::invalid_argument("move_weight: target occupied");
@@ -33,6 +49,15 @@ double move_weight(const ParticleSystem& sys, const Params& p, Node l,
 
 double swap_weight(const ParticleSystem& sys, const Params& p, Node l,
                    int dir) {
+  const NeighborhoodView nb = NeighborhoodView::gather(sys, l, dir);
+  if (!nb.l_occupied() || !nb.lp_occupied()) {
+    throw std::invalid_argument("swap_weight: both nodes must be occupied");
+  }
+  return std::pow(p.gamma, nb.swap_exponent());
+}
+
+double swap_weight_reference(const ParticleSystem& sys, const Params& p,
+                             Node l, int dir) {
   const Node lp = lattice::neighbor(l, dir);
   const ParticleIndex pi = sys.particle_at(l);
   const ParticleIndex qi = sys.particle_at(lp);
@@ -72,6 +97,52 @@ bool SeparationChain::step() {
   const double q = rng_.uniform_open();
 
   const Node l = sys_.position(pi);
+  const NeighborhoodView nb = NeighborhoodView::gather(sys_, l, dir, pi);
+
+  if (!nb.lp_occupied()) {
+    ++counters_.move_proposals;
+    const Color ci = sys_.color(pi);
+    const int e = nb.e();
+    if (e == 5) {
+      ++counters_.rejected_five;
+      return false;
+    }
+    if (!nb.move_locality_ok()) {
+      ++counters_.rejected_locality;
+      return false;
+    }
+    const int ei = nb.e_i(ci);
+    const int ep = nb.e_prime();
+    const int epi = nb.e_prime_i(ci);
+    if (q >= pow_lambda(ep - e) * pow_gamma(epi - ei)) {
+      ++counters_.rejected_metropolis;
+      return false;
+    }
+    // The gather already determines both bookkeeping deltas: the move
+    // gains e' − e edges and (e' − e'_i) − (e − e_i) heterogeneous ones.
+    sys_.apply_move(pi, lattice::neighbor(l, dir), ep - e,
+                    (ep - epi) - (e - ei));
+    ++counters_.moves_accepted;
+    return true;
+  }
+
+  if (!params_.swaps_enabled) return false;
+  ++counters_.swap_proposals;
+  const Color ci = sys_.color(pi);
+  const Color cj = sys_.color(nb.p_at_lp);
+  if (q >= pow_gamma(nb.swap_exponent())) return false;
+  sys_.apply_swap(pi, nb.p_at_lp);
+  ++counters_.swaps_accepted;
+  return ci != cj;
+}
+
+bool SeparationChain::step_reference() {
+  ++counters_.steps;
+  const auto pi = static_cast<ParticleIndex>(rng_.below(sys_.size()));
+  const int dir = static_cast<int>(rng_.below(6));
+  const double q = rng_.uniform_open();
+
+  const Node l = sys_.position(pi);
   const Node lp = lattice::neighbor(l, dir);
   const ParticleIndex qi = sys_.particle_at(lp);
 
@@ -83,7 +154,7 @@ bool SeparationChain::step() {
       ++counters_.rejected_five;
       return false;
     }
-    if (!move_preserves_invariants(sys_, l, dir)) {
+    if (!move_preserves_invariants_reference(sys_, l, dir)) {
       ++counters_.rejected_locality;
       return false;
     }
@@ -116,6 +187,10 @@ bool SeparationChain::step() {
 
 void SeparationChain::run(std::uint64_t iterations) {
   for (std::uint64_t i = 0; i < iterations; ++i) step();
+}
+
+void SeparationChain::run_reference(std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) step_reference();
 }
 
 SeparationChain make_compression_chain(std::span<const Node> positions,

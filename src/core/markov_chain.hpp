@@ -32,13 +32,21 @@ struct Params {
 /// The weight λ^(e'−e) · γ^(e'_i−e_i) for the non-swap move of the
 /// particle at `l` toward direction `dir` (target must be empty). Exposed
 /// so tests can verify detailed balance against Lemma 9 directly.
+/// Computed on the single-gather step kernel (neighborhood.hpp); the
+/// `_reference` twin recounts per call and must agree bit-for-bit.
 [[nodiscard]] double move_weight(const system::ParticleSystem& sys,
                                  const Params& p, lattice::Node l, int dir);
+[[nodiscard]] double move_weight_reference(const system::ParticleSystem& sys,
+                                           const Params& p, lattice::Node l,
+                                           int dir);
 
 /// The weight γ^(...) for the swap of the particles at `l` and
 /// `l + dir` (target must be occupied).
 [[nodiscard]] double swap_weight(const system::ParticleSystem& sys,
                                  const Params& p, lattice::Node l, int dir);
+[[nodiscard]] double swap_weight_reference(const system::ParticleSystem& sys,
+                                           const Params& p, lattice::Node l,
+                                           int dir);
 
 class SeparationChain {
  public:
@@ -65,10 +73,23 @@ class SeparationChain {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// One iteration of M. Returns true iff the configuration changed.
+  /// Implemented on the single-gather step kernel: one 10-node read of
+  /// the proposal neighborhood, then popcounts/LUTs. Consumes exactly
+  /// the same RNG draws in the same order as step_reference(), and the
+  /// two paths make identical accept/reject decisions (asserted over
+  /// 10^6-step trajectories by tests).
   bool step();
+
+  /// One iteration via the per-call reference implementations
+  /// (neighbor_count walks + RingOccupancy read). Slow path kept for
+  /// cross-checking and old-vs-new benchmarks.
+  bool step_reference();
 
   /// Runs `iterations` steps.
   void run(std::uint64_t iterations);
+
+  /// Runs `iterations` reference-path steps.
+  void run_reference(std::uint64_t iterations);
 
  private:
   [[nodiscard]] double pow_lambda(int k) const noexcept {

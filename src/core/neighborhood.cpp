@@ -1,0 +1,21 @@
+#include "src/core/neighborhood.hpp"
+
+namespace sops::core {
+
+std::string NeighborhoodView::debug_string() const {
+  std::string out = "occ=0b";
+  for (int i = 9; i >= 0; --i) out += node_occupied(i) ? '1' : '0';
+  out += " colors=[";
+  for (int i = 0; i < 10; ++i) {
+    if (i > 0) out += ',';
+    if (node_occupied(i)) {
+      out += std::to_string(static_cast<int>(color_at(i)));
+    } else {
+      out += '-';
+    }
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace sops::core

@@ -10,14 +10,16 @@ using lattice::Node;
 ParticleSystem::ParticleSystem(std::span<const Node> positions,
                                std::span<const Color> colors)
     : positions_(positions.begin(), positions.end()),
-      colors_(colors.begin(), colors.end()),
-      occupancy_(positions.size() * 2) {
+      colors_(colors.begin(), colors.end()) {
   if (positions_.size() != colors_.size()) {
     throw std::invalid_argument("ParticleSystem: positions/colors size mismatch");
   }
   if (positions_.empty()) {
     throw std::invalid_argument("ParticleSystem: empty system");
   }
+  // Pre-size to >= 2x the particle count: the count is fixed for the
+  // lifetime of the system, so no rehash can ever land mid-trajectory.
+  occupancy_.reserve(positions_.size() * 2);
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     if (colors_[i] >= kMaxColors) {
       throw std::invalid_argument("ParticleSystem: color out of range");
@@ -57,6 +59,40 @@ int ParticleSystem::neighbor_count_color(Node v, Color c,
   return count;
 }
 
+NeighborhoodGather ParticleSystem::gather_neighborhood(Node l,
+                                                       int dir) const noexcept {
+  return gather_neighborhood(l, dir, particle_at(l));
+}
+
+NeighborhoodGather ParticleSystem::gather_neighborhood(
+    Node l, int dir, ParticleIndex p_at_l) const noexcept {
+  const lattice::EdgeRing ring = lattice::EdgeRing::around(l, dir);
+  NeighborhoodGather g;
+  for (int i = 0; i < 8; ++i) {
+    const ParticleIndex p = particle_at(ring.nodes[static_cast<std::size_t>(i)]);
+    if (p == kNoParticle) continue;
+    g.occ = static_cast<std::uint16_t>(g.occ | (1u << i));
+    g.color_nibbles ^= static_cast<std::uint64_t>(
+                           colors_[static_cast<std::size_t>(p)] ^ 0xFu)
+                       << (4 * i);
+  }
+  g.p_at_l = p_at_l;
+  if (p_at_l != kNoParticle) {
+    g.occ = static_cast<std::uint16_t>(g.occ | (1u << NeighborhoodGather::kNodeL));
+    g.color_nibbles ^= static_cast<std::uint64_t>(
+                           colors_[static_cast<std::size_t>(p_at_l)] ^ 0xFu)
+                       << (4 * NeighborhoodGather::kNodeL);
+  }
+  g.p_at_lp = particle_at(lattice::neighbor(l, dir));
+  if (g.p_at_lp != kNoParticle) {
+    g.occ = static_cast<std::uint16_t>(g.occ | (1u << NeighborhoodGather::kNodeLp));
+    g.color_nibbles ^= static_cast<std::uint64_t>(
+                           colors_[static_cast<std::size_t>(g.p_at_lp)] ^ 0xFu)
+                       << (4 * NeighborhoodGather::kNodeLp);
+  }
+  return g;
+}
+
 std::int64_t ParticleSystem::count_incident_edges(
     Node v, Color c, std::int64_t* hetero) const noexcept {
   std::int64_t total = 0;
@@ -93,6 +129,23 @@ void ParticleSystem::apply_move(ParticleIndex i, Node to) {
 
   edges_ += deg_new - deg_old;
   hetero_edges_ += het_new - het_old;
+}
+
+void ParticleSystem::apply_move(ParticleIndex i, Node to,
+                                std::int64_t edge_delta,
+                                std::int64_t hetero_delta) {
+  const Node from = position(i);
+  if (!lattice::adjacent(from, to)) {
+    throw std::invalid_argument("apply_move: target not adjacent");
+  }
+  if (occupied(to)) {
+    throw std::invalid_argument("apply_move: target occupied");
+  }
+  occupancy_.erase(lattice::pack(from));
+  positions_[static_cast<std::size_t>(i)] = to;
+  occupancy_.insert(lattice::pack(to), i);
+  edges_ += edge_delta;
+  hetero_edges_ += hetero_delta;
 }
 
 void ParticleSystem::apply_swap(ParticleIndex i, ParticleIndex j) {

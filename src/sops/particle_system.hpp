@@ -32,6 +32,30 @@ inline constexpr Color kMaxColors = 8;
 using ParticleIndex = std::int32_t;
 inline constexpr ParticleIndex kNoParticle = -1;
 
+/// Single-pass snapshot of the closed 10-node neighborhood of a proposal
+/// edge (l, l' = l + dir): the 8-node lattice::EdgeRing plus the two
+/// endpoints. This is the raw material of the step kernel
+/// (src/core/neighborhood.hpp): every quantity Algorithm 1 needs per
+/// step is a popcount or nibble match over these two words.
+///
+/// Node layout (bit i of `occ`, nibble i of `color_nibbles`):
+///   0..7  lattice::EdgeRing::around(l, dir).nodes[0..7]
+///         (ring indices 0 and 4 are the common neighbors of l and l')
+///   8     l
+///   9     l'
+/// `color_nibbles` holds the color of node i in bits [4i, 4i+4), with
+/// 0xF (an impossible color; kMaxColors = 8) where the node is empty,
+/// so a nibble match against any real color also filters occupancy.
+struct NeighborhoodGather {
+  std::uint16_t occ = 0;
+  std::uint64_t color_nibbles = 0xFFFFFFFFFFULL;
+  ParticleIndex p_at_l = kNoParticle;
+  ParticleIndex p_at_lp = kNoParticle;
+
+  static constexpr int kNodeL = 8;
+  static constexpr int kNodeLp = 9;
+};
+
 class ParticleSystem {
  public:
   /// Builds a configuration from node positions and per-particle colors.
@@ -82,6 +106,15 @@ class ParticleSystem {
     return neighbor_count_color(v, c, v);
   }
 
+  /// Reads the closed 10-node neighborhood of the edge (l, l + dir) from
+  /// the occupancy table in one pass (exactly 10 probes). The overload
+  /// taking `p_at_l` skips the probe for l when the caller already holds
+  /// the particle index (the chain always does).
+  [[nodiscard]] NeighborhoodGather gather_neighborhood(lattice::Node l,
+                                                       int dir) const noexcept;
+  [[nodiscard]] NeighborhoodGather gather_neighborhood(
+      lattice::Node l, int dir, ParticleIndex p_at_l) const noexcept;
+
   /// e(σ): number of lattice edges with both endpoints occupied.
   [[nodiscard]] std::int64_t edge_count() const noexcept { return edges_; }
   /// h(σ): number of heterogeneous (bichromatic) edges.
@@ -104,6 +137,12 @@ class ParticleSystem {
   /// unoccupied and adjacent to the particle's current node.
   void apply_move(ParticleIndex i, lattice::Node to);
 
+  /// Same move, but with caller-supplied e(σ)/h(σ) deltas instead of the
+  /// two 6-neighbor recounts (the step kernel already knows both deltas
+  /// from its gather). The caller is responsible for their correctness.
+  void apply_move(ParticleIndex i, lattice::Node to, std::int64_t edge_delta,
+                  std::int64_t hetero_delta);
+
   /// Swaps the positions of two adjacent particles.
   void apply_swap(ParticleIndex i, ParticleIndex j);
 
@@ -121,6 +160,20 @@ class ParticleSystem {
   /// Recomputes e(σ) and h(σ) from scratch; used by tests to validate the
   /// incremental bookkeeping.
   void recount_edges() noexcept;
+
+  /// Capacity of the occupancy table. Pre-sized in the constructor to
+  /// hold >= 2x the particle count without rehash, and the particle
+  /// count never changes, so this value is stable across any trajectory
+  /// (asserted by tests).
+  [[nodiscard]] std::size_t occupancy_capacity() const noexcept {
+    return occupancy_.capacity();
+  }
+
+  /// Cumulative occupancy-table lookups (probes); the kernel benchmarks
+  /// report the per-step delta.
+  [[nodiscard]] std::uint64_t occupancy_lookups() const noexcept {
+    return occupancy_.lookups();
+  }
 
  private:
   [[nodiscard]] std::int64_t count_incident_edges(lattice::Node v,

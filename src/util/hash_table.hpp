@@ -41,6 +41,22 @@ class FlatMap {
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Number of find/contains calls issued so far. The chain benchmarks
+  /// report this as probes-per-step; the counter is cheap enough (one
+  /// non-atomic increment) to keep unconditionally.
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+
+  /// Grows capacity (never shrinks) so that `count` entries fit without
+  /// any further rehash: count <= 7/8 * capacity after the call. A table
+  /// reserved for its peak size keeps every slot pointer stable for the
+  /// rest of its life — the particle system relies on this so no rehash
+  /// ever lands mid-trajectory.
+  void reserve(std::size_t count) {
+    std::size_t cap = slots_.size();
+    while (count + 1 > (cap * 7) / 8) cap <<= 1;
+    if (cap != slots_.size()) rehash(cap);
+  }
+
   void clear() noexcept {
     for (auto& s : slots_) s.occupied = false;
     size_ = 0;
@@ -64,6 +80,7 @@ class FlatMap {
 
   /// Pointer to the value for `key`, or nullptr if absent.
   [[nodiscard]] const Value* find(std::uint64_t key) const noexcept {
+    ++lookups_;
     std::size_t i = probe_start(key);
     while (slots_[i].occupied) {
       if (slots_[i].key == key) return &slots_[i].value;
@@ -114,8 +131,12 @@ class FlatMap {
 
   void maybe_grow() {
     if (size_ + 1 <= (slots_.size() * 7) / 8) return;
+    rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_capacity) {
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{0, Value{}, false});
+    slots_.assign(new_capacity, Slot{0, Value{}, false});
     size_ = 0;
     for (const auto& s : old) {
       if (s.occupied) insert(s.key, s.value);
@@ -141,6 +162,7 @@ class FlatMap {
 
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
+  mutable std::uint64_t lookups_ = 0;
 };
 
 /// Flat hash set of uint64 keys, built on FlatMap with an empty payload.
@@ -152,6 +174,7 @@ class FlatSet {
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
   void clear() noexcept { map_.clear(); }
+  void reserve(std::size_t count) { map_.reserve(count); }
   bool insert(std::uint64_t key) { return map_.insert(key, Unit{}); }
   bool erase(std::uint64_t key) noexcept { return map_.erase(key); }
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept {

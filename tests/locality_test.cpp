@@ -148,6 +148,25 @@ TEST(MovePreservesInvariants, LineEndPivotsAllowed) {
   EXPECT_FALSE(move_preserves_invariants(sys, Node{4, 0}, 1));
 }
 
+// The table-driven fast path and the per-call reference must agree on
+// every (particle, direction) proposal of random systems, occupied
+// targets included.
+TEST(MovePreservesInvariants, FastPathMatchesReference) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.below(40));
+    const ParticleSystem sys(lattice::random_blob(n, rng));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int dir = 0; dir < lattice::kDegree; ++dir) {
+        const Node l = sys.position(static_cast<system::ParticleIndex>(i));
+        EXPECT_EQ(move_preserves_invariants(sys, l, dir),
+                  move_preserves_invariants_reference(sys, l, dir))
+            << "trial " << trial << " particle " << i << " dir " << dir;
+      }
+    }
+  }
+}
+
 // Reversibility (Lemma 7): if a move l→l' passes the locality check, the
 // reverse move l'→l must also pass after the move is applied.
 TEST(MovePreservesInvariants, LocalChecksAreReversible) {

@@ -180,6 +180,19 @@ TEST(SeparationChainTest, HolesAreConservedByTheLiteralMoveSet) {
   }
 }
 
+TEST(SeparationChainTest, OccupancyCapacityStableAcrossLongRun) {
+  // The constructor pre-sizes the occupancy table to >= 2x the particle
+  // count, so no rehash — and no latency spike or pointer invalidation —
+  // can ever land mid-trajectory.
+  SeparationChain chain(random_start(50, 12), Params{4.0, 4.0, true}, 31);
+  const std::size_t cap = chain.system().occupancy_capacity();
+  EXPECT_GE(cap, 2 * chain.system().size());
+  for (int block = 0; block < 10; ++block) {
+    chain.run(20000);
+    ASSERT_EQ(chain.system().occupancy_capacity(), cap) << block;
+  }
+}
+
 TEST(SeparationChainTest, DeterministicGivenSeed) {
   SeparationChain a(random_start(40, 8), Params{4.0, 4.0, true}, 99);
   SeparationChain b(random_start(40, 8), Params{4.0, 4.0, true}, 99);

@@ -95,6 +95,58 @@ TEST(FlatMap, DifferentialChurn) {
   }
 }
 
+TEST(FlatMap, ReserveGuaranteesCapacityUpFront) {
+  FlatMap<int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  // 1000 entries must fit under the 7/8 load-factor ceiling.
+  EXPECT_LE(1000u + 1u, (cap * 7) / 8);
+  for (std::uint64_t i = 0; i < 1000; ++i) m.insert(i * 7919, 1);
+  EXPECT_EQ(m.capacity(), cap);
+  // reserve never shrinks.
+  m.reserve(10);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// The particle-system contract: a table reserved for 2x its resident
+// count must never rehash across a long trajectory of erase+insert
+// pairs (the occupancy churn of a chain run).
+TEST(FlatMap, CapacityStableAcrossTrajectoryChurn) {
+  const std::size_t n = 400;
+  FlatMap<int> m;
+  m.reserve(2 * n);
+  const std::size_t cap = m.capacity();
+
+  std::vector<std::uint64_t> keys;
+  Rng rng(777);
+  std::uint64_t next_key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(next_key);
+    m.insert(next_key++, 1);
+  }
+  for (int step = 0; step < 200000; ++step) {
+    // One chain move: vacate one node, occupy a fresh one.
+    const std::size_t victim =
+        static_cast<std::size_t>(rng.below(keys.size()));
+    EXPECT_TRUE(m.erase(keys[victim]));
+    keys[victim] = next_key;
+    m.insert(next_key++, 1);
+    ASSERT_EQ(m.capacity(), cap) << "rehash at step " << step;
+  }
+  EXPECT_EQ(m.size(), n);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, LookupCounterCountsFindsAndContains) {
+  FlatMap<int> m;
+  m.insert(1, 10);
+  const std::uint64_t before = m.lookups();
+  (void)m.find(1);
+  (void)m.find(2);
+  (void)m.contains(1);
+  EXPECT_EQ(m.lookups(), before + 3);
+}
+
 TEST(FlatSet, BasicOperations) {
   FlatSet s;
   EXPECT_TRUE(s.insert(10));
