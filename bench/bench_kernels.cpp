@@ -17,6 +17,7 @@
 #include "src/core/coloring.hpp"
 #include "src/core/locality.hpp"
 #include "src/core/markov_chain.hpp"
+#include "src/core/step_pipeline.hpp"
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
@@ -73,6 +74,39 @@ void BM_ChainStep_Reference(benchmark::State& state) {
   chain_step_impl<true>(state);
 }
 BENCHMARK(BM_ChainStep_Reference)->Arg(50)->Arg(100)->Arg(400)->Arg(1600);
+
+// The batched run loop (src/core/step_pipeline.hpp) against the
+// per-call step() above: same burn-in, same steady-state regime, items
+// = chain steps. Arg pair = (n, pipeline block size); each timing
+// iteration advances the trajectory by one fixed 4096-step chunk so the
+// per-iteration work is identical across block sizes and the comparison
+// against BM_ChainStep is steps-for-steps.
+constexpr std::uint64_t kPipelineChunk = 4096;
+
+void BM_RunPipeline(benchmark::State& state) {
+  core::SeparationChain chain =
+      make_chain(static_cast<std::size_t>(state.range(0)), 42);
+  chain.run(kStepBurnIn);
+  core::StepPipeline pipeline(chain,
+                              static_cast<std::size_t>(state.range(1)));
+  const std::uint64_t probes_before = chain.system().occupancy_lookups();
+  for (auto _ : state) {
+    pipeline.run(kPipelineChunk);
+  }
+  const auto steps = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(kPipelineChunk);
+  state.SetItemsProcessed(steps);
+  state.counters["probes_per_step"] = benchmark::Counter(
+      static_cast<double>(chain.system().occupancy_lookups() - probes_before) /
+      static_cast<double>(steps));
+}
+BENCHMARK(BM_RunPipeline)
+    ->ArgPair(400, 64)
+    ->ArgPair(400, 256)
+    ->ArgPair(400, 1024)
+    ->ArgPair(1600, 64)
+    ->ArgPair(1600, 256)
+    ->ArgPair(1600, 1024);
 
 template <bool kReference>
 void property_check_impl(benchmark::State& state) {

@@ -8,18 +8,28 @@
 #   build-dir  CMake build tree holding bench/bench_kernels (default: build)
 #   out-file   snapshot destination (default: BENCH_kernels.json)
 #
-#        scripts/bench_kernels_snapshot.sh --compare [build-dir] [baseline]
+#        scripts/bench_kernels_snapshot.sh --compare [--tolerance PCT] \
+#            [build-dir] [baseline]
 #   Re-measures and prints a WARN line per benchmark whose items/sec
-#   dropped more than 25% below the committed baseline (default:
-#   BENCH_kernels.json). Always exits 0 — perf drift warns, never gates
-#   CI — except when the benchmark binary itself is missing/broken.
+#   dropped more than PCT percent (default 25) below the committed
+#   baseline (default: BENCH_kernels.json). By default perf drift
+#   warns, never gates CI — the script exits 0 unless the benchmark
+#   binary itself is missing/broken. Opt-in hard-fail mode: set
+#   SOPS_BENCH_STRICT=1 to exit 1 when any benchmark breaches the
+#   tolerance (for perf-gated CI lanes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 compare=0
+tolerance=25
 if [[ ${1:-} == --compare ]]; then
   compare=1
   shift
+fi
+if [[ ${1:-} == --tolerance ]]; then
+  [[ $compare == 1 ]] || { echo "error: --tolerance only applies to --compare" >&2; exit 2; }
+  tolerance=${2:?--tolerance needs a percentage}
+  shift 2
 fi
 build_dir=${1:-build}
 out=${2:-BENCH_kernels.json}
@@ -27,7 +37,7 @@ out=${2:-BENCH_kernels.json}
 bin=$build_dir/bench/bench_kernels
 [[ -x $bin ]] || { echo "error: $bin not built" >&2; exit 1; }
 
-filter='BM_ChainStep(_Reference)?/(400|1600)|BM_PropertyCheck(_Reference)?$|BM_NeighborhoodGather$|BM_NeighborCount$'
+filter='BM_ChainStep(_Reference)?/(400|1600)|BM_RunPipeline/(400|1600)/(64|256|1024)|BM_PropertyCheck(_Reference)?$|BM_NeighborhoodGather$|BM_NeighborCount$'
 raw=$(mktemp "${TMPDIR:-/tmp}/bench_kernels.XXXXXX.json")
 trap 'rm -f "$raw"' EXIT
 
@@ -61,14 +71,20 @@ if (( compare )); then
   current=$(mktemp "${TMPDIR:-/tmp}/bench_kernels_cur.XXXXXX.json")
   trap 'rm -f "$raw" "$current"' EXIT
   distill "$raw" > "$current"
-  jq -n --slurpfile base "$baseline" --slurpfile cur "$current" '
+  warnings=$(jq -n --slurpfile base "$baseline" --slurpfile cur "$current" \
+    --argjson tol "$tolerance" '
     [$base[0].benchmarks[] as $b
      | ($cur[0].benchmarks[] | select(.name == $b.name)) as $c
      | select($b.items_per_second != null and $c.items_per_second != null)
-     | select($c.items_per_second < 0.75 * $b.items_per_second)
+     | select($c.items_per_second < (1 - $tol / 100) * $b.items_per_second)
      | "WARN: \($b.name) slowed: \($c.items_per_second | floor) items/s vs baseline \($b.items_per_second | floor)"]
-    | .[]' -r
-  echo "kernel perf comparison done (warn-only, threshold 25%)"
+    | .[]' -r)
+  [[ -z $warnings ]] || printf '%s\n' "$warnings"
+  if [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 && -n $warnings ]]; then
+    echo "FAIL: kernel perf regression beyond ${tolerance}% (SOPS_BENCH_STRICT=1)" >&2
+    exit 1
+  fi
+  echo "kernel perf comparison done ($( [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] && echo strict || echo warn-only ), threshold ${tolerance}%)"
 else
   distill "$raw" > "$out"
   echo "wrote $out"

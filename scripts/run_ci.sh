@@ -11,6 +11,15 @@
 # Environment:
 #   CMAKE_BUILD_TYPE  build type (default: Release)
 #   JOBS              parallel build/test jobs (default: nproc)
+#   SOPS_BENCH_STRICT kernel-perf comparison hard-fails (exit 1) on a
+#                     regression beyond the tolerance instead of the
+#                     default warn-only behavior (see
+#                     bench_kernels_snapshot.sh --compare --tolerance)
+#   SOPS_CI_TSAN      also configure a -DSOPS_SANITIZE=thread tree in
+#                     <build-dir>-tsan and run the race-check tiers
+#                     there: ctest -L 'core|engine|shard|harness'
+#                     (the core tier carries the step-pipeline and
+#                     neighborhood equivalence tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,7 +42,18 @@ scripts/check_shard_roundtrip.sh "$build_dir" bench_thm13_compression 2
 echo "== shard round-trip smoke (bench_mixing_gap)"
 scripts/check_shard_roundtrip.sh "$build_dir" bench_mixing_gap 3
 
-echo "== kernel perf vs recorded snapshot (warn-only)"
+echo "== kernel perf vs recorded snapshot ($(
+  [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] \
+    && echo "strict: SOPS_BENCH_STRICT=1" || echo warn-only))"
 scripts/bench_kernels_snapshot.sh --compare "$build_dir" BENCH_kernels.json
+
+if [[ -n ${SOPS_CI_TSAN:-} && ${SOPS_CI_TSAN:-} != 0 ]]; then
+  echo "== TSan tiers (core|engine|shard|harness under ${build_dir}-tsan)"
+  cmake -S . -B "${build_dir}-tsan" -DSOPS_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}-tsan" -j "$jobs"
+  ctest --test-dir "${build_dir}-tsan" --output-on-failure -j "$jobs" \
+    -L 'core|engine|shard|harness'
+fi
 
 echo "PASS: CI green"

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/core/neighborhood.hpp"
+#include "src/core/step_pipeline.hpp"
 
 namespace sops::core {
 
@@ -186,7 +187,7 @@ bool SeparationChain::step_reference() {
 }
 
 void SeparationChain::run(std::uint64_t iterations) {
-  for (std::uint64_t i = 0; i < iterations; ++i) step();
+  StepPipeline(*this).run(iterations);
 }
 
 void SeparationChain::run_reference(std::uint64_t iterations) {

@@ -48,6 +48,8 @@ struct Params {
                                            const Params& p, lattice::Node l,
                                            int dir);
 
+class StepPipeline;
+
 class SeparationChain {
  public:
   struct Counters {
@@ -85,13 +87,22 @@ class SeparationChain {
   /// cross-checking and old-vs-new benchmarks.
   bool step_reference();
 
-  /// Runs `iterations` steps.
+  /// Runs `iterations` steps through the batched StepPipeline
+  /// (step_pipeline.hpp): RNG block refill, proposal pre-decode, and a
+  /// speculative execute walk. Byte-identical to the same number of
+  /// step() calls — same trajectory, counters, and final RNG state.
+  /// Long-lived drivers (core/runner) construct one StepPipeline and
+  /// reuse its buffers across segments instead of calling this.
   void run(std::uint64_t iterations);
 
   /// Runs `iterations` reference-path steps.
   void run_reference(std::uint64_t iterations);
 
  private:
+  // The pipeline is the run loop: it reads rng_/sys_/params_, the
+  // Metropolis pow tables, and flushes block-local counters into
+  // counters_. step() stays the single-step reference twin.
+  friend class StepPipeline;
   [[nodiscard]] double pow_lambda(int k) const noexcept {
     return pow_lambda_[static_cast<std::size_t>(k + kMaxExp)];
   }

@@ -5,31 +5,55 @@
 
 namespace sops::core {
 
+namespace {
+
+// One pass over the series for the sample mean, a second for the sum of
+// squared deviations (the "variance" normalizer of the biased
+// autocorrelation estimator). Shared by autocorrelation and
+// integrated_autocorrelation_time so the τ loop computes them once
+// instead of once per lag; the arithmetic (accumulation order included)
+// is exactly the former per-lag code, so results are bit-identical.
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;  ///< Σ (x − mean)², not normalized
+};
+
+Moments moments(std::span<const double> series) {
+  Moments m;
+  for (const double x : series) m.mean += x;
+  m.mean /= static_cast<double>(series.size());
+  for (const double x : series) {
+    m.variance += (x - m.mean) * (x - m.mean);
+  }
+  return m;
+}
+
+double autocorrelation_with(std::span<const double> series, const Moments& m,
+                            std::size_t lag) {
+  if (m.variance == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < series.size(); ++i) {
+    cov += (series[i] - m.mean) * (series[i + lag] - m.mean);
+  }
+  return cov / m.variance;
+}
+
+}  // namespace
+
 double autocorrelation(std::span<const double> series, std::size_t lag) {
   const std::size_t n = series.size();
   if (lag >= n || n < 2) return 0.0;
-  double mean = 0.0;
-  for (const double x : series) mean += x;
-  mean /= static_cast<double>(n);
-
-  double variance = 0.0;
-  for (const double x : series) variance += (x - mean) * (x - mean);
-  if (variance == 0.0) return 0.0;
-
-  double cov = 0.0;
-  for (std::size_t i = 0; i + lag < n; ++i) {
-    cov += (series[i] - mean) * (series[i + lag] - mean);
-  }
-  return cov / variance;
+  return autocorrelation_with(series, moments(series), lag);
 }
 
 double integrated_autocorrelation_time(std::span<const double> series) {
   const std::size_t n = series.size();
   if (n < 4) return 1.0;
+  const Moments m = moments(series);
   double tau = 1.0;
   const std::size_t max_lag = n / 4;
   for (std::size_t lag = 1; lag <= max_lag; ++lag) {
-    const double rho = autocorrelation(series, lag);
+    const double rho = autocorrelation_with(series, m, lag);
     if (rho <= 0.0) break;
     tau += 2.0 * rho;
   }

@@ -2,18 +2,22 @@
 
 #include <stdexcept>
 
+#include "src/core/step_pipeline.hpp"
 #include "src/sops/invariants.hpp"
 
 namespace sops::core {
 
 Measurement measure(const SeparationChain& chain) {
+  return measure(chain, system::p_min(chain.system().size()));
+}
+
+Measurement measure(const SeparationChain& chain, std::int64_t pmin) {
   const auto& sys = chain.system();
   Measurement m;
   m.iteration = chain.counters().steps;
   m.edges = sys.edge_count();
   m.hetero_edges = sys.hetero_edge_count();
   m.perimeter = sys.perimeter_by_identity();
-  const auto pmin = system::p_min(sys.size());
   m.perimeter_ratio = pmin > 0 ? static_cast<double>(m.perimeter) /
                                      static_cast<double>(pmin)
                                : 1.0;
@@ -23,10 +27,19 @@ Measurement measure(const SeparationChain& chain) {
   return m;
 }
 
+// Both drivers below own one StepPipeline for the whole call, so the
+// refill/decode buffers are allocated once and reused across every
+// segment between checkpoints/samples.
+
 std::vector<Measurement> run_with_checkpoints(
     SeparationChain& chain, std::span<const std::uint64_t> checkpoints,
     const std::function<void(const SeparationChain&, std::uint64_t)>&
-        on_checkpoint) {
+        on_checkpoint,
+    std::size_t pipeline_block) {
+  StepPipeline pipeline(chain, pipeline_block == 0
+                                   ? StepPipeline::kDefaultBlockSize
+                                   : pipeline_block);
+  const std::int64_t pmin = system::p_min(chain.system().size());
   std::vector<Measurement> out;
   out.reserve(checkpoints.size());
   for (const std::uint64_t target : checkpoints) {
@@ -34,8 +47,8 @@ std::vector<Measurement> run_with_checkpoints(
     if (target < now) {
       throw std::invalid_argument("run_with_checkpoints: checkpoints must be nondecreasing");
     }
-    chain.run(target - now);
-    out.push_back(measure(chain));
+    pipeline.run(target - now);
+    out.push_back(measure(chain, pmin));
     if (on_checkpoint) on_checkpoint(chain, target);
   }
   return out;
@@ -44,13 +57,18 @@ std::vector<Measurement> run_with_checkpoints(
 std::vector<Measurement> sample_equilibrium(
     SeparationChain& chain, std::uint64_t burn_in, std::uint64_t interval,
     std::size_t samples,
-    const std::function<void(const SeparationChain&)>& on_sample) {
-  chain.run(burn_in);
+    const std::function<void(const SeparationChain&)>& on_sample,
+    std::size_t pipeline_block) {
+  StepPipeline pipeline(chain, pipeline_block == 0
+                                   ? StepPipeline::kDefaultBlockSize
+                                   : pipeline_block);
+  const std::int64_t pmin = system::p_min(chain.system().size());
+  pipeline.run(burn_in);
   std::vector<Measurement> out;
   out.reserve(samples);
   for (std::size_t s = 0; s < samples; ++s) {
-    if (s > 0) chain.run(interval);
-    out.push_back(measure(chain));
+    if (s > 0) pipeline.run(interval);
+    out.push_back(measure(chain, pmin));
     if (on_sample) on_sample(chain);
   }
   return out;

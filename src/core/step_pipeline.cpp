@@ -1,0 +1,295 @@
+#include "src/core/step_pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/neighborhood.hpp"
+
+namespace sops::core {
+
+using lattice::EdgeRing;
+using lattice::Node;
+using system::Color;
+using system::NeighborhoodGather;
+using system::ParticleIndex;
+
+StepPipeline::StepPipeline(SeparationChain& chain, std::size_t block_size)
+    : chain_(chain),
+      block_size_(std::clamp<std::size_t>(block_size, 1, kMaxBlockSize)) {
+  raw_.resize(3 * block_size_);
+  props_.resize(block_size_);
+}
+
+void StepPipeline::run(std::uint64_t iterations) {
+  if (iterations == 0) return;
+  // The system may have been stepped outside the pipeline since the
+  // last call (step() interleavings, checkpointed measurement code);
+  // the mirror is derived state, so rebuild it at every entry.
+  rebuild_mirror();
+  while (iterations > 0) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(iterations, block_size_));
+    run_block(count);
+    iterations -= count;
+  }
+}
+
+void StepPipeline::rebuild_mirror() {
+  mirror_ok_ = false;
+  const system::ParticleSystem& sys = chain_.sys_;
+  const std::size_t n = sys.size();
+  if (n == 0 || n + 1 > kPMask) return;  // index+1 must fit the cell encoding
+
+  std::int64_t xmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t xmax = std::numeric_limits<std::int64_t>::min();
+  std::int64_t ymin = xmin;
+  std::int64_t ymax = xmax;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node v = sys.position(static_cast<ParticleIndex>(i));
+    xmin = std::min<std::int64_t>(xmin, v.x);
+    xmax = std::max<std::int64_t>(xmax, v.x);
+    ymin = std::min<std::int64_t>(ymin, v.y);
+    ymax = std::max<std::int64_t>(ymax, v.y);
+  }
+  const std::int64_t w = (xmax - xmin + 1) + 2 * kMirrorMargin;
+  const std::int64_t h = (ymax - ymin + 1) + 2 * kMirrorMargin;
+  // Connected blobs have bounding boxes of O(n^2) cells at the very
+  // worst (a zig-zag path); outliers in pathological disconnected
+  // systems can blow the box up arbitrarily, so refuse to mirror those
+  // and let the FlatMap fallback path handle them.
+  const std::int64_t cap = std::max<std::int64_t>(
+      std::int64_t{1} << 20, 32 * static_cast<std::int64_t>(n));
+  if (w * h > cap) return;
+
+  x0_ = xmin - kMirrorMargin;
+  y0_ = ymin - kMirrorMargin;
+  w_ = w;
+  h_ = h;
+  cells_.assign(static_cast<std::size_t>(w * h), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pi = static_cast<ParticleIndex>(i);
+    const std::uint32_t nibble = sys.color(pi) ^ 0xFu;
+    cells_[static_cast<std::size_t>(mirror_index(sys.position(pi)))] =
+        (static_cast<std::uint32_t>(i) + 1) | (nibble << 28);
+  }
+  for (int d = 0; d < 6; ++d) {
+    const auto off = [&](Node v) {
+      return static_cast<std::int64_t>(v.y) * w_ + v.x;
+    };
+    lp_off_[static_cast<std::size_t>(d)] = off(lattice::neighbor(Node{}, d));
+    const EdgeRing ring = EdgeRing::around(Node{}, d);
+    for (std::size_t k = 0; k < 8; ++k) {
+      ring_off_[static_cast<std::size_t>(d)][k] = off(ring.nodes[k]);
+    }
+  }
+  ++stats_.mirror_rebuilds;
+  mirror_ok_ = true;
+}
+
+void StepPipeline::run_block(std::size_t count) {
+  ++stats_.blocks;
+  util::Rng& rng = chain_.rng_;
+
+  // 1. REFILL — the minimum 3 words per step in one tight loop. Every
+  // refilled word is consumed by the decode below (each proposal takes
+  // at least 3), so the generator never runs ahead of the trajectory:
+  // after the block, rng state equals the serial step() loop's exactly.
+  const std::size_t words = 3 * count;
+  std::uint64_t* const raw = raw_.data();
+  for (std::size_t i = 0; i < words; ++i) raw[i] = rng.next();
+  stats_.refill_words += words;
+
+  // 2. DECODE — identical word consumption to step()'s
+  // below(n)/below(6)/uniform_open() triple, rejection redraws
+  // included; the rare draws past the refilled block spill to the
+  // generator directly, still in sequence order.
+  const std::uint64_t n = chain_.sys_.size();
+  std::size_t cursor = 0;
+  std::uint64_t tail = 0;
+  const auto take = [&]() noexcept {
+    if (cursor < words) return raw[cursor++];
+    ++tail;
+    return rng.next();
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    Proposal& pr = props_[i];
+    pr.pi = static_cast<ParticleIndex>(util::lemire_below(take, n));
+    pr.dir = static_cast<std::int32_t>(util::lemire_below(take, 6));
+    pr.q = util::decode_uniform_open(take());
+    pr.epoch = ~0ULL;
+  }
+  stats_.tail_words += tail;
+
+  // 3. EXECUTE. A mid-block drift rebuild can decline the mirror (box
+  // cap); the mirrored walk then stops where it is and the FlatMap walk
+  // finishes the block — the decoded proposals are path-independent.
+  std::size_t done = 0;
+  if (mirror_ok_) done = execute_block<true>(0, count);
+  if (done < count) execute_block<false>(done, count);
+}
+
+template <bool kMirror>
+std::size_t StepPipeline::execute_block(std::size_t begin, std::size_t count) {
+  system::ParticleSystem& sys = chain_.sys_;
+  const Params params = chain_.params_;
+  const double* const pow_l = chain_.pow_lambda_ + SeparationChain::kMaxExp;
+  const double* const pow_g = chain_.pow_gamma_ + SeparationChain::kMaxExp;
+  SeparationChain::Counters c;
+  std::uint64_t epoch = 0;
+  std::uint32_t* cells = cells_.data();
+  std::size_t done = count;
+
+  // Snapshot the proposer's position and pull in the lines its gather
+  // will probe: in mirror mode the three mirror rows the 10-node
+  // neighborhood spans, otherwise the occupancy-table probe lines of
+  // the target l' and the two common ring neighbors. Valid while no
+  // accepted move/swap intervenes — hence the epoch stamp.
+  const auto speculate = [&](Proposal& pr) noexcept {
+    pr.l = sys.position(pr.pi);
+    pr.epoch = epoch;
+    if constexpr (kMirror) {
+      pr.base = mirror_index(pr.l);
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(
+          &cells[pr.base + lp_off_[static_cast<std::size_t>(pr.dir)]], 0, 1);
+      __builtin_prefetch(&cells[pr.base - w_], 0, 1);
+      __builtin_prefetch(&cells[pr.base + w_], 0, 1);
+#endif
+    } else {
+      sys.prefetch_occupancy(lattice::neighbor(pr.l, pr.dir));
+      sys.prefetch_occupancy(lattice::neighbor(pr.l, (pr.dir + 1) % 6));
+      sys.prefetch_occupancy(lattice::neighbor(pr.l, (pr.dir + 5) % 6));
+    }
+  };
+
+  if (begin < count) speculate(props_[begin]);
+  for (std::size_t i = begin; i < count; ++i) {
+    if (i + 1 < count) {
+      speculate(props_[i + 1]);
+      if (i + 2 < count) sys.prefetch_position(props_[i + 2].pi);
+    }
+
+    const Proposal& pr = props_[i];
+    Node l;
+    std::int64_t base = 0;
+    if (pr.epoch == epoch) {
+      l = pr.l;
+      if constexpr (kMirror) base = pr.base;
+      ++stats_.speculative_hits;
+    } else {
+      // An accepted move/swap since the snapshot may have relocated the
+      // proposer; fall back to a fresh read + plain gather.
+      l = sys.position(pr.pi);
+      if constexpr (kMirror) base = mirror_index(l);
+      ++stats_.speculative_misses;
+    }
+    const int dir = static_cast<int>(pr.dir);
+    const double q = pr.q;
+    const std::int64_t lp_cell =
+        kMirror ? base + lp_off_[static_cast<std::size_t>(dir)] : 0;
+
+    NeighborhoodView nb;
+    if constexpr (kMirror) {
+      // Branch-free gather from the dense mirror: ten direct loads; the
+      // cell encoding IS the occupancy bit and the nibble XOR mask.
+      const std::int64_t* const roff =
+          ring_off_[static_cast<std::size_t>(dir)].data();
+      unsigned occ = 1u << NeighborhoodGather::kNodeL;
+      std::uint64_t nib = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        const std::uint32_t cell = cells[base + roff[k]];
+        occ |= static_cast<unsigned>(cell != 0) << k;
+        nib ^= static_cast<std::uint64_t>(cell >> 28) << (4 * k);
+      }
+      const std::uint32_t lpc = cells[lp_cell];
+      occ |= static_cast<unsigned>(lpc != 0) << NeighborhoodGather::kNodeLp;
+      nib ^= static_cast<std::uint64_t>(lpc >> 28) << 36;
+      nib ^= static_cast<std::uint64_t>(sys.color(pr.pi) ^ 0xFu) << 32;
+      nb.occ = static_cast<std::uint16_t>(occ);
+      nb.color_nibbles ^= nib;
+      nb.p_at_l = pr.pi;
+      nb.p_at_lp = static_cast<ParticleIndex>(lpc & kPMask) - 1;
+    } else {
+      nb = NeighborhoodView::gather(sys, l, dir, pr.pi);
+    }
+
+    if (!nb.lp_occupied()) {
+      ++c.move_proposals;
+      const Color ci = sys.color(pr.pi);
+      const int e = nb.e();
+      if (e == 5) {
+        ++c.rejected_five;
+        continue;
+      }
+      if (!nb.move_locality_ok()) {
+        ++c.rejected_locality;
+        continue;
+      }
+      const int ei = nb.e_i(ci);
+      const int ep = nb.e_prime();
+      const int epi = nb.e_prime_i(ci);
+      if (q >= pow_l[ep - e] * pow_g[epi - ei]) {
+        ++c.rejected_metropolis;
+        continue;
+      }
+      const Node to = lattice::neighbor(l, dir);
+      sys.apply_move(pr.pi, to, ep - e, (ep - epi) - (e - ei));
+      ++c.moves_accepted;
+      ++epoch;
+      if constexpr (kMirror) {
+        cells[lp_cell] = cells[base];
+        cells[base] = 0;
+        // Keep every particle at least kMirrorSlack (> the gather's
+        // 2-cell reach) away from the box edge: re-center the box when a
+        // move drifts into the guard band. A declined rebuild (box cap)
+        // hands the rest of the block to the FlatMap walk.
+        if (to.x - x0_ < kMirrorSlack || x0_ + w_ - 1 - to.x < kMirrorSlack ||
+            to.y - y0_ < kMirrorSlack || y0_ + h_ - 1 - to.y < kMirrorSlack) {
+          rebuild_mirror();
+          if (!mirror_ok_) {
+            done = i + 1;
+            break;
+          }
+          cells = cells_.data();  // assign() may have reallocated
+        }
+      }
+      continue;
+    }
+
+    if (!params.swaps_enabled) continue;
+    ++c.swap_proposals;
+    if (q >= pow_g[nb.swap_exponent()]) continue;
+    // Any accepted swap advances the epoch; the underlying apply_swap
+    // relocates the pair only when the colors differ (a same-color swap
+    // is a configuration no-op), and the mirror matches it branch-free:
+    // the conditional cell exchange masks to zero for equal top nibbles.
+    sys.apply_swap(pr.pi, nb.p_at_lp);
+    ++c.swaps_accepted;
+    ++epoch;
+    if constexpr (kMirror) {
+      const std::uint32_t a = cells[base];
+      const std::uint32_t b = cells[lp_cell];
+      const std::uint32_t mask = ((a ^ b) >> 28) != 0 ? ~std::uint32_t{0} : 0;
+      cells[base] = a ^ ((a ^ b) & mask);
+      cells[lp_cell] = b ^ ((a ^ b) & mask);
+    }
+  }
+
+  SeparationChain::Counters& out = chain_.counters_;
+  out.steps += done - begin;
+  out.move_proposals += c.move_proposals;
+  out.moves_accepted += c.moves_accepted;
+  out.rejected_five += c.rejected_five;
+  out.rejected_locality += c.rejected_locality;
+  out.rejected_metropolis += c.rejected_metropolis;
+  out.swap_proposals += c.swap_proposals;
+  out.swaps_accepted += c.swaps_accepted;
+  return done;
+}
+
+template std::size_t StepPipeline::execute_block<true>(std::size_t,
+                                                       std::size_t);
+template std::size_t StepPipeline::execute_block<false>(std::size_t,
+                                                        std::size_t);
+
+}  // namespace sops::core

@@ -1,0 +1,149 @@
+// Batched run loop for Algorithm 1 — the engine behind
+// SeparationChain::run.
+//
+// step() interleaves three unrelated kinds of work at every iteration:
+// RNG decoding (two Lemire bounded draws + one double), a dependent
+// chain of occupancy-table probes (the single-gather kernel of
+// neighborhood.hpp), and bookkeeping (counters, Metropolis table
+// lookups). The pipeline splits a trajectory into blocks and runs each
+// phase over the whole block:
+//
+//  1. REFILL — draw the block's raw xoshiro256++ outputs in one tight
+//     loop (3 words per step, the no-rejection minimum of the
+//     pick-particle / pick-direction / pick-q triple).
+//  2. DECODE — turn the raw words into (particle, dir, q) proposal
+//     records with util::lemire_below — the *same* decode Rng::below
+//     runs, so the word consumption order (including Lemire rejection
+//     redraws, which spill past the refilled block into direct
+//     rng.next() calls) is identical to calling step() in a loop.
+//     Proposals depend only on the draws, never on the configuration,
+//     so the whole block can be decoded before any step executes.
+//  3. EXECUTE — walk the decoded block. One proposal ahead of the
+//     step being executed, the walk snapshots the proposer's position
+//     and issues software prefetches for the lines its gather will
+//     probe. Positions are invalidated only by an accepted move/swap,
+//     so the snapshot carries the block's mutation epoch: if the epoch
+//     moved on by execution time, the cached position is dropped and
+//     the step falls back to a plain position read + gather
+//     (speculation is a hint, never an input). The Metropolis
+//     pow_lambda_/pow_gamma_ table bases and the counter updates are
+//     hoisted out of the per-step path: counters accumulate in locals
+//     and flush once per block.
+//
+// The execute phase reads occupancy through a pipeline-private *dense
+// mirror* of the occupancy table: a bounding-box grid of 32-bit cells,
+// each `(particle index + 1) | ((color ^ 0xF) << 28)` (0 = empty), so
+// one gather is ten direct array loads assembled branch-free into a
+// NeighborhoodGather — no hash probe chains, no data-dependent
+// branches. The mirror is derived state: it is rebuilt from the
+// particle system at every run() entry (the system may have been
+// stepped externally between calls), kept exactly in sync by the
+// pipeline's own accepted moves/swaps within a run, and rebuilt with
+// fresh margin when a move drifts near the box edge. Systems the
+// mirror cannot cover economically (disconnected outliers blowing up
+// the bounding box) fall back to the FlatMap gather path with
+// occupancy-line prefetch hints — same trajectory, fewer tricks.
+// step() itself keeps the plain FlatMap path: it is the reference twin
+// the pipeline is tested against, not the production driver.
+//
+// The contract, pinned by tests/step_pipeline_test.cpp at every block
+// size and segment split: a trajectory driven by StepPipeline::run is
+// byte-identical to one driven by step() — same positions, same
+// counters, same final RNG state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/markov_chain.hpp"
+
+namespace sops::core {
+
+class StepPipeline {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = 256;
+  /// Cap keeps the proposal and raw-word buffers comfortably inside L2.
+  static constexpr std::size_t kMaxBlockSize = 4096;
+
+  /// Telemetry for tests and benchmarks; never feeds back into the
+  /// trajectory.
+  struct Stats {
+    std::uint64_t blocks = 0;            ///< blocks executed
+    std::uint64_t refill_words = 0;      ///< raw words drawn in refill loops
+    std::uint64_t tail_words = 0;        ///< Lemire-rejection spill draws
+    std::uint64_t speculative_hits = 0;  ///< cached position still valid
+    std::uint64_t speculative_misses = 0;///< epoch moved; plain fallback
+    std::uint64_t mirror_rebuilds = 0;   ///< dense-mirror (re)builds
+  };
+
+  /// Binds to `chain` (kept by reference; must outlive the pipeline).
+  /// `block_size` is clamped to [1, kMaxBlockSize]; it tunes only the
+  /// phase granularity, never the trajectory.
+  explicit StepPipeline(SeparationChain& chain,
+                        std::size_t block_size = kDefaultBlockSize);
+
+  /// Runs `iterations` steps of the chain, byte-identical to calling
+  /// chain.step() that many times. Segments may be split across calls
+  /// arbitrarily: no RNG draw ever outlives the call that consumes it.
+  void run(std::uint64_t iterations);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+ private:
+  // Mirror-cell encoding: low kPBits bits hold particle index + 1 (so
+  // `(cell & kPMask) - 1` is the particle index, and evaluates to
+  // kNoParticle == -1 on an empty cell with no branch); the top nibble
+  // holds color ^ 0xF, exactly the XOR mask NeighborhoodGather applies
+  // to its all-0xF default nibbles (0 for an empty cell).
+  static constexpr int kPBits = 24;
+  static constexpr std::uint32_t kPMask = (1u << kPBits) - 1;
+  /// Padding around the particles' bounding box at rebuild time.
+  static constexpr std::int64_t kMirrorMargin = 8;
+  /// A move landing closer than this to the box edge triggers a
+  /// rebuild; must stay > 2 (gather probes reach 2 cells from l).
+  static constexpr std::int64_t kMirrorSlack = 3;
+
+  /// One decoded proposal plus the speculative position snapshot taken
+  /// during the execute walk.
+  struct Proposal {
+    system::ParticleIndex pi = system::kNoParticle;
+    std::int32_t dir = 0;
+    double q = 0.0;
+    lattice::Node l{};          ///< position snapshot (valid iff epochs match)
+    std::int64_t base = 0;      ///< mirror cell index of l (mirror mode only)
+    std::uint64_t epoch = ~0ULL;///< mutation epoch at snapshot time
+  };
+
+  void run_block(std::size_t count);
+  /// Executes decoded proposals [begin, count) and returns the index it
+  /// stopped at: `count` normally, or the resume point when the mirror
+  /// was declined mid-walk (drift rebuild hitting the box cap).
+  template <bool kMirror>
+  std::size_t execute_block(std::size_t begin, std::size_t count);
+
+  /// Rebuilds the dense mirror from the particle system, or disables it
+  /// (mirror_ok_ = false) when the bounding box is uneconomical.
+  void rebuild_mirror();
+  [[nodiscard]] std::int64_t mirror_index(lattice::Node v) const noexcept {
+    return (static_cast<std::int64_t>(v.y) - y0_) * w_ +
+           (static_cast<std::int64_t>(v.x) - x0_);
+  }
+
+  SeparationChain& chain_;
+  std::size_t block_size_;
+  std::vector<std::uint64_t> raw_;   ///< refilled raw xoshiro outputs
+  std::vector<Proposal> props_;      ///< decoded block
+  Stats stats_;
+
+  // Dense occupancy mirror (execute-phase cache; see file comment).
+  std::vector<std::uint32_t> cells_;
+  std::int64_t x0_ = 0, y0_ = 0;     ///< box origin (axial coordinates)
+  std::int64_t w_ = 0, h_ = 0;       ///< box extent
+  bool mirror_ok_ = false;
+  std::array<std::array<std::int64_t, 8>, 6> ring_off_{}; ///< per-dir ring cell offsets
+  std::array<std::int64_t, 6> lp_off_{};                  ///< per-dir target cell offset
+};
+
+}  // namespace sops::core

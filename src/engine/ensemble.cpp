@@ -71,7 +71,8 @@ TaskFn make_task_fn(const ChainJob& job) {
           job.on_sample(task, c);
         };
       }
-      series = core::run_with_checkpoints(chain, job.checkpoints, cb);
+      series = core::run_with_checkpoints(chain, job.checkpoints, cb,
+                                          job.pipeline_block);
     } else {
       std::function<void(const core::SeparationChain&)> cb;
       if (job.on_sample) {
@@ -80,7 +81,7 @@ TaskFn make_task_fn(const ChainJob& job) {
         };
       }
       series = core::sample_equilibrium(chain, job.burn_in, job.interval,
-                                        job.samples, cb);
+                                        job.samples, cb, job.pipeline_block);
     }
     return series;
   };

@@ -98,6 +98,12 @@ struct ChainJob {
   /// derived observables (separation certificates, renders, …). Runs on
   /// the worker: write only to slots keyed by Task::index.
   std::function<void(const Task&, const core::SeparationChain&)> on_sample;
+
+  /// Block size for the batched step pipeline each worker drives its
+  /// trajectory with (0 = core::StepPipeline::kDefaultBlockSize). Tunes
+  /// only refill/decode granularity — trajectories, and therefore
+  /// reports, are byte-identical at every value.
+  std::size_t pipeline_block = 0;
 };
 
 /// The TaskFn a ChainJob describes: build the chain, drive it through

@@ -106,6 +106,21 @@ class ParticleSystem {
     return neighbor_count_color(v, c, v);
   }
 
+  /// Cache hints for a proposal known ahead of time (the step pipeline's
+  /// speculative walk): pull in the occupancy-table probe line for `v`
+  /// and the positions-array entry for particle `i`. Pure hints — no
+  /// lookup counted, no state touched, safe on stale speculation.
+  void prefetch_occupancy(lattice::Node v) const noexcept {
+    occupancy_.prefetch(lattice::pack(v));
+  }
+  void prefetch_position(ParticleIndex i) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&positions_[static_cast<std::size_t>(i)], 0, 1);
+#else
+    (void)i;
+#endif
+  }
+
   /// Reads the closed 10-node neighborhood of the edge (l, l + dir) from
   /// the occupancy table in one pass (exactly 10 probes). The overload
   /// taking `p_at_l` skips the probe for l when the caller already holds

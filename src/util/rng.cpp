@@ -16,19 +16,7 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
 }
 
 std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  // Lemire 2019, "Fast Random Integer Generation in an Interval".
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
+  return lemire_below([this] { return next(); }, bound);
 }
 
 }  // namespace sops::util

@@ -36,6 +36,36 @@ struct SplitMix64 {
   return z ^ (z >> 31);
 }
 
+/// Lemire's multiply-shift bounded draw (2019, "Fast Random Integer
+/// Generation in an Interval") over an arbitrary source of raw 64-bit
+/// words. `next` is invoked once, plus once per rejection, so the word
+/// consumption order is fully determined by (word values, bound). This
+/// is the single definition of the decode: Rng::below wraps it around
+/// the live generator, and the step pipeline wraps it around a
+/// pre-refilled block of raw outputs — guaranteeing both consume the
+/// identical underlying sequence.
+template <typename Next>
+[[nodiscard]] std::uint64_t lemire_below(Next&& next,
+                                         std::uint64_t bound) noexcept {
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// The (0, 1) double Rng::uniform_open decodes from one raw word.
+[[nodiscard]] constexpr double decode_uniform_open(std::uint64_t raw) noexcept {
+  return (static_cast<double>(raw >> 11) + 0.5) * 0x1.0p-53;
+}
+
 /// xoshiro256++ generator. Satisfies the UniformRandomBitGenerator
 /// concept so it can also be plugged into <random> distributions.
 class Rng {
@@ -74,9 +104,7 @@ class Rng {
 
   /// Uniform double in (0, 1): never returns 0, suitable for Metropolis
   /// draws `q` where Algorithm 1 requires q strictly inside (0, 1).
-  double uniform_open() noexcept {
-    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
-  }
+  double uniform_open() noexcept { return decode_uniform_open(next()); }
 
   /// Uniform integer in [0, bound) using Lemire's multiply-shift method
   /// with rejection, so the result is exactly uniform.

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "src/core/coloring.hpp"
@@ -43,6 +45,85 @@ TEST(Autocorrelation, Ar1SeriesHasKnownDecay) {
   EXPECT_NEAR(autocorrelation(series, 3), phi * phi * phi, 0.05);
   EXPECT_NEAR(integrated_autocorrelation_time(series),
               (1 + phi) / (1 - phi), 1.5);
+}
+
+// Regression pin for the hoisted mean/variance pass: τ's per-lag loop
+// now computes the series moments once and reuses them across lags, and
+// must produce bit-identical results to the original shape — one full
+// autocorrelation() call (mean + variance + covariance from scratch)
+// per lag, truncated at the first non-positive ρ.
+TEST(Autocorrelation, IntegratedTimeIdenticalToPerLagRecompute) {
+  const auto naive_tau = [](std::span<const double> series) {
+    const std::size_t n = series.size();
+    if (n < 4) return 1.0;
+    double tau = 1.0;
+    for (std::size_t lag = 1; lag <= n / 4; ++lag) {
+      const double rho = autocorrelation(series, lag);
+      if (rho <= 0.0) break;
+      tau += 2.0 * rho;
+    }
+    return std::max(1.0, tau);
+  };
+
+  // Reference series spanning the regimes the harnesses feed in: an
+  // AR(1) chain, near-iid noise, a short periodic series, a constant
+  // series, and an actual chain perimeter trace.
+  std::vector<std::vector<double>> reference;
+  util::Rng rng(20240805);
+  std::vector<double> ar1(5000);
+  double x = 0.0;
+  for (auto& out : ar1) {
+    x = 0.9 * x + (rng.uniform() - 0.5);
+    out = x;
+  }
+  reference.push_back(std::move(ar1));
+  std::vector<double> iid(5000);
+  for (auto& out : iid) out = rng.uniform();
+  reference.push_back(std::move(iid));
+  reference.push_back({1, 2, 3, 4, 3, 2, 1, 2, 3, 4, 3, 2, 1, 2, 3, 4});
+  reference.push_back({3.0, 3.0, 3.0, 3.0, 3.0});
+  {
+    util::Rng blob_rng(21);
+    const auto nodes = lattice::random_blob(30, blob_rng);
+    const auto colors = balanced_random_colors(30, 2, blob_rng);
+    SeparationChain chain(system::ParticleSystem(nodes, colors),
+                          Params{4.0, 4.0, true}, 22);
+    std::vector<double> perim;
+    for (int i = 0; i < 400; ++i) {
+      chain.run(100);
+      perim.push_back(static_cast<double>(measure(chain).perimeter));
+    }
+    reference.push_back(std::move(perim));
+  }
+
+  for (std::size_t s = 0; s < reference.size(); ++s) {
+    const auto& series = reference[s];
+    EXPECT_EQ(integrated_autocorrelation_time(series), naive_tau(series))
+        << "series " << s;
+    // And autocorrelation() itself against an inline transcription of
+    // the original per-call arithmetic (mean pass, then centered
+    // variance, then covariance — in that accumulation order).
+    for (const std::size_t lag : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}}) {
+      if (lag >= series.size() || series.size() < 2) continue;
+      const std::size_t n = series.size();
+      double mean = 0.0;
+      for (const double v : series) mean += v;
+      mean /= static_cast<double>(n);
+      double variance = 0.0;
+      for (const double v : series) variance += (v - mean) * (v - mean);
+      double expected = 0.0;
+      if (variance != 0.0) {
+        double cov = 0.0;
+        for (std::size_t i = 0; i + lag < n; ++i) {
+          cov += (series[i] - mean) * (series[i + lag] - mean);
+        }
+        expected = cov / variance;
+      }
+      EXPECT_EQ(autocorrelation(series, lag), expected)
+          << "series " << s << " lag " << lag;
+    }
+  }
 }
 
 TEST(Autocorrelation, DegenerateInputs) {

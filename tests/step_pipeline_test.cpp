@@ -1,0 +1,261 @@
+// Pipeline-equivalence suite: a trajectory driven by the batched
+// StepPipeline must be byte-identical to one driven by step() — same
+// positions, same counters, same final RNG state — at every block size
+// and however the run is split into segments. This is the contract that
+// lets SeparationChain::run (and every harness above it) sit on the
+// pipeline while step() stays the reference twin.
+#include "src/core/step_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+namespace {
+
+using system::ParticleSystem;
+
+SeparationChain make_chain(std::size_t n, int k, Params params,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = balanced_random_colors(n, k, rng);
+  return SeparationChain(ParticleSystem(nodes, colors), params, seed);
+}
+
+struct Setting {
+  std::size_t n;
+  int k;
+  Params params;
+  std::uint64_t seed;
+};
+
+// Mirrors the four (λ, γ, k, swaps) regimes of neighborhood_test's
+// trajectory suite: separation, compression-only, near-critical with
+// four colors, and sub-critical (high acceptance, so the speculative
+// fallback path is exercised heavily).
+const Setting kSettings[] = {
+    {120, 2, Params{4.0, 4.0, true}, 11},
+    {120, 1, Params{4.0, 1.0, false}, 22},
+    {90, 4, Params{2.0, 3.0, true}, 33},
+    {120, 2, Params{1.0, 1.0, true}, 44},
+};
+
+void expect_same_state(const SeparationChain& a, const SeparationChain& b,
+                       const char* what) {
+  EXPECT_EQ(a.system().positions(), b.system().positions()) << what;
+  EXPECT_EQ(a.system().colors(), b.system().colors()) << what;
+  EXPECT_EQ(a.system().edge_count(), b.system().edge_count()) << what;
+  EXPECT_EQ(a.system().hetero_edge_count(), b.system().hetero_edge_count())
+      << what;
+  const auto& ca = a.counters();
+  const auto& cb = b.counters();
+  EXPECT_EQ(ca.steps, cb.steps) << what;
+  EXPECT_EQ(ca.move_proposals, cb.move_proposals) << what;
+  EXPECT_EQ(ca.moves_accepted, cb.moves_accepted) << what;
+  EXPECT_EQ(ca.rejected_five, cb.rejected_five) << what;
+  EXPECT_EQ(ca.rejected_locality, cb.rejected_locality) << what;
+  EXPECT_EQ(ca.rejected_metropolis, cb.rejected_metropolis) << what;
+  EXPECT_EQ(ca.swap_proposals, cb.swap_proposals) << what;
+  EXPECT_EQ(ca.swaps_accepted, cb.swaps_accepted) << what;
+}
+
+// After the driven segments, step both chains a while longer through
+// step(): only an identical RNG state can keep them in lockstep, so
+// this pins that the pipeline consumed exactly the serial draw
+// sequence — no word drawn early survives past a run() call.
+void expect_rng_in_sync(SeparationChain& a, SeparationChain& b) {
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.step(), b.step()) << "post-run step " << i;
+  }
+  expect_same_state(a, b, "post-run trajectory");
+}
+
+TEST(StepPipeline, MatchesStepTrajectoryAtEverySetting) {
+  for (const Setting& s : kSettings) {
+    SeparationChain serial = make_chain(s.n, s.k, s.params, s.seed);
+    SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+    for (int i = 0; i < 100000; ++i) serial.step();
+    StepPipeline(piped).run(100000);
+    expect_same_state(serial, piped, "100k-step trajectory");
+    expect_rng_in_sync(serial, piped);
+  }
+}
+
+TEST(StepPipeline, BlockSizeNeverChangesTheTrajectory) {
+  const Setting& s = kSettings[0];
+  SeparationChain serial = make_chain(s.n, s.k, s.params, s.seed);
+  for (int i = 0; i < 30000; ++i) serial.step();
+  for (const std::size_t block : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{64}, std::size_t{256},
+                                  std::size_t{1024}}) {
+    SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+    StepPipeline(piped, block).run(30000);
+    expect_same_state(serial, piped, "block-size sweep");
+  }
+}
+
+TEST(StepPipeline, SegmentSplitsNeverChangeTheTrajectory) {
+  const Setting& s = kSettings[3];  // high acceptance
+  SeparationChain serial = make_chain(s.n, s.k, s.params, s.seed);
+  for (int i = 0; i < 30000; ++i) serial.step();
+
+  // Odd-sized segments across one long-lived pipeline: exercises
+  // partial blocks and buffer reuse between run() calls.
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+  StepPipeline pipeline(piped, 256);
+  std::uint64_t remaining = 30000;
+  std::uint64_t seg = 1;
+  while (remaining > 0) {
+    const std::uint64_t take = std::min<std::uint64_t>(seg, remaining);
+    pipeline.run(take);
+    remaining -= take;
+    seg = seg * 3 + 1;  // 1, 4, 13, 40, ... hits many partial-block tails
+  }
+  expect_same_state(serial, piped, "segmented pipeline");
+  expect_rng_in_sync(serial, piped);
+}
+
+TEST(StepPipeline, RunIsRewiredOntoThePipeline) {
+  const Setting& s = kSettings[2];
+  SeparationChain serial = make_chain(s.n, s.k, s.params, s.seed);
+  SeparationChain run_driven = make_chain(s.n, s.k, s.params, s.seed);
+  for (int i = 0; i < 50000; ++i) serial.step();
+  run_driven.run(50000);
+  expect_same_state(serial, run_driven, "SeparationChain::run");
+  expect_rng_in_sync(serial, run_driven);
+}
+
+TEST(StepPipeline, MatchesReferenceTwinTrajectory) {
+  const Setting& s = kSettings[0];
+  SeparationChain reference = make_chain(s.n, s.k, s.params, s.seed);
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+  reference.run_reference(100000);
+  StepPipeline(piped).run(100000);
+  expect_same_state(reference, piped, "reference twin");
+}
+
+TEST(StepPipeline, StatsAccountForEveryProposal) {
+  const Setting& s = kSettings[3];
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+  StepPipeline pipeline(piped, 128);
+  pipeline.run(50000);
+  const StepPipeline::Stats& st = pipeline.stats();
+  EXPECT_EQ(st.speculative_hits + st.speculative_misses, 50000u);
+  // High-acceptance setting: both speculation outcomes must occur.
+  EXPECT_GT(st.speculative_hits, 0u);
+  EXPECT_GT(st.speculative_misses, 0u);
+  EXPECT_EQ(st.refill_words, 3u * 50000u);
+  EXPECT_EQ(st.blocks, (50000u + 127u) / 128u);
+}
+
+TEST(StepPipeline, CountersAreExactAfterEverySegment) {
+  const Setting& s = kSettings[0];
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+  StepPipeline pipeline(piped, 64);
+  std::uint64_t total = 0;
+  for (const std::uint64_t seg : {std::uint64_t{7}, std::uint64_t{64},
+                                  std::uint64_t{65}, std::uint64_t{1000}}) {
+    pipeline.run(seg);
+    total += seg;
+    EXPECT_EQ(piped.counters().steps, total);
+  }
+}
+
+TEST(StepPipeline, BlockSizeIsClamped) {
+  SeparationChain chain = make_chain(50, 2, Params{4.0, 4.0, true}, 5);
+  EXPECT_EQ(StepPipeline(chain, 0).block_size(), 1u);
+  EXPECT_EQ(StepPipeline(chain, 1 << 20).block_size(),
+            StepPipeline::kMaxBlockSize);
+}
+
+// The runner drivers (which ChainJob workers execute) sit on one
+// pipeline per call; their output must match per-step driving.
+TEST(StepPipeline, RunnerDriversMatchStepwiseMeasurements) {
+  const Setting& s = kSettings[0];
+  SeparationChain serial = make_chain(s.n, s.k, s.params, s.seed);
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+
+  const std::vector<std::uint64_t> checkpoints{0, 1000, 1003, 20000};
+  const auto series = run_with_checkpoints(piped, checkpoints);
+  std::vector<Measurement> expected;
+  std::uint64_t now = 0;
+  for (const std::uint64_t target : checkpoints) {
+    for (; now < target; ++now) serial.step();
+    expected.push_back(measure(serial));
+  }
+  ASSERT_EQ(series.size(), expected.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].iteration, expected[i].iteration);
+    EXPECT_EQ(series[i].perimeter, expected[i].perimeter);
+    EXPECT_EQ(series[i].edges, expected[i].edges);
+    EXPECT_EQ(series[i].hetero_edges, expected[i].hetero_edges);
+    EXPECT_EQ(series[i].perimeter_ratio, expected[i].perimeter_ratio);
+    EXPECT_EQ(series[i].hetero_fraction, expected[i].hetero_fraction);
+  }
+  expect_same_state(serial, piped, "run_with_checkpoints");
+}
+
+// The dense occupancy mirror is derived state, rebuilt at every run()
+// entry — direct step() calls interleaved between segments on the same
+// long-lived pipeline must be absorbed exactly.
+TEST(StepPipeline, ExternalStepsBetweenSegmentsAreAbsorbed) {
+  SeparationChain serial = make_chain(120, 2, Params{4.0, 4.0, true}, 55);
+  SeparationChain piped = make_chain(120, 2, Params{4.0, 4.0, true}, 55);
+  StepPipeline pipeline(piped);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 5000; ++i) serial.step();
+    pipeline.run(5000);
+    for (int i = 0; i < 137; ++i) {
+      serial.step();
+      piped.step();  // mutate the system outside the pipeline
+    }
+  }
+  expect_same_state(serial, piped, "interleaved run()/step() trajectory");
+  expect_rng_in_sync(serial, piped);
+}
+
+// A free blob (λ = γ = 1) diffuses; when a move drifts into the mirror's
+// guard band the box must be re-centered mid-run without perturbing the
+// trajectory.
+TEST(StepPipeline, DriftingBlobRecentersTheMirror) {
+  SeparationChain serial = make_chain(40, 2, Params{1.0, 1.0, true}, 66);
+  SeparationChain piped = make_chain(40, 2, Params{1.0, 1.0, true}, 66);
+  StepPipeline pipeline(piped);
+  for (int i = 0; i < 400000; ++i) serial.step();
+  pipeline.run(400000);
+  // At least the entry rebuild plus one drift re-center.
+  EXPECT_GE(pipeline.stats().mirror_rebuilds, 2u);
+  expect_same_state(serial, piped, "diffusing trajectory");
+  expect_rng_in_sync(serial, piped);
+}
+
+// A far-away outlier makes the bounding box uneconomical: the pipeline
+// must decline the mirror and run the whole trajectory through the
+// FlatMap gather path, still byte-identical to step().
+TEST(StepPipeline, OversizedBoundingBoxFallsBackToFlatMapGather) {
+  util::Rng rng(77);
+  auto nodes = lattice::random_blob(60, rng);
+  nodes.push_back(lattice::Node{100000, 100000});
+  const auto colors = balanced_random_colors(nodes.size(), 2, rng);
+  const Params params{4.0, 4.0, true};
+  SeparationChain serial(ParticleSystem(nodes, colors), params, 77);
+  SeparationChain piped(ParticleSystem(nodes, colors), params, 77);
+  StepPipeline pipeline(piped);
+  for (int i = 0; i < 30000; ++i) serial.step();
+  pipeline.run(30000);
+  EXPECT_EQ(pipeline.stats().mirror_rebuilds, 0u);
+  expect_same_state(serial, piped, "disconnected-outlier trajectory");
+  expect_rng_in_sync(serial, piped);
+}
+
+}  // namespace
+}  // namespace sops::core
