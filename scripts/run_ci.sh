@@ -42,18 +42,21 @@ scripts/check_shard_roundtrip.sh "$build_dir" bench_thm13_compression 2
 echo "== shard round-trip smoke (bench_mixing_gap)"
 scripts/check_shard_roundtrip.sh "$build_dir" bench_mixing_gap 3
 
+echo "== service smoke (sweep server + load client)"
+scripts/check_service_smoke.sh "$build_dir" bench_fig3_phase_diagram
+
 echo "== kernel perf vs recorded snapshot ($(
   [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] \
     && echo "strict: SOPS_BENCH_STRICT=1" || echo warn-only))"
 scripts/bench_kernels_snapshot.sh --compare "$build_dir" BENCH_kernels.json
 
 if [[ -n ${SOPS_CI_TSAN:-} && ${SOPS_CI_TSAN:-} != 0 ]]; then
-  echo "== TSan tiers (core|engine|shard|harness under ${build_dir}-tsan)"
+  echo "== TSan tiers (core|engine|shard|harness|service under ${build_dir}-tsan)"
   cmake -S . -B "${build_dir}-tsan" -DSOPS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "${build_dir}-tsan" -j "$jobs"
   ctest --test-dir "${build_dir}-tsan" --output-on-failure -j "$jobs" \
-    -L 'core|engine|shard|harness'
+    -L 'core|engine|shard|harness|service'
 fi
 
 echo "PASS: CI green"

@@ -233,7 +233,9 @@ std::size_t StepPipeline::execute_block(std::size_t begin, std::size_t count) {
         continue;
       }
       const Node to = lattice::neighbor(l, dir);
-      sys.apply_move(pr.pi, to, ep - e, (ep - epi) - (e - ei));
+      // The gather already certified the target adjacent and empty, so
+      // skip apply_move's precondition probes along with the recounts.
+      sys.apply_move_unchecked(pr.pi, to, ep - e, (ep - epi) - (e - ei));
       ++c.moves_accepted;
       ++epoch;
       if constexpr (kMirror) {
@@ -258,12 +260,16 @@ std::size_t StepPipeline::execute_block(std::size_t begin, std::size_t count) {
 
     if (!params.swaps_enabled) continue;
     ++c.swap_proposals;
-    if (q >= pow_g[nb.swap_exponent()]) continue;
+    const int sx = nb.swap_exponent();
+    if (q >= pow_g[sx]) continue;
     // Any accepted swap advances the epoch; the underlying apply_swap
     // relocates the pair only when the colors differ (a same-color swap
     // is a configuration no-op), and the mirror matches it branch-free:
     // the conditional cell exchange masks to zero for equal top nibbles.
-    sys.apply_swap(pr.pi, nb.p_at_lp);
+    // The h(σ) delta of a heterogeneous swap is −swap_exponent — the
+    // neighborhood is already in registers, so the apply skips both
+    // before/after occupancy recounts.
+    sys.apply_swap_unchecked(pr.pi, nb.p_at_lp, -sx);
     ++c.swaps_accepted;
     ++epoch;
     if constexpr (kMirror) {

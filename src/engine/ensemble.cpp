@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "src/engine/seed_stream.hpp"
 
@@ -35,10 +36,15 @@ std::vector<Task> grid_tasks(const GridSpec& spec) {
 
 std::vector<TaskResult> run_ensemble(ThreadPool& pool,
                                      std::span<const Task> tasks,
-                                     const TaskFn& fn, ProgressSink* sink) {
+                                     const TaskFn& fn, ProgressSink* sink,
+                                     const std::atomic<bool>* cancel) {
   std::vector<TaskResult> results(tasks.size());
   pool.parallel_for(tasks.size(), [&](std::size_t i) {
     const Task& task = tasks[i];
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw Cancelled("ensemble: cancelled before task " +
+                      std::to_string(tasks[i].index));
+    }
     const auto start = std::chrono::steady_clock::now();
     std::vector<core::Measurement> series = fn(task);
     const std::chrono::duration<double> elapsed =

@@ -10,9 +10,11 @@
 // side channel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "src/core/markov_chain.hpp"
@@ -69,13 +71,28 @@ struct TaskResult {
 /// Task::index.
 using TaskFn = std::function<std::vector<core::Measurement>(const Task&)>;
 
+/// Thrown out of run_ensemble when its cancel token is set: tasks not
+/// yet started raise this instead of running, and parallel_for's
+/// lowest-index-wins rule propagates it to the caller. Tasks already
+/// executing run to completion — cancellation is a between-task
+/// lifecycle hook, never a mid-trajectory abort, so a cancelled job
+/// leaves no partially-stepped chain anywhere.
+class Cancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Fans `tasks` out over `pool`, returns results ordered by Task::index.
 /// Exceptions propagate per ThreadPool::parallel_for (lowest task index
 /// wins). `sink` (optional) receives one telemetry record per task.
+/// `cancel` (optional) is polled before each task body: once it reads
+/// true, every not-yet-started task throws Cancelled, which propagates
+/// after in-flight tasks drain.
 std::vector<TaskResult> run_ensemble(ThreadPool& pool,
                                      std::span<const Task> tasks,
                                      const TaskFn& fn,
-                                     ProgressSink* sink = nullptr);
+                                     ProgressSink* sink = nullptr,
+                                     const std::atomic<bool>* cancel = nullptr);
 
 /// Declarative SeparationChain job: how to build each task's chain and
 /// which of the two core/runner protocols to drive it with.

@@ -24,8 +24,16 @@ void ProgressSink::record(const Record& r) {
   const double steps_per_sec =
       r.wall_seconds > 0.0 ? static_cast<double>(r.steps) / r.wall_seconds
                            : 0.0;
+  // The job tag leads the line so a multi-job stream greps by prefix;
+  // it is omitted entirely for batch runs to keep their telemetry
+  // byte-compatible with pre-service output.
+  if (r.job.empty()) {
+    std::fprintf(out_, "{");
+  } else {
+    std::fprintf(out_, "{\"job\":\"%s\",", r.job.c_str());
+  }
   std::fprintf(out_,
-               "{\"task\":%zu,\"lambda\":%.17g,\"gamma\":%.17g,"
+               "\"task\":%zu,\"lambda\":%.17g,\"gamma\":%.17g,"
                "\"replica\":%zu,\"seed\":%llu,\"steps\":%llu,"
                "\"wall_seconds\":%.6f,\"steps_per_sec\":%.1f}\n",
                r.task_index, r.lambda, r.gamma, r.replica,

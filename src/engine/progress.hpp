@@ -8,6 +8,7 @@
 // engine guarantees.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -25,6 +26,11 @@ class ProgressSink {
     std::uint64_t seed = 0;
     std::uint64_t steps = 0;        ///< chain iterations the task executed
     double wall_seconds = 0.0;
+    /// Owning job, for multi-job streams (the sweep server tags every
+    /// record with the server-assigned job id). Empty for batch runs;
+    /// emitted as a "job" JSON field only when nonempty, so single-job
+    /// telemetry files are byte-compatible with pre-service output.
+    std::string job;
   };
 
   /// A disabled sink: record() only counts completions.
@@ -34,12 +40,15 @@ class ProgressSink {
   /// Throws std::runtime_error if the file cannot be opened.
   explicit ProgressSink(const std::string& jsonl_path);
 
-  ~ProgressSink();
+  virtual ~ProgressSink();
   ProgressSink(const ProgressSink&) = delete;
   ProgressSink& operator=(const ProgressSink&) = delete;
 
-  /// Thread-safe: each record becomes one complete output line.
-  void record(const Record& r);
+  /// Thread-safe: each record becomes one complete output line. Virtual
+  /// so job-scoped adapters (src/service) can stamp records with their
+  /// job id and fan into a shared stream — the engine only ever talks to
+  /// the ProgressSink abstraction.
+  virtual void record(const Record& r);
 
   [[nodiscard]] std::size_t completed() const;
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/service/client.hpp"
+
 namespace sops::harness {
 
 namespace {
@@ -51,6 +53,21 @@ int run(const Spec& spec, int argc, char** argv) {
                              "' must set fn or chain");
     }
     fn = engine::make_task_fn(*sweep.chain);
+  }
+
+  if (!opt.submit.empty()) {
+    // Remote execution: the sweep server runs the identical engine +
+    // aux + wire path, so reporting its results here is byte-identical
+    // to the in-process run. Refusals and transport failures are
+    // operator-facing data errors, same as a refused merge.
+    try {
+      const std::vector<engine::TaskResult> results =
+          service::run_job(opt.submit, sweep.job);
+      return sweep.report ? sweep.report(opt, results) : 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return kDataError;
+    }
   }
 
   shard::Modes modes;

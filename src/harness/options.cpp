@@ -50,6 +50,10 @@ Options parse_options(int argc, char** argv, bool with_shard,
                    "merge every *.shard / *.sopsshard file in this directory "
                    "and report",
                    "");
+    cli.add_option("submit",
+                   "submit the sweep to the sweep server at this AF_UNIX "
+                   "socket and report its results",
+                   "");
   }
   if (passthrough_prefix != nullptr) {
     cli.set_passthrough_prefix(passthrough_prefix);
@@ -118,6 +122,15 @@ Options parse_options(int argc, char** argv, bool with_shard,
         throw std::invalid_argument(
             "cli: --merge/--merge-dir cannot be combined with --shard/"
             "--task-range/--shard-out");
+      }
+      opt.submit = cli.str("submit");
+      if (!opt.submit.empty() &&
+          (opt.shard_set || opt.range_set || !opt.shard_out.empty() ||
+           !opt.merge_inputs.empty() || !opt.merge_dir.empty())) {
+        throw std::invalid_argument(
+            "cli: --submit cannot be combined with --shard/--task-range/"
+            "--shard-out/--merge/--merge-dir (the server runs the whole "
+            "job)");
       }
     }
   } catch (const std::exception& e) {

@@ -15,6 +15,9 @@
 //   --shard-out F    write this shard's wire-format result file to F
 //   --merge F1,F2,…  skip the sweep; merge shard files and report
 //   --merge-dir DIR  as --merge, globbing DIR/*.shard and *.sopsshard
+//   --submit SOCKET  run the sweep on the sweep server listening at
+//                    this AF_UNIX socket instead of in-process, then
+//                    report locally (byte-identical; see src/service)
 // See src/shard and DESIGN.md for the wire format and the byte-identity
 // contract.
 #pragma once
@@ -49,6 +52,7 @@ struct Options {
   std::string shard_out;           ///< worker result file; empty = disabled
   std::vector<std::string> merge_inputs;  ///< --merge file list
   std::string merge_dir;           ///< --merge-dir; empty = disabled
+  std::string submit;              ///< --submit server socket; empty = local
 
   /// Raw arguments matching the spec's passthrough prefix (e.g. the
   /// --benchmark_* namespace bench_kernels forwards to google-benchmark).

@@ -1,0 +1,253 @@
+#include "src/service/jobs.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/metrics/phase.hpp"
+#include "src/service/protocol.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::service {
+
+namespace {
+
+[[noreturn]] void bad(const shard::JobSpec& job, const std::string& field,
+                      const std::string& detail) {
+  throw JobError(kRefusedBadJob,
+                 "service: job '" + job.name + "': " + field + ": " + detail);
+}
+
+std::uint64_t parse_u64_field(const shard::JobSpec& job,
+                              const std::string& field,
+                              std::string_view token) {
+  if (token.empty()) bad(job, field, "expected unsigned integer, got ''");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      bad(job, field,
+          "expected unsigned integer, got '" + std::string(token) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      bad(job, field, "value out of range: '" + std::string(token) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Finds the "key=value" param and returns its value. Every recipe
+/// reads its identity out of the params the matching harness writes, so
+/// a missing key is a refused submission, not a default.
+std::string param_value(const shard::JobSpec& job, const std::string& key) {
+  for (const std::string& p : job.params) {
+    if (p.size() > key.size() + 1 && p.compare(0, key.size(), key) == 0 &&
+        p[key.size()] == '=') {
+      return p.substr(key.size() + 1);
+    }
+  }
+  bad(job, "params", "missing required '" + key + "=' entry");
+}
+
+std::vector<std::uint64_t> parse_u64_csv(const shard::JobSpec& job,
+                                         const std::string& field,
+                                         const std::string& csv) {
+  std::vector<std::uint64_t> values;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? comma : comma - start);
+    values.push_back(parse_u64_field(job, field, item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+/// E2 recipe: the inverse of bench_fig3_phase_diagram's sweep factory.
+/// One shared 100-particle two-color start built from grid.base_seed,
+/// checkpoint protocol, phase code packed as aux[0].
+JobProgram build_fig3(const shard::JobSpec& job) {
+  if (job.checkpoints.empty()) {
+    bad(job, "proto.checkpoints",
+        "checkpoint protocol required (the Figure 3 sweep records at "
+        "absolute iterations)");
+  }
+  struct State {
+    engine::ChainJob chain;
+    std::vector<metrics::Phase> phases;
+  };
+  auto state = std::make_shared<State>();
+  state->phases.resize(job.tasks.size());
+
+  util::Rng rng(job.grid.base_seed);
+  const auto nodes = lattice::random_blob(100, rng);
+  const auto colors = core::balanced_random_colors(100, 2, rng);
+  state->chain.make_chain = [nodes, colors](const engine::Task& t) {
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, true},
+                                 t.seed);
+  };
+  state->chain.checkpoints = job.checkpoints;
+  State* raw = state.get();
+  state->chain.on_sample = [raw](const engine::Task& t,
+                                 const core::SeparationChain& c) {
+    raw->phases[t.index] = metrics::classify(c.system());
+  };
+
+  JobProgram program;
+  program.fn = engine::make_task_fn(state->chain);
+  program.aux = [state](const engine::TaskResult& r) {
+    return std::vector<double>{
+        static_cast<double>(static_cast<int>(state->phases[r.task.index]))};
+  };
+  program.keepalive = state;
+  return program;
+}
+
+/// E3 recipe: the inverse of bench_thm13_compression's sweep factory.
+/// The n-sweep identity rides in params (sweep=n, ns=…, burn_base=…,
+/// spacing_base=…); each task equilibrium-samples an n-particle system.
+JobProgram build_thm13(const shard::JobSpec& job) {
+  if (param_value(job, "sweep") != "n") {
+    bad(job, "params", "expected 'sweep=n', got 'sweep=" +
+                           param_value(job, "sweep") + "'");
+  }
+  const std::vector<std::uint64_t> ns =
+      parse_u64_csv(job, "params: ns", param_value(job, "ns"));
+  if (ns.size() != job.tasks.size()) {
+    bad(job, "params: ns",
+        "lists " + std::to_string(ns.size()) + " sizes for " +
+            std::to_string(job.tasks.size()) + " tasks");
+  }
+  for (const std::uint64_t n : ns) {
+    if (n == 0 || n > 100000) {
+      bad(job, "params: ns", "n=" + std::to_string(n) +
+                                 " outside the supported range [1, 100000]");
+    }
+  }
+  const std::uint64_t burn_base =
+      parse_u64_field(job, "params: burn_base", param_value(job, "burn_base"));
+  const std::uint64_t spacing_base = parse_u64_field(
+      job, "params: spacing_base", param_value(job, "spacing_base"));
+  if (job.samples == 0) {
+    bad(job, "proto.samples", "equilibrium protocol requires samples > 0");
+  }
+  const std::size_t samples = static_cast<std::size_t>(job.samples);
+
+  JobProgram program;
+  program.fn = [ns, burn_base, spacing_base, samples](const engine::Task& t) {
+    const std::size_t n = static_cast<std::size_t>(ns[t.index]);
+    util::Rng rng(t.seed);
+    const auto nodes = lattice::random_blob(n, rng);
+    const auto colors = core::balanced_random_colors(n, 2, rng);
+    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed);
+    return core::sample_equilibrium(chain, burn_base * n, spacing_base * n,
+                                    samples);
+  };
+  return program;
+}
+
+/// Generic service job for load generation and ad-hoc sweeps: every
+/// task builds its own blob from its seed and runs the job's protocol
+/// verbatim. Params: blob=N (required), colors=K (default 2),
+/// swaps=0|1 (default 1).
+JobProgram build_service_sweep(const shard::JobSpec& job) {
+  std::uint64_t blob = 0;
+  std::uint64_t n_colors = 2;
+  std::uint64_t swaps = 1;
+  bool blob_set = false;
+  for (const std::string& p : job.params) {
+    const std::size_t eq = p.find('=');
+    const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : p.substr(eq + 1);
+    if (key == "blob") {
+      blob = parse_u64_field(job, "params: blob", value);
+      blob_set = true;
+    } else if (key == "colors") {
+      n_colors = parse_u64_field(job, "params: colors", value);
+    } else if (key == "swaps") {
+      swaps = parse_u64_field(job, "params: swaps", value);
+    } else {
+      bad(job, "params", "unknown key '" + key +
+                             "' (recognized: blob, colors, swaps)");
+    }
+  }
+  if (!blob_set) bad(job, "params", "missing required 'blob=' entry");
+  if (blob == 0 || blob > 20000) {
+    bad(job, "params: blob", "blob=" + std::to_string(blob) +
+                                 " outside the supported range [1, 20000]");
+  }
+  if (n_colors == 0 || n_colors > 16 || n_colors > blob) {
+    bad(job, "params: colors",
+        "colors=" + std::to_string(n_colors) +
+            " outside the supported range [1, min(16, blob)]");
+  }
+  if (swaps > 1) {
+    bad(job, "params: swaps",
+        "swaps=" + std::to_string(swaps) + " must be 0 or 1");
+  }
+  if (job.checkpoints.empty() && job.samples == 0) {
+    bad(job, "proto",
+        "job sets neither checkpoints nor equilibrium samples; nothing to "
+        "run");
+  }
+
+  auto chain = std::make_shared<engine::ChainJob>();
+  chain->make_chain = [blob, n_colors, swaps](const engine::Task& t) {
+    util::Rng rng(t.seed);
+    const auto nodes =
+        lattice::random_blob(static_cast<std::size_t>(blob), rng);
+    const auto colors = core::balanced_random_colors(
+        static_cast<std::size_t>(blob), static_cast<std::size_t>(n_colors),
+        rng);
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, swaps == 1},
+                                 t.seed);
+  };
+  chain->checkpoints = job.checkpoints;
+  chain->burn_in = job.burn_in;
+  chain->interval = job.interval;
+  chain->samples = static_cast<std::size_t>(job.samples);
+
+  JobProgram program;
+  program.fn = engine::make_task_fn(*chain);
+  program.keepalive = chain;
+  return program;
+}
+
+}  // namespace
+
+JobProgram build_program(const shard::JobSpec& job) {
+  if (job.tasks.empty()) {
+    throw JobError(kRefusedBadJob,
+                   "service: job '" + job.name + "': tasks: table is empty");
+  }
+  if (job.name == "bench_fig3_phase_diagram") return build_fig3(job);
+  if (job.name == "bench_thm13_compression") return build_thm13(job);
+  if (job.name == "service_sweep") return build_service_sweep(job);
+  std::string names;
+  for (const std::string& n : registered_jobs()) {
+    if (!names.empty()) names += ", ";
+    names += n;
+  }
+  throw JobError(kRefusedUnknownJob, "service: job name '" + job.name +
+                                         "' not registered (registered: " +
+                                         names + ")");
+}
+
+std::vector<std::string> registered_jobs() {
+  return {"bench_fig3_phase_diagram", "bench_thm13_compression",
+          "service_sweep"};
+}
+
+}  // namespace sops::service

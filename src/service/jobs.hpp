@@ -1,0 +1,58 @@
+// Server-side job registry: from a submitted JobSpec to an executable
+// program.
+//
+// A submission names a job ("bench_fig3_phase_diagram", …) and carries
+// the same JobSpec the batch harness would build — grid, protocol,
+// params, dense task table. The registry owns the inverse of each
+// harness's sweep factory: it rebuilds the identical TaskFn (and aux
+// packer) from the wire fields alone, so a socket-submitted job's
+// result document is byte-identical to the batch run's. Validation is
+// strict and synchronous: build_program() either returns a runnable
+// program or throws JobError naming the offending field — a bad job is
+// refused at submit time, never after it reached the executor.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/shard/harness.hpp"
+#include "src/shard/wire.hpp"
+
+namespace sops::service {
+
+/// Rejected submission. `reason()` is the wire refusal token
+/// (kRefusedUnknownJob / kRefusedBadJob); what() names the offending
+/// field.
+class JobError : public std::runtime_error {
+ public:
+  JobError(std::string reason, const std::string& message)
+      : std::runtime_error(message), reason_(std::move(reason)) {}
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+/// An executable job: the per-task body, the optional aux packer, and a
+/// keepalive owning whatever state the closures capture by reference
+/// (ChainJob, per-task scratch slots). Hold the program as long as the
+/// job may run.
+struct JobProgram {
+  engine::TaskFn fn;
+  shard::AuxFn aux;
+  std::shared_ptr<void> keepalive;
+};
+
+/// Compiles a submitted spec into a runnable program. Throws JobError
+/// with reason kRefusedUnknownJob for unregistered names, kRefusedBadJob
+/// for specs that fail the named recipe's validation (wrong protocol
+/// mode, malformed params, task-table inconsistencies).
+[[nodiscard]] JobProgram build_program(const shard::JobSpec& job);
+
+/// Registered job names, sorted (for refusal messages and --help).
+[[nodiscard]] std::vector<std::string> registered_jobs();
+
+}  // namespace sops::service

@@ -1,0 +1,340 @@
+// sops_load_client — bots-style load generator for the sweep server.
+//
+// Drives sops_sweep_server the way a fleet of impatient users would: N
+// worker threads, each holding a persistent connection, submit small
+// `service_sweep` jobs in a closed loop (submit → poll → fetch result →
+// next job) until the job budget is spent. Reports the end-to-end
+// latency distribution (p50/p95/p99 of submit→result), saturation
+// throughput, and the error/refusal tallies. Queue-full refusals are an
+// expected backpressure outcome — counted, optionally retried with
+// backoff — while protocol errors are never expected and make the run
+// fail.
+//
+// Also carries the scriptable smoke modes CI uses (--mode ping /
+// shutdown / cancel), so shell scripts never have to speak the binary
+// framing themselves.
+//
+// Exit status: 0 on a clean run; 2 on usage errors; 1 on protocol
+// errors, failed jobs, or a smoke mode not observing its expected
+// outcome (the offending frame field or job state is printed).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/service/client.hpp"
+#include "src/shard/harness.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+constexpr int kUsageError = 2;
+constexpr int kDataError = 1;
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  std::string socket;
+  std::size_t workers = 8;
+  std::size_t jobs = 1000;
+  std::size_t tasks = 4;
+  std::uint64_t blob = 24;
+  std::uint64_t iters = 2000;
+  std::uint64_t seed = 1;
+  bool retry_refused = true;
+  int poll_ms = 2;
+};
+
+/// One small sweep: `tasks` replicas of a blob-particle chain at a
+/// fixed (λ, γ), seeds derived per replica from the job's base seed.
+sops::shard::JobSpec make_small_job(const LoadConfig& config,
+                                    std::uint64_t job_index) {
+  using namespace sops;
+  engine::GridSpec grid;
+  grid.lambdas = {2.5};
+  grid.gammas = {3.0};
+  grid.replicas = config.tasks;
+  grid.base_seed = config.seed + job_index;
+  engine::ChainJob protocol;
+  protocol.checkpoints = {config.iters};
+  return shard::grid_job("service_sweep", grid, protocol,
+                         {"blob=" + std::to_string(config.blob), "colors=2",
+                          "swaps=1"});
+}
+
+struct WorkerTally {
+  std::vector<double> latencies;  ///< seconds, completed jobs only
+  std::uint64_t completed = 0;
+  std::uint64_t refusals = 0;       ///< refused submissions observed
+  std::uint64_t dropped = 0;        ///< jobs abandoned after refusal
+  std::uint64_t protocol_errors = 0;
+};
+
+void worker_loop(const LoadConfig& config, std::size_t worker_index,
+                 WorkerTally& tally) {
+  using namespace sops;
+  std::unique_ptr<service::Client> client;
+  for (std::uint64_t job_index = worker_index; job_index < config.jobs;
+       job_index += config.workers) {
+    const shard::JobSpec job = make_small_job(config, job_index);
+    const Clock::time_point start = Clock::now();
+    try {
+      if (!client) client = std::make_unique<service::Client>(config.socket);
+      service::Client::Submitted submitted;
+      int attempt = 0;
+      for (;;) {
+        submitted = client->submit(job);
+        if (submitted.accepted) break;
+        ++tally.refusals;
+        if (submitted.reason != service::kRefusedQueueFull ||
+            !config.retry_refused) {
+          break;
+        }
+        // Backpressure: back off and retry the same job, growing the
+        // pause so a saturated server drains instead of thrashing.
+        ++attempt;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(5 * attempt, 100)));
+      }
+      if (!submitted.accepted) {
+        ++tally.dropped;
+        continue;
+      }
+      for (;;) {
+        const service::Client::Status status =
+            client->status(submitted.job_id);
+        if (service::is_terminal(status.state)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
+      }
+      (void)client->result(submitted.job_id);  // throws unless done+complete
+      ++tally.completed;
+      tally.latencies.push_back(
+          std::chrono::duration<double>(Clock::now() - start).count());
+    } catch (const std::exception& e) {
+      // Refused results (failed/cancelled jobs), framing violations,
+      // and dropped connections all count against the run; the server
+      // must sustain the load without producing any.
+      ++tally.protocol_errors;
+      std::fprintf(stderr, "worker %zu job %llu: %s\n", worker_index,
+                   static_cast<unsigned long long>(job_index), e.what());
+      client.reset();  // reconnect before the next job
+    }
+  }
+}
+
+int run_load(const LoadConfig& config) {
+  using namespace sops;
+  std::vector<WorkerTally> tallies(config.workers);
+  std::vector<std::thread> threads;
+  threads.reserve(config.workers);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    threads.emplace_back(worker_loop, std::cref(config), w,
+                         std::ref(tallies[w]));
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - start)
+                          .count();
+
+  WorkerTally total;
+  for (const WorkerTally& t : tallies) {
+    total.completed += t.completed;
+    total.refusals += t.refusals;
+    total.dropped += t.dropped;
+    total.protocol_errors += t.protocol_errors;
+    total.latencies.insert(total.latencies.end(), t.latencies.begin(),
+                           t.latencies.end());
+  }
+
+  std::printf(
+      "load: %zu workers, %zu jobs (%zu tasks x blob %llu x %llu iters "
+      "each)\n",
+      config.workers, config.jobs, config.tasks,
+      static_cast<unsigned long long>(config.blob),
+      static_cast<unsigned long long>(config.iters));
+  std::printf(
+      "outcome: %llu completed, %llu dropped, %llu refusals observed, "
+      "%llu protocol errors\n",
+      static_cast<unsigned long long>(total.completed),
+      static_cast<unsigned long long>(total.dropped),
+      static_cast<unsigned long long>(total.refusals),
+      static_cast<unsigned long long>(total.protocol_errors));
+  if (!total.latencies.empty()) {
+    std::printf("latency: p50=%.1fms p95=%.1fms p99=%.1fms\n",
+                util::quantile(total.latencies, 0.5) * 1e3,
+                util::quantile(total.latencies, 0.95) * 1e3,
+                util::quantile(total.latencies, 0.99) * 1e3);
+  }
+  std::printf("throughput: %.1f jobs/s (wall %.2fs)\n",
+              wall > 0.0 ? static_cast<double>(total.completed) / wall : 0.0,
+              wall);
+  return total.protocol_errors == 0 ? 0 : kDataError;
+}
+
+/// Smoke mode: submit a deliberately long job, cancel it, and verify it
+/// reaches the cancelled terminal state.
+int run_cancel(const LoadConfig& config) {
+  using namespace sops;
+  LoadConfig big = config;
+  big.tasks = 64;
+  big.iters = 500000;
+  service::Client client(config.socket);
+  const service::Client::Submitted submitted =
+      client.submit(make_small_job(big, 0));
+  if (!submitted.accepted) {
+    std::fprintf(stderr, "cancel: submission refused (%s): %s\n",
+                 submitted.reason.c_str(), submitted.detail.c_str());
+    return kDataError;
+  }
+  (void)client.cancel(submitted.job_id);
+  service::Client::Status status;
+  do {
+    status = client.status(submitted.job_id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
+  } while (!service::is_terminal(status.state));
+  std::printf("cancel: job %s reached state %s\n", submitted.job_id.c_str(),
+              service::job_state_name(status.state));
+  return status.state == service::JobState::kCancelled ? 0 : kDataError;
+}
+
+/// Smoke mode: against a server started with --queue 1, occupy the
+/// executor with a long job, fill the queue's single slot, and verify
+/// the next submission is refused with the queue-full reason.
+int run_overload(const LoadConfig& config) {
+  using namespace sops;
+  LoadConfig big = config;
+  big.tasks = 64;
+  big.iters = 500000;
+  service::Client client(config.socket);
+  const service::Client::Submitted running =
+      client.submit(make_small_job(big, 0));
+  if (!running.accepted) {
+    std::fprintf(stderr, "overload: first submission refused (%s): %s\n",
+                 running.reason.c_str(), running.detail.c_str());
+    return kDataError;
+  }
+  while (client.status(running.job_id).state ==
+         service::JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));
+  }
+  const service::Client::Submitted queued =
+      client.submit(make_small_job(big, 1));
+  if (!queued.accepted) {
+    std::fprintf(stderr, "overload: queue-filling submission refused "
+                         "(%s); is the server's --queue 1?\n",
+                 queued.reason.c_str());
+    return kDataError;
+  }
+  const service::Client::Submitted bounced =
+      client.submit(make_small_job(big, 2));
+  int rc = 0;
+  if (bounced.accepted) {
+    std::fprintf(stderr, "overload: third submission was accepted; "
+                         "expected a queue-full refusal\n");
+    rc = kDataError;
+  } else if (bounced.reason != service::kRefusedQueueFull) {
+    std::fprintf(stderr, "overload: refused with '%s', expected '%s'\n",
+                 bounced.reason.c_str(), service::kRefusedQueueFull);
+    rc = kDataError;
+  } else {
+    std::printf("overload: refusal observed (%s)\n", bounced.reason.c_str());
+  }
+  (void)client.cancel(queued.job_id);
+  (void)client.cancel(running.job_id);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  util::Cli cli;
+  cli.add_option("socket", "server AF_UNIX socket path (required)", "");
+  cli.add_option("mode", "load | ping | shutdown | cancel | overload",
+                 "load");
+  cli.add_option("workers", "concurrent load worker threads", "8");
+  cli.add_option("jobs", "total jobs across all workers", "1000");
+  cli.add_option("tasks", "tasks (replicas) per job", "4");
+  cli.add_option("blob", "particles per task's blob", "24");
+  cli.add_option("iters", "chain iterations per task", "2000");
+  cli.add_option("seed", "base seed; job k submits with seed+k", "1");
+  cli.add_option("retry-refused",
+                 "1 = retry queue-full refusals with backoff, 0 = drop", "1");
+  cli.add_option("poll-ms", "status poll interval in milliseconds", "2");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return kUsageError;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  LoadConfig config;
+  std::string mode;
+  try {
+    config.socket = cli.str("socket");
+    if (config.socket.empty()) {
+      throw std::invalid_argument("cli: --socket is required");
+    }
+    mode = cli.str("mode");
+    if (mode != "load" && mode != "ping" && mode != "shutdown" &&
+        mode != "cancel" && mode != "overload") {
+      throw std::invalid_argument("cli: --mode must be one of load, ping, "
+                                  "shutdown, cancel, overload; got '" +
+                                  mode + "'");
+    }
+    config.workers = static_cast<std::size_t>(cli.unsigned_integer("workers"));
+    config.jobs = static_cast<std::size_t>(cli.unsigned_integer("jobs"));
+    config.tasks = static_cast<std::size_t>(cli.unsigned_integer("tasks"));
+    config.blob = cli.unsigned_integer("blob");
+    config.iters = cli.unsigned_integer("iters");
+    config.seed = cli.unsigned_integer("seed");
+    const std::uint64_t retry = cli.unsigned_integer("retry-refused");
+    const std::uint64_t poll_ms = cli.unsigned_integer("poll-ms");
+    if (config.workers == 0 || config.workers > 1024 || config.jobs == 0 ||
+        config.tasks == 0 || retry > 1 || poll_ms > 10000) {
+      throw std::invalid_argument(
+          "cli: --workers (1..1024), --jobs (>=1), --tasks (>=1), "
+          "--retry-refused (0|1), --poll-ms (<=10000) out of range");
+    }
+    config.retry_refused = retry == 1;
+    config.poll_ms = static_cast<int>(poll_ms);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return kUsageError;
+  }
+
+  try {
+    if (mode == "ping") {
+      service::Client client(config.socket);
+      client.ping();
+      std::printf("pong\n");
+      return 0;
+    }
+    if (mode == "shutdown") {
+      service::Client client(config.socket);
+      client.shutdown_server();
+      std::printf("shutdown acknowledged\n");
+      return 0;
+    }
+    if (mode == "cancel") return run_cancel(config);
+    if (mode == "overload") return run_overload(config);
+    return run_load(config);
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return kDataError;
+  }
+}

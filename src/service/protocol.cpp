@@ -1,0 +1,294 @@
+#include "src/service/protocol.hpp"
+
+#include <array>
+#include <cstdio>
+#include <limits>
+
+namespace sops::service {
+
+namespace {
+
+struct TypeSpec {
+  FrameType type;
+  const char* name;
+  std::size_t args;
+  bool payload_required;  ///< grammar demands a nonempty payload
+  bool payload_allowed;   ///< payload may be present (refused/error detail)
+};
+
+constexpr std::array<TypeSpec, 14> kTypes{{
+    {FrameType::kSubmit, "submit", 0, true, true},
+    {FrameType::kStatus, "status", 1, false, false},
+    {FrameType::kResult, "result", 1, false, false},
+    {FrameType::kCancel, "cancel", 1, false, false},
+    {FrameType::kPing, "ping", 0, false, false},
+    {FrameType::kShutdown, "shutdown", 0, false, false},
+    {FrameType::kAccepted, "accepted", 2, false, false},
+    {FrameType::kRefused, "refused", 1, false, true},
+    {FrameType::kStatusOk, "status-ok", 4, false, false},
+    {FrameType::kResultOk, "result-ok", 1, true, true},
+    {FrameType::kCancelOk, "cancel-ok", 2, false, false},
+    {FrameType::kPong, "pong", 0, false, false},
+    {FrameType::kShutdownOk, "shutdown-ok", 0, false, false},
+    {FrameType::kError, "error", 1, false, true},
+}};
+
+const TypeSpec& type_spec(FrameType type) {
+  for (const TypeSpec& s : kTypes) {
+    if (s.type == type) return s;
+  }
+  throw std::invalid_argument("service: unknown FrameType value");
+}
+
+/// Splits a header line into single-space-separated nonempty tokens.
+/// Doubled spaces and leading/trailing spaces are grammar violations —
+/// the frame writer is ours, so any slack would only mask corruption.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    const std::string_view tok =
+        line.substr(start, space == std::string_view::npos ? std::string_view::npos
+                                                           : space - start);
+    if (tok.empty()) {
+      throw ProtocolError(
+          "service: header: empty token (doubled or trailing space)");
+    }
+    tokens.push_back(tok);
+    if (space == std::string_view::npos) break;
+    start = space + 1;
+  }
+  return tokens;
+}
+
+std::uint64_t parse_u64(std::string_view token, const char* field) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') {
+    throw ProtocolError(std::string("service: header: ") + field +
+                        ": expected unsigned integer, got '" +
+                        std::string(token) + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      throw ProtocolError(std::string("service: header: ") + field +
+                          ": expected unsigned integer, got '" +
+                          std::string(token) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw ProtocolError(std::string("service: header: ") + field +
+                          ": value out of range: '" + std::string(token) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) { return type_spec(type).name; }
+
+std::size_t frame_arg_count(FrameType type) { return type_spec(type).args; }
+
+bool frame_requires_payload(FrameType type) {
+  return type_spec(type).payload_required;
+}
+
+std::string encode_frame(const Frame& frame) {
+  const TypeSpec& spec = type_spec(frame.type);
+  if (frame.args.size() != spec.args) {
+    throw std::invalid_argument(
+        std::string("service: encode: '") + spec.name + "' frame takes " +
+        std::to_string(spec.args) + " args, got " +
+        std::to_string(frame.args.size()));
+  }
+  for (const std::string& arg : frame.args) {
+    if (arg.empty() || arg.find_first_of(" \t\n\r") != std::string::npos) {
+      throw std::invalid_argument(
+          std::string("service: encode: '") + spec.name +
+          "' frame arg must be a single nonempty token, got '" + arg + "'");
+    }
+  }
+  if (frame.payload.empty() && spec.payload_required) {
+    throw std::invalid_argument(std::string("service: encode: '") + spec.name +
+                                "' frame requires a payload");
+  }
+  if (!frame.payload.empty() && !spec.payload_allowed) {
+    throw std::invalid_argument(std::string("service: encode: '") + spec.name +
+                                "' frame must not carry a payload");
+  }
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::invalid_argument("service: encode: payload exceeds " +
+                                std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  std::string out = "sops-service-wire v" +
+                    std::to_string(kServiceWireVersion) + " " + spec.name;
+  for (const std::string& arg : frame.args) {
+    out += ' ';
+    out += arg;
+  }
+  out += ' ';
+  out += std::to_string(frame.payload.size());
+  out += '\n';
+  out += frame.payload;
+  return out;
+}
+
+Header parse_header(std::string_view line) {
+  if (line.size() > kMaxHeaderBytes) {
+    throw ProtocolError("service: header: line exceeds " +
+                        std::to_string(kMaxHeaderBytes) + " bytes");
+  }
+  const std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.size() < 4) {
+    throw ProtocolError(
+        "service: header: expected 'sops-service-wire v" +
+        std::to_string(kServiceWireVersion) +
+        " <type> [args...] <payload_bytes>', got '" + std::string(line) + "'");
+  }
+  if (tokens[0] != "sops-service-wire") {
+    throw ProtocolError("service: header: magic: expected 'sops-service-wire'"
+                        ", got '" + std::string(tokens[0]) + "'");
+  }
+  const std::string expect_version = "v" + std::to_string(kServiceWireVersion);
+  if (tokens[1] != expect_version) {
+    throw ProtocolError("service: header: version: expected '" +
+                        expect_version + "', got '" + std::string(tokens[1]) +
+                        "'");
+  }
+  const TypeSpec* spec = nullptr;
+  for (const TypeSpec& s : kTypes) {
+    if (tokens[2] == s.name) {
+      spec = &s;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    throw ProtocolError("service: header: frame type: unknown type '" +
+                        std::string(tokens[2]) + "'");
+  }
+  // magic + version + type + args + payload_bytes
+  if (tokens.size() != 3 + spec->args + 1) {
+    throw ProtocolError(
+        std::string("service: header: '") + spec->name + "' frame takes " +
+        std::to_string(spec->args) + " args, got " +
+        std::to_string(tokens.size() - 4) + " in '" + std::string(line) + "'");
+  }
+  Header header;
+  header.type = spec->type;
+  for (std::size_t i = 0; i < spec->args; ++i) {
+    header.args.emplace_back(tokens[3 + i]);
+  }
+  const std::uint64_t bytes =
+      parse_u64(tokens.back(), "payload byte count");
+  if (bytes > kMaxPayloadBytes) {
+    throw ProtocolError("service: header: payload byte count: " +
+                        std::to_string(bytes) + " exceeds the " +
+                        std::to_string(kMaxPayloadBytes) + "-byte ceiling");
+  }
+  if (bytes == 0 && spec->payload_required) {
+    throw ProtocolError(std::string("service: header: '") + spec->name +
+                        "' frame requires a nonempty payload");
+  }
+  if (bytes != 0 && !spec->payload_allowed) {
+    throw ProtocolError(std::string("service: header: '") + spec->name +
+                        "' frame must not carry a payload");
+  }
+  header.payload_bytes = static_cast<std::size_t>(bytes);
+  return header;
+}
+
+Frame decode_frame(std::string_view text) {
+  const std::size_t newline = text.find('\n');
+  if (newline == std::string_view::npos) {
+    throw ProtocolError(
+        "service: truncated frame: header line has no terminating newline");
+  }
+  Header header = parse_header(text.substr(0, newline));
+  const std::string_view rest = text.substr(newline + 1);
+  if (rest.size() < header.payload_bytes) {
+    throw ProtocolError("service: truncated frame: header declares " +
+                        std::to_string(header.payload_bytes) +
+                        " payload bytes, only " + std::to_string(rest.size()) +
+                        " present");
+  }
+  if (rest.size() > header.payload_bytes) {
+    throw ProtocolError("service: trailing content after the declared " +
+                        std::to_string(header.payload_bytes) +
+                        "-byte payload");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.args = std::move(header.args);
+  frame.payload.assign(rest.data(), rest.size());
+  return frame;
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  throw std::invalid_argument("service: unknown JobState value");
+}
+
+JobState parse_job_state(std::string_view token) {
+  for (const JobState s : {JobState::kQueued, JobState::kRunning,
+                           JobState::kDone, JobState::kCancelled,
+                           JobState::kFailed}) {
+    if (token == job_state_name(s)) return s;
+  }
+  throw ProtocolError("service: job state: unknown token '" +
+                      std::string(token) + "'");
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+std::string encode_job_payload(const shard::JobSpec& job) {
+  return shard::encode(job, {}, shard::Manifest{1, 0, job.tasks.size()});
+}
+
+shard::JobSpec decode_job_payload(std::string_view text) {
+  shard::ShardFile file;
+  try {
+    file = shard::decode(text);
+  } catch (const shard::WireError& e) {
+    throw ProtocolError(std::string("service: submit payload: ") + e.what());
+  }
+  if (!file.results.empty()) {
+    throw ProtocolError(
+        "service: submit payload: carries " +
+        std::to_string(file.results.size()) +
+        " results; a submission must describe work, not smuggle results");
+  }
+  return std::move(file.job);
+}
+
+std::string encode_result_payload(
+    const shard::JobSpec& job, std::span<const engine::TaskResult> results) {
+  return shard::encode(job, results, shard::Manifest{1, 0, job.tasks.size()});
+}
+
+shard::ShardFile decode_result_payload(std::string_view text) {
+  shard::ShardFile file;
+  try {
+    file = shard::decode(text);
+  } catch (const shard::WireError& e) {
+    throw ProtocolError(std::string("service: result payload: ") + e.what());
+  }
+  if (file.results.size() != file.job.tasks.size()) {
+    throw ProtocolError("service: result payload: incomplete: " +
+                        std::to_string(file.results.size()) + " results for " +
+                        std::to_string(file.job.tasks.size()) + " tasks");
+  }
+  return file;
+}
+
+}  // namespace sops::service

@@ -1,0 +1,365 @@
+#include "src/service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sops::service {
+
+namespace {
+
+Frame make_refused(const std::string& reason, const std::string& detail) {
+  Frame f;
+  f.type = FrameType::kRefused;
+  f.args = {reason};
+  f.payload = detail;
+  return f;
+}
+
+Frame make_error(const std::string& field, const std::string& detail) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.args = {field};
+  f.payload = detail;
+  return f;
+}
+
+}  // namespace
+
+SweepServer::SweepServer(ServerConfig config) : config_(std::move(config)) {}
+
+SweepServer::~SweepServer() {
+  request_stop();
+  wait();
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+}
+
+void SweepServer::start() {
+  telemetry_ = std::make_unique<engine::ProgressSink>(config_.telemetry);
+  pool_ = std::make_unique<engine::ThreadPool>(config_.pool_threads);
+  if (::pipe2(stop_pipe_, O_CLOEXEC) != 0) {
+    throw std::runtime_error(std::string("service: pipe2: ") +
+                             std::strerror(errno));
+  }
+  listen_fd_ = listen_unix(config_.socket_path, 128);
+  // Nonblocking listener: every I/O thread polls the same fd, and only
+  // one of them wins each connection — the losers must get EAGAIN back
+  // from accept, not block.
+  ::fcntl(listen_fd_.get(), F_SETFL, O_NONBLOCK);
+  executor_ = std::thread([this] { executor_loop(); });
+  const unsigned n_io = config_.io_threads == 0 ? 1 : config_.io_threads;
+  io_threads_.reserve(n_io);
+  for (unsigned i = 0; i < n_io; ++i) {
+    io_threads_.emplace_back([this] { io_loop(); });
+  }
+}
+
+void SweepServer::wait() {
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
+  if (executor_.joinable()) executor_.join();
+}
+
+void SweepServer::request_stop() {
+  if (stopping_.exchange(true)) return;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+  queue_cv_.notify_all();
+}
+
+SweepServer::Stats SweepServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SweepServer::io_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_.get(), POLLIN, 0},
+                     {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                 SOCK_CLOEXEC);
+    if (client < 0) continue;  // another I/O thread won the race
+    Fd client_fd(client);
+    try {
+      if (config_.recv_timeout_seconds > 0) {
+        set_recv_timeout(client_fd, config_.recv_timeout_seconds);
+      }
+      handle_connection(FrameChannel(std::move(client_fd)));
+    } catch (const std::exception&) {
+      // A connection dying must never take the server down.
+    }
+  }
+}
+
+void SweepServer::handle_connection(FrameChannel channel) {
+  for (;;) {
+    std::optional<Frame> request;
+    try {
+      request = channel.recv();
+    } catch (const ProtocolError& e) {
+      // Best-effort diagnosis before the strict close: the stream
+      // position is unreliable after a framing error, so no recovery.
+      try {
+        channel.send(make_error("frame", e.what()));
+      } catch (const std::exception&) {
+      }
+      return;
+    }
+    if (!request) return;  // clean EOF
+    Frame response;
+    try {
+      response = handle_frame(*request);
+    } catch (const ProtocolError& e) {
+      try {
+        channel.send(make_error("payload", e.what()));
+      } catch (const std::exception&) {
+      }
+      return;
+    }
+    channel.send(response);
+    if (request->type == FrameType::kShutdown) {
+      request_stop();
+      return;
+    }
+  }
+}
+
+Frame SweepServer::handle_frame(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kPing: {
+      Frame f;
+      f.type = FrameType::kPong;
+      return f;
+    }
+    case FrameType::kShutdown: {
+      Frame f;
+      f.type = FrameType::kShutdownOk;
+      return f;
+    }
+    case FrameType::kSubmit:
+      return handle_submit(request);
+    case FrameType::kStatus: {
+      const std::shared_ptr<Job> job = find_job(request.args[0]);
+      if (!job) {
+        return make_refused(kRefusedUnknownId,
+                            "no job '" + request.args[0] + "'");
+      }
+      Frame f;
+      f.type = FrameType::kStatusOk;
+      f.args = {job->id,
+                job_state_name(job->state.load(std::memory_order_acquire)),
+                std::to_string(job->done_tasks.load()),
+                std::to_string(job->spec.tasks.size())};
+      return f;
+    }
+    case FrameType::kResult: {
+      const std::shared_ptr<Job> job = find_job(request.args[0]);
+      if (!job) {
+        return make_refused(kRefusedUnknownId,
+                            "no job '" + request.args[0] + "'");
+      }
+      const JobState state = job->state.load(std::memory_order_acquire);
+      switch (state) {
+        case JobState::kDone: {
+          Frame f;
+          f.type = FrameType::kResultOk;
+          f.args = {job->id};
+          f.payload = job->result_doc;
+          return f;
+        }
+        case JobState::kFailed:
+          return make_refused(kRefusedJobFailed, job->failure);
+        case JobState::kCancelled:
+          return make_refused(kRefusedJobCancelled,
+                              "job '" + job->id + "' was cancelled");
+        case JobState::kQueued:
+        case JobState::kRunning:
+          return make_refused(kRefusedNotDone,
+                              "job '" + job->id + "' is " +
+                                  job_state_name(state));
+      }
+      return make_refused(kRefusedNotDone, "unreachable");
+    }
+    case FrameType::kCancel: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(request.args[0]);
+      if (it == jobs_.end()) {
+        return make_refused(kRefusedUnknownId,
+                            "no job '" + request.args[0] + "'");
+      }
+      const std::shared_ptr<Job>& job = it->second;
+      JobState expected = JobState::kQueued;
+      if (job->state.compare_exchange_strong(expected, JobState::kCancelled,
+                                             std::memory_order_acq_rel)) {
+        // Still queued: drop it before the executor ever sees it.
+        for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+          if ((*qit)->id == job->id) {
+            queue_.erase(qit);
+            break;
+          }
+        }
+        ++stats_.cancelled;
+        retire_terminal_locked(job);
+      } else if (expected == JobState::kRunning) {
+        // Running: arm the engine's between-task token; the executor
+        // records the terminal state when the pool drains.
+        job->cancel.store(true, std::memory_order_relaxed);
+      }
+      Frame f;
+      f.type = FrameType::kCancelOk;
+      f.args = {job->id,
+                job_state_name(job->state.load(std::memory_order_acquire))};
+      return f;
+    }
+    default:
+      return make_error(
+          "frame-type",
+          std::string("service: server received response-type frame '") +
+              frame_type_name(request.type) + "'");
+  }
+}
+
+Frame SweepServer::handle_submit(const Frame& request) {
+  // Throws ProtocolError (handled by the connection loop) on malformed
+  // documents; a well-formed but invalid job is refused synchronously.
+  shard::JobSpec spec = decode_job_payload(request.payload);
+  if (spec.tasks.size() > config_.max_job_tasks) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.refused;
+    return make_refused(kRefusedTooLarge,
+                        "job has " + std::to_string(spec.tasks.size()) +
+                            " tasks; this server caps jobs at " +
+                            std::to_string(config_.max_job_tasks));
+  }
+  JobProgram program;
+  try {
+    program = build_program(spec);
+  } catch (const JobError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.refused;
+    return make_refused(e.reason(), e.what());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    ++stats_.refused;
+    return make_refused(kRefusedShuttingDown, "server is shutting down");
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    ++stats_.refused;
+    return make_refused(kRefusedQueueFull,
+                        "queue holds " + std::to_string(queue_.size()) +
+                            " jobs (limit " +
+                            std::to_string(config_.queue_limit) + ")");
+  }
+  auto job = std::make_shared<Job>();
+  job->id = "j" + std::to_string(next_job_++);
+  job->spec = std::move(spec);
+  job->program = std::move(program);
+  jobs_.emplace(job->id, job);
+  queue_.push_back(job);
+  ++stats_.submitted;
+  const std::size_t depth = queue_.size();
+  queue_cv_.notify_one();
+  Frame f;
+  f.type = FrameType::kAccepted;
+  f.args = {job->id, std::to_string(depth)};
+  return f;
+}
+
+std::shared_ptr<SweepServer::Job> SweepServer::find_job(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+void SweepServer::retire_terminal_locked(const std::shared_ptr<Job>& job) {
+  terminal_order_.push_back(job->id);
+  while (terminal_order_.size() > config_.retain_limit) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+void SweepServer::JobSink::record(const Record& r) {
+  job_->done_tasks.fetch_add(1, std::memory_order_relaxed);
+  if (server_->telemetry_) {
+    Record tagged = r;
+    tagged.job = job_->id;
+    server_->telemetry_->record(tagged);
+  }
+}
+
+void SweepServer::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) {
+        // Jobs still queued at shutdown are cancelled, not silently
+        // dropped: a status query on a retained id stays truthful.
+        for (const std::shared_ptr<Job>& queued : queue_) {
+          queued->state.store(JobState::kCancelled,
+                              std::memory_order_release);
+          ++stats_.cancelled;
+          retire_terminal_locked(queued);
+        }
+        queue_.clear();
+        return;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      job->state.store(JobState::kRunning, std::memory_order_release);
+    }
+    JobSink sink(this, job.get());
+    try {
+      std::vector<engine::TaskResult> results = engine::run_ensemble(
+          *pool_, job->spec.tasks, job->program.fn, &sink, &job->cancel);
+      if (job->program.aux) {
+        for (engine::TaskResult& r : results) r.aux = job->program.aux(r);
+      }
+      job->result_doc = encode_result_payload(job->spec, results);
+      job->state.store(JobState::kDone, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      retire_terminal_locked(job);
+    } catch (const engine::Cancelled&) {
+      job->state.store(JobState::kCancelled, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cancelled;
+      retire_terminal_locked(job);
+    } catch (const std::exception& e) {
+      job->failure = e.what();
+      job->state.store(JobState::kFailed, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed;
+      retire_terminal_locked(job);
+    }
+  }
+}
+
+}  // namespace sops::service

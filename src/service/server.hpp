@@ -1,0 +1,144 @@
+// The persistent sweep server: accept jobs over a local socket, run
+// them on one shared ensemble pool, answer status/result/cancel.
+//
+// Topology: a small set of I/O threads accept connections and speak the
+// v3 frame protocol; one executor thread drains a bounded FIFO of
+// accepted jobs and runs each through engine::run_ensemble on the
+// shared ThreadPool. Exactly one job computes at a time — the pool
+// already saturates the machine's cores per job, so job-level
+// concurrency would only add nondeterministic contention. Backpressure
+// is therefore explicit and early: a submit that would push the queue
+// past its limit is refused synchronously ("queue-full"), never
+// buffered into an unbounded backlog.
+//
+// Job lifecycle: queued → running → done | failed, with cancelled
+// reachable from queued (immediate) and running (via the engine's
+// between-task cancel token — in-flight tasks drain, the job never
+// leaves a partially-stepped chain). Results are retained in memory
+// until the retention cap evicts the oldest terminal job.
+//
+// Determinism: the executor runs the same engine::run_ensemble +
+// shard::encode path the batch harness does, so a job's result document
+// is byte-identical to `bench_X --threads N` output for every N.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/engine/progress.hpp"
+#include "src/engine/thread_pool.hpp"
+#include "src/service/jobs.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/socket.hpp"
+
+namespace sops::service {
+
+struct ServerConfig {
+  std::string socket_path;
+  unsigned io_threads = 2;       ///< connection handler threads
+  unsigned pool_threads = 0;     ///< ensemble pool size (0 = hardware)
+  std::size_t queue_limit = 64;  ///< max queued (not yet running) jobs
+  std::size_t max_job_tasks = 1u << 16;  ///< per-job task-table ceiling
+  std::size_t retain_limit = 4096;  ///< terminal jobs kept for result/status
+  std::string telemetry;         ///< job-tagged JSONL stream; "" = disabled
+  int recv_timeout_seconds = 120;  ///< per-connection idle timeout
+};
+
+class SweepServer {
+ public:
+  explicit SweepServer(ServerConfig config);
+  ~SweepServer();
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  /// Binds the socket and spawns the I/O and executor threads. Throws
+  /// std::runtime_error if the socket cannot be bound or the telemetry
+  /// file cannot be opened.
+  void start();
+
+  /// Blocks until a shutdown request (frame or request_stop) has been
+  /// seen and all threads have drained, then joins them.
+  void wait();
+
+  /// Asynchronously requests shutdown: the listener wakes via the stop
+  /// pipe, the executor finishes its current job and exits. Safe to
+  /// call from any thread, including a signal handler's forwarding
+  /// thread.
+  void request_stop();
+
+  /// Monotonic counters for the lifetime of the server.
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< accepted jobs
+    std::uint64_t refused = 0;    ///< refused submissions (all reasons)
+    std::uint64_t completed = 0;  ///< jobs that reached done
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    std::string id;
+    shard::JobSpec spec;
+    JobProgram program;
+    std::atomic<JobState> state{JobState::kQueued};
+    std::atomic<std::uint64_t> done_tasks{0};
+    std::atomic<bool> cancel{false};
+    /// Written by the executor before the release-store to a terminal
+    /// state; readers observe it only after an acquire-load sees that
+    /// state.
+    std::string result_doc;
+    std::string failure;
+  };
+
+  /// ProgressSink adapter: stamps each record with the owning job id
+  /// and forwards to the shared telemetry stream; counts completions
+  /// for status-ok either way.
+  class JobSink : public engine::ProgressSink {
+   public:
+    JobSink(SweepServer* server, Job* job) : server_(server), job_(job) {}
+    void record(const Record& r) override;
+
+   private:
+    SweepServer* server_;
+    Job* job_;
+  };
+
+  void io_loop();
+  void executor_loop();
+  void handle_connection(FrameChannel channel);
+  [[nodiscard]] Frame handle_frame(const Frame& request);
+  [[nodiscard]] Frame handle_submit(const Frame& request);
+  [[nodiscard]] std::shared_ptr<Job> find_job(const std::string& id);
+  void retire_terminal_locked(const std::shared_ptr<Job>& job);
+
+  ServerConfig config_;
+  Fd listen_fd_;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::unique_ptr<engine::ThreadPool> pool_;
+  std::unique_ptr<engine::ProgressSink> telemetry_;
+
+  mutable std::mutex mutex_;           ///< guards everything below
+  std::condition_variable queue_cv_;   ///< executor wakeup
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::deque<std::string> terminal_order_;  ///< retention FIFO
+  std::uint64_t next_job_ = 1;
+  Stats stats_;
+
+  std::vector<std::thread> io_threads_;
+  std::thread executor_;
+};
+
+}  // namespace sops::service

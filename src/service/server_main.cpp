@@ -1,0 +1,108 @@
+// sops_sweep_server — the persistent simulation-as-a-service daemon.
+//
+// Binds a local AF_UNIX socket, then accepts v3 service-wire frames
+// until a `shutdown` frame arrives: job submissions run on one shared
+// ensemble thread pool, status/result/cancel queries answer from the
+// in-memory job table, and a full queue refuses new work synchronously
+// instead of buffering an unbounded backlog. See src/service/ and
+// DESIGN.md §"Service layer".
+//
+// Prints one `listening on <socket>` line to stdout once the socket is
+// live, so scripts can wait for readiness by watching the log.
+//
+// Exit status: 0 after a clean shutdown; 2 on usage errors (bad flags,
+// out-of-range limits); 1 on startup/data failures (unbindable socket
+// path, unwritable telemetry file — the offending path is printed).
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "src/service/server.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+constexpr int kUsageError = 2;
+constexpr int kDataError = 1;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  util::Cli cli;
+  cli.add_option("socket", "AF_UNIX socket path to listen on (required)", "");
+  cli.add_option("threads",
+                 "ensemble pool workers (0 = hardware concurrency)", "0");
+  cli.add_option("io-threads", "connection handler threads", "2");
+  cli.add_option("queue", "max queued jobs before submissions are refused",
+                 "64");
+  cli.add_option("max-tasks", "per-job task-table ceiling", "65536");
+  cli.add_option("telemetry",
+                 "append job-tagged per-task JSONL records to this file", "");
+  cli.add_option("recv-timeout",
+                 "per-connection idle timeout in seconds (0 = none)", "120");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return kUsageError;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  service::ServerConfig config;
+  try {
+    config.socket_path = cli.str("socket");
+    if (config.socket_path.empty()) {
+      throw std::invalid_argument("cli: --socket is required");
+    }
+    const std::uint64_t threads = cli.unsigned_integer("threads");
+    const std::uint64_t io_threads = cli.unsigned_integer("io-threads");
+    if (threads > 4096 || io_threads == 0 || io_threads > 256) {
+      throw std::invalid_argument(
+          "cli: --threads (max 4096) / --io-threads (1..256) out of range");
+    }
+    config.pool_threads = static_cast<unsigned>(threads);
+    config.io_threads = static_cast<unsigned>(io_threads);
+    config.queue_limit =
+        static_cast<std::size_t>(cli.unsigned_integer("queue"));
+    if (config.queue_limit == 0) {
+      throw std::invalid_argument("cli: --queue must be at least 1");
+    }
+    config.max_job_tasks =
+        static_cast<std::size_t>(cli.unsigned_integer("max-tasks"));
+    config.telemetry = cli.str("telemetry");
+    config.recv_timeout_seconds =
+        static_cast<int>(cli.unsigned_integer("recv-timeout"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
+    return kUsageError;
+  }
+
+  try {
+    service::SweepServer server(config);
+    server.start();
+    std::printf("listening on %s (queue limit %zu, pool threads %u)\n",
+                config.socket_path.c_str(), config.queue_limit,
+                config.pool_threads);
+    std::fflush(stdout);
+    server.wait();
+    const service::SweepServer::Stats stats = server.stats();
+    std::printf(
+        "shutdown: %llu submitted, %llu completed, %llu cancelled, "
+        "%llu failed, %llu refused\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.refused));
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return kDataError;
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "src/service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sops::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("service: socket path '" + path +
+                             "' empty or too long for AF_UNIX (max " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes)");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("service: socket('" + path + "')");
+  // The server owns its socket path: a leftover file from a previous
+  // run (crash, SIGKILL) must not block startup.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("service: bind('" + path + "')");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("service: listen('" + path + "')");
+  }
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("service: socket('" + path + "')");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("service: connect('" + path +
+                "') failed (is the server running?)");
+  }
+  return fd;
+}
+
+void set_recv_timeout(const Fd& fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("service: setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void FrameChannel::send(const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that hung up turns into an error return, not
+    // a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("service: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool FrameChannel::fill(std::size_t need) {
+  char chunk[4096];
+  while (buffer_.size() < need) {
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("service: recv timed out");
+      }
+      throw_errno("service: recv");
+    }
+    if (n == 0) return false;  // EOF
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<Frame> FrameChannel::recv() {
+  // Read until the header line is complete.
+  std::size_t newline;
+  while ((newline = buffer_.find('\n')) == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      throw ProtocolError("service: header: line exceeds " +
+                          std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    const std::size_t before = buffer_.size();
+    if (!fill(before + 1)) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF between frames
+      throw ProtocolError(
+          "service: truncated frame: connection closed mid-header");
+    }
+  }
+  Header header = parse_header(std::string_view(buffer_).substr(0, newline));
+  const std::size_t frame_bytes = newline + 1 + header.payload_bytes;
+  if (!fill(frame_bytes)) {
+    throw ProtocolError("service: truncated frame: header declares " +
+                        std::to_string(header.payload_bytes) +
+                        " payload bytes, connection closed after " +
+                        std::to_string(buffer_.size() - newline - 1));
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.args = std::move(header.args);
+  frame.payload = buffer_.substr(newline + 1, header.payload_bytes);
+  buffer_.erase(0, frame_bytes);
+  return frame;
+}
+
+}  // namespace sops::service

@@ -158,8 +158,25 @@ class ParticleSystem {
   void apply_move(ParticleIndex i, lattice::Node to, std::int64_t edge_delta,
                   std::int64_t hetero_delta);
 
+  /// apply_move with deltas, minus the adjacency/occupancy precondition
+  /// probes. For callers whose gather already certified the target empty
+  /// and adjacent (the step pipeline reads the proposal edge through its
+  /// dense occupancy mirror); produces the identical state as the checked
+  /// overload when the preconditions hold.
+  void apply_move_unchecked(ParticleIndex i, lattice::Node to,
+                            std::int64_t edge_delta,
+                            std::int64_t hetero_delta);
+
   /// Swaps the positions of two adjacent particles.
   void apply_swap(ParticleIndex i, ParticleIndex j);
+
+  /// apply_swap with a caller-supplied h(σ) delta instead of the two
+  /// before/after recounts (2 × 2 × 6 occupancy probes). The delta of a
+  /// heterogeneous swap is a pure function of the gathered neighborhood:
+  /// exactly −NeighborhoodView::swap_exponent(). Same-color swaps are a
+  /// configuration no-op (delta ignored), matching the checked overload.
+  void apply_swap_unchecked(ParticleIndex i, ParticleIndex j,
+                            std::int64_t hetero_delta);
 
   /// Per-color particle counts.
   [[nodiscard]] std::vector<std::size_t> color_histogram() const;

@@ -1,0 +1,407 @@
+// Service layer tests: v3 frame codec (round-trips and strict
+// negative paths), the job registry's refusal surface, the engine's
+// cancel token, and an end-to-end in-process server exercising submit/
+// status/result/cancel/overload/shutdown over a real AF_UNIX socket.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/engine/thread_pool.hpp"
+#include "src/service/client.hpp"
+#include "src/service/jobs.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/server.hpp"
+#include "src/service/socket.hpp"
+#include "src/shard/harness.hpp"
+#include "src/shard/wire.hpp"
+
+namespace {
+
+using namespace sops;
+
+/// A tiny but real service_sweep job: `tasks` replicas of a
+/// `blob`-particle chain run to one checkpoint.
+shard::JobSpec small_job(std::size_t tasks, std::uint64_t blob,
+                         std::uint64_t iters, std::uint64_t seed = 7) {
+  engine::GridSpec grid;
+  grid.lambdas = {2.5};
+  grid.gammas = {3.0};
+  grid.replicas = tasks;
+  grid.base_seed = seed;
+  engine::ChainJob protocol;
+  protocol.checkpoints = {iters};
+  return shard::grid_job("service_sweep", grid, protocol,
+                         {"blob=" + std::to_string(blob), "colors=2",
+                          "swaps=1"});
+}
+
+/// Unique per-test socket path, relative so it stays under the 108-byte
+/// sockaddr_un ceiling regardless of the build directory's depth.
+std::string test_socket(const char* tag) {
+  return std::string("./service_test_") + tag + ".sock";
+}
+
+// --- Frame codec: round-trips ---
+
+TEST(ServiceProtocolTest, EveryFrameTypeRoundTrips) {
+  const std::vector<service::Frame> frames = {
+      {service::FrameType::kSubmit, {}, "payload bytes\nwith newline"},
+      {service::FrameType::kStatus, {"j42"}, ""},
+      {service::FrameType::kResult, {"j42"}, ""},
+      {service::FrameType::kCancel, {"j42"}, ""},
+      {service::FrameType::kPing, {}, ""},
+      {service::FrameType::kShutdown, {}, ""},
+      {service::FrameType::kAccepted, {"j42", "3"}, ""},
+      {service::FrameType::kRefused, {"queue-full"}, "queue holds 64 jobs"},
+      {service::FrameType::kStatusOk, {"j42", "running", "2", "16"}, ""},
+      {service::FrameType::kResultOk, {"j42"}, "doc"},
+      {service::FrameType::kCancelOk, {"j42", "cancelled"}, ""},
+      {service::FrameType::kPong, {}, ""},
+      {service::FrameType::kShutdownOk, {}, ""},
+      {service::FrameType::kError, {"magic"}, "detail text"},
+  };
+  for (const service::Frame& frame : frames) {
+    const std::string bytes = service::encode_frame(frame);
+    const service::Frame back = service::decode_frame(bytes);
+    EXPECT_EQ(back.type, frame.type)
+        << service::frame_type_name(frame.type);
+    EXPECT_EQ(back.args, frame.args);
+    EXPECT_EQ(back.payload, frame.payload);
+  }
+}
+
+TEST(ServiceProtocolTest, EncodeRejectsGrammarViolations) {
+  service::Frame wrong_args{service::FrameType::kStatus, {}, ""};
+  EXPECT_THROW((void)service::encode_frame(wrong_args), std::invalid_argument);
+  service::Frame spacey{service::FrameType::kStatus, {"j 42"}, ""};
+  EXPECT_THROW((void)service::encode_frame(spacey), std::invalid_argument);
+  service::Frame missing_payload{service::FrameType::kSubmit, {}, ""};
+  EXPECT_THROW((void)service::encode_frame(missing_payload),
+               std::invalid_argument);
+  service::Frame stray_payload{service::FrameType::kPong, {}, "x"};
+  EXPECT_THROW((void)service::encode_frame(stray_payload),
+               std::invalid_argument);
+}
+
+// --- Frame codec: negative paths (parse-or-fail, never partial) ---
+
+void expect_protocol_error(const std::string& bytes, const char* expect_text) {
+  try {
+    (void)service::decode_frame(bytes);
+    FAIL() << "decoded malformed frame: " << bytes;
+  } catch (const service::ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find(expect_text), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << expect_text << "'";
+  }
+}
+
+TEST(ServiceProtocolTest, DecodeRejectsTruncatedFrames) {
+  const std::string good =
+      service::encode_frame({service::FrameType::kSubmit, {}, "0123456789"});
+  // No newline at all: the header never completes.
+  expect_protocol_error("sops-service-wire v3 ping 0", "newline");
+  // Payload cut short.
+  expect_protocol_error(good.substr(0, good.size() - 4), "truncated");
+  // Header says 10 bytes but the buffer carries more.
+  expect_protocol_error(good + "extra", "trailing");
+}
+
+TEST(ServiceProtocolTest, DecodeRejectsVersionSkew) {
+  expect_protocol_error("sops-service-wire v2 ping 0\n", "version");
+  expect_protocol_error("sops-service-wire v4 ping 0\n", "version");
+  expect_protocol_error("sops-shard-wire v3 ping 0\n", "magic");
+}
+
+TEST(ServiceProtocolTest, DecodeRejectsFieldCorruption) {
+  expect_protocol_error("sops-service-wire v3 frobnicate 0\n", "frame type");
+  // Wrong token count for the type.
+  expect_protocol_error("sops-service-wire v3 status 0\n", "'status'");
+  expect_protocol_error("sops-service-wire v3 ping j1 0\n", "'ping'");
+  // Corrupt payload byte count.
+  expect_protocol_error("sops-service-wire v3 ping 0x10\n",
+                        "payload byte count");
+  expect_protocol_error("sops-service-wire v3 ping -1\n",
+                        "payload byte count");
+  // Doubled separator.
+  expect_protocol_error("sops-service-wire v3  ping 0\n", "empty token");
+  // Payload presence contradicting the type's grammar.
+  expect_protocol_error("sops-service-wire v3 submit 0\n", "requires");
+  expect_protocol_error("sops-service-wire v3 pong 5\nhello", "must not");
+}
+
+// --- Embedded-document payloads ---
+
+TEST(ServiceProtocolTest, JobPayloadRoundTrips) {
+  const shard::JobSpec job = small_job(3, 16, 500);
+  const std::string payload = service::encode_job_payload(job);
+  const shard::JobSpec back = service::decode_job_payload(payload);
+  // Wire encoding is the canonical equality for job identity.
+  EXPECT_EQ(service::encode_job_payload(back), payload);
+  EXPECT_EQ(back.name, "service_sweep");
+  EXPECT_EQ(back.tasks.size(), 3u);
+}
+
+TEST(ServiceProtocolTest, JobPayloadRejectsMalformedDocuments) {
+  const shard::JobSpec job = small_job(2, 16, 500);
+  std::string payload = service::encode_job_payload(job);
+  // Embedded-document version skew.
+  std::string skewed = payload;
+  skewed.replace(skewed.find("v2"), 2, "v9");
+  EXPECT_THROW((void)service::decode_job_payload(skewed),
+               service::ProtocolError);
+  // Field corruption inside the document.
+  std::string corrupt = payload;
+  corrupt.replace(corrupt.find("grid.lambdas"), 12, "grid.lambdaz");
+  EXPECT_THROW((void)service::decode_job_payload(corrupt),
+               service::ProtocolError);
+  // Truncation.
+  EXPECT_THROW(
+      (void)service::decode_job_payload(payload.substr(0, payload.size() / 2)),
+      service::ProtocolError);
+}
+
+TEST(ServiceProtocolTest, JobPayloadRejectsSmuggledResults) {
+  const shard::JobSpec job = small_job(1, 12, 100);
+  engine::ThreadPool pool(1);
+  const service::JobProgram program = service::build_program(job);
+  const auto results = engine::run_ensemble(pool, job.tasks, program.fn);
+  const std::string with_results =
+      service::encode_result_payload(job, results);
+  EXPECT_THROW((void)service::decode_job_payload(with_results),
+               service::ProtocolError);
+  // The same document is a fine *result* payload.
+  const shard::ShardFile file =
+      service::decode_result_payload(with_results);
+  EXPECT_EQ(file.results.size(), 1u);
+}
+
+TEST(ServiceProtocolTest, ResultPayloadRequiresCompleteness) {
+  const shard::JobSpec job = small_job(2, 12, 100);
+  const std::string incomplete = service::encode_job_payload(job);
+  EXPECT_THROW((void)service::decode_result_payload(incomplete),
+               service::ProtocolError);
+}
+
+TEST(ServiceProtocolTest, JobStateTokensRoundTrip) {
+  for (const service::JobState s :
+       {service::JobState::kQueued, service::JobState::kRunning,
+        service::JobState::kDone, service::JobState::kCancelled,
+        service::JobState::kFailed}) {
+    EXPECT_EQ(service::parse_job_state(service::job_state_name(s)), s);
+  }
+  EXPECT_THROW((void)service::parse_job_state("paused"),
+               service::ProtocolError);
+  EXPECT_FALSE(service::is_terminal(service::JobState::kRunning));
+  EXPECT_TRUE(service::is_terminal(service::JobState::kFailed));
+}
+
+// --- Job registry ---
+
+TEST(ServiceJobsTest, UnknownJobNameIsRefusedAsUnknown) {
+  shard::JobSpec job = small_job(1, 12, 100);
+  job.name = "bench_nonexistent";
+  try {
+    (void)service::build_program(job);
+    FAIL() << "built a program for an unregistered job";
+  } catch (const service::JobError& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedUnknownJob);
+    EXPECT_NE(std::string(e.what()).find("bench_nonexistent"),
+              std::string::npos);
+  }
+}
+
+TEST(ServiceJobsTest, BadParamsAreRefusedNamingTheField) {
+  // Missing required blob=.
+  shard::JobSpec job = small_job(1, 12, 100);
+  job.params = {"colors=2"};
+  try {
+    (void)service::build_program(job);
+    FAIL() << "built a program without blob=";
+  } catch (const service::JobError& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedBadJob);
+    EXPECT_NE(std::string(e.what()).find("blob"), std::string::npos);
+  }
+  // Unknown param key.
+  job = small_job(1, 12, 100);
+  job.params.push_back("warp=9");
+  EXPECT_THROW((void)service::build_program(job), service::JobError);
+  // Out-of-range colors.
+  job = small_job(1, 12, 100);
+  job.params = {"blob=12", "colors=0"};
+  EXPECT_THROW((void)service::build_program(job), service::JobError);
+  // Figure-3 recipe without its checkpoint protocol.
+  job = small_job(1, 12, 100);
+  job.name = "bench_fig3_phase_diagram";
+  job.checkpoints.clear();
+  try {
+    (void)service::build_program(job);
+    FAIL() << "built fig3 without checkpoints";
+  } catch (const service::JobError& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoints"), std::string::npos);
+  }
+}
+
+// --- Engine cancel token ---
+
+TEST(ServiceCancelTest, ArmedTokenCancelsBeforeAnyTask) {
+  const shard::JobSpec job = small_job(4, 12, 100);
+  const service::JobProgram program = service::build_program(job);
+  engine::ThreadPool pool(2);
+  std::atomic<bool> cancel{true};
+  EXPECT_THROW((void)engine::run_ensemble(pool, job.tasks, program.fn,
+                                          nullptr, &cancel),
+               engine::Cancelled);
+  // Unarmed token: same call completes.
+  cancel.store(false);
+  const auto results =
+      engine::run_ensemble(pool, job.tasks, program.fn, nullptr, &cancel);
+  EXPECT_EQ(results.size(), 4u);
+}
+
+// --- End-to-end over a real socket ---
+
+TEST(ServiceServerTest, SubmitPollFetchMatchesLocalRunByteForByte) {
+  const std::string socket_path = test_socket("e2e");
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  config.io_threads = 2;
+  config.pool_threads = 2;
+  service::SweepServer server(config);
+  server.start();
+
+  service::Client client(socket_path);
+  client.ping();
+
+  const shard::JobSpec job = small_job(3, 16, 400);
+  const std::vector<engine::TaskResult> remote =
+      service::run_job(socket_path, job, /*poll_interval_ms=*/2);
+  ASSERT_EQ(remote.size(), job.tasks.size());
+
+  // The same job run locally through the registry must produce the
+  // byte-identical canonical document.
+  engine::ThreadPool pool(1);
+  const service::JobProgram program = service::build_program(job);
+  const auto local = engine::run_ensemble(pool, job.tasks, program.fn);
+  EXPECT_EQ(service::encode_result_payload(job, remote),
+            service::encode_result_payload(job, local));
+
+  client.shutdown_server();
+  server.wait();
+  const service::SweepServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceServerTest, StatusResultAndCancelRefusalPaths) {
+  const std::string socket_path = test_socket("paths");
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  config.pool_threads = 1;
+  service::SweepServer server(config);
+  server.start();
+  service::Client client(socket_path);
+
+  // Unknown ids are refused with the unknown-id reason, not invented.
+  try {
+    (void)client.status("j999");
+    FAIL() << "status of an unknown id succeeded";
+  } catch (const service::Refused& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedUnknownId);
+  }
+
+  // A deliberately long job gets cancelled and stays cancelled.
+  const shard::JobSpec long_job = small_job(64, 24, 500000);
+  const service::Client::Submitted submitted = client.submit(long_job);
+  ASSERT_TRUE(submitted.accepted);
+  (void)client.cancel(submitted.job_id);
+  service::Client::Status status;
+  do {
+    status = client.status(submitted.job_id);
+  } while (!service::is_terminal(status.state));
+  EXPECT_EQ(status.state, service::JobState::kCancelled);
+  try {
+    (void)client.result(submitted.job_id);
+    FAIL() << "result of a cancelled job succeeded";
+  } catch (const service::Refused& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedJobCancelled);
+  }
+
+  // Unknown job names are refused at submit time.
+  shard::JobSpec unknown = small_job(1, 12, 100);
+  unknown.name = "bench_nonexistent";
+  const service::Client::Submitted refused = client.submit(unknown);
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.reason, service::kRefusedUnknownJob);
+
+  client.shutdown_server();
+  server.wait();
+}
+
+TEST(ServiceServerTest, BoundedQueueRefusesOverload) {
+  const std::string socket_path = test_socket("overload");
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  config.pool_threads = 1;
+  config.queue_limit = 1;
+  service::SweepServer server(config);
+  server.start();
+  service::Client client(socket_path);
+
+  // Occupy the executor with a long job...
+  const service::Client::Submitted running =
+      client.submit(small_job(64, 24, 500000, /*seed=*/11));
+  ASSERT_TRUE(running.accepted);
+  service::Client::Status status;
+  do {
+    status = client.status(running.job_id);
+  } while (status.state == service::JobState::kQueued);
+  // ...fill the queue's single slot...
+  const service::Client::Submitted queued =
+      client.submit(small_job(2, 12, 100, /*seed=*/12));
+  ASSERT_TRUE(queued.accepted);
+  // ...and watch the next submission bounce.
+  const service::Client::Submitted bounced =
+      client.submit(small_job(2, 12, 100, /*seed=*/13));
+  ASSERT_FALSE(bounced.accepted);
+  EXPECT_EQ(bounced.reason, service::kRefusedQueueFull);
+
+  (void)client.cancel(queued.job_id);
+  (void)client.cancel(running.job_id);
+  client.shutdown_server();
+  server.wait();
+  EXPECT_GE(server.stats().refused, 1u);
+  EXPECT_GE(server.stats().cancelled, 2u);
+}
+
+TEST(ServiceServerTest, MalformedBytesGetAnErrorFrameThenClose) {
+  const std::string socket_path = test_socket("malformed");
+  service::ServerConfig config;
+  config.socket_path = socket_path;
+  config.pool_threads = 1;
+  service::SweepServer server(config);
+  server.start();
+
+  service::FrameChannel raw(service::connect_unix(socket_path));
+  const std::string garbage = "sops-service-wire v2 ping 0\n";
+  ssize_t n = ::send(raw.fd().get(), garbage.data(), garbage.size(), 0);
+  ASSERT_EQ(n, static_cast<ssize_t>(garbage.size()));
+  const std::optional<service::Frame> reply = raw.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, service::FrameType::kError);
+  EXPECT_NE(reply->payload.find("version"), std::string::npos);
+  // The connection is closed after a framing error.
+  EXPECT_FALSE(raw.recv().has_value());
+
+  service::Client client(socket_path);
+  client.shutdown_server();
+  server.wait();
+}
+
+}  // namespace
