@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,18 +61,30 @@ int main(int argc, char** argv) {
       sw.job.tasks[i].seed = opt.seed + ns[i];
     }
 
-    sw.fn = [ns, samples, opt](const engine::Task& t) {
+    // Chain-backed (not a raw fn) so the checkpoint subsystem can
+    // snapshot and resume these runs mid-task — the n-sweep runs the
+    // longest chains in the suite. The per-task protocol override
+    // carries the n-scaled burn-in and spacing; its identity rides in
+    // the params tokens above.
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->make_chain = [ns](const engine::Task& t) {
       const std::size_t n = ns[t.index];
       util::Rng rng(t.seed);
       const auto nodes = lattice::random_blob(n, rng);
       const auto colors = core::balanced_random_colors(n, 2, rng);
-      core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                  core::Params{t.lambda, t.gamma, true},
-                                  t.seed);
-      const std::uint64_t burn = opt.scaled(20000) * n;
-      const std::uint64_t spacing = 200 * n;
-      return core::sample_equilibrium(chain, burn, spacing, samples);
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
     };
+    chain->protocol = [ns, samples, opt](const engine::Task& t) {
+      const std::size_t n = ns[t.index];
+      engine::ChainProtocol proto;
+      proto.burn_in = opt.scaled(20000) * n;
+      proto.interval = 200 * n;
+      proto.samples = samples;
+      return proto;
+    };
+    sw.chain = chain;
 
     sw.report = [ns, samples](const harness::Options&,
                               std::span<const engine::TaskResult> results) {

@@ -17,9 +17,10 @@
 #                     bench_kernels_snapshot.sh --compare --tolerance)
 #   SOPS_CI_TSAN      also configure a -DSOPS_SANITIZE=thread tree in
 #                     <build-dir>-tsan and run the race-check tiers
-#                     there: ctest -L 'core|engine|shard|harness'
+#                     there: ctest -L 'core|engine|shard|checkpoint|…'
 #                     (the core tier carries the step-pipeline and
-#                     neighborhood equivalence tests)
+#                     neighborhood equivalence tests; the checkpoint
+#                     tier races snapshot writers across the pool)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,18 +46,21 @@ scripts/check_shard_roundtrip.sh "$build_dir" bench_mixing_gap 3
 echo "== service smoke (sweep server + load client)"
 scripts/check_service_smoke.sh "$build_dir" bench_fig3_phase_diagram
 
+echo "== checkpoint kill -9 + elastic recovery (bench_thm13_compression)"
+scripts/check_checkpoint_kill9.sh "$build_dir" bench_thm13_compression
+
 echo "== kernel perf vs recorded snapshot ($(
   [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] \
     && echo "strict: SOPS_BENCH_STRICT=1" || echo warn-only))"
 scripts/bench_kernels_snapshot.sh --compare "$build_dir" BENCH_kernels.json
 
 if [[ -n ${SOPS_CI_TSAN:-} && ${SOPS_CI_TSAN:-} != 0 ]]; then
-  echo "== TSan tiers (core|engine|shard|harness|service under ${build_dir}-tsan)"
+  echo "== TSan tiers (core|engine|shard|checkpoint|harness|service under ${build_dir}-tsan)"
   cmake -S . -B "${build_dir}-tsan" -DSOPS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "${build_dir}-tsan" -j "$jobs"
   ctest --test-dir "${build_dir}-tsan" --output-on-failure -j "$jobs" \
-    -L 'core|engine|shard|harness|service'
+    -L 'core|engine|shard|checkpoint|harness|service'
 fi
 
 echo "PASS: CI green"

@@ -1,0 +1,81 @@
+// Checkpointed ensemble execution: run_ensemble's contract (results
+// slot-indexed by Task::index, byte-identical at any thread count) plus
+// durable per-task snapshots and resume.
+//
+// For chain-backed tasks the runner re-implements the two core/runner
+// protocols (checkpoint-list and equilibrium) as segmented drives of one
+// StepPipeline, pausing at multiples of `Policy::every` to write a
+// partial snapshot. Segmentation is invisible to the trajectory — the
+// pipeline consumes no RNG draw beyond the steps asked of it (PR 5) —
+// so a run that snapshots every 10k steps is byte-identical to one that
+// never pauses, and a resumed run is byte-identical to an uninterrupted
+// one. That identity is the subsystem's acceptance bar, pinned by
+// tests/checkpoint_test.cpp and scripts/check_checkpoint_kill9.sh.
+//
+// fn-backed tasks (no ChainJob) are opaque to the runner, so they
+// snapshot only at completion: resume skips finished tasks and reruns
+// interrupted ones from scratch. The same completion-only rule applies
+// to chain jobs with an on_sample hook, whose side-channel state (the
+// input to aux packing) lives outside the snapshot and would not replay
+// across a mid-task resume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/checkpoint/snapshot.hpp"
+#include "src/engine/ensemble.hpp"
+#include "src/shard/harness.hpp"
+
+namespace sops::checkpoint {
+
+/// Where and how often to snapshot, and whether to resume.
+struct Policy {
+  std::string dir;          ///< snapshot directory (must already exist)
+  /// Steps between partial snapshots of a chain-backed task. 0 =
+  /// completion-only (tasks snapshot when they finish; resume skips
+  /// them but reruns any task that was mid-flight).
+  std::uint64_t every = 0;
+  /// Adopt matching snapshots found in `dir`: complete ones preload the
+  /// task's result, partial ones restart the chain mid-trajectory. A
+  /// snapshot whose identity does not match the job is an error, never
+  /// silently ignored.
+  bool resume = false;
+};
+
+/// A snapshot that cannot be resumed under this job: wrong job name,
+/// spec hash, task identity, or internally inconsistent state. The
+/// message names the offending field and the snapshot path.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// How the tasks of one run were satisfied (reported to stderr so
+/// stdout report bytes stay identical to an uncheckpointed run).
+struct RunStats {
+  std::size_t skipped = 0;  ///< complete snapshot adopted, task not run
+  std::size_t resumed = 0;  ///< partial snapshot continued mid-trajectory
+  std::size_t fresh = 0;    ///< ran from the start
+};
+
+/// Drop-in for engine::run_ensemble with snapshot/resume around each
+/// task. `job` provides the snapshot identity (name + spec hash);
+/// `chain` enables mid-task snapshots when non-null (pass the ChainJob
+/// behind `fn`), else `fn` runs opaque with completion-only snapshots.
+/// `aux` is applied to each completed task's result before its
+/// completion snapshot is written, so adopted results carry aux verbatim.
+/// Throws CheckpointError/SnapshotError on unusable snapshots and
+/// std::runtime_error on snapshot I/O failure. `stats` (optional)
+/// receives the skip/resume/fresh tally.
+std::vector<engine::TaskResult> run_tasks(
+    engine::ThreadPool& pool, std::span<const engine::Task> tasks,
+    const shard::JobSpec& job, const engine::ChainJob* chain,
+    const engine::TaskFn& fn, const Policy& policy,
+    engine::ProgressSink* sink = nullptr, const shard::AuxFn& aux = {},
+    RunStats* stats = nullptr);
+
+}  // namespace sops::checkpoint

@@ -1,0 +1,570 @@
+#include "src/checkpoint/snapshot.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace sops::checkpoint {
+
+namespace {
+
+constexpr std::string_view kMagic = "sops-checkpoint";
+
+[[noreturn]] void bad(std::size_t line_no, std::string_view msg) {
+  std::ostringstream os;
+  os << "checkpoint: line " << line_no << ": " << msg;
+  throw SnapshotError(os.str());
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+// ---- hashing ------------------------------------------------------------
+
+// FNV-1a over a byte string: stable, dependency-free, and plenty for
+// tamper evidence and spec identity (this is an integrity check against
+// accidental corruption/drift, not an adversary).
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---- encoding -----------------------------------------------------------
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+// C99 hexfloat, exactly as the shard wire writes doubles.
+void put_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+}
+
+void put_hex16(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// ---- decoding -----------------------------------------------------------
+
+// Line/token cursor, same grammar rules as the shard wire: single-space
+// separators, no empty tokens, one spelling per document.
+class Lines {
+ public:
+  explicit Lines(std::string_view text) : rest_(text) {}
+
+  bool next(std::vector<std::string_view>& tokens) {
+    tokens.clear();
+    if (rest_.empty()) return false;
+    ++line_no_;
+    const auto nl = rest_.find('\n');
+    std::string_view line = rest_.substr(0, nl);
+    rest_ = (nl == std::string_view::npos) ? std::string_view{}
+                                           : rest_.substr(nl + 1);
+    if (line.empty() && rest_.empty()) return false;  // trailing newline
+    std::size_t start = 0;
+    while (true) {
+      const auto sp = line.find(' ', start);
+      const std::string_view tok = line.substr(start, sp - start);
+      if (!is_token(tok)) bad(line_no_, "empty or malformed token");
+      tokens.push_back(tok);
+      if (sp == std::string_view::npos) break;
+      start = sp + 1;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t line_no() const noexcept { return line_no_; }
+
+ private:
+  std::string_view rest_;
+  std::size_t line_no_ = 0;
+};
+
+std::uint64_t get_u64(std::string_view tok, std::size_t line_no) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    bad(line_no, "expected unsigned integer");
+  }
+  return out;
+}
+
+std::int64_t get_i64(std::string_view tok, std::size_t line_no) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    bad(line_no, "expected integer");
+  }
+  return out;
+}
+
+double get_double(std::string_view tok, std::size_t line_no) {
+  const std::string copy(tok);
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    bad(line_no, "expected hexfloat value");
+  }
+  return out;
+}
+
+std::uint64_t get_hex16(std::string_view tok, std::size_t line_no) {
+  if (tok.size() != 16) bad(line_no, "expected 16-digit hex value");
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out, 16);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    bad(line_no, "expected 16-digit hex value");
+  }
+  return out;
+}
+
+std::vector<std::string_view> expect_line(Lines& lines,
+                                          std::string_view keyword,
+                                          std::size_t n_tokens) {
+  std::vector<std::string_view> tokens;
+  if (!lines.next(tokens)) {
+    bad(lines.line_no() + 1, std::string("unexpected end of input (wanted '") +
+                                 std::string(keyword) + "')");
+  }
+  if (tokens[0] != keyword) {
+    bad(lines.line_no(), std::string("expected '") + std::string(keyword) +
+                             "' line, got '" + std::string(tokens[0]) + "'");
+  }
+  if (tokens.size() != n_tokens) {
+    bad(lines.line_no(), std::string("wrong token count for '") +
+                             std::string(keyword) + "' line");
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::uint64_t spec_hash(const shard::JobSpec& job) {
+  // Hash the job's own wire encoding with no results: every field a
+  // merge's check_same_job compares (grid, protocol, params, the dense
+  // task table) is covered, and the hash changes exactly when the wire
+  // would consider the spec a different job.
+  return fnv1a(shard::encode(job, {}));
+}
+
+std::string task_filename(std::string_view job, std::uint64_t task_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "-task%06llu.sopsckpt",
+                static_cast<unsigned long long>(task_index));
+  return std::string(job) + buf;
+}
+
+std::string encode(const Snapshot& snap) {
+  if (!is_token(snap.job)) {
+    throw std::invalid_argument(
+        "checkpoint: job name must be one nonempty token");
+  }
+  if (snap.positions.size() != snap.colors.size()) {
+    throw std::invalid_argument(
+        "checkpoint: positions/colors size mismatch");
+  }
+  std::string out;
+  out.reserve(256 + 96 * snap.series.size() + 24 * snap.positions.size());
+
+  out += kMagic;
+  out += " v";
+  put_u64(out, kSnapshotVersion);
+  out += "\njob ";
+  out += snap.job;
+  out += "\nspec ";
+  put_hex16(out, snap.spec_hash);
+  out += "\ntask ";
+  put_u64(out, snap.task_index);
+  out += ' ';
+  put_u64(out, snap.task_seed);
+  out += "\nstatus ";
+  out += snap.complete ? "complete" : "partial";
+  out += "\nparams ";
+  put_double(out, snap.lambda);
+  out += ' ';
+  put_double(out, snap.gamma);
+  out += ' ';
+  out += snap.swaps_enabled ? '1' : '0';
+  out += "\nrng";
+  for (const std::uint64_t w : snap.rng) {
+    out += ' ';
+    put_hex16(out, w);
+  }
+  out += "\ncounters";
+  const core::SeparationChain::Counters& c = snap.counters;
+  for (const std::uint64_t v :
+       {c.steps, c.move_proposals, c.moves_accepted, c.rejected_five,
+        c.rejected_locality, c.rejected_metropolis, c.swap_proposals,
+        c.swaps_accepted}) {
+    out += ' ';
+    put_u64(out, v);
+  }
+  out += "\nseries ";
+  put_u64(out, snap.series.size());
+  for (const core::Measurement& m : snap.series) {
+    out += "\nm ";
+    put_u64(out, m.iteration);
+    out += ' ';
+    put_i64(out, m.perimeter);
+    out += ' ';
+    put_i64(out, m.edges);
+    out += ' ';
+    put_i64(out, m.hetero_edges);
+    out += ' ';
+    put_double(out, m.perimeter_ratio);
+    out += ' ';
+    put_double(out, m.hetero_fraction);
+  }
+  out += "\naux ";
+  put_u64(out, snap.aux.size());
+  for (const double v : snap.aux) {
+    out += ' ';
+    put_double(out, v);
+  }
+  out += "\nparticles ";
+  put_u64(out, snap.positions.size());
+  for (std::size_t i = 0; i < snap.positions.size(); ++i) {
+    out += "\np ";
+    put_i64(out, snap.positions[i].x);
+    out += ' ';
+    put_i64(out, snap.positions[i].y);
+    out += ' ';
+    put_u64(out, snap.colors[i]);
+  }
+  out += '\n';
+  // The checksum covers every byte written so far — including the final
+  // newline before the checksum line, so truncation at any line boundary
+  // is also detected.
+  out += "checksum ";
+  put_hex16(out, fnv1a(out.substr(0, out.size() - 9)));
+  out += "\nend\n";
+  return out;
+}
+
+Snapshot decode(std::string_view text) {
+  // Integrity first: locate the checksum line from the back and verify
+  // it over the byte prefix before trusting any field. This turns every
+  // flavor of corruption — bit flips, truncation, hand edits — into one
+  // unambiguous "checksum mismatch" instead of a downstream grammar
+  // error that might accidentally parse.
+  {
+    const auto pos = text.rfind("\nchecksum ");
+    if (pos == std::string_view::npos) {
+      throw SnapshotError("checkpoint: missing checksum line");
+    }
+    const std::string_view rest = text.substr(pos + 10);
+    const auto nl = rest.find('\n');
+    if (nl == std::string_view::npos) {
+      throw SnapshotError("checkpoint: malformed checksum line");
+    }
+    std::uint64_t declared = 0;
+    const std::string_view tok = rest.substr(0, nl);
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), declared, 16);
+    if (tok.size() != 16 || ec != std::errc{} ||
+        ptr != tok.data() + tok.size()) {
+      throw SnapshotError("checkpoint: malformed checksum line");
+    }
+    const std::uint64_t actual = fnv1a(text.substr(0, pos + 1));
+    if (actual != declared) {
+      std::ostringstream os;
+      os << "checkpoint: checksum mismatch (file says ";
+      os << tok << ", content hashes to ";
+      char buf[17];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(actual));
+      os << buf << ") — snapshot is corrupt or truncated";
+      throw SnapshotError(os.str());
+    }
+  }
+
+  Lines lines(text);
+  Snapshot snap;
+
+  {
+    std::vector<std::string_view> tokens;
+    if (!lines.next(tokens)) bad(1, "empty input");
+    if (tokens.size() != 2 || tokens[0] != kMagic) {
+      bad(lines.line_no(), "not a sops checkpoint file (bad magic line)");
+    }
+    if (tokens[1].size() < 2 || tokens[1][0] != 'v') {
+      bad(lines.line_no(), "malformed version token");
+    }
+    const std::uint64_t version = get_u64(tokens[1].substr(1), lines.line_no());
+    if (version != kSnapshotVersion) {
+      std::ostringstream os;
+      os << "unsupported checkpoint version v" << version << " (reader speaks v"
+         << kSnapshotVersion << ")";
+      bad(lines.line_no(), os.str());
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "job", 2);
+    snap.job = std::string(tokens[1]);
+  }
+  {
+    const auto tokens = expect_line(lines, "spec", 2);
+    snap.spec_hash = get_hex16(tokens[1], lines.line_no());
+  }
+  {
+    const auto tokens = expect_line(lines, "task", 3);
+    snap.task_index = get_u64(tokens[1], lines.line_no());
+    snap.task_seed = get_u64(tokens[2], lines.line_no());
+  }
+  {
+    const auto tokens = expect_line(lines, "status", 2);
+    if (tokens[1] == "complete") {
+      snap.complete = true;
+    } else if (tokens[1] == "partial") {
+      snap.complete = false;
+    } else {
+      bad(lines.line_no(), "status must be 'partial' or 'complete'");
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "params", 4);
+    snap.lambda = get_double(tokens[1], lines.line_no());
+    snap.gamma = get_double(tokens[2], lines.line_no());
+    if (tokens[3] == "1") {
+      snap.swaps_enabled = true;
+    } else if (tokens[3] == "0") {
+      snap.swaps_enabled = false;
+    } else {
+      bad(lines.line_no(), "swaps flag must be 0 or 1");
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "rng", 5);
+    for (std::size_t i = 0; i < 4; ++i) {
+      snap.rng[i] = get_hex16(tokens[1 + i], lines.line_no());
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "counters", 9);
+    core::SeparationChain::Counters& c = snap.counters;
+    c.steps = get_u64(tokens[1], lines.line_no());
+    c.move_proposals = get_u64(tokens[2], lines.line_no());
+    c.moves_accepted = get_u64(tokens[3], lines.line_no());
+    c.rejected_five = get_u64(tokens[4], lines.line_no());
+    c.rejected_locality = get_u64(tokens[5], lines.line_no());
+    c.rejected_metropolis = get_u64(tokens[6], lines.line_no());
+    c.swap_proposals = get_u64(tokens[7], lines.line_no());
+    c.swaps_accepted = get_u64(tokens[8], lines.line_no());
+  }
+  {
+    const auto tokens = expect_line(lines, "series", 2);
+    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    snap.series.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto m = expect_line(lines, "m", 7);
+      core::Measurement meas;
+      meas.iteration = get_u64(m[1], lines.line_no());
+      meas.perimeter = get_i64(m[2], lines.line_no());
+      meas.edges = get_i64(m[3], lines.line_no());
+      meas.hetero_edges = get_i64(m[4], lines.line_no());
+      meas.perimeter_ratio = get_double(m[5], lines.line_no());
+      meas.hetero_fraction = get_double(m[6], lines.line_no());
+      snap.series.push_back(meas);
+    }
+  }
+  {
+    std::vector<std::string_view> tokens;
+    if (!lines.next(tokens) || tokens[0] != "aux") {
+      bad(lines.line_no(), "expected 'aux' line");
+    }
+    if (tokens.size() < 2) bad(lines.line_no(), "missing aux count");
+    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    if (tokens.size() != 2 + count) {
+      bad(lines.line_no(), "aux count does not match declared count");
+    }
+    snap.aux.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      snap.aux.push_back(get_double(tokens[2 + i], lines.line_no()));
+    }
+    if (!snap.aux.empty() && !snap.complete) {
+      bad(lines.line_no(), "partial snapshots must not carry aux values");
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "particles", 2);
+    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    snap.positions.reserve(count);
+    snap.colors.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto p = expect_line(lines, "p", 4);
+      lattice::Node node;
+      const std::int64_t x = get_i64(p[1], lines.line_no());
+      const std::int64_t y = get_i64(p[2], lines.line_no());
+      if (x < INT32_MIN || x > INT32_MAX || y < INT32_MIN || y > INT32_MAX) {
+        bad(lines.line_no(), "particle coordinate out of int32 range");
+      }
+      node.x = static_cast<std::int32_t>(x);
+      node.y = static_cast<std::int32_t>(y);
+      const std::uint64_t color = get_u64(p[3], lines.line_no());
+      if (color >= system::kMaxColors) {
+        bad(lines.line_no(), "particle color out of range");
+      }
+      snap.positions.push_back(node);
+      snap.colors.push_back(static_cast<system::Color>(color));
+    }
+  }
+  expect_line(lines, "checksum", 2);  // verified above; consume in sequence
+  {
+    const auto tokens = expect_line(lines, "end", 1);
+    (void)tokens;
+    std::vector<std::string_view> extra;
+    if (lines.next(extra)) {
+      bad(lines.line_no(), "trailing content after 'end'");
+    }
+  }
+  return snap;
+}
+
+void write_snapshot(const std::string& path, const Snapshot& snap) {
+  const std::string text = encode(snap);
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open '" + tmp +
+                             "' for writing");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), out);
+  bool ok = (written == text.size()) && (std::fflush(out) == 0);
+#if !defined(_WIN32)
+  // Durability before visibility: the data must be on disk before the
+  // rename makes the snapshot the one a resume will trust.
+  ok = ok && (::fsync(::fileno(out)) == 0);
+#endif
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename '" + tmp + "' to '" +
+                             path + "': " + std::strerror(err));
+  }
+}
+
+Snapshot read_snapshot(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open '" + path +
+                             "' for reading");
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, in)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_error) {
+    throw std::runtime_error("checkpoint: read error on '" + path + "'");
+  }
+  try {
+    return decode(text);
+  } catch (const SnapshotError& e) {
+    throw SnapshotError(std::string(e.what()) + " (in " + path + ")");
+  }
+}
+
+Snapshot capture(const core::SeparationChain& chain, std::string job,
+                 std::uint64_t spec_hash, const engine::Task& task,
+                 bool complete, std::vector<core::Measurement> series,
+                 std::vector<double> aux) {
+  Snapshot snap;
+  snap.job = std::move(job);
+  snap.spec_hash = spec_hash;
+  snap.task_index = task.index;
+  snap.task_seed = task.seed;
+  snap.complete = complete;
+  snap.lambda = chain.params().lambda;
+  snap.gamma = chain.params().gamma;
+  snap.swaps_enabled = chain.params().swaps_enabled;
+  snap.rng = chain.rng_state();
+  snap.counters = chain.counters();
+  snap.series = std::move(series);
+  snap.aux = std::move(aux);
+  snap.positions = chain.system().positions();
+  snap.colors = chain.system().colors();
+  return snap;
+}
+
+Snapshot capture_stateless(std::string job, std::uint64_t spec_hash,
+                           const engine::Task& task,
+                           std::vector<core::Measurement> series,
+                           std::vector<double> aux) {
+  Snapshot snap;
+  snap.job = std::move(job);
+  snap.spec_hash = spec_hash;
+  snap.task_index = task.index;
+  snap.task_seed = task.seed;
+  snap.complete = true;
+  snap.lambda = task.lambda;
+  snap.gamma = task.gamma;
+  snap.series = std::move(series);
+  snap.aux = std::move(aux);
+  return snap;
+}
+
+core::SeparationChain restore_chain(const Snapshot& snap) {
+  if (snap.rng == util::Rng::State{}) {
+    throw SnapshotError(
+        "checkpoint: rng state is all-zero — not a live chain state "
+        "(stateless completion snapshot, or corrupt)");
+  }
+  if (snap.positions.empty()) {
+    throw SnapshotError("checkpoint: snapshot carries no particles");
+  }
+  // The seed only re-derives the pow tables' RNG, whose state we
+  // immediately overwrite; task_seed keeps construction meaningful.
+  core::SeparationChain chain(
+      system::ParticleSystem(snap.positions, snap.colors),
+      core::Params{snap.lambda, snap.gamma, snap.swaps_enabled},
+      snap.task_seed);
+  chain.set_rng_state(snap.rng);
+  chain.set_counters(snap.counters);
+  return chain;
+}
+
+}  // namespace sops::checkpoint

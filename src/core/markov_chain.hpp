@@ -98,6 +98,20 @@ class SeparationChain {
   /// Runs `iterations` reference-path steps.
   void run_reference(std::uint64_t iterations);
 
+  /// Checkpoint/resume support (src/checkpoint). A chain's resumable
+  /// state beyond the configuration itself is exactly (RNG state,
+  /// counters): restoring both into a chain rebuilt from the snapshotted
+  /// positions/colors/params continues the identical trajectory — the
+  /// same words leave the generator in the same order, and Measurement
+  /// iteration stamps continue from the restored step count.
+  [[nodiscard]] util::Rng::State rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const util::Rng::State& s) noexcept {
+    rng_.set_state(s);
+  }
+  void set_counters(const Counters& c) noexcept { counters_ = c; }
+
  private:
   // The pipeline is the run loop: it reads rng_/sys_/params_, the
   // Metropolis pow tables, and flushes block-local counters into

@@ -63,21 +63,27 @@ std::vector<TaskResult> run_ensemble(ThreadPool& pool,
   return results;
 }
 
+ChainProtocol resolve_protocol(const ChainJob& job, const Task& task) {
+  if (job.protocol) return job.protocol(task);
+  return {job.checkpoints, job.burn_in, job.interval, job.samples};
+}
+
 TaskFn make_task_fn(const ChainJob& job) {
   if (!job.make_chain) {
     throw std::invalid_argument("make_task_fn: ChainJob::make_chain is required");
   }
   return [&job](const Task& task) {
     core::SeparationChain chain = job.make_chain(task);
+    const ChainProtocol proto = resolve_protocol(job, task);
     std::vector<core::Measurement> series;
-    if (!job.checkpoints.empty()) {
+    if (!proto.checkpoints.empty()) {
       std::function<void(const core::SeparationChain&, std::uint64_t)> cb;
       if (job.on_sample) {
         cb = [&job, &task](const core::SeparationChain& c, std::uint64_t) {
           job.on_sample(task, c);
         };
       }
-      series = core::run_with_checkpoints(chain, job.checkpoints, cb,
+      series = core::run_with_checkpoints(chain, proto.checkpoints, cb,
                                           job.pipeline_block);
     } else {
       std::function<void(const core::SeparationChain&)> cb;
@@ -86,8 +92,8 @@ TaskFn make_task_fn(const ChainJob& job) {
           job.on_sample(task, c);
         };
       }
-      series = core::sample_equilibrium(chain, job.burn_in, job.interval,
-                                        job.samples, cb, job.pipeline_block);
+      series = core::sample_equilibrium(chain, proto.burn_in, proto.interval,
+                                        proto.samples, cb, job.pipeline_block);
     }
     return series;
   };

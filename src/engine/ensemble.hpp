@@ -94,6 +94,17 @@ std::vector<TaskResult> run_ensemble(ThreadPool& pool,
                                      ProgressSink* sink = nullptr,
                                      const std::atomic<bool>* cancel = nullptr);
 
+/// One task's measurement protocol: checkpoint mode when `checkpoints`
+/// is nonempty (run to each absolute iteration, measuring at each),
+/// equilibrium mode otherwise (burn in, then `samples` measurements
+/// `interval` steps apart).
+struct ChainProtocol {
+  std::vector<std::uint64_t> checkpoints;
+  std::uint64_t burn_in = 0;
+  std::uint64_t interval = 0;
+  std::size_t samples = 0;
+};
+
 /// Declarative SeparationChain job: how to build each task's chain and
 /// which of the two core/runner protocols to drive it with.
 struct ChainJob {
@@ -111,6 +122,15 @@ struct ChainJob {
   std::uint64_t interval = 0;
   std::size_t samples = 0;
 
+  /// Optional per-task protocol override for sweeps whose iteration
+  /// budget is an axis of the sweep itself (bench_thm13 scales burn-in
+  /// and spacing with n). When set, it replaces the four fixed fields
+  /// above for every task; the sweep's identity must then ride in
+  /// JobSpec::params, since the wire carries only the fixed fields.
+  /// Must be a pure function of the Task (workers resolve it
+  /// independently).
+  std::function<ChainProtocol(const Task&)> protocol;
+
   /// Optional per-checkpoint/per-sample hook with the live chain, for
   /// derived observables (separation certificates, renders, …). Runs on
   /// the worker: write only to slots keyed by Task::index.
@@ -122,6 +142,12 @@ struct ChainJob {
   /// reports, are byte-identical at every value.
   std::size_t pipeline_block = 0;
 };
+
+/// The protocol `job` prescribes for `task`: the per-task override when
+/// set, the fixed fields otherwise. Exposed so the checkpointed runner
+/// (src/checkpoint) drives exactly the protocol make_task_fn would.
+[[nodiscard]] ChainProtocol resolve_protocol(const ChainJob& job,
+                                             const Task& task);
 
 /// The TaskFn a ChainJob describes: build the chain, drive it through
 /// the checkpoint or equilibrium protocol, fire on_sample. The returned

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/runner.hpp"
 #include "src/service/client.hpp"
 
 namespace sops::harness {
@@ -85,13 +86,33 @@ int run(const Spec& spec, int argc, char** argv) {
   std::optional<std::vector<engine::TaskResult>> results;
   try {
     // A refused merge (incomplete tiling, foreign shard file, parse
-    // failure, empty --merge-dir) is an expected operator-facing data
-    // error: report it and exit kDataError instead of std::terminate.
+    // failure, empty --merge-dir), like an unusable snapshot under
+    // --resume, is an expected operator-facing data error: report it
+    // and exit kDataError instead of std::terminate.
     if (!opt.merge_dir.empty()) {
       modes.merge_inputs = shard::list_shard_files(opt.merge_dir);
     }
-    results = shard::run_or_merge(sweep.job, modes, pool, fn, &sink,
-                                  sweep.aux);
+    if (!opt.checkpoint_dir.empty()) {
+      // Checkpointed execution slots in under the shard dispatch: the
+      // slice a worker runs and the wire file it writes are unchanged,
+      // only how the slice's tasks get satisfied differs (and a resumed
+      // run's results are byte-identical, so the wire bytes are too).
+      const checkpoint::Policy policy{opt.checkpoint_dir,
+                                      opt.checkpoint_every, opt.resume};
+      // Mid-task snapshots only when the chain protocol is what actually
+      // runs; a sweep with its own fn stays opaque even if it also
+      // carries a ChainJob.
+      const engine::ChainJob* chain = sweep.fn ? nullptr : sweep.chain.get();
+      results = shard::run_or_merge(
+          sweep.job, modes,
+          [&](std::span<const engine::Task> tasks) {
+            return checkpoint::run_tasks(pool, tasks, sweep.job, chain, fn,
+                                         policy, &sink, sweep.aux);
+          });
+    } else {
+      results = shard::run_or_merge(sweep.job, modes, pool, fn, &sink,
+                                    sweep.aux);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return kDataError;

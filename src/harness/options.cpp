@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <stdexcept>
 #include <tuple>
@@ -54,6 +55,15 @@ Options parse_options(int argc, char** argv, bool with_shard,
                    "submit the sweep to the sweep server at this AF_UNIX "
                    "socket and report its results",
                    "");
+    cli.add_option("checkpoint-dir",
+                   "write per-task resume snapshots to this directory", "");
+    cli.add_option("checkpoint-every",
+                   "also snapshot chain-backed tasks mid-run every N steps "
+                   "(0 = at completion only)",
+                   "0");
+    cli.add_flag("resume",
+                 "adopt matching snapshots in --checkpoint-dir: skip "
+                 "completed tasks, continue partial ones");
   }
   if (passthrough_prefix != nullptr) {
     cli.set_passthrough_prefix(passthrough_prefix);
@@ -132,6 +142,22 @@ Options parse_options(int argc, char** argv, bool with_shard,
             "--shard-out/--merge/--merge-dir (the server runs the whole "
             "job)");
       }
+
+      opt.checkpoint_dir = cli.str("checkpoint-dir");
+      opt.checkpoint_every = cli.unsigned_integer("checkpoint-every");
+      opt.resume = cli.flag("resume");
+      if (opt.checkpoint_dir.empty() &&
+          (opt.checkpoint_every != 0 || opt.resume)) {
+        throw std::invalid_argument(
+            "cli: --checkpoint-every/--resume require --checkpoint-dir");
+      }
+      if (!opt.checkpoint_dir.empty() &&
+          (!opt.merge_inputs.empty() || !opt.merge_dir.empty() ||
+           !opt.submit.empty())) {
+        throw std::invalid_argument(
+            "cli: --checkpoint-dir cannot be combined with --merge/"
+            "--merge-dir/--submit (snapshots belong to local execution)");
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << cli.help_text(argv[0]);
@@ -147,6 +173,22 @@ Options parse_options(int argc, char** argv, bool with_shard,
     // Same fail-fast rule for the shard result file: a worker must not
     // discover an unwritable path after hours of sampling.
     require_writable(opt.shard_out, "shard result file", cli, argv[0]);
+  }
+  if (!opt.checkpoint_dir.empty()) {
+    // Create the snapshot directory up front and prove it writable, so
+    // the first mid-task snapshot (possibly hours in) cannot be the
+    // first thing to notice a typo'd or read-only path.
+    std::error_code ec;
+    std::filesystem::create_directories(opt.checkpoint_dir, ec);
+    if (ec) {
+      std::cerr << "cli: cannot create checkpoint directory '"
+                << opt.checkpoint_dir << "': " << ec.message() << "\n"
+                << cli.help_text(argv[0]);
+      std::exit(kUsageError);
+    }
+    const std::string probe = opt.checkpoint_dir + "/.sops-probe";
+    require_writable(probe, "checkpoint directory", cli, argv[0]);
+    std::remove(probe.c_str());
   }
   return opt;
 }

@@ -18,6 +18,13 @@
 //   --submit SOCKET  run the sweep on the sweep server listening at
 //                    this AF_UNIX socket instead of in-process, then
 //                    report locally (byte-identical; see src/service)
+//   --checkpoint-dir DIR    write per-task snapshots to DIR
+//   --checkpoint-every N    also snapshot chain-backed tasks mid-run
+//                           every N steps (0 = at completion only)
+//   --resume                adopt matching snapshots in DIR: skip
+//                           completed tasks, continue partial ones; the
+//                           resumed run's report is byte-identical to an
+//                           uninterrupted one (see src/checkpoint)
 // See src/shard and DESIGN.md for the wire format and the byte-identity
 // contract.
 #pragma once
@@ -53,6 +60,11 @@ struct Options {
   std::vector<std::string> merge_inputs;  ///< --merge file list
   std::string merge_dir;           ///< --merge-dir; empty = disabled
   std::string submit;              ///< --submit server socket; empty = local
+
+  // Checkpoint/resume surface (see src/checkpoint).
+  std::string checkpoint_dir;      ///< snapshot directory; empty = disabled
+  std::uint64_t checkpoint_every = 0;  ///< mid-task snapshot period (steps)
+  bool resume = false;             ///< adopt snapshots found in the directory
 
   /// Raw arguments matching the spec's passthrough prefix (e.g. the
   /// --benchmark_* namespace bench_kernels forwards to google-benchmark).

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 #include "src/shard/merge.hpp"
 #include "src/shard/plan.hpp"
@@ -26,8 +27,7 @@ JobSpec grid_job(std::string name, const engine::GridSpec& grid,
 }
 
 std::optional<std::vector<engine::TaskResult>> run_or_merge(
-    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
-    const engine::TaskFn& fn, engine::ProgressSink* sink, const AuxFn& aux) {
+    const JobSpec& job, const Modes& modes, const ExecFn& exec) {
   if (!modes.merge_inputs.empty()) {
     std::vector<ShardFile> files;
     files.reserve(modes.merge_inputs.size());
@@ -57,11 +57,7 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
 
   const std::span<const engine::Task> sub(
       job.tasks.data() + range.begin, static_cast<std::size_t>(range.size()));
-  std::vector<engine::TaskResult> results =
-      engine::run_ensemble(pool, sub, fn, sink);
-  if (aux) {
-    for (engine::TaskResult& r : results) r.aux = aux(r);
-  }
+  std::vector<engine::TaskResult> results = exec(sub);
 
   if (worker) {
     // --task-range workers make no claim about how many sibling files
@@ -87,6 +83,21 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
 
 std::optional<std::vector<engine::TaskResult>> run_or_merge(
     const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
+    const engine::TaskFn& fn, engine::ProgressSink* sink, const AuxFn& aux) {
+  return run_or_merge(
+      job, modes,
+      [&pool, &fn, sink, &aux](std::span<const engine::Task> tasks) {
+        std::vector<engine::TaskResult> results =
+            engine::run_ensemble(pool, tasks, fn, sink);
+        if (aux) {
+          for (engine::TaskResult& r : results) r.aux = aux(r);
+        }
+        return results;
+      });
+}
+
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
     const engine::ChainJob& protocol, engine::ProgressSink* sink,
     const AuxFn& aux) {
   return run_or_merge(job, modes, pool, engine::make_task_fn(protocol), sink,
@@ -99,22 +110,34 @@ std::vector<std::string> list_shard_files(const std::string& dir) {
   if (!fs::is_directory(dir, ec)) {
     throw std::runtime_error("shard: '" + dir + "' is not a directory");
   }
-  std::vector<std::string> out;
+  // Keyed by (filename, full path): directory_iterator's order is
+  // whatever the filesystem hands back, so the sort — not enumeration
+  // luck — is what makes repeated runs see the same input order. The
+  // filename leads so the order is stable under `dir` spellings too
+  // ("out/" vs "./out"); the full path breaks ties that filenames alone
+  // cannot have within one directory but keep the comparator a strict
+  // weak order regardless.
+  std::vector<std::pair<std::string, std::string>> found;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (name.ends_with(".shard") || name.ends_with(".sopsshard")) {
-      out.push_back(entry.path().string());
+      found.emplace_back(name, entry.path().string());
     }
   }
   if (ec) {
     throw std::runtime_error("shard: cannot read directory '" + dir + "'");
   }
-  if (out.empty()) {
+  if (found.empty()) {
     throw std::runtime_error("shard: no *.shard or *.sopsshard files in '" +
                              dir + "'");
   }
-  std::sort(out.begin(), out.end());
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (std::pair<std::string, std::string>& f : found) {
+    out.push_back(std::move(f.second));
+  }
   return out;
 }
 

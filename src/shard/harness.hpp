@@ -47,6 +47,15 @@ struct Modes {
 /// certificate tallies, …) into TaskResult::aux for the wire.
 using AuxFn = std::function<std::vector<double>(const engine::TaskResult&)>;
 
+/// Executes a contiguous slice of the job's tasks and returns their
+/// results in slice order, aux already applied. The seam between shard
+/// dispatch (which slice runs, where results go) and execution strategy
+/// (plain run_ensemble, or the checkpointed runner from src/checkpoint —
+/// which this layer must not depend on). Must honor the determinism
+/// contract: results depend only on the Task records.
+using ExecFn =
+    std::function<std::vector<engine::TaskResult>(std::span<const engine::Task>)>;
+
 /// Builds the JobSpec of a grid-driven harness: tasks = grid_tasks(grid),
 /// protocol copied from the ChainJob, `params` carried verbatim.
 [[nodiscard]] JobSpec grid_job(std::string name, const engine::GridSpec& grid,
@@ -59,6 +68,12 @@ using AuxFn = std::function<std::vector<double>(const engine::TaskResult&)>;
 /// without reporting). Throws on invalid plans, malformed files, and
 /// inconsistent or incomplete shard sets.
 std::optional<std::vector<engine::TaskResult>> run_or_merge(
+    const JobSpec& job, const Modes& modes, const ExecFn& exec);
+
+/// TaskFn convenience overload: exec = run_ensemble over `pool` plus the
+/// aux pass (the uncheckpointed default every harness used before
+/// src/checkpoint existed).
+std::optional<std::vector<engine::TaskResult>> run_or_merge(
     const JobSpec& job, const Modes& modes, engine::ThreadPool& pool,
     const engine::TaskFn& fn, engine::ProgressSink* sink = nullptr,
     const AuxFn& aux = {});
@@ -70,10 +85,12 @@ std::optional<std::vector<engine::TaskResult>> run_or_merge(
     const AuxFn& aux = {});
 
 /// Expands `--merge-dir DIR`: every regular file in DIR whose name ends
-/// in ".shard" or ".sopsshard", sorted by filename so the merge input
-/// order (and thus every error message) is reproducible. Throws
-/// std::runtime_error if DIR is not a readable directory or matches no
-/// files — an empty merge is a missing-transfer bug, not a no-op.
+/// in ".shard" or ".sopsshard", sorted by filename (bytewise, filename
+/// only — the directory prefix never participates) so the merge input
+/// order, and thus every error message, is reproducible no matter what
+/// order the filesystem enumerates entries in. Throws std::runtime_error
+/// if DIR is not a readable directory or matches no files — an empty
+/// merge is a missing-transfer bug, not a no-op.
 [[nodiscard]] std::vector<std::string> list_shard_files(
     const std::string& dir);
 

@@ -173,4 +173,86 @@ std::vector<engine::TaskResult> merge_results(std::span<const ShardFile> files) 
   return merge_results(files[0].job, files);
 }
 
+namespace {
+
+/// Value identity of two result records over exactly the fields the
+/// wire carries (wall_seconds is telemetry and never serialized). Used
+/// to decide whether duplicate coverage is a harmless rerun or drift.
+bool same_result(const engine::TaskResult& a, const engine::TaskResult& b) {
+  if (a.task.index != b.task.index || a.steps != b.steps) return false;
+  if (a.series.size() != b.series.size()) return false;
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    const core::Measurement& ma = a.series[i];
+    const core::Measurement& mb = b.series[i];
+    if (ma.iteration != mb.iteration || ma.perimeter != mb.perimeter ||
+        ma.edges != mb.edges || ma.hetero_edges != mb.hetero_edges ||
+        !same_bits(ma.perimeter_ratio, mb.perimeter_ratio) ||
+        !same_bits(ma.hetero_fraction, mb.hetero_fraction)) {
+      return false;
+    }
+  }
+  return same_bits(a.aux, b.aux);
+}
+
+}  // namespace
+
+Replan consolidate_results(const JobSpec& expected,
+                           std::span<const ShardFile> files) {
+  if (files.empty()) {
+    throw MergeError("merge: no shard files given");
+  }
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    std::ostringstream label;
+    label << "shard file " << (f + 1) << " of " << files.size();
+    check_same_job(expected, files[f].job, label.str());
+  }
+  // Unlike merge_results, no split-plan consistency check: elastic
+  // recovery exists precisely to combine files from different plans
+  // (the original k/n survivors plus ad-hoc --task-range refills).
+
+  const std::size_t total = expected.tasks.size();
+  std::vector<const engine::TaskResult*> slots(total, nullptr);
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    for (const engine::TaskResult& r : files[f].results) {
+      if (r.task.index >= total) {
+        std::ostringstream os;
+        os << "merge: shard file " << (f + 1) << " of " << files.size()
+           << ": result task index " << r.task.index
+           << " outside the task table";
+        throw MergeError(os.str());
+      }
+      const engine::TaskResult*& slot = slots[r.task.index];
+      if (slot == nullptr) {
+        slot = &r;
+      } else if (!same_result(*slot, r)) {
+        std::ostringstream os;
+        os << "merge: task " << r.task.index
+           << " has conflicting result copies across the inputs — "
+              "duplicate coverage is only legal when every copy is "
+              "value-identical (reruns of a deterministic task)";
+        throw MergeError(os.str());
+      }
+    }
+  }
+
+  Replan out;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (slots[i] != nullptr) {
+      out.partial.push_back(*slots[i]);
+    } else if (!out.gaps.empty() && out.gaps.back().end == i) {
+      ++out.gaps.back().end;
+    } else {
+      out.gaps.push_back({i, i + 1});
+    }
+  }
+  return out;
+}
+
+Replan consolidate_results(std::span<const ShardFile> files) {
+  if (files.empty()) {
+    throw MergeError("merge: no shard files given");
+  }
+  return consolidate_results(files[0].job, files);
+}
+
 }  // namespace sops::shard

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/shard/plan.hpp"
 #include "src/shard/wire.hpp"
 
 namespace sops::shard {
@@ -44,5 +45,34 @@ void check_same_job(const JobSpec& expected, const JobSpec& actual,
 /// Throws MergeError on an empty file list.
 [[nodiscard]] std::vector<engine::TaskResult> merge_results(
     std::span<const ShardFile> files);
+
+/// What elastic recovery salvaged from an incomplete shard set: every
+/// task result recovered so far plus the exact work left to reissue.
+struct Replan {
+  /// Recovered results in strictly increasing task order, duplicates
+  /// collapsed. `partial.size() == expected.tasks.size()` iff `gaps` is
+  /// empty, in which case this is exactly what merge_results returns.
+  std::vector<engine::TaskResult> partial;
+  /// Maximal runs of task indices no input covered — each one is a
+  /// ready-made `--task-range begin:end` worker invocation.
+  std::vector<TaskRange> gaps;
+
+  [[nodiscard]] bool complete() const noexcept { return gaps.empty(); }
+};
+
+/// Elastic counterpart of merge_results for recovery after lost or
+/// killed workers: every file must still prove it belongs to `expected`
+/// (same field-by-field check), but the set may under-cover the task
+/// space — gaps come back as ranges to reissue instead of an error —
+/// and may over-cover it: results claimed by several files (a worker
+/// rerun after a crash, overlapping recovery ranges) are accepted iff
+/// every copy is value-identical, which the determinism contract
+/// guarantees for honest reruns. Conflicting copies throw MergeError
+/// naming the task index — that is spec drift, not a crash artifact.
+[[nodiscard]] Replan consolidate_results(const JobSpec& expected,
+                                         std::span<const ShardFile> files);
+
+/// First-file-as-reference overload (standalone coordinator).
+[[nodiscard]] Replan consolidate_results(std::span<const ShardFile> files);
 
 }  // namespace sops::shard

@@ -10,15 +10,28 @@
 // `--shard 0/1` file is a full end-to-end determinism check (see
 // scripts/check_shard_roundtrip.sh).
 //
-// Exit status: 0 on a complete consistent shard set; 2 on usage errors
-// (bad flags, neither or both input modes); 1 on data-validation
-// failures (unreadable or malformed files, inconsistent or incomplete
-// shard sets — the offending file, task indices, or spec field are
-// printed to stderr).
+// --elastic switches from strict merging to recovery consolidation:
+// the inputs may under-cover the task space (lost workers, a shard file
+// that never arrived) and may overlap (a worker rerun after a crash),
+// as long as overlapping copies are value-identical. The tool prints
+// the coverage gaps as ready-to-run `--task-range` re-plan lines, and
+// --out writes the consolidated partial file — rerun exactly the
+// missing ranges, then merge the consolidated file with the refills.
+// When the inputs turn out to cover everything, the --out file is
+// byte-identical to the strict merge's canonical output.
+//
+// Exit status: 0 on a complete consistent shard set (and, with
+// --elastic, on a consistent partial set — gaps are the expected case,
+// not an error); 2 on usage errors (bad flags, neither or both input
+// modes); 1 on data-validation failures (unreadable or malformed files,
+// inconsistent or incomplete shard sets — the offending file, task
+// indices, or spec field are printed to stderr).
 
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +71,9 @@ int main(int argc, char** argv) {
   cli.add_option("merge-dir",
                  "directory of *.shard / *.sopsshard files to merge", "");
   cli.add_option("out", "write the canonical merged result file here", "");
+  cli.add_flag("elastic",
+               "consolidate an incomplete/overlapping shard set instead of "
+               "requiring an exact tiling; print a re-plan for the gaps");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -96,11 +112,60 @@ int main(int argc, char** argv) {
                   f.job.name.c_str(), f.results.size(), f.job.tasks.size());
     }
 
+    const std::string out = cli.str("out");
+    if (cli.flag("elastic")) {
+      const shard::Replan replan = shard::consolidate_results(files);
+      const std::size_t total = files[0].job.tasks.size();
+      std::printf("consolidated: job %s, %zu inputs, %zu of %zu tasks "
+                  "recovered\n",
+                  files[0].job.name.c_str(), files.size(),
+                  replan.partial.size(), total);
+      std::uint64_t missing = 0;
+      for (const shard::TaskRange& gap : replan.gaps) missing += gap.size();
+      if (replan.complete()) {
+        std::printf("coverage complete: no re-plan needed\n");
+      } else {
+        std::printf("coverage gaps: %llu tasks in %zu ranges\n",
+                    static_cast<unsigned long long>(missing),
+                    replan.gaps.size());
+        for (const shard::TaskRange& gap : replan.gaps) {
+          std::printf("  missing tasks %llu:%llu (%llu tasks)\n",
+                      static_cast<unsigned long long>(gap.begin),
+                      static_cast<unsigned long long>(gap.end),
+                      static_cast<unsigned long long>(gap.size()));
+        }
+        // One worker invocation per gap, pasteable onto the harness
+        // command line that produced the original shards.
+        for (const shard::TaskRange& gap : replan.gaps) {
+          std::printf("replan: --task-range %llu:%llu --shard-out "
+                      "replan_%llu_%llu.sopsshard\n",
+                      static_cast<unsigned long long>(gap.begin),
+                      static_cast<unsigned long long>(gap.end),
+                      static_cast<unsigned long long>(gap.begin),
+                      static_cast<unsigned long long>(gap.end));
+        }
+      }
+      if (!out.empty()) {
+        // A complete consolidation writes the canonical manifest, so the
+        // file is bytewise the strict merge's output; a partial one
+        // claims nothing about sibling count (n_shards 0) and is itself
+        // a valid merge input alongside the re-planned refills.
+        const std::optional<shard::Manifest> manifest =
+            replan.complete()
+                ? std::nullopt
+                : std::make_optional(shard::Manifest{0, 0, total});
+        shard::write_shard_file(out, files[0].job, replan.partial, manifest);
+        std::printf("wrote %s result file: %s\n",
+                    replan.complete() ? "canonical merged" : "consolidated partial",
+                    out.c_str());
+      }
+      return 0;
+    }
+
     const auto merged = shard::merge_results(files);
     std::printf("merged: job %s, %zu shards, %zu tasks, complete\n",
                 files[0].job.name.c_str(), files.size(), merged.size());
 
-    const std::string out = cli.str("out");
     if (!out.empty()) {
       shard::write_shard_file(out, files[0].job, merged);
       std::printf("wrote canonical merged file: %s\n", out.c_str());

@@ -7,6 +7,7 @@
 // small enough to embed one generator per experiment without care.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -118,6 +119,26 @@ class Rng {
 
   /// Bernoulli(p) draw.
   bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// The raw 256-bit generator state, exported for checkpoint/resume
+  /// (src/checkpoint). Restoring a saved State with set_state() makes
+  /// the generator continue the exact word stream it would have produced
+  /// uninterrupted — including through lemire_below rejection redraws,
+  /// which consume words from this same stream (pinned by tests).
+  using State = std::array<std::uint64_t, 4>;
+
+  [[nodiscard]] State state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Precondition: `s` came from state() (in particular it is not the
+  /// degenerate all-zero state, which the seeding path cannot produce).
+  void set_state(const State& s) noexcept {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -1,0 +1,520 @@
+#include "src/checkpoint/runner.hpp"
+#include "src/checkpoint/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/shard/harness.hpp"
+
+namespace sops::checkpoint {
+namespace {
+
+std::string temp_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+// Re-checksums a tampered document so grammar-level validation (not the
+// integrity check) is what decode exercises. Mirrors the format's FNV-1a.
+std::string rechecksum(std::string text) {
+  const auto pos = text.rfind("\nchecksum ");
+  EXPECT_NE(pos, std::string::npos);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < pos + 1; ++i) {
+    h ^= static_cast<unsigned char>(text[i]);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  text.replace(pos + 10, 16, buf);
+  return text;
+}
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.job = "ckpt_test";
+  snap.spec_hash = 0xdeadbeefcafef00dULL;
+  snap.task_index = 3;
+  snap.task_seed = 991;
+  snap.complete = false;
+  snap.lambda = 4.0;
+  snap.gamma = 0x1.5555555555555p-2;  // awkward bits round-trip exactly
+  snap.swaps_enabled = true;
+  snap.rng = {1, 0xffffffffffffffffULL, 42, 7};
+  snap.counters.steps = 1234;
+  snap.counters.move_proposals = 600;
+  snap.counters.moves_accepted = 271;
+  snap.counters.rejected_five = 31;
+  snap.counters.rejected_locality = 12;
+  snap.counters.rejected_metropolis = 286;
+  snap.counters.swap_proposals = 634;
+  snap.counters.swaps_accepted = 100;
+  core::Measurement m;
+  m.iteration = 1000;
+  m.perimeter = 18;
+  m.edges = 33;
+  m.hetero_edges = 7;
+  m.perimeter_ratio = 1.125;
+  m.hetero_fraction = -0.0;  // signed zero must survive
+  snap.series = {m};
+  snap.positions = {{0, 0}, {1, 0}, {-3, 2}};
+  snap.colors = {0, 1, 1};
+  return snap;
+}
+
+// ---- snapshot format ----------------------------------------------------
+
+TEST(Snapshot, EncodeDecodeRoundTripBitExact) {
+  const Snapshot a = sample_snapshot();
+  const Snapshot b = decode(encode(a));
+  EXPECT_EQ(b.job, a.job);
+  EXPECT_EQ(b.spec_hash, a.spec_hash);
+  EXPECT_EQ(b.task_index, a.task_index);
+  EXPECT_EQ(b.task_seed, a.task_seed);
+  EXPECT_EQ(b.complete, a.complete);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.gamma),
+            std::bit_cast<std::uint64_t>(a.gamma));
+  EXPECT_EQ(b.rng, a.rng);
+  EXPECT_EQ(b.counters.steps, a.counters.steps);
+  EXPECT_EQ(b.counters.swaps_accepted, a.counters.swaps_accepted);
+  ASSERT_EQ(b.series.size(), 1u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.series[0].hetero_fraction),
+            std::bit_cast<std::uint64_t>(a.series[0].hetero_fraction));
+  ASSERT_EQ(b.positions.size(), 3u);
+  EXPECT_EQ(b.positions[2].x, -3);
+  EXPECT_EQ(b.positions[2].y, 2);
+  EXPECT_EQ(b.colors, a.colors);
+  // Deterministic serialization: same value, same bytes.
+  EXPECT_EQ(encode(a), encode(b));
+}
+
+TEST(Snapshot, DecodeRejectsEveryBitFlip) {
+  const std::string good = encode(sample_snapshot());
+  // Flip one character in a handful of positions spread over the file;
+  // each must be caught by the checksum, never silently parsed.
+  for (const std::size_t pos : {std::size_t{5}, good.size() / 3,
+                                good.size() / 2, good.size() - 3}) {
+    std::string bad = good;
+    bad[pos] = bad[pos] == 'x' ? 'y' : 'x';
+    EXPECT_THROW((void)decode(bad), SnapshotError) << "flip at " << pos;
+  }
+}
+
+TEST(Snapshot, DecodeRejectsTruncation) {
+  // Any truncation that loses content must be refused (a cut that only
+  // drops the final newline of "end\n" loses nothing and still parses).
+  const std::string good = encode(sample_snapshot());
+  for (const std::size_t keep : {good.size() - 2, good.size() / 2}) {
+    EXPECT_THROW((void)decode(good.substr(0, keep)), SnapshotError);
+  }
+  EXPECT_THROW((void)decode(""), SnapshotError);
+}
+
+TEST(Snapshot, CorruptionNamesTheChecksum) {
+  std::string bad = encode(sample_snapshot());
+  bad[bad.size() / 2] ^= 1;
+  try {
+    (void)decode(bad);
+    FAIL() << "decode accepted a corrupt snapshot";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Snapshot, DecodeRejectsVersionSkew) {
+  std::string skewed = encode(sample_snapshot());
+  const auto pos = skewed.find(" v1\n");
+  ASSERT_NE(pos, std::string::npos);
+  skewed.replace(pos, 4, " v9\n");
+  try {
+    (void)decode(rechecksum(skewed));
+    FAIL() << "decode accepted a version-skewed snapshot";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version v9"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Snapshot, DecodeRejectsAuxOnPartial) {
+  Snapshot snap = sample_snapshot();
+  snap.complete = true;
+  snap.aux = {1.0, 2.0};
+  std::string text = encode(snap);
+  const auto pos = text.find("status complete");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("status complete").size(), "status partial");
+  EXPECT_THROW((void)decode(rechecksum(text)), SnapshotError);
+}
+
+TEST(Snapshot, WriteIsAtomicReadBack) {
+  const std::string dir = temp_dir("ckpt_write");
+  const std::string path = dir + "/" + task_filename("ckpt_test", 3);
+  EXPECT_EQ(task_filename("ckpt_test", 3), "ckpt_test-task000003.sopsckpt");
+  const Snapshot a = sample_snapshot();
+  write_snapshot(path, a);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const Snapshot b = read_snapshot(path);
+  EXPECT_EQ(encode(a), encode(b));
+  // Overwrite with new content is equally atomic.
+  Snapshot c = a;
+  c.complete = true;
+  write_snapshot(path, c);
+  EXPECT_TRUE(read_snapshot(path).complete);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, ReadNamesThePathOnError) {
+  const std::string dir = temp_dir("ckpt_badfile");
+  const std::string path = dir + "/x.sopsckpt";
+  spit(path, "not a snapshot\n");
+  try {
+    (void)read_snapshot(path);
+    FAIL() << "read_snapshot accepted garbage";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, SpecHashCoversTheWholeJobHeader) {
+  shard::JobSpec job;
+  job.name = "h";
+  job.grid.lambdas = {2.0};
+  job.grid.gammas = {3.0};
+  job.grid.base_seed = 7;
+  job.samples = 4;
+  job.tasks = engine::grid_tasks(job.grid);
+  const std::uint64_t base = spec_hash(job);
+
+  shard::JobSpec seed = job;
+  seed.grid.base_seed = 8;
+  seed.tasks = engine::grid_tasks(seed.grid);
+  EXPECT_NE(spec_hash(seed), base);
+
+  shard::JobSpec proto = job;
+  proto.samples = 5;
+  EXPECT_NE(spec_hash(proto), base);
+
+  shard::JobSpec params = job;
+  params.params = {"extra=1"};
+  EXPECT_NE(spec_hash(params), base);
+
+  EXPECT_EQ(spec_hash(job), base);  // and it is a pure function
+}
+
+TEST(Snapshot, RestoreChainRejectsDeadStates) {
+  Snapshot snap = sample_snapshot();
+  snap.rng = {};
+  EXPECT_THROW((void)restore_chain(snap), SnapshotError);
+  Snapshot empty = sample_snapshot();
+  empty.positions.clear();
+  empty.colors.clear();
+  EXPECT_THROW((void)restore_chain(empty), SnapshotError);
+}
+
+// ---- checkpointed runner ------------------------------------------------
+
+// A tiny two-task chain sweep (λ sweep at fixed γ) with real dynamics:
+// 24 particles, equilibrium protocol. Small enough that every test runs
+// it several times over.
+struct Fixture {
+  shard::JobSpec job;
+  engine::ChainJob chain;
+
+  Fixture() {
+    chain.make_chain = [](const engine::Task& t) {
+      util::Rng rng(t.seed);
+      const auto nodes = lattice::random_blob(24, rng);
+      const auto colors = core::balanced_random_colors(24, 2, rng);
+      return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                   core::Params{t.lambda, t.gamma, true},
+                                   t.seed);
+    };
+    chain.burn_in = 600;
+    chain.interval = 150;
+    chain.samples = 4;
+
+    job.name = "ckpt_run";
+    job.grid.lambdas = {2.0, 4.0};
+    job.grid.gammas = {3.0};
+    job.grid.base_seed = 11;
+    job.burn_in = chain.burn_in;
+    job.interval = chain.interval;
+    job.samples = chain.samples;
+    job.tasks = engine::grid_tasks(job.grid);
+  }
+};
+
+void expect_same_results(std::span<const engine::TaskResult> a,
+                         std::span<const engine::TaskResult> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].series.size(), b[i].series.size()) << "task " << i;
+    for (std::size_t s = 0; s < a[i].series.size(); ++s) {
+      const core::Measurement& ma = a[i].series[s];
+      const core::Measurement& mb = b[i].series[s];
+      EXPECT_EQ(ma.iteration, mb.iteration) << "task " << i << " sample " << s;
+      EXPECT_EQ(ma.perimeter, mb.perimeter) << "task " << i << " sample " << s;
+      EXPECT_EQ(ma.edges, mb.edges) << "task " << i << " sample " << s;
+      EXPECT_EQ(ma.hetero_edges, mb.hetero_edges)
+          << "task " << i << " sample " << s;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.perimeter_ratio),
+                std::bit_cast<std::uint64_t>(mb.perimeter_ratio));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.hetero_fraction),
+                std::bit_cast<std::uint64_t>(mb.hetero_fraction));
+    }
+    EXPECT_EQ(a[i].aux, b[i].aux) << "task " << i;
+    EXPECT_EQ(a[i].steps, b[i].steps) << "task " << i;
+  }
+}
+
+TEST(Runner, FreshCheckpointedRunMatchesPlainRun) {
+  const Fixture fx;
+  engine::ThreadPool pool(2);
+  const auto plain = engine::run_chain_ensemble(pool, fx.job.tasks, fx.chain);
+
+  // Snapshot periods that land inside segments, on segment boundaries,
+  // and far past the whole run — none may perturb the trajectory.
+  for (const std::uint64_t every : {std::uint64_t{0}, std::uint64_t{97},
+                                    std::uint64_t{150}, std::uint64_t{100000}}) {
+    const std::string dir = temp_dir("ckpt_fresh");
+    const Policy policy{dir, every, false};
+    RunStats stats;
+    const auto checked =
+        run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {}, policy, nullptr,
+                  {}, &stats);
+    expect_same_results(plain, checked);
+    EXPECT_EQ(stats.fresh, fx.job.tasks.size()) << "every=" << every;
+    // Every task leaves a completion snapshot behind.
+    for (const engine::Task& t : fx.job.tasks) {
+      EXPECT_TRUE(std::filesystem::exists(
+          dir + "/" + task_filename(fx.job.name, t.index)));
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(Runner, ResumeSkipsCompletedTasks) {
+  const Fixture fx;
+  engine::ThreadPool pool(2);
+  const std::string dir = temp_dir("ckpt_skip");
+  const Policy policy{dir, 0, true};
+  RunStats first, second;
+  const auto a = run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {}, policy,
+                           nullptr, {}, &first);
+  const auto b = run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {}, policy,
+                           nullptr, {}, &second);
+  expect_same_results(a, b);
+  EXPECT_EQ(first.fresh, fx.job.tasks.size());
+  EXPECT_EQ(second.skipped, fx.job.tasks.size());
+  EXPECT_EQ(second.fresh, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// The acceptance bar: interrupt a chain mid-segment (a partial snapshot
+// at a step count that is NOT a measurement point), resume from the
+// file alone, and get byte-for-byte the uninterrupted trajectory.
+TEST(Runner, MidTaskResumeIsByteIdenticalToUninterrupted) {
+  const Fixture fx;
+  engine::ThreadPool pool(1);
+  const auto plain = engine::run_chain_ensemble(pool, fx.job.tasks, fx.chain);
+
+  const std::string dir = temp_dir("ckpt_resume");
+  const std::uint64_t hash = spec_hash(fx.job);
+  // Simulate the kill: drive task 1 to just past its second sample
+  // (burn_in + interval = 750), then 100 more steps into the third
+  // segment, and snapshot there — exactly what the runner's periodic
+  // snapshot would have left behind.
+  {
+    const engine::Task& t = fx.job.tasks[1];
+    core::SeparationChain c = fx.chain.make_chain(t);
+    c.run(600);
+    std::vector<core::Measurement> series{core::measure(c)};
+    c.run(150);
+    series.push_back(core::measure(c));
+    c.run(100);  // mid-segment: 850 steps, next target at 900
+    write_snapshot(dir + "/" + task_filename(fx.job.name, t.index),
+                   capture(c, fx.job.name, hash, t, false, series));
+  }
+
+  const Policy policy{dir, 97, true};
+  RunStats stats;
+  const auto resumed = run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {},
+                                 policy, nullptr, {}, &stats);
+  expect_same_results(plain, resumed);
+  EXPECT_EQ(stats.resumed, 1u);
+  EXPECT_EQ(stats.fresh, fx.job.tasks.size() - 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, ResumeRejectsForeignSnapshots) {
+  const Fixture fx;
+  engine::ThreadPool pool(1);
+  const std::string dir = temp_dir("ckpt_foreign");
+  const std::uint64_t hash = spec_hash(fx.job);
+  const engine::Task& t = fx.job.tasks[0];
+  const std::string path = dir + "/" + task_filename(fx.job.name, t.index);
+
+  const auto expect_reject = [&](const Snapshot& snap, const char* needle) {
+    write_snapshot(path, snap);
+    const Policy policy{dir, 0, true};
+    try {
+      (void)run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {}, policy);
+      FAIL() << "resume accepted a foreign snapshot (" << needle << ")";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  core::SeparationChain c = fx.chain.make_chain(t);
+  c.run(100);
+
+  Snapshot wrong_hash = capture(c, fx.job.name, hash ^ 1, t, false, {});
+  expect_reject(wrong_hash, "spec hash mismatch");
+
+  engine::Task drifted = t;
+  drifted.seed ^= 0x5a5a;
+  Snapshot wrong_seed = capture(c, fx.job.name, hash, drifted, false, {});
+  expect_reject(wrong_seed, "task seed mismatch");
+
+  Snapshot wrong_job = capture(c, "other_job", hash, t, false, {});
+  expect_reject(wrong_job, "job name mismatch");
+
+  // A partial snapshot whose series disagrees with its step count:
+  // 100 steps is before the first target (600), so one recorded
+  // measurement is one too many.
+  Snapshot bad_series =
+      capture(c, fx.job.name, hash, t, false, {core::measure(c)});
+  expect_reject(bad_series, "series length");
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, ResumeRejectsCorruptSnapshotFile) {
+  const Fixture fx;
+  engine::ThreadPool pool(1);
+  const std::string dir = temp_dir("ckpt_corrupt");
+  const std::string path =
+      dir + "/" + task_filename(fx.job.name, fx.job.tasks[0].index);
+  const engine::Task& t = fx.job.tasks[0];
+  core::SeparationChain c = fx.chain.make_chain(t);
+  write_snapshot(path, capture(c, fx.job.name, spec_hash(fx.job), t, false, {}));
+  std::string text = slurp(path);
+  text[text.size() / 2] ^= 1;
+  spit(path, text);
+  const Policy policy{dir, 0, true};
+  EXPECT_THROW((void)run_tasks(pool, fx.job.tasks, fx.job, &fx.chain, {},
+                               policy),
+               SnapshotError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, FnTasksSkipViaCompletionSnapshotsWithAux) {
+  shard::JobSpec job;
+  job.name = "ckpt_fn";
+  job.grid.lambdas = {1.0, 2.0, 3.0};
+  job.grid.gammas = {1.0};
+  job.grid.base_seed = 5;
+  job.tasks = engine::grid_tasks(job.grid);
+
+  const engine::TaskFn fn = [](const engine::Task& t) {
+    core::Measurement m;
+    m.iteration = 10 + t.index;
+    m.perimeter_ratio = t.lambda * 1.5;
+    return std::vector<core::Measurement>{m};
+  };
+  const shard::AuxFn aux = [](const engine::TaskResult& r) {
+    return std::vector<double>{static_cast<double>(r.task.index) + 0.25};
+  };
+
+  engine::ThreadPool pool(2);
+  const std::string dir = temp_dir("ckpt_fn");
+  const Policy policy{dir, 0, true};
+  RunStats first, second;
+  const auto a =
+      run_tasks(pool, job.tasks, job, nullptr, fn, policy, nullptr, aux, &first);
+  const auto b =
+      run_tasks(pool, job.tasks, job, nullptr, fn, policy, nullptr, aux, &second);
+  EXPECT_EQ(first.fresh, 3u);
+  EXPECT_EQ(second.skipped, 3u);
+  expect_same_results(a, b);
+  ASSERT_EQ(b[2].aux.size(), 1u);
+  EXPECT_EQ(b[2].aux[0], 2.25);  // aux came off the snapshot, not a rerun
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, CheckpointListProtocolResumes) {
+  // The explicit-checkpoint protocol (absolute iteration list) must
+  // resume exactly like the equilibrium one.
+  shard::JobSpec job;
+  job.name = "ckpt_list";
+  job.grid.lambdas = {4.0};
+  job.grid.gammas = {2.0};
+  job.grid.base_seed = 23;
+  job.checkpoints = {0, 200, 200, 500};  // duplicate target is legal
+  job.tasks = engine::grid_tasks(job.grid);
+
+  engine::ChainJob chain;
+  chain.make_chain = [](const engine::Task& t) {
+    util::Rng rng(t.seed);
+    const auto nodes = lattice::random_blob(16, rng);
+    const auto colors = core::balanced_random_colors(16, 2, rng);
+    return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                 core::Params{t.lambda, t.gamma, true}, t.seed);
+  };
+  chain.checkpoints = job.checkpoints;
+
+  engine::ThreadPool pool(1);
+  const auto plain = engine::run_chain_ensemble(pool, job.tasks, chain);
+
+  const std::string dir = temp_dir("ckpt_list");
+  const std::uint64_t hash = spec_hash(job);
+  {
+    const engine::Task& t = job.tasks[0];
+    core::SeparationChain c = chain.make_chain(t);
+    std::vector<core::Measurement> series{core::measure(c)};  // target 0
+    c.run(200);
+    series.push_back(core::measure(c));  // target 200
+    series.push_back(core::measure(c));  // duplicate target 200
+    c.run(150);                          // 350 steps: inside [200, 500)
+    write_snapshot(dir + "/" + task_filename(job.name, t.index),
+                   capture(c, job.name, hash, t, false, series));
+  }
+  const Policy policy{dir, 0, true};
+  RunStats stats;
+  const auto resumed =
+      run_tasks(pool, job.tasks, job, &chain, {}, policy, nullptr, {}, &stats);
+  expect_same_results(plain, resumed);
+  EXPECT_EQ(stats.resumed, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sops::checkpoint

@@ -209,6 +209,62 @@ TEST(Ensemble, EquilibriumModeRecordsRequestedSamples) {
   EXPECT_EQ(results[0].steps, 5000u + 6u * 100u);
 }
 
+TEST(Ensemble, ResolveProtocolPrefersThePerTaskOverride) {
+  ChainJob job = small_job();  // fixed fields: checkpoints {0,10000,30000}
+  job.burn_in = 111;
+  job.interval = 22;
+  job.samples = 3;
+
+  Task t;
+  t.index = 2;
+  t.lambda = 4.0;
+
+  // No override: the fixed fields come back verbatim.
+  const ChainProtocol fixed = resolve_protocol(job, t);
+  EXPECT_EQ(fixed.checkpoints, job.checkpoints);
+  EXPECT_EQ(fixed.burn_in, 111u);
+  EXPECT_EQ(fixed.interval, 22u);
+  EXPECT_EQ(fixed.samples, 3u);
+
+  // Override set: it wins outright, and may depend on the task.
+  job.protocol = [](const Task& task) {
+    ChainProtocol p;
+    p.burn_in = 1000 * (task.index + 1);
+    p.interval = 50;
+    p.samples = 2;
+    return p;
+  };
+  const ChainProtocol per_task = resolve_protocol(job, t);
+  EXPECT_TRUE(per_task.checkpoints.empty());
+  EXPECT_EQ(per_task.burn_in, 3000u);
+  EXPECT_EQ(per_task.interval, 50u);
+  EXPECT_EQ(per_task.samples, 2u);
+}
+
+TEST(Ensemble, PerTaskProtocolDrivesTheActualRun) {
+  // A protocol override that scales burn-in by task index must show up
+  // in the measured iteration stamps, proving make_task_fn resolves it.
+  const GridSpec spec = small_spec();
+  const auto tasks = grid_tasks(spec);
+  ChainJob job = small_job();
+  job.checkpoints.clear();
+  job.protocol = [](const Task& task) {
+    ChainProtocol p;
+    p.burn_in = 100 + 10 * task.index;
+    p.interval = 7;
+    p.samples = 2;
+    return p;
+  };
+  ThreadPool pool(2);
+  const auto results = run_chain_ensemble(pool, tasks, job);
+  for (const TaskResult& r : results) {
+    ASSERT_EQ(r.series.size(), 2u);
+    EXPECT_EQ(r.series[0].iteration, 100 + 10 * r.task.index);
+    EXPECT_EQ(r.series[1].iteration, 107 + 10 * r.task.index);
+    EXPECT_EQ(r.steps, 107 + 10 * r.task.index);
+  }
+}
+
 TEST(Ensemble, TaskExceptionPropagatesLowestIndex) {
   const GridSpec spec = small_spec();
   const auto tasks = grid_tasks(spec);

@@ -210,6 +210,89 @@ TEST(Harness, WorkerShardFileCarriesManifest) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- checkpoint / resume through the harness ----------------------------
+
+TEST(Harness, CheckpointedRunMatchesPlainRunAndWritesSnapshots) {
+  const RunResult plain = run_tiny({});
+  ASSERT_EQ(plain.code, 0);
+
+  const std::string dir = temp_dir("harness_ckpt_fresh");
+  const RunResult ckpt = run_tiny({"--checkpoint-dir", dir});
+  EXPECT_EQ(ckpt.code, 0) << ckpt.err;
+  EXPECT_EQ(ckpt.out, plain.out);
+  // One completion snapshot per task, named by job and task index.
+  for (const char* name :
+       {"harness_test_job-task000000.sopsckpt",
+        "harness_test_job-task000003.sopsckpt"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+  }
+  EXPECT_NE(ckpt.err.find("4 fresh"), std::string::npos) << ckpt.err;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Harness, ResumeSkipsCompletedTasksWithIdenticalReport) {
+  const std::string dir = temp_dir("harness_ckpt_resume");
+  const RunResult first = run_tiny({"--checkpoint-dir", dir});
+  ASSERT_EQ(first.code, 0) << first.err;
+
+  const RunResult again = run_tiny({"--checkpoint-dir", dir, "--resume"});
+  EXPECT_EQ(again.code, 0) << again.err;
+  EXPECT_EQ(again.out, first.out);  // aux values round-trip too
+  EXPECT_NE(again.err.find("4 skipped"), std::string::npos) << again.err;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Harness, ResumeRefusesCorruptSnapshotNamingChecksum) {
+  const std::string dir = temp_dir("harness_ckpt_corrupt");
+  ASSERT_EQ(run_tiny({"--checkpoint-dir", dir}).code, 0);
+  const std::string victim = dir + "/harness_test_job-task000002.sopsckpt";
+  ASSERT_TRUE(std::filesystem::exists(victim));
+  {
+    std::FILE* f = std::fopen(victim.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 30, SEEK_SET);
+    std::fputc('#', f);
+    std::fclose(f);
+  }
+  const RunResult r = run_tiny({"--checkpoint-dir", dir, "--resume"});
+  EXPECT_EQ(r.code, kDataError);
+  EXPECT_NE(r.err.find("checksum mismatch"), std::string::npos) << r.err;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Harness, ResumeRefusesSpecDriftNamingTheField) {
+  const std::string dir = temp_dir("harness_ckpt_drift");
+  ASSERT_EQ(run_tiny({"--checkpoint-dir", dir}).code, 0);
+  // --seed 99 rewrites every task seed: same job name, different spec.
+  const RunResult r =
+      run_tiny({"--seed", "99", "--checkpoint-dir", dir, "--resume"});
+  EXPECT_EQ(r.code, kDataError);
+  EXPECT_NE(r.err.find("spec hash mismatch"), std::string::npos) << r.err;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Harness, CheckpointedWorkerShardsMergeToPlainReport) {
+  const RunResult full = run_tiny({});
+  ASSERT_EQ(full.code, 0);
+
+  const std::string sdir = temp_dir("harness_ckpt_shards");
+  const std::string cdir = temp_dir("harness_ckpt_shards_snap");
+  ASSERT_EQ(run_tiny({"--shard", "0/2", "--shard-out", sdir + "/w0.shard",
+                      "--checkpoint-dir", cdir})
+                .code,
+            0);
+  // Second worker resumes from nothing — its snapshots are fresh.
+  ASSERT_EQ(run_tiny({"--shard", "1/2", "--shard-out", sdir + "/w1.shard",
+                      "--checkpoint-dir", cdir, "--resume"})
+                .code,
+            0);
+  const RunResult merged = run_tiny({"--merge-dir", sdir});
+  EXPECT_EQ(merged.code, 0) << merged.err;
+  EXPECT_EQ(merged.out, full.out);
+  std::filesystem::remove_all(sdir);
+  std::filesystem::remove_all(cdir);
+}
+
 // ---- exit-code contract -------------------------------------------------
 
 using HarnessDeathTest = ::testing::Test;
@@ -227,6 +310,22 @@ TEST(HarnessDeathTest, ConflictingModesExitUsageError) {
 TEST(HarnessDeathTest, ShardWithoutOutExitsUsageError) {
   EXPECT_EXIT((void)run_tiny_raw({"--shard", "0/2"}),
               ::testing::ExitedWithCode(kUsageError), "--shard-out");
+}
+
+TEST(HarnessDeathTest, ResumeWithoutCheckpointDirExitsUsageError) {
+  EXPECT_EXIT((void)run_tiny_raw({"--resume"}),
+              ::testing::ExitedWithCode(kUsageError), "--checkpoint-dir");
+}
+
+TEST(HarnessDeathTest, CheckpointEveryWithoutDirExitsUsageError) {
+  EXPECT_EXIT((void)run_tiny_raw({"--checkpoint-every", "500"}),
+              ::testing::ExitedWithCode(kUsageError), "--checkpoint-dir");
+}
+
+TEST(HarnessDeathTest, CheckpointDirWithMergeDirExitsUsageError) {
+  EXPECT_EXIT(
+      (void)run_tiny_raw({"--checkpoint-dir", "ck", "--merge-dir", "d"}),
+      ::testing::ExitedWithCode(kUsageError), "cannot be combined");
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <vector>
@@ -467,6 +468,132 @@ TEST(Merge, RefusesForeignJobNamingTheField) {
 
 TEST(Merge, RefusesEmptyInput) {
   EXPECT_THROW((void)merge_results(std::vector<ShardFile>{}), MergeError);
+}
+
+// ---- elastic consolidation ----------------------------------------------
+
+TEST(Consolidate, CompleteTilingMatchesMergeExactly) {
+  const TwoShards s = synthetic_shards();
+  const std::vector<ShardFile> files{s.a, s.b};
+  const Replan plan = consolidate_results(s.job, files);
+  EXPECT_TRUE(plan.complete());
+  EXPECT_TRUE(plan.gaps.empty());
+  // Gap-free consolidation must be byte-for-byte the canonical merge —
+  // this is what lets `--elastic --out` write the canonical artifact.
+  EXPECT_EQ(encode(s.job, plan.partial),
+            encode(s.job, merge_results(s.job, files)));
+}
+
+TEST(Consolidate, ReportsMaximalGapRanges) {
+  const TwoShards s = synthetic_shards();
+  ShardFile only_last = s.b;
+  only_last.results.erase(only_last.results.begin());  // keep index 3 only
+  const Replan plan = consolidate_results(s.job, {&only_last, 1});
+  EXPECT_FALSE(plan.complete());
+  ASSERT_EQ(plan.partial.size(), 1u);
+  EXPECT_EQ(plan.partial[0].task.index, 3u);
+  // Tasks 0..2 are one contiguous hole, not three singleton ranges.
+  ASSERT_EQ(plan.gaps.size(), 1u);
+  EXPECT_EQ(plan.gaps[0], (TaskRange{0, 3}));
+}
+
+TEST(Consolidate, ReportsDisjointGapsSeparately) {
+  const TwoShards s = synthetic_shards();
+  ShardFile middle;
+  middle.job = s.job;
+  middle.results = {s.a.results[1], s.b.results[0]};  // indices 1, 2
+  const Replan plan = consolidate_results(s.job, {&middle, 1});
+  ASSERT_EQ(plan.gaps.size(), 2u);
+  EXPECT_EQ(plan.gaps[0], (TaskRange{0, 1}));
+  EXPECT_EQ(plan.gaps[1], (TaskRange{3, 4}));
+}
+
+TEST(Consolidate, AcceptsValueIdenticalOverlap) {
+  // A worker reran after a crash: both its old partial file and the
+  // rerun's file claim task 1 with identical values. Legal.
+  const TwoShards s = synthetic_shards();
+  ShardFile rerun = s.b;
+  rerun.results.insert(rerun.results.begin(), s.a.results[1]);
+  const Replan plan = consolidate_results(s.job, {{s.a, rerun}});
+  EXPECT_TRUE(plan.complete());
+  ASSERT_EQ(plan.partial.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan.partial[i].task.index, i);
+  }
+}
+
+TEST(Consolidate, RefusesConflictingOverlapNamingTheTask) {
+  const TwoShards s = synthetic_shards();
+  ShardFile rerun = s.b;
+  engine::TaskResult forged = s.a.results[1];
+  forged.steps ^= 1;  // same index, different payload: spec drift
+  rerun.results.insert(rerun.results.begin(), forged);
+  try {
+    (void)consolidate_results(s.job, {{s.a, rerun}});
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("task 1"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("conflicting"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Consolidate, OverlapComparesSeriesBitsNotValues) {
+  // NaN != NaN under operator==, but an honest rerun reproduces the
+  // same bit pattern; value identity must be bitwise to accept it.
+  const TwoShards s = synthetic_shards();
+  ShardFile a = s.a, b = s.b;
+  core::Measurement m;
+  m.iteration = 50;
+  m.perimeter_ratio = std::numeric_limits<double>::quiet_NaN();
+  a.results[1].series = {m};
+  b.results.insert(b.results.begin(), a.results[1]);
+  const Replan plan = consolidate_results(s.job, {{a, b}});
+  EXPECT_TRUE(plan.complete());
+}
+
+TEST(Consolidate, StillRefusesForeignFiles) {
+  const TwoShards s = synthetic_shards();
+  ShardFile foreign = s.b;
+  foreign.job.grid.base_seed = 123;
+  foreign.job.tasks = engine::grid_tasks(foreign.job.grid);
+  EXPECT_THROW((void)consolidate_results(s.job, {{s.a, foreign}}),
+               MergeError);
+}
+
+TEST(Consolidate, FirstFileReferenceOverloadRefusesEmpty) {
+  EXPECT_THROW((void)consolidate_results(std::vector<ShardFile>{}),
+               MergeError);
+}
+
+// ---- --merge-dir file discovery -----------------------------------------
+
+TEST(MergeDir, ListsShardFilesSortedByFilename) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "sops_shard_test_listdir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Created in an order unrelated to the names; readdir order is
+  // filesystem-dependent, so the contract is a filename-keyed sort.
+  for (const char* name : {"w10.sopsshard", "w2.shard", "notashard.txt",
+                           "w1.sopsshard", "a.shard"}) {
+    std::FILE* f = std::fopen((dir / name).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  const std::vector<std::string> files = list_shard_files(dir.string());
+  ASSERT_EQ(files.size(), 4u);  // .txt excluded
+  std::vector<std::string> names;
+  for (const std::string& p : files) {
+    names.push_back(fs::path(p).filename().string());
+  }
+  // Bytewise filename order: "w10" < "w2" (no numeric collation).
+  const std::vector<std::string> want{"a.shard", "w1.sopsshard",
+                                      "w10.sopsshard", "w2.shard"};
+  EXPECT_EQ(names, want);
+  fs::remove_all(dir);
 }
 
 }  // namespace

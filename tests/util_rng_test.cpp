@@ -189,6 +189,60 @@ TEST(Rng, BelowSixDrawOrderIsPinned) {
   for (int i = 0; i < 8; ++i) ASSERT_EQ(a.next(), b.next());
 }
 
+// ---------------------------------------------------------------------
+// State export/import. The checkpoint subsystem's byte-identity claim
+// reduces to: a restored Rng emits the exact word stream the original
+// would have, from any capture point — including one that lands between
+// the rejected and accepted words of a lemire_below draw's retry loop.
+// (It cannot land *inside* one: below() is atomic w.r.t. callers, so
+// every capture observes a whole number of completed draws.)
+
+TEST(Rng, StateRoundTripResumesTheExactStream) {
+  Rng original(918273);
+  for (int i = 0; i < 1234; ++i) original.next();
+  const Rng::State mid = original.state();
+
+  Rng restored(1);  // deliberately wrong seed: set_state must overwrite all
+  restored.set_state(mid);
+  EXPECT_EQ(restored.state(), mid);
+  for (int i = 0; i < 4096; ++i) ASSERT_EQ(restored.next(), original.next());
+}
+
+TEST(Rng, StateRoundTripAcrossLemireRejectionBoundaries) {
+  // bound = 2^63 + 1 rejects ≈ half of all words, so capturing every few
+  // draws places many capture points right after a rejection-heavy draw.
+  // The restored generator must reproduce each subsequent draw exactly,
+  // burning the same number of words per rejection chain.
+  constexpr std::uint64_t kBound = (1ULL << 63) + 1;
+  Rng original(5551212);
+  for (int round = 0; round < 64; ++round) {
+    const Rng::State snap = original.state();
+    Rng restored(0);
+    restored.set_state(snap);
+    for (int i = 0; i < 17; ++i) {
+      ASSERT_EQ(restored.below(kBound), original.below(kBound))
+          << "round " << round << " draw " << i;
+    }
+    ASSERT_EQ(restored.state(), original.state()) << "round " << round;
+  }
+}
+
+TEST(Rng, StateRoundTripPreservesEveryDrawKind) {
+  Rng original(24601);
+  for (int i = 0; i < 99; ++i) original.uniform();
+  Rng restored(0);
+  restored.set_state(original.state());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(restored.next(), original.next());
+    ASSERT_EQ(restored.below(6), original.below(6));
+    ASSERT_EQ(restored.uniform(), original.uniform());
+    ASSERT_EQ(restored.uniform_open(), original.uniform_open());
+    ASSERT_EQ(restored.range(-5, 9), original.range(-5, 9));
+    ASSERT_EQ(restored.bernoulli(0.25), original.bernoulli(0.25));
+  }
+  EXPECT_EQ(restored.state(), original.state());
+}
+
 TEST(Rng, DecodeUniformOpenMatchesUniformOpen) {
   Rng a(606), b(606);
   for (int i = 0; i < 10000; ++i) {
