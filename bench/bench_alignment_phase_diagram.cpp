@@ -1,0 +1,105 @@
+// E15 — alignment phase diagram: oriented particles with ferromagnetic
+// bias (arXiv:2207.07956, Kedia–Oh–Randall) swept over (λ, γ) through
+// the compressed/expanded × aligned/disordered corners. λ biases toward
+// high-density configurations exactly as in the separation chain; γ
+// biases toward like-ORIENTED neighbors, and a rotation move lets each
+// particle re-orient in place, so alignment can order globally without
+// sorting particles spatially.
+//
+// This harness is the proof of the model seam: it contains zero
+// engine/shard/checkpoint/service code of its own. The "alignment"
+// registry factory builds each task's system, and the generic stack
+// supplies --threads, --shard/--merge, --checkpoint-dir/--resume, and
+// --submit — byte-identical output for every execution strategy, same
+// as the separation harnesses.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/engine/ensemble.hpp"
+#include "src/harness/harness.hpp"
+#include "src/metrics/phase.hpp"
+#include "src/model/registry.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  harness::Spec spec;
+  spec.name = "bench_alignment_phase_diagram";
+  spec.experiment = "E15";
+  spec.paper_artifact = "alignment phase diagram (companion model)";
+  spec.claim =
+      "large λ compresses, large γ aligns orientations; because the "
+      "alignment bias rewards like-oriented contact it compresses as a "
+      "side effect, so the 2×2 (λ, γ) grid realizes expanded-disordered, "
+      "compressed-disordered, and compressed-aligned — never "
+      "expanded-aligned";
+
+  spec.sweep = [](const harness::Options& opt) {
+    engine::GridSpec grid;
+    grid.lambdas = {1.1, 4.0};
+    grid.gammas = {1.1, 4.0};
+    grid.base_seed = opt.seed;
+    grid.derive_seeds = true;  // independent cells: each derives its seed
+
+    const std::size_t samples = opt.full ? 40 : 20;
+
+    auto chain = std::make_shared<engine::ChainJob>();
+    chain->model = "alignment";
+    const std::vector<std::string> params{"blob=60"};
+    chain->make_model = [params](const engine::Task& t) {
+      return model::build_from_spec(
+          "alignment", params,
+          model::TaskPoint{t.index, t.replica, t.lambda, t.gamma, t.seed});
+    };
+    chain->burn_in = opt.scaled(600000);
+    chain->interval = 10000;
+    chain->samples = samples;
+
+    harness::Sweep sw;
+    sw.job = shard::grid_job({}, grid, *chain, params);
+    sw.chain = chain;
+
+    sw.report = [grid, samples](const harness::Options&,
+                                std::span<const engine::TaskResult> results) {
+      util::Table table({"lambda", "gamma", "samples", "mean p/p_min",
+                         "mean unaligned_frac", "phase"});
+      std::printf("        ");
+      for (const double g : grid.gammas) std::printf("g=%-6.2f", g);
+      std::printf("\n");
+      for (const auto& r : results) {
+        util::Accumulator ratio, unaligned;
+        for (const auto& m : r.series) {
+          ratio.add(m.perimeter_ratio);
+          unaligned.add(m.hetero_fraction);
+        }
+        const auto phase =
+            metrics::classify_scalar(ratio.mean(), unaligned.mean());
+        if (r.task.gamma_index == 0) std::printf("l=%-6.2f", r.task.lambda);
+        std::printf("%-8s", metrics::phase_code(phase).c_str());
+        table.row()
+            .add(r.task.lambda, 3)
+            .add(r.task.gamma, 3)
+            .add(samples)
+            .add(ratio.mean(), 4)
+            .add(unaligned.mean(), 4)
+            .add(metrics::phase_name(phase));
+        if (r.task.gamma_index + 1 == grid.gammas.size()) std::printf("\n");
+      }
+      std::printf("\n");
+      table.write_pretty(std::cout);
+      std::printf(
+          "\nexpected shape: mean p/p_min falls as λ grows and "
+          "unaligned_frac falls as γ grows (here \"separated\" reads as "
+          "\"aligned\"); strong γ drags p/p_min down too — aligned "
+          "neighbors are still neighbors — so no expanded-aligned corner "
+          "exists, and the γ-driven ordering needs no spatial sorting: "
+          "rotations alone carry it.\n");
+      return 0;
+    };
+    return sw;
+  };
+  return harness::run(spec, argc, argv);
+}

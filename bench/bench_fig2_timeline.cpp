@@ -17,6 +17,7 @@
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
+#include "src/model/separation.hpp"
 #include "src/sops/render.hpp"
 #include "src/util/csv.hpp"
 
@@ -50,10 +51,11 @@ int main(int argc, char** argv) {
     const auto colors = core::balanced_random_colors(100, 2, rng);
 
     auto chain = std::make_shared<engine::ChainJob>();
-    chain->make_chain = [nodes, colors](const engine::Task& t) {
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+    chain->make_model = [nodes, colors](const engine::Task& t) {
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain->checkpoints = checkpoints;
 
@@ -64,8 +66,9 @@ int main(int argc, char** argv) {
         "iteration", "p/p_min", "hetero_frac", "beta_hat", "delta_hat",
         "separated(6,0.25)"});
     chain->on_sample = [table](const engine::Task&,
-                               const core::SeparationChain& c) {
-      const auto m = core::measure(c);
+                               const model::ChainModel& mod) {
+      const core::SeparationChain& c = model::separation_chain(mod);
+      const auto m = mod.measure();
       const auto cert = metrics::find_separation(c.system(), 6.0);
       table->row()
           .add(static_cast<std::int64_t>(m.iteration))

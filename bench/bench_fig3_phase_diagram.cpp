@@ -21,6 +21,7 @@
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/phase.hpp"
+#include "src/model/separation.hpp"
 #include "src/util/csv.hpp"
 
 int main(int argc, char** argv) {
@@ -52,10 +53,11 @@ int main(int argc, char** argv) {
     const auto colors = core::balanced_random_colors(100, 2, rng);
 
     auto chain = std::make_shared<engine::ChainJob>();
-    chain->make_chain = [nodes, colors](const engine::Task& t) {
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+    chain->make_model = [nodes, colors](const engine::Task& t) {
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain->checkpoints = {iters};
 
@@ -65,8 +67,9 @@ int main(int argc, char** argv) {
     auto phases =
         std::make_shared<std::vector<metrics::Phase>>(sw.job.tasks.size());
     chain->on_sample = [phases](const engine::Task& t,
-                                const core::SeparationChain& c) {
-      (*phases)[t.index] = metrics::classify(c.system());
+                                const model::ChainModel& m) {
+      (*phases)[t.index] =
+          metrics::classify(model::separation_chain(m).system());
     };
     sw.chain = chain;
     sw.aux = [phases](const engine::TaskResult& r) {

@@ -23,6 +23,7 @@
 #include "src/core/runner.hpp"
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
+#include "src/model/separation.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stats.hpp"
 
@@ -67,14 +68,15 @@ int main(int argc, char** argv) {
     // carries the n-scaled burn-in and spacing; its identity rides in
     // the params tokens above.
     auto chain = std::make_shared<engine::ChainJob>();
-    chain->make_chain = [ns](const engine::Task& t) {
+    chain->make_model = [ns](const engine::Task& t) {
       const std::size_t n = ns[t.index];
       util::Rng rng(t.seed);
       const auto nodes = lattice::random_blob(n, rng);
       const auto colors = core::balanced_random_colors(n, 2, rng);
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain->protocol = [ns, samples, opt](const engine::Task& t) {
       const std::size_t n = ns[t.index];

@@ -19,6 +19,7 @@
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
+#include "src/model/separation.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stats.hpp"
 
@@ -47,13 +48,14 @@ int main(int argc, char** argv) {
     const std::size_t samples = opt.full ? 400 : 150;
 
     auto chain = std::make_shared<engine::ChainJob>();
-    chain->make_chain = [](const engine::Task& t) {
+    chain->make_model = [](const engine::Task& t) {
       util::Rng rng(t.seed);
       const auto nodes = lattice::random_blob(kN, rng);
       const auto colors = core::balanced_random_colors(kN, 2, rng);
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain->burn_in = opt.scaled(3000000);
     chain->interval = 20000;
@@ -69,12 +71,13 @@ int main(int argc, char** argv) {
     };
     auto rows = std::make_shared<std::vector<Row>>(sw.job.tasks.size());
     chain->on_sample = [rows](const engine::Task& t,
-                              const core::SeparationChain& c) {
+                              const model::ChainModel& m) {
       Row& row = (*rows)[t.index];
+      const core::SeparationChain& c = model::separation_chain(m);
       const auto cert = metrics::find_separation(c.system(), kBeta);
       if (cert && cert->satisfies(kBeta, kDelta)) ++row.separated;
       if (cert) row.delta_hat.add(cert->delta_hat);
-      row.hetero.add(core::measure(c).hetero_fraction);
+      row.hetero.add(m.measure().hetero_fraction);
     };
     sw.chain = chain;
     sw.aux = [rows](const engine::TaskResult& r) {

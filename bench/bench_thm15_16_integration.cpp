@@ -18,6 +18,7 @@
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/separation.hpp"
+#include "src/model/separation.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stats.hpp"
 
@@ -54,13 +55,14 @@ int main(int argc, char** argv) {
     const std::size_t samples = opt.full ? 400 : 150;
 
     auto chain = std::make_shared<engine::ChainJob>();
-    chain->make_chain = [](const engine::Task& t) {
+    chain->make_model = [](const engine::Task& t) {
       util::Rng rng(t.seed);
       const auto nodes = lattice::random_blob(kN, rng);
       const auto colors = core::balanced_random_colors(kN, 2, rng);
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain->burn_in = opt.scaled(3000000);
     chain->interval = 20000;
@@ -76,9 +78,10 @@ int main(int argc, char** argv) {
     };
     auto rows = std::make_shared<std::vector<Row>>(sw.job.tasks.size());
     chain->on_sample = [rows](const engine::Task& t,
-                              const core::SeparationChain& ch) {
+                              const model::ChainModel& mod) {
       Row& row = (*rows)[t.index];
-      const auto m = core::measure(ch);
+      const core::SeparationChain& ch = model::separation_chain(mod);
+      const auto m = mod.measure();
       row.compressed += (m.perimeter_ratio <= 3.0);
       row.hetero.add(m.hetero_fraction);
       if (metrics::is_separated(ch.system(), kBeta, kDelta)) ++row.separated;

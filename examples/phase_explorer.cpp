@@ -19,6 +19,7 @@
 #include "src/engine/ensemble.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/phase.hpp"
+#include "src/model/separation.hpp"
 #include "src/sops/render.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
@@ -100,12 +101,14 @@ int main(int argc, char** argv) {
   std::vector<metrics::Phase> phases(tasks.size());
   std::vector<std::string> renders(render ? tasks.size() : 0);
   engine::ChainJob job;
-  job.make_chain = [&](const engine::Task& t) {
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true}, seed);
+  job.make_model = [&](const engine::Task& t) {
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true}, seed));
   };
   job.checkpoints = {iters};
-  job.on_sample = [&](const engine::Task& t, const core::SeparationChain& c) {
+  job.on_sample = [&](const engine::Task& t, const model::ChainModel& m) {
+    const core::SeparationChain& c = model::separation_chain(m);
     phases[t.index] = metrics::classify(c.system());
     if (render) renders[t.index] = system::render_ascii(c.system());
   };

@@ -3,7 +3,12 @@
 # smoke-check the sharded-harness round-trip (worker → merge →
 # byte-identical report) for two grid harnesses — one chain-backed
 # (bench_thm13_compression) and one exact/aux-backed (bench_mixing_gap,
-# retrofitted onto the engine by the harness framework).
+# retrofitted onto the engine by the harness framework). The model
+# registry gets its own gates: the `ctest -L model` tier, an alignment
+# phase-diagram report cmp'd against the committed golden under
+# tests/golden/, and a second kill -9 + elastic-recovery cycle run
+# against bench_alignment_phase_diagram to prove the checkpoint path is
+# model-generic.
 #
 # Usage: scripts/run_ci.sh [build-dir]
 #   build-dir  CMake build tree to create/reuse (default: build)
@@ -37,6 +42,16 @@ cmake --build "$build_dir" -j "$jobs"
 echo "== ctest"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
+echo "== ctest model tier (registry + alignment seam)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L model
+
+echo "== alignment smoke (report vs committed golden)"
+"$build_dir"/bench/bench_alignment_phase_diagram --threads 1 \
+  >/tmp/sops_alignment_smoke.$$.txt
+cmp /tmp/sops_alignment_smoke.$$.txt tests/golden/bench_alignment_phase_diagram.txt
+rm -f /tmp/sops_alignment_smoke.$$.txt
+echo "ok: alignment report byte-identical to tests/golden"
+
 echo "== shard round-trip smoke (bench_thm13_compression)"
 scripts/check_shard_roundtrip.sh "$build_dir" bench_thm13_compression 2
 
@@ -48,6 +63,9 @@ scripts/check_service_smoke.sh "$build_dir" bench_fig3_phase_diagram
 
 echo "== checkpoint kill -9 + elastic recovery (bench_thm13_compression)"
 scripts/check_checkpoint_kill9.sh "$build_dir" bench_thm13_compression
+
+echo "== checkpoint kill -9 + elastic recovery (bench_alignment_phase_diagram)"
+scripts/check_checkpoint_kill9.sh "$build_dir" bench_alignment_phase_diagram
 
 echo "== kernel perf vs recorded snapshot ($(
   [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] \

@@ -1,0 +1,92 @@
+#include "src/alignment/alignment_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/locality.hpp"
+
+namespace sops::alignment {
+
+using lattice::Node;
+using system::Color;
+using system::ParticleIndex;
+using system::ParticleSystem;
+
+AlignmentChain::AlignmentChain(ParticleSystem sys, Params params,
+                               std::uint64_t seed)
+    : sys_(std::move(sys)), params_(params), rng_(seed) {
+  if (!(params_.lambda > 0.0) || !(params_.gamma > 0.0)) {
+    throw std::invalid_argument("AlignmentChain: lambda and gamma must be > 0");
+  }
+  for (const Color c : sys_.colors()) {
+    if (c >= kOrientations) {
+      throw std::invalid_argument(
+          "AlignmentChain: orientation out of range (colors must be 0..5)");
+    }
+  }
+  for (int k = -kMaxExp; k <= kMaxExp; ++k) {
+    pow_lambda_[static_cast<std::size_t>(k + kMaxExp)] =
+        std::pow(params_.lambda, k);
+    pow_gamma_[static_cast<std::size_t>(k + kMaxExp)] =
+        std::pow(params_.gamma, k);
+  }
+}
+
+bool AlignmentChain::step() {
+  ++counters_.steps;
+  const auto pi = static_cast<ParticleIndex>(rng_.below(sys_.size()));
+  const int r = static_cast<int>(rng_.below(2 * kOrientations));
+  const double q = rng_.uniform_open();
+
+  const Node l = sys_.position(pi);
+  const Color ci = sys_.color(pi);
+
+  if (r < kOrientations) {
+    // Translation toward direction r: the separation chain's move branch
+    // with γ counted on orientation agreement. An occupied target is a
+    // wasted step (no swap move in this chain).
+    const int dir = r;
+    const Node lp = lattice::neighbor(l, dir);
+    if (sys_.occupied(lp)) return false;
+    ++counters_.move_proposals;
+    const int e = sys_.neighbor_count(l);
+    if (e == 5) {
+      ++counters_.rejected_five;
+      return false;
+    }
+    if (!core::move_preserves_invariants_reference(sys_, l, dir)) {
+      ++counters_.rejected_locality;
+      return false;
+    }
+    const int a = sys_.neighbor_count_color(l, ci);
+    const int ep = sys_.neighbor_count(lp, /*exclude=*/l);
+    const int ap = sys_.neighbor_count_color(lp, ci, /*exclude=*/l);
+    if (q >= pow_lambda(ep - e) * pow_gamma(ap - a)) {
+      ++counters_.rejected_metropolis;
+      return false;
+    }
+    sys_.apply_move(pi, lp);
+    ++counters_.moves_accepted;
+    return true;
+  }
+
+  // Rotation in place to orientation r − 6.
+  ++counters_.rotation_proposals;
+  const auto cp = static_cast<Color>(r - kOrientations);
+  if (cp == ci) {
+    ++counters_.rotations_accepted;  // weight 1, always accepted; no-op
+    return false;
+  }
+  const int delta =
+      sys_.neighbor_count_color(l, cp) - sys_.neighbor_count_color(l, ci);
+  if (q >= pow_gamma(delta)) return false;
+  sys_.apply_recolor(pi, cp);
+  ++counters_.rotations_accepted;
+  return true;
+}
+
+void AlignmentChain::run(std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) step();
+}
+
+}  // namespace sops::alignment

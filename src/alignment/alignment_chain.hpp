@@ -1,0 +1,106 @@
+// The alignment chain of Kedia, Oh, and Randall (arXiv:2207.07956):
+// self-organizing particles that carry one of six lattice orientations
+// and prefer neighbors pointing the same way (a ferromagnetic bias on
+// top of the compression bias).
+//
+// Each step draws a particle P at location l, one of TWELVE proposals
+// (six translations, six orientations), and q ∈ (0,1):
+//
+//  * proposal r < 6 — translate toward direction r, exactly the
+//    separation chain's move branch with the homogeneity bias counted on
+//    orientation agreement: accepted when the target l' is empty, P does
+//    not have five neighbors, the locality conditions hold, and
+//    q < λ^(e'−e) · γ^(a'−a), where a (resp. a') counts neighbors of l
+//    (resp. l', excluding P) sharing P's orientation. An occupied target
+//    is simply a wasted step — the alignment chain has no swap move
+//    (orientations are mutable, so rotation subsumes it).
+//  * proposal r >= 6 — rotate in place to orientation r−6: accepted with
+//    probability min{1, γ^Δ} where Δ is the change in the number of
+//    aligned (same-orientation) incident edges. Rotating to the current
+//    orientation is a no-op counted as accepted.
+//
+// λ > 1 compresses, γ > 1 aligns; both biases are local, so the chain
+// stays within the paper's stochastic-approach framework. Orientations
+// are stored as ParticleSystem colors 0..5, making "aligned edge" the
+// complement of the homogeneous edge bookkeeping the system already
+// maintains: the fraction of unaligned edges is h(σ)/e(σ).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/sops/particle_system.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::alignment {
+
+/// Orientations are the six lattice directions, stored as colors 0..5.
+inline constexpr int kOrientations = 6;
+
+/// Bias parameters. Both must be > 0; the interesting regime is > 1.
+struct Params {
+  double lambda = 4.0;  ///< λ: preference for more neighbors.
+  double gamma = 4.0;   ///< γ: preference for same-orientation neighbors.
+};
+
+class AlignmentChain {
+ public:
+  struct Counters {
+    std::uint64_t steps = 0;
+    std::uint64_t move_proposals = 0;      ///< translation, target empty
+    std::uint64_t moves_accepted = 0;
+    std::uint64_t rejected_five = 0;       ///< five-neighbor condition failed
+    std::uint64_t rejected_locality = 0;   ///< locality conditions failed
+    std::uint64_t rejected_metropolis = 0; ///< Metropolis filter failed
+    std::uint64_t rotation_proposals = 0;  ///< in-place orientation proposals
+    std::uint64_t rotations_accepted = 0;  ///< includes same-orientation no-ops
+  };
+
+  /// Takes ownership of the configuration (colors are orientations and
+  /// must be < kOrientations). Throws std::invalid_argument for
+  /// nonpositive λ or γ or an out-of-range orientation.
+  AlignmentChain(system::ParticleSystem sys, Params params,
+                 std::uint64_t seed);
+
+  [[nodiscard]] const system::ParticleSystem& system() const noexcept {
+    return sys_;
+  }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  /// One iteration. Returns true iff the configuration changed.
+  /// Consumes exactly three RNG draws (particle, proposal, q) in that
+  /// order, every step, regardless of outcome.
+  bool step();
+
+  /// Runs `iterations` steps.
+  void run(std::uint64_t iterations);
+
+  /// Checkpoint/resume support, as core::SeparationChain: resumable
+  /// state = configuration + (RNG state, counters).
+  [[nodiscard]] util::Rng::State rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const util::Rng::State& s) noexcept { rng_.set_state(s); }
+  void set_counters(const Counters& c) noexcept { counters_ = c; }
+
+ private:
+  [[nodiscard]] double pow_lambda(int k) const noexcept {
+    return pow_lambda_[static_cast<std::size_t>(k + kMaxExp)];
+  }
+  [[nodiscard]] double pow_gamma(int k) const noexcept {
+    return pow_gamma_[static_cast<std::size_t>(k + kMaxExp)];
+  }
+
+  // Moves use e'−e, a'−a ∈ [−5, 5]; rotations use Δ ∈ [−6, 6].
+  static constexpr int kMaxExp = 12;
+
+  system::ParticleSystem sys_;
+  Params params_;
+  util::Rng rng_;
+  Counters counters_;
+  double pow_lambda_[2 * kMaxExp + 1];
+  double pow_gamma_[2 * kMaxExp + 1];
+};
+
+}  // namespace sops::alignment

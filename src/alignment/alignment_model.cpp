@@ -1,0 +1,238 @@
+#include "src/alignment/alignment_model.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/model/registry.hpp"
+#include "src/model/state.hpp"
+#include "src/sops/invariants.hpp"
+
+namespace sops::alignment {
+
+namespace {
+
+namespace st = sops::model::state;
+
+class AlignmentModel final : public model::ChainModel {
+ public:
+  explicit AlignmentModel(AlignmentChain chain)
+      : chain_(std::move(chain)),
+        pmin_(system::p_min(chain_.system().size())) {}
+
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return kAlignmentTag;
+  }
+
+  void run(std::uint64_t iterations) override { chain_.run(iterations); }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept override {
+    return chain_.counters().steps;
+  }
+
+  [[nodiscard]] core::Measurement measure() const override {
+    // Same slot semantics as the separation model: hetero edges are the
+    // unaligned (orientation-disagreeing) edges, so hetero_fraction is
+    // the unaligned-edge fraction and 0 means fully aligned.
+    const system::ParticleSystem& sys = chain_.system();
+    core::Measurement m;
+    m.iteration = chain_.counters().steps;
+    m.perimeter = sys.perimeter_by_identity();
+    m.edges = sys.edge_count();
+    m.hetero_edges = sys.hetero_edge_count();
+    m.perimeter_ratio =
+        pmin_ > 0 ? static_cast<double>(m.perimeter) /
+                        static_cast<double>(pmin_)
+                  : 1.0;
+    m.hetero_fraction =
+        m.edges > 0 ? static_cast<double>(m.hetero_edges) /
+                          static_cast<double>(m.edges)
+                    : 0.0;
+    return m;
+  }
+
+  [[nodiscard]] std::vector<std::string> observable_names() const override {
+    return {"iteration",       "perimeter",       "edges",
+            "unaligned_edges", "perimeter_ratio", "unaligned_fraction"};
+  }
+
+  [[nodiscard]] std::vector<std::string> save_state() const override {
+    const system::ParticleSystem& sys = chain_.system();
+    const AlignmentChain::Counters& c = chain_.counters();
+    std::vector<std::string> out;
+    out.reserve(4 + sys.size());
+    {
+      std::string line = "params ";
+      st::put_double(line, chain_.params().lambda);
+      line += ' ';
+      st::put_double(line, chain_.params().gamma);
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "rng";
+      for (const std::uint64_t w : chain_.rng_state()) {
+        line += ' ';
+        st::put_hex16(line, w);
+      }
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "counters";
+      for (const std::uint64_t v :
+           {c.steps, c.move_proposals, c.moves_accepted, c.rejected_five,
+            c.rejected_locality, c.rejected_metropolis, c.rotation_proposals,
+            c.rotations_accepted}) {
+        line += ' ';
+        st::put_u64(line, v);
+      }
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "particles ";
+      st::put_u64(line, sys.size());
+      out.push_back(std::move(line));
+    }
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      std::string line = "p ";
+      st::put_i64(line, sys.positions()[i].x);
+      line += ' ';
+      st::put_i64(line, sys.positions()[i].y);
+      line += ' ';
+      st::put_u64(line, sys.colors()[i]);
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const AlignmentChain& chain() const noexcept { return chain_; }
+
+ private:
+  AlignmentChain chain_;
+  std::int64_t pmin_;
+};
+
+std::unique_ptr<model::ChainModel> restore_alignment(
+    std::span<const std::string> lines) {
+  std::size_t at = 0;
+  const auto params =
+      st::expect(st::line_at(lines, at++, "params"), "params", 3);
+  const double lambda = st::get_double(params[1], "params");
+  const double gamma = st::get_double(params[2], "params");
+
+  const auto rng_toks = st::expect(st::line_at(lines, at++, "rng"), "rng", 5);
+  util::Rng::State rng{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    rng[i] = st::get_hex16(rng_toks[1 + i], "rng");
+  }
+  if (rng == util::Rng::State{}) {
+    throw model::ModelError(
+        "rng state is all-zero — not a live chain state "
+        "(stateless completion snapshot, or corrupt)");
+  }
+
+  const auto cnt =
+      st::expect(st::line_at(lines, at++, "counters"), "counters", 9);
+  AlignmentChain::Counters counters;
+  counters.steps = st::get_u64(cnt[1], "counters");
+  counters.move_proposals = st::get_u64(cnt[2], "counters");
+  counters.moves_accepted = st::get_u64(cnt[3], "counters");
+  counters.rejected_five = st::get_u64(cnt[4], "counters");
+  counters.rejected_locality = st::get_u64(cnt[5], "counters");
+  counters.rejected_metropolis = st::get_u64(cnt[6], "counters");
+  counters.rotation_proposals = st::get_u64(cnt[7], "counters");
+  counters.rotations_accepted = st::get_u64(cnt[8], "counters");
+
+  const auto head =
+      st::expect(st::line_at(lines, at++, "particles"), "particles", 2);
+  const std::uint64_t count = st::get_u64(head[1], "particles");
+  if (count == 0) throw model::ModelError("snapshot carries no particles");
+  std::vector<lattice::Node> positions;
+  std::vector<system::Color> orientations;
+  positions.reserve(count);
+  orientations.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto p = st::expect(st::line_at(lines, at++, "p"), "p", 4);
+    const std::int64_t x = st::get_i64(p[1], "p");
+    const std::int64_t y = st::get_i64(p[2], "p");
+    if (x < INT32_MIN || x > INT32_MAX || y < INT32_MIN || y > INT32_MAX) {
+      throw model::ModelError("p: particle coordinate out of int32 range");
+    }
+    const std::uint64_t orient = st::get_u64(p[3], "p");
+    if (orient >= kOrientations) {
+      throw model::ModelError("p: particle orientation out of range");
+    }
+    positions.push_back(lattice::Node{static_cast<std::int32_t>(x),
+                                      static_cast<std::int32_t>(y)});
+    orientations.push_back(static_cast<system::Color>(orient));
+  }
+  if (at != lines.size()) {
+    throw model::ModelError("state: trailing content after particle list");
+  }
+
+  AlignmentChain chain(system::ParticleSystem(positions, orientations),
+                       Params{lambda, gamma}, counters.steps + 1);
+  chain.set_rng_state(rng);
+  chain.set_counters(counters);
+  return make_alignment(std::move(chain));
+}
+
+std::unique_ptr<model::ChainModel> build_alignment(
+    std::span<const std::string> params, const model::TaskPoint& t) {
+  std::uint64_t blob = 0;
+  bool blob_set = false;
+  for (const std::string& p : params) {
+    const std::size_t eq = p.find('=');
+    const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : p.substr(eq + 1);
+    if (key == "blob") {
+      blob = st::parse_u64_param("params: blob", value);
+      blob_set = true;
+    } else {
+      throw model::ModelError("params: unknown key '" + key +
+                              "' (recognized: blob)");
+    }
+  }
+  if (!blob_set) {
+    throw model::ModelError("params: missing required 'blob=' entry");
+  }
+  if (blob == 0 || blob > 20000) {
+    throw model::ModelError("params: blob: blob=" + std::to_string(blob) +
+                            " outside the supported range [1, 20000]");
+  }
+  util::Rng rng(t.seed);
+  const auto nodes = lattice::random_blob(static_cast<std::size_t>(blob), rng);
+  const auto orientations = core::balanced_random_colors(
+      static_cast<std::size_t>(blob),
+      static_cast<std::size_t>(kOrientations), rng);
+  return make_alignment(
+      AlignmentChain(system::ParticleSystem(nodes, orientations),
+                     Params{t.lambda, t.gamma}, t.seed));
+}
+
+}  // namespace
+
+std::unique_ptr<model::ChainModel> make_alignment(AlignmentChain chain) {
+  return std::make_unique<AlignmentModel>(std::move(chain));
+}
+
+const AlignmentChain& alignment_chain(const model::ChainModel& m) {
+  const auto* align = dynamic_cast<const AlignmentModel*>(&m);
+  if (align == nullptr) {
+    throw model::ModelError("alignment_chain: model is '" +
+                            std::string(m.tag()) + "', not alignment");
+  }
+  return align->chain();
+}
+
+void register_alignment_model() {
+  model::Factory factory;
+  factory.tag = std::string(kAlignmentTag);
+  factory.build = build_alignment;
+  factory.restore = restore_alignment;
+  model::register_model(std::move(factory));
+}
+
+}  // namespace sops::alignment

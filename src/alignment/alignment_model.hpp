@@ -1,0 +1,30 @@
+// The alignment chain behind the ChainModel seam. Registering the
+// factory is the only alignment-specific line outside this directory:
+// once registered, the generic stack (engine, shard, checkpoint,
+// service, harness) drives alignment jobs with zero further branches.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/alignment/alignment_chain.hpp"
+#include "src/model/model.hpp"
+
+namespace sops::alignment {
+
+inline constexpr std::string_view kAlignmentTag = "alignment";
+
+/// Wraps an already-constructed chain.
+[[nodiscard]] std::unique_ptr<model::ChainModel> make_alignment(
+    AlignmentChain chain);
+
+/// Downcast for alignment-specific inspection in tests: the wrapped
+/// live chain, or ModelError if `m` is not the alignment model.
+[[nodiscard]] const AlignmentChain& alignment_chain(const model::ChainModel& m);
+
+/// Registers the "alignment" factory: params blob=N (required); each
+/// task builds its blob and balanced orientation assignment from its
+/// own seed, with (λ, γ) from the task point. Idempotent.
+void register_alignment_model();
+
+}  // namespace sops::alignment

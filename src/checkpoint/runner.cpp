@@ -4,11 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <optional>
 
-#include "src/core/runner.hpp"
-#include "src/core/step_pipeline.hpp"
-#include "src/sops/invariants.hpp"
+#include "src/model/model.hpp"
 
 namespace sops::checkpoint {
 
@@ -20,7 +19,7 @@ namespace {
 
 // The absolute iterations a protocol measures at, in order. Checkpoint
 // mode measures at each listed iteration (duplicates legal, matching
-// core::run_with_checkpoints); equilibrium mode at burn_in + i·interval.
+// model::run_with_checkpoints); equilibrium mode at burn_in + i·interval.
 std::vector<std::uint64_t> measurement_targets(
     const engine::ChainProtocol& proto) {
   if (!proto.checkpoints.empty()) {
@@ -48,28 +47,24 @@ std::uint64_t final_step(const engine::ChainProtocol& proto,
   return proto.checkpoints.empty() ? proto.burn_in : 0;
 }
 
-// Drives `chain` from its current step count to the end of the
-// protocol, measuring at each remaining target and writing a partial
-// snapshot at every multiple of `every` that falls strictly inside a
-// segment. Snapshot points never coincide with a measurement point, so
-// a partial snapshot's invariant is exact: its series holds precisely
-// the measurements at targets <= its step count (what resume validates).
-std::vector<core::Measurement> drive_chain(
-    core::SeparationChain& chain, const engine::ChainJob& job,
+// Drives `m` from its current step count to the end of the protocol,
+// measuring at each remaining target and writing a partial snapshot at
+// every multiple of `every` that falls strictly inside a segment.
+// Snapshot points never coincide with a measurement point, so a partial
+// snapshot's invariant is exact: its series holds precisely the
+// measurements at targets <= its step count (what resume validates).
+std::vector<core::Measurement> drive_model(
+    model::ChainModel& m, const engine::ChainJob& job,
     const engine::Task& task, std::span<const std::uint64_t> targets,
     std::uint64_t end, const Policy& policy, const std::string& path,
     const std::string& job_name, std::uint64_t hash, bool allow_partial,
     std::vector<core::Measurement> series) {
-  core::StepPipeline pipeline(chain,
-                              job.pipeline_block == 0
-                                  ? core::StepPipeline::kDefaultBlockSize
-                                  : job.pipeline_block);
-  const std::int64_t pmin = system::p_min(chain.system().size());
+  m.set_pipeline_block(job.pipeline_block);
   const std::uint64_t every =
       (allow_partial && !policy.dir.empty()) ? policy.every : 0;
 
   const auto run_to = [&](std::uint64_t target) {
-    std::uint64_t now = chain.counters().steps;
+    std::uint64_t now = m.steps();
     if (target < now) {
       throw std::invalid_argument(
           "checkpoint: protocol checkpoints must be nondecreasing");
@@ -80,10 +75,10 @@ std::vector<core::Measurement> drive_chain(
         const std::uint64_t next_multiple = (now / every + 1) * every;
         if (next_multiple < stop) stop = next_multiple;
       }
-      pipeline.run(stop - now);
+      m.run(stop - now);
       now = stop;
       if (now < target) {
-        write_snapshot(path, capture(chain, job_name, hash, task,
+        write_snapshot(path, capture(m, job_name, hash, task,
                                      /*complete=*/false, series));
       }
     }
@@ -91,8 +86,8 @@ std::vector<core::Measurement> drive_chain(
 
   for (std::size_t idx = series.size(); idx < targets.size(); ++idx) {
     run_to(targets[idx]);
-    series.push_back(core::measure(chain, pmin));
-    if (job.on_sample) job.on_sample(task, chain);
+    series.push_back(m.measure());
+    if (job.on_sample) job.on_sample(task, m);
   }
   run_to(end);  // samples == 0: the bare burn-in still runs (and resumes)
   return series;
@@ -136,6 +131,13 @@ std::vector<engine::TaskResult> run_tasks(
         reject(path, "job name mismatch (snapshot '" + snap.job +
                          "', running '" + job.name + "')");
       }
+      // Model identity outranks the spec hash: a snapshot from another
+      // model family is a category error worth naming, not just a
+      // drifted spec.
+      if (snap.model != job.model) {
+        reject(path, "model mismatch (snapshot '" + snap.model +
+                         "', running '" + job.model + "')");
+      }
       if (snap.spec_hash != hash) {
         reject(path,
                "spec hash mismatch — the job's grid/protocol/params/tasks "
@@ -169,13 +171,13 @@ std::vector<engine::TaskResult> run_tasks(
             engine::resolve_protocol(*chain, task);
         const std::vector<std::uint64_t> targets = measurement_targets(proto);
         const std::uint64_t end = final_step(proto, targets);
-        core::SeparationChain c =
-            partial ? restore_chain(*partial) : chain->make_chain(task);
+        std::unique_ptr<model::ChainModel> m =
+            partial ? restore_model(*partial) : chain->make_model(task);
         if (partial) {
           // The snapshot's series must hold exactly the measurements
           // due at or before its step count, else the file and the
           // protocol disagree about history.
-          const std::uint64_t steps = c.counters().steps;
+          const std::uint64_t steps = m->steps();
           std::size_t due = 0;
           while (due < targets.size() && targets[due] <= steps) ++due;
           if (partial->series.size() != due) {
@@ -193,7 +195,7 @@ std::vector<engine::TaskResult> run_tasks(
           series = std::move(partial->series);
           resumed_here = true;
         }
-        series = drive_chain(c, *chain, task, targets, end, policy, path,
+        series = drive_model(*m, *chain, task, targets, end, policy, path,
                              job.name, hash, resumable, std::move(series));
       } else {
         series = fn(task);
@@ -204,8 +206,8 @@ std::vector<engine::TaskResult> run_tasks(
       // Completion snapshots are stateless regardless of task kind: a
       // finished task is only ever skipped, never restored, so the
       // (series, aux) payload is the entire useful content.
-      write_snapshot(path, capture_stateless(job.name, hash, task, slot.series,
-                                             slot.aux));
+      write_snapshot(path, capture_stateless(job.name, job.model, hash, task,
+                                             slot.series, slot.aux));
     }
 
     const std::chrono::duration<double> elapsed =

@@ -2,20 +2,23 @@
 // slot-indexed by Task::index, byte-identical at any thread count) plus
 // durable per-task snapshots and resume.
 //
-// For chain-backed tasks the runner re-implements the two core/runner
-// protocols (checkpoint-list and equilibrium) as segmented drives of one
-// StepPipeline, pausing at multiples of `Policy::every` to write a
-// partial snapshot. Segmentation is invisible to the trajectory — the
-// pipeline consumes no RNG draw beyond the steps asked of it (PR 5) —
-// so a run that snapshots every 10k steps is byte-identical to one that
-// never pauses, and a resumed run is byte-identical to an uninterrupted
-// one. That identity is the subsystem's acceptance bar, pinned by
+// For model-backed tasks (ChainJob::make_model) the runner
+// re-implements the two driver protocols (checkpoint-list and
+// equilibrium) as segmented drives of one ChainModel, pausing at
+// multiples of `Policy::every` to write a partial snapshot.
+// Segmentation is invisible to the trajectory — ChainModel::run
+// consumes no RNG draw beyond the steps asked of it — so a run that
+// snapshots every 10k steps is byte-identical to one that never pauses,
+// and a resumed run is byte-identical to an uninterrupted one. That
+// identity is the subsystem's acceptance bar, pinned by
 // tests/checkpoint_test.cpp and scripts/check_checkpoint_kill9.sh.
+// Resume dispatches through the model registry (snapshot.model tag), so
+// the runner itself carries no model-specific code.
 //
 // fn-backed tasks (no ChainJob) are opaque to the runner, so they
 // snapshot only at completion: resume skips finished tasks and reruns
 // interrupted ones from scratch. The same completion-only rule applies
-// to chain jobs with an on_sample hook, whose side-channel state (the
+// to model jobs with an on_sample hook, whose side-channel state (the
 // input to aux packing) lives outside the snapshot and would not replay
 // across a mid-task resume.
 #pragma once

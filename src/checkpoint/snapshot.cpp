@@ -7,6 +7,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/model/registry.hpp"
+#include "src/model/separation.hpp"
+
 #if defined(_WIN32)
 #include <io.h>
 #else
@@ -29,6 +32,20 @@ bool is_token(std::string_view s) {
   if (s.empty()) return false;
   for (const char c : s) {
     if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+// A valid model-state line: one or more single-space-separated tokens,
+// exactly as save_state() emits them. The codec stores these verbatim
+// under an "s " prefix, so the line itself must obey the document's
+// token grammar.
+bool is_state_line(std::string_view s) {
+  if (s.empty() || s.front() == ' ' || s.back() == ' ') return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\t' || c == '\n' || c == '\r') return false;
+    if (c == ' ' && s[i - 1] == ' ') return false;
   }
   return true;
 }
@@ -173,13 +190,159 @@ std::vector<std::string_view> expect_line(Lines& lines,
   return tokens;
 }
 
+// Shared by both versions: the measurement series block.
+void decode_series(Lines& lines, Snapshot& snap) {
+  const auto tokens = expect_line(lines, "series", 2);
+  const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+  snap.series.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto m = expect_line(lines, "m", 7);
+    core::Measurement meas;
+    meas.iteration = get_u64(m[1], lines.line_no());
+    meas.perimeter = get_i64(m[2], lines.line_no());
+    meas.edges = get_i64(m[3], lines.line_no());
+    meas.hetero_edges = get_i64(m[4], lines.line_no());
+    meas.perimeter_ratio = get_double(m[5], lines.line_no());
+    meas.hetero_fraction = get_double(m[6], lines.line_no());
+    snap.series.push_back(meas);
+  }
+}
+
+void decode_aux(Lines& lines, Snapshot& snap) {
+  std::vector<std::string_view> tokens;
+  if (!lines.next(tokens) || tokens[0] != "aux") {
+    bad(lines.line_no(), "expected 'aux' line");
+  }
+  if (tokens.size() < 2) bad(lines.line_no(), "missing aux count");
+  const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+  if (tokens.size() != 2 + count) {
+    bad(lines.line_no(), "aux count does not match declared count");
+  }
+  snap.aux.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    snap.aux.push_back(get_double(tokens[2 + i], lines.line_no()));
+  }
+  if (!snap.aux.empty() && !snap.complete) {
+    bad(lines.line_no(), "partial snapshots must not carry aux values");
+  }
+}
+
+// v1 body: typed separation fields (params/rng/counters + particle
+// list). Parsed with the original grammar, then lifted into the
+// separation model's state-line block so the rest of the stack sees one
+// representation. The lift re-serializes through the same hexfloat/hex
+// formatters that wrote the v1 file, so values stay bit-exact.
+void decode_v1_body(Lines& lines, Snapshot& snap) {
+  double lambda = 0.0;
+  double gamma = 0.0;
+  bool swaps_enabled = true;
+  util::Rng::State rng{};
+  core::SeparationChain::Counters counters;
+  std::vector<lattice::Node> positions;
+  std::vector<system::Color> colors;
+
+  {
+    const auto tokens = expect_line(lines, "params", 4);
+    lambda = get_double(tokens[1], lines.line_no());
+    gamma = get_double(tokens[2], lines.line_no());
+    if (tokens[3] == "1") {
+      swaps_enabled = true;
+    } else if (tokens[3] == "0") {
+      swaps_enabled = false;
+    } else {
+      bad(lines.line_no(), "swaps flag must be 0 or 1");
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "rng", 5);
+    for (std::size_t i = 0; i < 4; ++i) {
+      rng[i] = get_hex16(tokens[1 + i], lines.line_no());
+    }
+  }
+  {
+    const auto tokens = expect_line(lines, "counters", 9);
+    counters.steps = get_u64(tokens[1], lines.line_no());
+    counters.move_proposals = get_u64(tokens[2], lines.line_no());
+    counters.moves_accepted = get_u64(tokens[3], lines.line_no());
+    counters.rejected_five = get_u64(tokens[4], lines.line_no());
+    counters.rejected_locality = get_u64(tokens[5], lines.line_no());
+    counters.rejected_metropolis = get_u64(tokens[6], lines.line_no());
+    counters.swap_proposals = get_u64(tokens[7], lines.line_no());
+    counters.swaps_accepted = get_u64(tokens[8], lines.line_no());
+  }
+  decode_series(lines, snap);
+  decode_aux(lines, snap);
+  {
+    const auto tokens = expect_line(lines, "particles", 2);
+    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    positions.reserve(count);
+    colors.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto p = expect_line(lines, "p", 4);
+      lattice::Node node;
+      const std::int64_t x = get_i64(p[1], lines.line_no());
+      const std::int64_t y = get_i64(p[2], lines.line_no());
+      if (x < INT32_MIN || x > INT32_MAX || y < INT32_MIN || y > INT32_MAX) {
+        bad(lines.line_no(), "particle coordinate out of int32 range");
+      }
+      node.x = static_cast<std::int32_t>(x);
+      node.y = static_cast<std::int32_t>(y);
+      const std::uint64_t color = get_u64(p[3], lines.line_no());
+      if (color >= system::kMaxColors) {
+        bad(lines.line_no(), "particle color out of range");
+      }
+      positions.push_back(node);
+      colors.push_back(static_cast<system::Color>(color));
+    }
+  }
+
+  snap.model = "separation";
+  if (rng == util::Rng::State{} && positions.empty()) {
+    // v1 stateless completion snapshot (fn-backed task): no live state.
+    snap.state.clear();
+  } else {
+    snap.state = model::encode_separation_state(
+        lambda, gamma, swaps_enabled, rng, counters, positions, colors);
+  }
+}
+
+void decode_v2_body(Lines& lines, Snapshot& snap) {
+  decode_series(lines, snap);
+  decode_aux(lines, snap);
+  {
+    const auto tokens = expect_line(lines, "state", 2);
+    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
+    snap.state.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::vector<std::string_view> s;
+      if (!lines.next(s)) {
+        bad(lines.line_no() + 1, "unexpected end of input (wanted 's')");
+      }
+      if (s[0] != "s" || s.size() < 2) {
+        bad(lines.line_no(), "expected 's' state line");
+      }
+      // Rejoin the tokens: the grammar admits only single spaces, so
+      // this reconstructs the model's line byte-for-byte.
+      std::string line(s[1]);
+      for (std::size_t t = 2; t < s.size(); ++t) {
+        line += ' ';
+        line += s[t];
+      }
+      snap.state.push_back(std::move(line));
+    }
+  }
+  if (!snap.complete && snap.state.empty()) {
+    bad(lines.line_no(), "partial snapshots must carry model state");
+  }
+}
+
 }  // namespace
 
 std::uint64_t spec_hash(const shard::JobSpec& job) {
   // Hash the job's own wire encoding with no results: every field a
-  // merge's check_same_job compares (grid, protocol, params, the dense
-  // task table) is covered, and the hash changes exactly when the wire
-  // would consider the spec a different job.
+  // merge's check_same_job compares (model, grid, protocol, params, the
+  // dense task table) is covered, and the hash changes exactly when the
+  // wire would consider the spec a different job.
   return fnv1a(shard::encode(job, {}));
 }
 
@@ -195,18 +358,30 @@ std::string encode(const Snapshot& snap) {
     throw std::invalid_argument(
         "checkpoint: job name must be one nonempty token");
   }
-  if (snap.positions.size() != snap.colors.size()) {
+  if (!is_token(snap.model)) {
     throw std::invalid_argument(
-        "checkpoint: positions/colors size mismatch");
+        "checkpoint: model tag must be one nonempty token");
+  }
+  if (!snap.complete && snap.state.empty()) {
+    throw std::invalid_argument(
+        "checkpoint: partial snapshots must carry model state");
+  }
+  for (const std::string& line : snap.state) {
+    if (!is_state_line(line)) {
+      throw std::invalid_argument(
+          "checkpoint: model state lines must be single-space token lines");
+    }
   }
   std::string out;
-  out.reserve(256 + 96 * snap.series.size() + 24 * snap.positions.size());
+  out.reserve(256 + 96 * snap.series.size() + 24 * snap.state.size());
 
   out += kMagic;
   out += " v";
   put_u64(out, kSnapshotVersion);
   out += "\njob ";
   out += snap.job;
+  out += "\nmodel ";
+  out += snap.model;
   out += "\nspec ";
   put_hex16(out, snap.spec_hash);
   out += "\ntask ";
@@ -215,26 +390,6 @@ std::string encode(const Snapshot& snap) {
   put_u64(out, snap.task_seed);
   out += "\nstatus ";
   out += snap.complete ? "complete" : "partial";
-  out += "\nparams ";
-  put_double(out, snap.lambda);
-  out += ' ';
-  put_double(out, snap.gamma);
-  out += ' ';
-  out += snap.swaps_enabled ? '1' : '0';
-  out += "\nrng";
-  for (const std::uint64_t w : snap.rng) {
-    out += ' ';
-    put_hex16(out, w);
-  }
-  out += "\ncounters";
-  const core::SeparationChain::Counters& c = snap.counters;
-  for (const std::uint64_t v :
-       {c.steps, c.move_proposals, c.moves_accepted, c.rejected_five,
-        c.rejected_locality, c.rejected_metropolis, c.swap_proposals,
-        c.swaps_accepted}) {
-    out += ' ';
-    put_u64(out, v);
-  }
   out += "\nseries ";
   put_u64(out, snap.series.size());
   for (const core::Measurement& m : snap.series) {
@@ -257,15 +412,11 @@ std::string encode(const Snapshot& snap) {
     out += ' ';
     put_double(out, v);
   }
-  out += "\nparticles ";
-  put_u64(out, snap.positions.size());
-  for (std::size_t i = 0; i < snap.positions.size(); ++i) {
-    out += "\np ";
-    put_i64(out, snap.positions[i].x);
-    out += ' ';
-    put_i64(out, snap.positions[i].y);
-    out += ' ';
-    put_u64(out, snap.colors[i]);
+  out += "\nstate ";
+  put_u64(out, snap.state.size());
+  for (const std::string& line : snap.state) {
+    out += "\ns ";
+    out += line;
   }
   out += '\n';
   // The checksum covers every byte written so far — including the final
@@ -316,6 +467,7 @@ Snapshot decode(std::string_view text) {
 
   Lines lines(text);
   Snapshot snap;
+  std::uint64_t version = 0;
 
   {
     std::vector<std::string_view> tokens;
@@ -326,10 +478,11 @@ Snapshot decode(std::string_view text) {
     if (tokens[1].size() < 2 || tokens[1][0] != 'v') {
       bad(lines.line_no(), "malformed version token");
     }
-    const std::uint64_t version = get_u64(tokens[1].substr(1), lines.line_no());
-    if (version != kSnapshotVersion) {
+    version = get_u64(tokens[1].substr(1), lines.line_no());
+    if (version < kSnapshotVersionMin || version > kSnapshotVersion) {
       std::ostringstream os;
-      os << "unsupported checkpoint version v" << version << " (reader speaks v"
+      os << "unsupported checkpoint version v" << version
+         << " (reader speaks v" << kSnapshotVersionMin << "-v"
          << kSnapshotVersion << ")";
       bad(lines.line_no(), os.str());
     }
@@ -338,6 +491,12 @@ Snapshot decode(std::string_view text) {
     const auto tokens = expect_line(lines, "job", 2);
     snap.job = std::string(tokens[1]);
   }
+  if (version >= 2) {
+    const auto tokens = expect_line(lines, "model", 2);
+    snap.model = std::string(tokens[1]);
+  }
+  // v1 predates multi-model jobs; every v1 snapshot is a separation
+  // snapshot (the struct default, re-stamped by decode_v1_body).
   {
     const auto tokens = expect_line(lines, "spec", 2);
     snap.spec_hash = get_hex16(tokens[1], lines.line_no());
@@ -357,92 +516,10 @@ Snapshot decode(std::string_view text) {
       bad(lines.line_no(), "status must be 'partial' or 'complete'");
     }
   }
-  {
-    const auto tokens = expect_line(lines, "params", 4);
-    snap.lambda = get_double(tokens[1], lines.line_no());
-    snap.gamma = get_double(tokens[2], lines.line_no());
-    if (tokens[3] == "1") {
-      snap.swaps_enabled = true;
-    } else if (tokens[3] == "0") {
-      snap.swaps_enabled = false;
-    } else {
-      bad(lines.line_no(), "swaps flag must be 0 or 1");
-    }
-  }
-  {
-    const auto tokens = expect_line(lines, "rng", 5);
-    for (std::size_t i = 0; i < 4; ++i) {
-      snap.rng[i] = get_hex16(tokens[1 + i], lines.line_no());
-    }
-  }
-  {
-    const auto tokens = expect_line(lines, "counters", 9);
-    core::SeparationChain::Counters& c = snap.counters;
-    c.steps = get_u64(tokens[1], lines.line_no());
-    c.move_proposals = get_u64(tokens[2], lines.line_no());
-    c.moves_accepted = get_u64(tokens[3], lines.line_no());
-    c.rejected_five = get_u64(tokens[4], lines.line_no());
-    c.rejected_locality = get_u64(tokens[5], lines.line_no());
-    c.rejected_metropolis = get_u64(tokens[6], lines.line_no());
-    c.swap_proposals = get_u64(tokens[7], lines.line_no());
-    c.swaps_accepted = get_u64(tokens[8], lines.line_no());
-  }
-  {
-    const auto tokens = expect_line(lines, "series", 2);
-    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
-    snap.series.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const auto m = expect_line(lines, "m", 7);
-      core::Measurement meas;
-      meas.iteration = get_u64(m[1], lines.line_no());
-      meas.perimeter = get_i64(m[2], lines.line_no());
-      meas.edges = get_i64(m[3], lines.line_no());
-      meas.hetero_edges = get_i64(m[4], lines.line_no());
-      meas.perimeter_ratio = get_double(m[5], lines.line_no());
-      meas.hetero_fraction = get_double(m[6], lines.line_no());
-      snap.series.push_back(meas);
-    }
-  }
-  {
-    std::vector<std::string_view> tokens;
-    if (!lines.next(tokens) || tokens[0] != "aux") {
-      bad(lines.line_no(), "expected 'aux' line");
-    }
-    if (tokens.size() < 2) bad(lines.line_no(), "missing aux count");
-    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
-    if (tokens.size() != 2 + count) {
-      bad(lines.line_no(), "aux count does not match declared count");
-    }
-    snap.aux.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      snap.aux.push_back(get_double(tokens[2 + i], lines.line_no()));
-    }
-    if (!snap.aux.empty() && !snap.complete) {
-      bad(lines.line_no(), "partial snapshots must not carry aux values");
-    }
-  }
-  {
-    const auto tokens = expect_line(lines, "particles", 2);
-    const std::uint64_t count = get_u64(tokens[1], lines.line_no());
-    snap.positions.reserve(count);
-    snap.colors.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const auto p = expect_line(lines, "p", 4);
-      lattice::Node node;
-      const std::int64_t x = get_i64(p[1], lines.line_no());
-      const std::int64_t y = get_i64(p[2], lines.line_no());
-      if (x < INT32_MIN || x > INT32_MAX || y < INT32_MIN || y > INT32_MAX) {
-        bad(lines.line_no(), "particle coordinate out of int32 range");
-      }
-      node.x = static_cast<std::int32_t>(x);
-      node.y = static_cast<std::int32_t>(y);
-      const std::uint64_t color = get_u64(p[3], lines.line_no());
-      if (color >= system::kMaxColors) {
-        bad(lines.line_no(), "particle color out of range");
-      }
-      snap.positions.push_back(node);
-      snap.colors.push_back(static_cast<system::Color>(color));
-    }
+  if (version == 1) {
+    decode_v1_body(lines, snap);
+  } else {
+    decode_v2_body(lines, snap);
   }
   expect_line(lines, "checksum", 2);  // verified above; consume in sequence
   {
@@ -508,63 +585,60 @@ Snapshot read_snapshot(const std::string& path) {
   }
 }
 
-Snapshot capture(const core::SeparationChain& chain, std::string job,
+Snapshot capture(const model::ChainModel& m, std::string job,
                  std::uint64_t spec_hash, const engine::Task& task,
                  bool complete, std::vector<core::Measurement> series,
                  std::vector<double> aux) {
   Snapshot snap;
   snap.job = std::move(job);
+  snap.model = std::string(m.tag());
   snap.spec_hash = spec_hash;
   snap.task_index = task.index;
   snap.task_seed = task.seed;
   snap.complete = complete;
-  snap.lambda = chain.params().lambda;
-  snap.gamma = chain.params().gamma;
-  snap.swaps_enabled = chain.params().swaps_enabled;
-  snap.rng = chain.rng_state();
-  snap.counters = chain.counters();
   snap.series = std::move(series);
   snap.aux = std::move(aux);
-  snap.positions = chain.system().positions();
-  snap.colors = chain.system().colors();
+  snap.state = m.save_state();
   return snap;
 }
 
-Snapshot capture_stateless(std::string job, std::uint64_t spec_hash,
-                           const engine::Task& task,
+Snapshot capture_stateless(std::string job, std::string model,
+                           std::uint64_t spec_hash, const engine::Task& task,
                            std::vector<core::Measurement> series,
                            std::vector<double> aux) {
   Snapshot snap;
   snap.job = std::move(job);
+  snap.model = std::move(model);
   snap.spec_hash = spec_hash;
   snap.task_index = task.index;
   snap.task_seed = task.seed;
   snap.complete = true;
-  snap.lambda = task.lambda;
-  snap.gamma = task.gamma;
   snap.series = std::move(series);
   snap.aux = std::move(aux);
   return snap;
 }
 
-core::SeparationChain restore_chain(const Snapshot& snap) {
-  if (snap.rng == util::Rng::State{}) {
+std::unique_ptr<model::ChainModel> restore_model(const Snapshot& snap) {
+  const model::Factory* factory = model::find_model(snap.model);
+  if (factory == nullptr) {
+    std::string names;
+    for (const std::string& n : model::registered_models()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    throw SnapshotError("checkpoint: model '" + snap.model +
+                        "' not registered (registered: " + names + ")");
+  }
+  if (snap.state.empty()) {
     throw SnapshotError(
-        "checkpoint: rng state is all-zero — not a live chain state "
-        "(stateless completion snapshot, or corrupt)");
+        "checkpoint: snapshot carries no model state (stateless completion "
+        "snapshot)");
   }
-  if (snap.positions.empty()) {
-    throw SnapshotError("checkpoint: snapshot carries no particles");
+  try {
+    return factory->restore(snap.state);
+  } catch (const model::ModelError& e) {
+    throw SnapshotError(std::string("checkpoint: ") + e.what());
   }
-  // The seed only re-derives the pow tables' RNG, whose state we
-  // immediately overwrite; task_seed keeps construction meaningful.
-  core::SeparationChain chain(
-      system::ParticleSystem(snap.positions, snap.colors),
-      core::Params{snap.lambda, snap.gamma, snap.swaps_enabled},
-      snap.task_seed);
-  chain.set_rng_state(snap.rng);
-  chain.set_counters(snap.counters);
-  return chain;
 }
 
 }  // namespace sops::checkpoint

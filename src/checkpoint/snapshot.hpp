@@ -1,13 +1,11 @@
-// Versioned, line-oriented snapshot format for resumable chain runs.
+// Versioned, line-oriented snapshot format for resumable model runs.
 //
 // A snapshot file is the complete resumable state of ONE ensemble task:
-// the configuration (particle positions + colors), the chain parameters,
-// the xoshiro256++ generator state, the cumulative step counters, and
-// the measurement series recorded so far. Restoring a snapshot and
-// continuing the run produces a trajectory byte-identical to the
-// uninterrupted one — the RNG resumes mid-stream, the step pipeline
-// already pins post-run RNG lockstep (PR 5), and Measurement iteration
-// stamps continue from the restored counters.
+// the measurement series recorded so far plus the owning model's
+// serialized live state (ChainModel::save_state() lines — parameters,
+// RNG, counters, configuration — in a grammar the model owns).
+// Restoring a snapshot and continuing the run produces a trajectory
+// byte-identical to the uninterrupted one.
 //
 // The format follows the shard wire's discipline (src/shard/wire.hpp):
 //
@@ -23,29 +21,39 @@
 //    rename(2)s over `path` — a kill -9 at any instant leaves either the
 //    previous complete snapshot or the new one, never a torn file.
 //  * Versioned. Line 1 names the format; readers reject unknown
-//    versions.
+//    versions. v1 (separation-only: typed params/rng/counters/particles
+//    lines) still parses — its body is lifted into the equivalent
+//    model-state block, so pre-v2 checkpoint directories resume cleanly.
 //
-// Identity: every snapshot records the owning job's name, a spec hash
-// over the job's entire wire header (grid, protocol, params, task
-// table), and the task's (index, seed). Resume refuses a snapshot whose
-// identity does not match the job being run — a stale checkpoint
-// directory from a different sweep is an error, not silent reuse.
+// Identity: every snapshot records the owning job's name, its model
+// tag, a spec hash over the job's entire wire header (model, grid,
+// protocol, params, task table), and the task's (index, seed). Resume
+// refuses a snapshot whose identity does not match the job being run —
+// a stale checkpoint directory from a different sweep, or a snapshot
+// from a different model family, is a named error, not silent reuse.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
 #include "src/engine/ensemble.hpp"
+#include "src/model/model.hpp"
 #include "src/shard/wire.hpp"
 
 namespace sops::checkpoint {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2 replaced the separation-typed body (params/rng/counters/particles)
+// with a `model` tag plus an opaque model-state block, making the codec
+// model-generic.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+
+// Oldest version read_snapshot()/decode() still accept.
+inline constexpr std::uint32_t kSnapshotVersionMin = 1;
 
 /// Malformed snapshot input. `what()` names the offending line or field.
 class SnapshotError : public std::runtime_error {
@@ -55,34 +63,31 @@ class SnapshotError : public std::runtime_error {
 
 /// One task's resumable state. `complete` snapshots additionally carry
 /// the task's aux scalars so a resumed sweep can skip the task without
-/// re-running it (or re-firing its on_sample hooks); their chain-state
-/// fields are vacuous for fn-backed tasks, which checkpoint only at
-/// completion (positions empty, rng all-zero).
+/// re-running it (or re-firing its on_sample hooks); fn-backed tasks
+/// checkpoint only at completion with an empty state block.
 struct Snapshot {
   std::string job;                 ///< owning job name (JobSpec::name)
+  std::string model = "separation";  ///< model tag (JobSpec::model)
   std::uint64_t spec_hash = 0;     ///< spec_hash() of the owning JobSpec
   std::uint64_t task_index = 0;
   std::uint64_t task_seed = 0;
   bool complete = false;
 
-  double lambda = 0.0;             ///< chain Params at capture time
-  double gamma = 0.0;
-  bool swaps_enabled = true;
-
-  util::Rng::State rng{};          ///< generator state, mid-stream
-  core::SeparationChain::Counters counters;
-
   std::vector<core::Measurement> series;  ///< measurements recorded so far
   std::vector<double> aux;                ///< complete snapshots only
 
-  std::vector<lattice::Node> positions;   ///< particle index order
-  std::vector<system::Color> colors;
+  /// ChainModel::save_state() lines, stored verbatim (grammar owned by
+  /// the model; decoded v1 bodies are lifted into the separation
+  /// model's grammar). Empty only on stateless completion snapshots;
+  /// partial snapshots must carry state.
+  std::vector<std::string> state;
 };
 
-/// FNV-1a hash of the job's full wire header (name, grid, protocol,
-/// params, dense task table — everything shard merges compare). Two
-/// JobSpecs hash equal iff the wire would call them the same job, so a
-/// snapshot refuses to resume under a drifted spec by construction.
+/// FNV-1a hash of the job's full wire header (name, model, grid,
+/// protocol, params, dense task table — everything shard merges
+/// compare). Two JobSpecs hash equal iff the wire would call them the
+/// same job, so a snapshot refuses to resume under a drifted spec by
+/// construction.
 [[nodiscard]] std::uint64_t spec_hash(const shard::JobSpec& job);
 
 /// Canonical snapshot filename for one task: "<job>-task<%06llu>.sopsckpt".
@@ -92,8 +97,9 @@ struct Snapshot {
 /// Serializes a snapshot (checksum line included).
 [[nodiscard]] std::string encode(const Snapshot& snap);
 
-/// Parses a complete snapshot document. Strict: throws SnapshotError on
-/// any grammar deviation, version skew, or checksum mismatch.
+/// Parses a complete snapshot document (v1 or v2). Strict: throws
+/// SnapshotError on any grammar deviation, version skew, or checksum
+/// mismatch.
 [[nodiscard]] Snapshot decode(std::string_view text);
 
 /// Atomically replaces `path` with the encoded snapshot (tmp + fsync +
@@ -104,27 +110,27 @@ void write_snapshot(const std::string& path, const Snapshot& snap);
 /// SnapshotError if malformed (message includes the path).
 [[nodiscard]] Snapshot read_snapshot(const std::string& path);
 
-/// Captures a chain-backed task's state. `series`/`aux` are copied in;
-/// pass the measurements recorded so far (aux empty unless complete).
-[[nodiscard]] Snapshot capture(const core::SeparationChain& chain,
-                               std::string job, std::uint64_t spec_hash,
+/// Captures a model-backed task's state (tag + save_state() lines).
+/// `series`/`aux` are copied in; pass the measurements recorded so far
+/// (aux empty unless complete).
+[[nodiscard]] Snapshot capture(const model::ChainModel& m, std::string job,
+                               std::uint64_t spec_hash,
                                const engine::Task& task, bool complete,
                                std::vector<core::Measurement> series,
                                std::vector<double> aux = {});
 
-/// Completion snapshot for an fn-backed task (no chain state to carry).
-[[nodiscard]] Snapshot capture_stateless(std::string job,
+/// Completion snapshot for an fn-backed task (no model state to carry).
+[[nodiscard]] Snapshot capture_stateless(std::string job, std::string model,
                                          std::uint64_t spec_hash,
                                          const engine::Task& task,
                                          std::vector<core::Measurement> series,
                                          std::vector<double> aux);
 
-/// Rebuilds a live chain from a partial snapshot: reconstructs the
-/// ParticleSystem, re-derives the Metropolis tables from the snapshotted
-/// params, and restores the RNG state and counters verbatim. Throws
-/// SnapshotError on states that cannot be live (all-zero RNG), and
-/// whatever ParticleSystem's validation throws on corrupt configurations
-/// (duplicate nodes, out-of-range colors).
-[[nodiscard]] core::SeparationChain restore_chain(const Snapshot& snap);
+/// Rebuilds a live trajectory from a partial snapshot by dispatching
+/// the state block to the registered factory for `snap.model`. Throws
+/// SnapshotError if the model is not registered or the state cannot be
+/// live (wrapping the factory's ModelError message).
+[[nodiscard]] std::unique_ptr<model::ChainModel> restore_model(
+    const Snapshot& snap);
 
 }  // namespace sops::checkpoint

@@ -69,31 +69,31 @@ ChainProtocol resolve_protocol(const ChainJob& job, const Task& task) {
 }
 
 TaskFn make_task_fn(const ChainJob& job) {
-  if (!job.make_chain) {
-    throw std::invalid_argument("make_task_fn: ChainJob::make_chain is required");
+  if (!job.make_model) {
+    throw std::invalid_argument("make_task_fn: ChainJob::make_model is required");
   }
   return [&job](const Task& task) {
-    core::SeparationChain chain = job.make_chain(task);
+    std::unique_ptr<model::ChainModel> m = job.make_model(task);
+    m->set_pipeline_block(job.pipeline_block);
     const ChainProtocol proto = resolve_protocol(job, task);
     std::vector<core::Measurement> series;
     if (!proto.checkpoints.empty()) {
-      std::function<void(const core::SeparationChain&, std::uint64_t)> cb;
+      std::function<void(const model::ChainModel&, std::uint64_t)> cb;
       if (job.on_sample) {
-        cb = [&job, &task](const core::SeparationChain& c, std::uint64_t) {
+        cb = [&job, &task](const model::ChainModel& c, std::uint64_t) {
           job.on_sample(task, c);
         };
       }
-      series = core::run_with_checkpoints(chain, proto.checkpoints, cb,
-                                          job.pipeline_block);
+      series = model::run_with_checkpoints(*m, proto.checkpoints, cb);
     } else {
-      std::function<void(const core::SeparationChain&)> cb;
+      std::function<void(const model::ChainModel&)> cb;
       if (job.on_sample) {
-        cb = [&job, &task](const core::SeparationChain& c) {
+        cb = [&job, &task](const model::ChainModel& c) {
           job.on_sample(task, c);
         };
       }
-      series = core::sample_equilibrium(chain, proto.burn_in, proto.interval,
-                                        proto.samples, cb, job.pipeline_block);
+      series = model::sample_equilibrium(*m, proto.burn_in, proto.interval,
+                                         proto.samples, cb);
     }
     return series;
   };

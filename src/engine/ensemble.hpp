@@ -13,14 +13,17 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
 #include "src/engine/progress.hpp"
 #include "src/engine/thread_pool.hpp"
+#include "src/model/model.hpp"
 #include "src/util/stats.hpp"
 
 namespace sops::engine {
@@ -105,12 +108,20 @@ struct ChainProtocol {
   std::size_t samples = 0;
 };
 
-/// Declarative SeparationChain job: how to build each task's chain and
-/// which of the two core/runner protocols to drive it with.
+/// Declarative trajectory job: which model family it runs, how to build
+/// each task's trajectory, and which of the two measurement protocols
+/// (src/model drivers) to drive it with.
 struct ChainJob {
-  /// Builds the chain for one task (typically from t.lambda, t.gamma,
-  /// t.seed). Called on the worker; must not touch shared mutable state.
-  std::function<core::SeparationChain(const Task&)> make_chain;
+  /// Registry tag of the model family every task runs ("separation",
+  /// "alignment", …). Rides the wire (JobSpec::model) and the snapshot
+  /// header, so shards, resumes, and service submissions refuse to mix
+  /// model families. Must agree with what make_model builds.
+  std::string model = "separation";
+
+  /// Builds the trajectory for one task (typically from t.lambda,
+  /// t.gamma, t.seed — or via model::build_from_spec for registry-built
+  /// jobs). Called on the worker; must not touch shared mutable state.
+  std::function<std::unique_ptr<model::ChainModel>(const Task&)> make_model;
 
   /// Checkpoint mode (used when non-empty): run to each absolute
   /// iteration, recording a Measurement at each.
@@ -131,15 +142,16 @@ struct ChainJob {
   /// independently).
   std::function<ChainProtocol(const Task&)> protocol;
 
-  /// Optional per-checkpoint/per-sample hook with the live chain, for
-  /// derived observables (separation certificates, renders, …). Runs on
-  /// the worker: write only to slots keyed by Task::index.
-  std::function<void(const Task&, const core::SeparationChain&)> on_sample;
+  /// Optional per-checkpoint/per-sample hook with the live model, for
+  /// derived observables (separation certificates, renders, …) —
+  /// downcast via model::separation_chain() etc. Runs on the worker:
+  /// write only to slots keyed by Task::index.
+  std::function<void(const Task&, const model::ChainModel&)> on_sample;
 
-  /// Block size for the batched step pipeline each worker drives its
-  /// trajectory with (0 = core::StepPipeline::kDefaultBlockSize). Tunes
-  /// only refill/decode granularity — trajectories, and therefore
-  /// reports, are byte-identical at every value.
+  /// Block size hint forwarded to ChainModel::set_pipeline_block (0 =
+  /// model default). Tunes only refill/decode granularity —
+  /// trajectories, and therefore reports, are byte-identical at every
+  /// value.
   std::size_t pipeline_block = 0;
 };
 
@@ -149,14 +161,14 @@ struct ChainJob {
 [[nodiscard]] ChainProtocol resolve_protocol(const ChainJob& job,
                                              const Task& task);
 
-/// The TaskFn a ChainJob describes: build the chain, drive it through
+/// The TaskFn a ChainJob describes: build the model, drive it through
 /// the checkpoint or equilibrium protocol, fire on_sample. The returned
 /// closure captures `job` by reference — keep the job alive while it
 /// runs. Exposed so sharded harnesses can run a sub-range of tasks
 /// through the identical protocol path.
 [[nodiscard]] TaskFn make_task_fn(const ChainJob& job);
 
-/// run_ensemble specialized to SeparationChain runs via core/runner.
+/// run_ensemble specialized to model-backed runs via src/model drivers.
 std::vector<TaskResult> run_chain_ensemble(ThreadPool& pool,
                                            std::span<const Task> tasks,
                                            const ChainJob& job,

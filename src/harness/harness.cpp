@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/checkpoint/runner.hpp"
+#include "src/model/builtin.hpp"
 #include "src/service/client.hpp"
 
 namespace sops::harness {
@@ -34,6 +35,10 @@ double aux_value(const engine::TaskResult& r, std::size_t i) {
 }
 
 int run(const Spec& spec, int argc, char** argv) {
+  // Every harness binary speaks every first-class model: --resume must
+  // be able to restore whatever tag a snapshot carries, and --merge
+  // whatever tag a shard file names.
+  model::ensure_builtin_models();
   if (static_cast<bool>(spec.sweep) == static_cast<bool>(spec.single)) {
     throw std::logic_error("harness: spec '" + spec.name +
                            "' must set exactly one of sweep/single");
@@ -47,6 +52,7 @@ int run(const Spec& spec, int argc, char** argv) {
 
   Sweep sweep = spec.sweep(opt);
   sweep.job.name = spec.name;
+  if (sweep.chain) sweep.job.model = sweep.chain->model;
   engine::TaskFn fn = sweep.fn;
   if (!fn) {
     if (!sweep.chain) {

@@ -76,6 +76,12 @@ Options parse_options(int argc, char** argv, bool with_shard,
   }
   if (cli.help_requested()) {
     std::cout << cli.help_text(argv[0]);
+    std::cout << "\nexit codes: 0 success; " << kUsageError
+              << " usage error (bad flags or values, message + usage on "
+                 "stderr); "
+              << kDataError
+              << " data error (refused merge, unusable snapshot, transport "
+                 "failure)\n";
     std::exit(0);
   }
   Options opt;

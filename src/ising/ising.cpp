@@ -45,6 +45,18 @@ void IsingModel::set_all(std::int8_t value) {
   for (auto& s : spins_) s = value;
 }
 
+void IsingModel::set_spins(std::span<const std::int8_t> spins) {
+  if (spins.size() != spins_.size()) {
+    throw std::invalid_argument("set_spins: wrong spin count");
+  }
+  for (const std::int8_t s : spins) {
+    if (s != 1 && s != -1) {
+      throw std::invalid_argument("set_spins: spins must be +1 or -1");
+    }
+  }
+  spins_.assign(spins.begin(), spins.end());
+}
+
 void IsingModel::glauber_step() {
   const auto i = static_cast<std::size_t>(rng_.below(spins_.size()));
   int field = 0;

@@ -64,6 +64,19 @@ class IsingModel {
   /// K_c = ln(3)/4 ≈ 0.2747 (exact, Houtappel 1950).
   [[nodiscard]] static double critical_coupling() noexcept;
 
+  /// Checkpoint/resume support (src/ising/ising_model.cpp adapter):
+  /// resumable state beyond the region/coupling is exactly (spins, RNG
+  /// state) — Glauber dynamics keeps no other mutable state.
+  [[nodiscard]] const std::vector<std::int8_t>& spins() const noexcept {
+    return spins_;
+  }
+  /// Replaces the spin vector (must match size(); values ±1).
+  void set_spins(std::span<const std::int8_t> spins);
+  [[nodiscard]] util::Rng::State rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const util::Rng::State& s) noexcept { rng_.set_state(s); }
+
  private:
   double coupling_;
   std::vector<std::int8_t> spins_;

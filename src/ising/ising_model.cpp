@@ -1,0 +1,226 @@
+#include "src/ising/ising_model.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lattice/shapes.hpp"
+#include "src/model/registry.hpp"
+#include "src/model/state.hpp"
+
+namespace sops::ising {
+
+namespace {
+
+namespace st = sops::model::state;
+
+class IsingChainModel final : public model::ChainModel {
+ public:
+  IsingChainModel(IsingModel ising, std::int32_t radius, std::uint64_t steps)
+      : ising_(std::move(ising)), radius_(radius), steps_(steps) {}
+
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return kIsingTag;
+  }
+
+  void run(std::uint64_t iterations) override {
+    ising_.glauber_steps(iterations);
+    steps_ += iterations;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept override {
+    return steps_;
+  }
+
+  [[nodiscard]] core::Measurement measure() const override {
+    // Slot mapping (see observable_names): magnetization rides the
+    // perimeter_ratio slot, the disagreeing-edge fraction the
+    // hetero_fraction slot; there is no geometric perimeter.
+    const auto edges = static_cast<std::int64_t>(ising_.edge_count());
+    const std::int64_t disagree = (edges - ising_.edge_correlation()) / 2;
+    core::Measurement m;
+    m.iteration = steps_;
+    m.perimeter = 0;
+    m.edges = edges;
+    m.hetero_edges = disagree;
+    m.perimeter_ratio = ising_.magnetization();
+    m.hetero_fraction =
+        edges > 0
+            ? static_cast<double>(disagree) / static_cast<double>(edges)
+            : 0.0;
+    return m;
+  }
+
+  [[nodiscard]] std::vector<std::string> observable_names() const override {
+    return {"iteration",          "(unused)",      "edges",
+            "disagreeing_edges",  "magnetization", "disagreeing_fraction"};
+  }
+
+  [[nodiscard]] std::vector<std::string> save_state() const override {
+    std::vector<std::string> out;
+    out.reserve(4);
+    {
+      std::string line = "params ";
+      st::put_i64(line, radius_);
+      line += ' ';
+      st::put_double(line, ising_.coupling());
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "rng";
+      for (const std::uint64_t w : ising_.rng_state()) {
+        line += ' ';
+        st::put_hex16(line, w);
+      }
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "counters ";
+      st::put_u64(line, steps_);
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "spins ";
+      st::put_u64(line, ising_.size());
+      for (const std::int8_t s : ising_.spins()) {
+        line += (s > 0) ? " 1" : " 0";
+      }
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const IsingModel& ising() const noexcept { return ising_; }
+
+ private:
+  IsingModel ising_;
+  std::int32_t radius_;
+  std::uint64_t steps_;
+};
+
+std::unique_ptr<model::ChainModel> restore_ising(
+    std::span<const std::string> lines) {
+  std::size_t at = 0;
+  const auto params =
+      st::expect(st::line_at(lines, at++, "params"), "params", 3);
+  const std::int64_t radius = st::get_i64(params[1], "params");
+  if (radius < 1 || radius > 256) {
+    throw model::ModelError("params: radius out of range");
+  }
+  const double coupling = st::get_double(params[2], "params");
+
+  const auto rng_toks = st::expect(st::line_at(lines, at++, "rng"), "rng", 5);
+  util::Rng::State rng{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    rng[i] = st::get_hex16(rng_toks[1 + i], "rng");
+  }
+  if (rng == util::Rng::State{}) {
+    throw model::ModelError(
+        "rng state is all-zero — not a live chain state "
+        "(stateless completion snapshot, or corrupt)");
+  }
+
+  const auto cnt =
+      st::expect(st::line_at(lines, at++, "counters"), "counters", 2);
+  const std::uint64_t steps = st::get_u64(cnt[1], "counters");
+
+  const std::vector<std::string_view> spin_toks =
+      st::tokens(st::line_at(lines, at++, "spins"), "spins");
+  if (spin_toks.size() < 2 || spin_toks[0] != "spins") {
+    throw model::ModelError("spins: malformed spin line");
+  }
+  const std::uint64_t count = st::get_u64(spin_toks[1], "spins");
+  if (spin_toks.size() != 2 + count) {
+    throw model::ModelError("spins: spin count does not match declared count");
+  }
+  std::vector<std::int8_t> spins;
+  spins.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string_view tok = spin_toks[2 + i];
+    if (tok == "1") {
+      spins.push_back(1);
+    } else if (tok == "0") {
+      spins.push_back(-1);
+    } else {
+      throw model::ModelError("spins: spin values must be 0 or 1");
+    }
+  }
+  if (at != lines.size()) {
+    throw model::ModelError("state: trailing content after spin list");
+  }
+
+  const std::vector<lattice::Node> region =
+      lattice::hexagon(static_cast<std::int32_t>(radius));
+  if (region.size() != count) {
+    throw model::ModelError(
+        "spins: spin count does not match the region for this radius");
+  }
+  IsingModel ising(region, coupling, steps + 1);
+  ising.set_spins(spins);
+  ising.set_rng_state(rng);
+  return make_ising(std::move(ising), static_cast<std::int32_t>(radius),
+                    steps);
+}
+
+std::unique_ptr<model::ChainModel> build_ising(
+    std::span<const std::string> params, const model::TaskPoint& t) {
+  std::uint64_t radius = 0;
+  bool radius_set = false;
+  for (const std::string& p : params) {
+    const std::size_t eq = p.find('=');
+    const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : p.substr(eq + 1);
+    if (key == "radius") {
+      radius = st::parse_u64_param("params: radius", value);
+      radius_set = true;
+    } else {
+      throw model::ModelError("params: unknown key '" + key +
+                              "' (recognized: radius)");
+    }
+  }
+  if (!radius_set) {
+    throw model::ModelError("params: missing required 'radius=' entry");
+  }
+  if (radius == 0 || radius > 64) {
+    throw model::ModelError("params: radius: radius=" +
+                            std::to_string(radius) +
+                            " outside the supported range [1, 64]");
+  }
+  if (!(t.gamma > 0.0)) {
+    throw model::ModelError(
+        "params: gamma must be > 0 (the coupling is K = ln(gamma)/2)");
+  }
+  const double coupling = std::log(t.gamma) / 2.0;
+  return make_ising(
+      IsingModel(lattice::hexagon(static_cast<std::int32_t>(radius)),
+                 coupling, t.seed),
+      static_cast<std::int32_t>(radius));
+}
+
+}  // namespace
+
+std::unique_ptr<model::ChainModel> make_ising(IsingModel ising,
+                                              std::int32_t radius,
+                                              std::uint64_t steps) {
+  return std::make_unique<IsingChainModel>(std::move(ising), radius, steps);
+}
+
+const IsingModel& ising_model(const model::ChainModel& m) {
+  const auto* adapter = dynamic_cast<const IsingChainModel*>(&m);
+  if (adapter == nullptr) {
+    throw model::ModelError("ising_model: model is '" + std::string(m.tag()) +
+                            "', not ising");
+  }
+  return adapter->ising();
+}
+
+void register_ising_model() {
+  model::Factory factory;
+  factory.tag = std::string(kIsingTag);
+  factory.build = build_ising;
+  factory.restore = restore_ising;
+  model::register_model(std::move(factory));
+}
+
+}  // namespace sops::ising

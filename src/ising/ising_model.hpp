@@ -1,0 +1,31 @@
+// Glauber-dynamics Ising on a hexagonal patch, behind the ChainModel
+// seam. The γ → K map is the paper's own (K = ln γ / 2), so Ising jobs
+// reuse the (λ, γ) grid axes: γ carries the coupling, λ is ignored.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/ising/ising.hpp"
+#include "src/model/model.hpp"
+
+namespace sops::ising {
+
+inline constexpr std::string_view kIsingTag = "ising";
+
+/// Wraps an already-constructed model. `radius` is the hexagon radius
+/// the region was built from (recorded for save_state; the restore path
+/// rebuilds the identical region). `steps` is the adapter's step clock
+/// (Glauber updates so far), 0 for a fresh model.
+[[nodiscard]] std::unique_ptr<model::ChainModel> make_ising(
+    IsingModel ising, std::int32_t radius, std::uint64_t steps = 0);
+
+/// Downcast: the wrapped live model, or ModelError if not ising.
+[[nodiscard]] const IsingModel& ising_model(const model::ChainModel& m);
+
+/// Registers the "ising" factory: params radius=R (required); coupling
+/// K = ln(γ)/2 from the task point, spins seeded from the task seed.
+/// Idempotent.
+void register_ising_model();
+
+}  // namespace sops::ising

@@ -37,4 +37,15 @@ Phase classify(const system::ParticleSystem& sys,
   return separated ? Phase::kExpandedSeparated : Phase::kExpandedIntegrated;
 }
 
+Phase classify_scalar(double perimeter_ratio, double hetero_fraction,
+                      const PhaseThresholds& thresholds) {
+  const bool compressed = perimeter_ratio <= thresholds.alpha;
+  const bool separated = hetero_fraction <= thresholds.delta;
+  if (compressed) {
+    return separated ? Phase::kCompressedSeparated
+                     : Phase::kCompressedIntegrated;
+  }
+  return separated ? Phase::kExpandedSeparated : Phase::kExpandedIntegrated;
+}
+
 }  // namespace sops::metrics

@@ -31,4 +31,15 @@ struct PhaseThresholds {
 [[nodiscard]] Phase classify(const system::ParticleSystem& sys,
                              const PhaseThresholds& thresholds = {});
 
+/// Classification from recorded scalars alone, for reports that work
+/// off (Task, series) without a live configuration (merged shard runs,
+/// generic models): "compressed" means perimeter_ratio ≤ alpha;
+/// "separated" means hetero_fraction ≤ delta (the certificate's edge
+/// criterion; beta is unused — no geometry to certify against). For
+/// alignment workloads the hetero slot carries the unaligned-edge
+/// fraction, so "separated" reads as "aligned".
+[[nodiscard]] Phase classify_scalar(double perimeter_ratio,
+                                    double hetero_fraction,
+                                    const PhaseThresholds& thresholds = {});
+
 }  // namespace sops::metrics

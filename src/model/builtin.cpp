@@ -1,0 +1,19 @@
+#include "src/model/builtin.hpp"
+
+#include "src/alignment/alignment_model.hpp"
+#include "src/ising/ising_model.hpp"
+#include "src/model/separation.hpp"
+#include "src/schelling/schelling_model.hpp"
+
+namespace sops::model {
+
+void ensure_builtin_models() {
+  // register_model is first-wins idempotent, so repeated calls (every
+  // harness main, every test fixture) are cheap no-ops.
+  register_separation_model();
+  alignment::register_alignment_model();
+  ising::register_ising_model();
+  schelling::register_schelling_model();
+}
+
+}  // namespace sops::model

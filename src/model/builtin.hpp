@@ -1,0 +1,13 @@
+// Pulls every first-class model into the registry. Lives in its own
+// link target (sops_models) so libraries that only *consume* the
+// registry (engine, checkpoint, service) don't link every model; app
+// entry points (harness, servers, tests) call this once at startup.
+#pragma once
+
+namespace sops::model {
+
+/// Registers the built-in model families: separation, alignment, ising,
+/// schelling. Idempotent and safe to call repeatedly.
+void ensure_builtin_models();
+
+}  // namespace sops::model

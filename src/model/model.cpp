@@ -1,0 +1,41 @@
+#include "src/model/model.hpp"
+
+#include <stdexcept>
+
+namespace sops::model {
+
+std::vector<core::Measurement> run_with_checkpoints(
+    ChainModel& model, std::span<const std::uint64_t> checkpoints,
+    const std::function<void(const ChainModel&, std::uint64_t)>&
+        on_checkpoint) {
+  std::vector<core::Measurement> out;
+  out.reserve(checkpoints.size());
+  for (const std::uint64_t target : checkpoints) {
+    const std::uint64_t now = model.steps();
+    if (target < now) {
+      throw std::invalid_argument(
+          "run_with_checkpoints: checkpoints must be nondecreasing");
+    }
+    model.run(target - now);
+    out.push_back(model.measure());
+    if (on_checkpoint) on_checkpoint(model, target);
+  }
+  return out;
+}
+
+std::vector<core::Measurement> sample_equilibrium(
+    ChainModel& model, std::uint64_t burn_in, std::uint64_t interval,
+    std::size_t samples,
+    const std::function<void(const ChainModel&)>& on_sample) {
+  model.run(burn_in);
+  std::vector<core::Measurement> out;
+  out.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (s > 0) model.run(interval);
+    out.push_back(model.measure());
+    if (on_sample) on_sample(model);
+  }
+  return out;
+}
+
+}  // namespace sops::model

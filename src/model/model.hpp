@@ -1,0 +1,99 @@
+// The model seam: everything above src/core (engine, checkpoint,
+// service, harness) drives simulations through this interface instead of
+// naming a concrete chain type. A ChainModel owns one trajectory — RNG,
+// counters, configuration — and exposes exactly what the generic stack
+// needs: advance, measure, and serialize/restore for checkpointing.
+//
+// Determinism contract (inherited from core): a model's trajectory is a
+// pure function of its construction inputs; run(a); run(b) is identical
+// to run(a + b); save_state() captures enough to make a restored model's
+// future byte-identical to the original's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/runner.hpp"
+
+namespace sops::model {
+
+/// Errors in model construction or state restore: bad parameters,
+/// malformed state lines, unknown tags. The message is phrased for the
+/// layer that asked (service refusals, checkpoint rejects) to wrap.
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One simulation trajectory behind a model-agnostic interface. Always
+/// held by unique_ptr: implementations may pin internal references
+/// (e.g. a step pipeline into the wrapped chain), so the object is
+/// neither copyable nor movable.
+class ChainModel {
+ public:
+  ChainModel() = default;
+  ChainModel(const ChainModel&) = delete;
+  ChainModel& operator=(const ChainModel&) = delete;
+  virtual ~ChainModel() = default;
+
+  /// The registry tag this model was built under ("separation",
+  /// "alignment", …). Snapshots and wire documents carry it; mixing
+  /// tags is a named refusal everywhere.
+  [[nodiscard]] virtual std::string_view tag() const noexcept = 0;
+
+  /// Advances the trajectory by exactly `iterations` proposals.
+  virtual void run(std::uint64_t iterations) = 0;
+
+  /// Proposals executed so far (the model's absolute clock).
+  [[nodiscard]] virtual std::uint64_t steps() const noexcept = 0;
+
+  /// Scalar observables of the current configuration, in the shared
+  /// Measurement layout. Models map their natural observables onto the
+  /// slots; observable_names() documents the mapping per slot.
+  [[nodiscard]] virtual core::Measurement measure() const = 0;
+
+  /// Human-readable names for the Measurement slots, in field order:
+  /// {iteration, perimeter, edges, hetero_edges, perimeter_ratio,
+  /// hetero_fraction}. Reports use these to label columns honestly when
+  /// a model repurposes a slot (e.g. Ising magnetization).
+  [[nodiscard]] virtual std::vector<std::string> observable_names()
+      const = 0;
+
+  /// Serializes the full live state (parameters, RNG, counters,
+  /// configuration) as newline-free token lines. The format is owned by
+  /// the model; the checkpoint codec stores the lines verbatim and
+  /// hands them back to Factory::restore. Empty only for models with no
+  /// restorable state.
+  [[nodiscard]] virtual std::vector<std::string> save_state() const = 0;
+
+  /// Batched-run granularity hint (0 = implementation default). Affects
+  /// buffer sizes only — trajectories are byte-identical at every
+  /// value. Default: no-op for models without a batched pipeline.
+  virtual void set_pipeline_block(std::size_t /*block*/) {}
+};
+
+/// Runs the model to each absolute iteration in `checkpoints` (must be
+/// nondecreasing; a leading 0 records the initial state) and returns one
+/// Measurement per checkpoint. Mirrors core::run_with_checkpoints
+/// exactly — for the separation model the two produce byte-identical
+/// series.
+std::vector<core::Measurement> run_with_checkpoints(
+    ChainModel& model, std::span<const std::uint64_t> checkpoints,
+    const std::function<void(const ChainModel&, std::uint64_t)>&
+        on_checkpoint = {});
+
+/// Equilibrium sampling: runs `burn_in` steps, then records `samples`
+/// measurements `interval` steps apart (the first at `burn_in` itself),
+/// invoking `on_sample` (if set) at each sample point.
+std::vector<core::Measurement> sample_equilibrium(
+    ChainModel& model, std::uint64_t burn_in, std::uint64_t interval,
+    std::size_t samples,
+    const std::function<void(const ChainModel&)>& on_sample = {});
+
+}  // namespace sops::model

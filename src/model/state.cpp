@@ -1,0 +1,175 @@
+#include "src/model/state.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/model/model.hpp"
+
+namespace sops::model::state {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::string_view msg) {
+  throw ModelError(std::string(what) + ": " + std::string(msg));
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void put_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+}
+
+void put_hex16(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+std::vector<std::string_view> tokens(std::string_view line,
+                                     std::string_view what) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto sp = line.find(' ', start);
+    const std::string_view tok = line.substr(start, sp - start);
+    if (!is_token(tok)) fail(what, "empty or malformed token");
+    out.push_back(tok);
+    if (sp == std::string_view::npos) break;
+    start = sp + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> expect(std::string_view line,
+                                     std::string_view keyword,
+                                     std::size_t n_tokens) {
+  const auto toks = tokens(line, keyword);
+  if (toks[0] != keyword) {
+    throw ModelError("state: expected '" + std::string(keyword) +
+                     "' line, got '" + std::string(toks[0]) + "'");
+  }
+  if (toks.size() != n_tokens) {
+    throw ModelError("state: wrong token count for '" + std::string(keyword) +
+                     "' line");
+  }
+  return toks;
+}
+
+std::string_view line_at(std::span<const std::string> state,
+                         std::size_t index, std::string_view keyword) {
+  if (index >= state.size()) {
+    throw ModelError("state: unexpected end of state (wanted '" +
+                     std::string(keyword) + "' line)");
+  }
+  return state[index];
+}
+
+std::uint64_t get_u64(std::string_view tok, std::string_view what) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    fail(what, "expected unsigned integer");
+  }
+  return out;
+}
+
+std::int64_t get_i64(std::string_view tok, std::string_view what) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    fail(what, "expected integer");
+  }
+  return out;
+}
+
+double get_double(std::string_view tok, std::string_view what) {
+  const std::string copy(tok);
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    fail(what, "expected hexfloat value");
+  }
+  return out;
+}
+
+std::uint64_t get_hex16(std::string_view tok, std::string_view what) {
+  if (tok.size() != 16) fail(what, "expected 16-digit hex value");
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out, 16);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    fail(what, "expected 16-digit hex value");
+  }
+  return out;
+}
+
+bool split_param(std::string_view param, std::string_view& key,
+                 std::string_view& value) {
+  const auto eq = param.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = param.substr(0, eq);
+  value = param.substr(eq + 1);
+  return true;
+}
+
+std::uint64_t parse_u64_param(std::string_view field,
+                              std::string_view token) {
+  // Digit-by-digit with overflow detection, matching the service
+  // layer's historical parse (and its refusal message) exactly.
+  if (token.empty()) {
+    fail(field, "expected unsigned integer, got '" + std::string(token) + "'");
+  }
+  std::uint64_t out = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      fail(field,
+           "expected unsigned integer, got '" + std::string(token) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10) {
+      fail(field, "value out of range: '" + std::string(token) + "'");
+    }
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+double parse_double_param(std::string_view field, std::string_view token) {
+  const std::string copy(token);
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    fail(field, "expected number, got '" + std::string(token) + "'");
+  }
+  return out;
+}
+
+}  // namespace sops::model::state

@@ -1,0 +1,69 @@
+// Token codec shared by model state serializers (save_state/restore) and
+// the parameter parsers behind Factory::build. Same discipline as the
+// shard wire and checkpoint snapshot formats: single-space separators,
+// no empty tokens, C99 hexfloat doubles (decode(encode(x)) bit-exact),
+// parse-or-fail with a message naming the offending field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sops::model::state {
+
+// ---- encoding: append one token to a line under construction ----------
+
+void put_u64(std::string& out, std::uint64_t v);
+void put_i64(std::string& out, std::int64_t v);
+/// C99 hexfloat ("%a"), exactly as the wire/snapshot codecs write doubles.
+void put_double(std::string& out, double v);
+/// Zero-padded 16-digit lowercase hex (RNG words).
+void put_hex16(std::string& out, std::uint64_t v);
+
+// ---- decoding: state lines → tokens → values --------------------------
+
+/// Splits one state line on single spaces. Throws ModelError on empty
+/// or whitespace-malformed tokens. `what` names the line in messages.
+[[nodiscard]] std::vector<std::string_view> tokens(std::string_view line,
+                                                   std::string_view what);
+
+/// tokens(), then requires tokens[0] == keyword and an exact count.
+[[nodiscard]] std::vector<std::string_view> expect(std::string_view line,
+                                                   std::string_view keyword,
+                                                   std::size_t n_tokens);
+
+/// Fetches state[index], requiring it to exist; `keyword` names the
+/// line wanted in the error message.
+[[nodiscard]] std::string_view line_at(std::span<const std::string> state,
+                                       std::size_t index,
+                                       std::string_view keyword);
+
+[[nodiscard]] std::uint64_t get_u64(std::string_view tok,
+                                    std::string_view what);
+[[nodiscard]] std::int64_t get_i64(std::string_view tok,
+                                   std::string_view what);
+[[nodiscard]] double get_double(std::string_view tok, std::string_view what);
+[[nodiscard]] std::uint64_t get_hex16(std::string_view tok,
+                                      std::string_view what);
+
+// ---- "key=value" parameter helpers for Factory::build -----------------
+
+/// Splits "key=value" at the first '='; returns false if there is none.
+bool split_param(std::string_view param, std::string_view& key,
+                 std::string_view& value);
+
+/// Parses an unsigned decimal. Throws ModelError
+/// "<field>: expected unsigned integer, got '<token>'" on failure —
+/// phrased so the service layer's "service: job 'X': " prefix composes
+/// into the established refusal format.
+[[nodiscard]] std::uint64_t parse_u64_param(std::string_view field,
+                                            std::string_view token);
+
+/// Parses a double (decimal or hexfloat). Throws ModelError
+/// "<field>: expected number, got '<token>'" on failure.
+[[nodiscard]] double parse_double_param(std::string_view field,
+                                        std::string_view token);
+
+}  // namespace sops::model::state

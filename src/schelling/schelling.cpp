@@ -93,6 +93,32 @@ void SchellingModel::run(std::uint64_t steps) {
   for (std::uint64_t i = 0; i < steps; ++i) step();
 }
 
+void SchellingModel::set_sites(std::span<const Site> sites,
+                               std::span<const std::uint32_t> vacancies) {
+  if (sites.size() != sites_.size()) {
+    throw std::invalid_argument("set_sites: wrong site count");
+  }
+  std::size_t vacant = 0;
+  for (const Site s : sites) {
+    if (s == Site::kVacant) ++vacant;
+  }
+  if (vacancies.size() != vacant) {
+    throw std::invalid_argument(
+        "set_sites: vacancy list does not match vacant site count");
+  }
+  std::vector<bool> listed(sites.size(), false);
+  for (const std::uint32_t v : vacancies) {
+    if (v >= sites.size() || sites[v] != Site::kVacant || listed[v]) {
+      throw std::invalid_argument(
+          "set_sites: vacancy list must name each vacant site exactly once");
+    }
+    listed[v] = true;
+  }
+  sites_.assign(sites.begin(), sites.end());
+  vacancies_.assign(vacancies.begin(), vacancies.end());
+  agents_ = sites_.size() - vacant;
+}
+
 double SchellingModel::unhappy_fraction() const {
   std::size_t count = 0;
   for (std::size_t i = 0; i < sites_.size(); ++i) {

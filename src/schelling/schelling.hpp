@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/lattice/triangular.hpp"
@@ -47,6 +48,26 @@ class SchellingModel {
   /// Homogeneous fraction of agent-agent adjacencies — the segregation
   /// order parameter (0.5 ≈ mixed, → 1 as ghettos form).
   [[nodiscard]] double segregation_index() const;
+
+  /// Checkpoint/resume support (src/schelling/schelling_model.cpp
+  /// adapter). The vacancy list participates in the trajectory (random
+  /// relocation indexes into it), so both it and the site vector must
+  /// round-trip verbatim, order included.
+  [[nodiscard]] const std::vector<Site>& sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& vacancies() const noexcept {
+    return vacancies_;
+  }
+  /// Replaces the occupancy state. `sites` must match site_count();
+  /// `vacancies` must list exactly the vacant indices of `sites` (any
+  /// order — the order given is the order kept).
+  void set_sites(std::span<const Site> sites,
+                 std::span<const std::uint32_t> vacancies);
+  [[nodiscard]] util::Rng::State rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const util::Rng::State& s) noexcept { rng_.set_state(s); }
 
  private:
   [[nodiscard]] bool unhappy(std::size_t i) const;

@@ -1,0 +1,268 @@
+#include "src/schelling/schelling_model.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/model/registry.hpp"
+#include "src/model/state.hpp"
+
+namespace sops::schelling {
+
+namespace {
+
+namespace st = sops::model::state;
+
+class SchellingChainModel final : public model::ChainModel {
+ public:
+  SchellingChainModel(SchellingModel schelling, std::int32_t radius,
+                      double vacancy, std::uint64_t steps)
+      : schelling_(std::move(schelling)),
+        radius_(radius),
+        vacancy_(vacancy),
+        steps_(steps) {}
+
+  [[nodiscard]] std::string_view tag() const noexcept override {
+    return kSchellingTag;
+  }
+
+  void run(std::uint64_t iterations) override {
+    schelling_.run(iterations);
+    steps_ += iterations;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept override {
+    return steps_;
+  }
+
+  [[nodiscard]] core::Measurement measure() const override {
+    // Slot mapping (see observable_names): the segregation index rides
+    // the perimeter_ratio slot, the unhappy-agent fraction the
+    // hetero_fraction slot; the geometric slots are unused.
+    core::Measurement m;
+    m.iteration = steps_;
+    m.perimeter = 0;
+    m.edges = 0;
+    m.hetero_edges = 0;
+    m.perimeter_ratio = schelling_.segregation_index();
+    m.hetero_fraction = schelling_.unhappy_fraction();
+    return m;
+  }
+
+  [[nodiscard]] std::vector<std::string> observable_names() const override {
+    return {"iteration", "(unused)",          "(unused)",
+            "(unused)",  "segregation_index", "unhappy_fraction"};
+  }
+
+  [[nodiscard]] std::vector<std::string> save_state() const override {
+    std::vector<std::string> out;
+    out.reserve(5);
+    {
+      std::string line = "params ";
+      st::put_i64(line, radius_);
+      line += ' ';
+      st::put_double(line, vacancy_);
+      line += ' ';
+      st::put_double(line, schelling_.tolerance());
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "rng";
+      for (const std::uint64_t w : schelling_.rng_state()) {
+        line += ' ';
+        st::put_hex16(line, w);
+      }
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "counters ";
+      st::put_u64(line, steps_);
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "sites ";
+      st::put_u64(line, schelling_.site_count());
+      for (const Site s : schelling_.sites()) {
+        line += ' ';
+        st::put_u64(line, static_cast<std::uint64_t>(s));
+      }
+      out.push_back(std::move(line));
+    }
+    {
+      std::string line = "vacancies ";
+      st::put_u64(line, schelling_.vacancies().size());
+      for (const std::uint32_t v : schelling_.vacancies()) {
+        line += ' ';
+        st::put_u64(line, v);
+      }
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const SchellingModel& schelling() const noexcept {
+    return schelling_;
+  }
+
+ private:
+  SchellingModel schelling_;
+  std::int32_t radius_;
+  double vacancy_;
+  std::uint64_t steps_;
+};
+
+std::unique_ptr<model::ChainModel> restore_schelling(
+    std::span<const std::string> lines) {
+  std::size_t at = 0;
+  const auto params =
+      st::expect(st::line_at(lines, at++, "params"), "params", 4);
+  const std::int64_t radius = st::get_i64(params[1], "params");
+  if (radius < 1 || radius > 256) {
+    throw model::ModelError("params: radius out of range");
+  }
+  const double vacancy = st::get_double(params[2], "params");
+  const double tolerance = st::get_double(params[3], "params");
+
+  const auto rng_toks = st::expect(st::line_at(lines, at++, "rng"), "rng", 5);
+  util::Rng::State rng{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    rng[i] = st::get_hex16(rng_toks[1 + i], "rng");
+  }
+  if (rng == util::Rng::State{}) {
+    throw model::ModelError(
+        "rng state is all-zero — not a live chain state "
+        "(stateless completion snapshot, or corrupt)");
+  }
+
+  const auto cnt =
+      st::expect(st::line_at(lines, at++, "counters"), "counters", 2);
+  const std::uint64_t steps = st::get_u64(cnt[1], "counters");
+
+  const std::vector<std::string_view> site_toks =
+      st::tokens(st::line_at(lines, at++, "sites"), "sites");
+  if (site_toks.size() < 2 || site_toks[0] != "sites") {
+    throw model::ModelError("sites: malformed site line");
+  }
+  const std::uint64_t n_sites = st::get_u64(site_toks[1], "sites");
+  if (site_toks.size() != 2 + n_sites) {
+    throw model::ModelError("sites: site count does not match declared count");
+  }
+  std::vector<Site> sites;
+  sites.reserve(n_sites);
+  for (std::uint64_t i = 0; i < n_sites; ++i) {
+    const std::uint64_t v = st::get_u64(site_toks[2 + i], "sites");
+    if (v > 2) throw model::ModelError("sites: site values must be 0, 1, or 2");
+    sites.push_back(static_cast<Site>(v));
+  }
+
+  const std::vector<std::string_view> vac_toks =
+      st::tokens(st::line_at(lines, at++, "vacancies"), "vacancies");
+  if (vac_toks.size() < 2 || vac_toks[0] != "vacancies") {
+    throw model::ModelError("vacancies: malformed vacancy line");
+  }
+  const std::uint64_t n_vac = st::get_u64(vac_toks[1], "vacancies");
+  if (vac_toks.size() != 2 + n_vac) {
+    throw model::ModelError(
+        "vacancies: vacancy count does not match declared count");
+  }
+  std::vector<std::uint32_t> vacancies;
+  vacancies.reserve(n_vac);
+  for (std::uint64_t i = 0; i < n_vac; ++i) {
+    const std::uint64_t v = st::get_u64(vac_toks[2 + i], "vacancies");
+    if (v >= n_sites) {
+      throw model::ModelError("vacancies: index outside the site vector");
+    }
+    vacancies.push_back(static_cast<std::uint32_t>(v));
+  }
+  if (at != lines.size()) {
+    throw model::ModelError("state: trailing content after vacancy list");
+  }
+
+  SchellingModel schelling(static_cast<std::int32_t>(radius), vacancy,
+                           tolerance, steps + 1);
+  if (schelling.site_count() != n_sites) {
+    throw model::ModelError(
+        "sites: site count does not match the region for this radius");
+  }
+  try {
+    schelling.set_sites(sites, vacancies);
+  } catch (const std::invalid_argument& e) {
+    throw model::ModelError(std::string("sites: ") + e.what());
+  }
+  schelling.set_rng_state(rng);
+  return make_schelling(std::move(schelling),
+                        static_cast<std::int32_t>(radius), vacancy, steps);
+}
+
+std::unique_ptr<model::ChainModel> build_schelling(
+    std::span<const std::string> params, const model::TaskPoint& t) {
+  std::uint64_t radius = 0;
+  double vacancy = 0.0;
+  bool radius_set = false;
+  bool vacancy_set = false;
+  for (const std::string& p : params) {
+    const std::size_t eq = p.find('=');
+    const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : p.substr(eq + 1);
+    if (key == "radius") {
+      radius = st::parse_u64_param("params: radius", value);
+      radius_set = true;
+    } else if (key == "vacancy") {
+      vacancy = st::parse_double_param("params: vacancy", value);
+      vacancy_set = true;
+    } else {
+      throw model::ModelError("params: unknown key '" + key +
+                              "' (recognized: radius, vacancy)");
+    }
+  }
+  if (!radius_set) {
+    throw model::ModelError("params: missing required 'radius=' entry");
+  }
+  if (!vacancy_set) {
+    throw model::ModelError("params: missing required 'vacancy=' entry");
+  }
+  if (radius == 0 || radius > 64) {
+    throw model::ModelError("params: radius: radius=" +
+                            std::to_string(radius) +
+                            " outside the supported range [1, 64]");
+  }
+  if (!(vacancy > 0.0) || !(vacancy < 1.0)) {
+    throw model::ModelError("params: vacancy: must be strictly inside (0, 1)");
+  }
+  if (t.gamma < 0.0 || t.gamma > 1.0) {
+    throw model::ModelError(
+        "params: gamma carries the tolerance and must be in [0, 1]");
+  }
+  return make_schelling(SchellingModel(static_cast<std::int32_t>(radius),
+                                       vacancy, t.gamma, t.seed),
+                        static_cast<std::int32_t>(radius), vacancy);
+}
+
+}  // namespace
+
+std::unique_ptr<model::ChainModel> make_schelling(SchellingModel schelling,
+                                                  std::int32_t radius,
+                                                  double vacancy,
+                                                  std::uint64_t steps) {
+  return std::make_unique<SchellingChainModel>(std::move(schelling), radius,
+                                               vacancy, steps);
+}
+
+const SchellingModel& schelling_model(const model::ChainModel& m) {
+  const auto* adapter = dynamic_cast<const SchellingChainModel*>(&m);
+  if (adapter == nullptr) {
+    throw model::ModelError("schelling_model: model is '" +
+                            std::string(m.tag()) + "', not schelling");
+  }
+  return adapter->schelling();
+}
+
+void register_schelling_model() {
+  model::Factory factory;
+  factory.tag = std::string(kSchellingTag);
+  factory.build = build_schelling;
+  factory.restore = restore_schelling;
+  model::register_model(std::move(factory));
+}
+
+}  // namespace sops::schelling

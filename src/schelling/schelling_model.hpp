@@ -1,0 +1,32 @@
+// The Schelling segregation model behind the ChainModel seam. Schelling
+// jobs reuse the (λ, γ) grid axes with γ carrying the tolerance
+// threshold (λ is ignored) — the same convention the E11 baseline bench
+// sweeps.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/model/model.hpp"
+#include "src/schelling/schelling.hpp"
+
+namespace sops::schelling {
+
+inline constexpr std::string_view kSchellingTag = "schelling";
+
+/// Wraps an already-constructed model. `radius`/`vacancy` are the
+/// construction inputs (recorded for save_state); `steps` is the
+/// adapter's step clock, 0 for a fresh model.
+[[nodiscard]] std::unique_ptr<model::ChainModel> make_schelling(
+    SchellingModel schelling, std::int32_t radius, double vacancy,
+    std::uint64_t steps = 0);
+
+/// Downcast: the wrapped live model, or ModelError if not schelling.
+[[nodiscard]] const SchellingModel& schelling_model(const model::ChainModel& m);
+
+/// Registers the "schelling" factory: params radius=R (required),
+/// vacancy=F (required, in (0,1)); tolerance = γ from the task point,
+/// placement seeded from the task seed. Idempotent.
+void register_schelling_model();
+
+}  // namespace sops::schelling

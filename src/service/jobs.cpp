@@ -10,6 +10,8 @@
 #include "src/core/runner.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/metrics/phase.hpp"
+#include "src/model/registry.hpp"
+#include "src/model/separation.hpp"
 #include "src/service/protocol.hpp"
 #include "src/util/rng.hpp"
 
@@ -21,6 +23,22 @@ namespace {
                       const std::string& detail) {
   throw JobError(kRefusedBadJob,
                  "service: job '" + job.name + "': " + field + ": " + detail);
+}
+
+/// Mirrors an engine::Task into the engine-free coordinates a model
+/// factory builds from.
+model::TaskPoint point_of(const engine::Task& t) {
+  return model::TaskPoint{t.index, t.replica, t.lambda, t.gamma, t.seed};
+}
+
+/// Separation-only recipes refuse jobs whose wire spec names another
+/// model: the recipe's initial configuration and metrics are specific
+/// to the separation chain.
+void require_separation(const shard::JobSpec& job) {
+  if (job.model != "separation") {
+    bad(job, "model",
+        "recipe runs the separation chain, got '" + job.model + "'");
+  }
 }
 
 std::uint64_t parse_u64_field(const shard::JobSpec& job,
@@ -75,6 +93,7 @@ std::vector<std::uint64_t> parse_u64_csv(const shard::JobSpec& job,
 /// One shared 100-particle two-color start built from grid.base_seed,
 /// checkpoint protocol, phase code packed as aux[0].
 JobProgram build_fig3(const shard::JobSpec& job) {
+  require_separation(job);
   if (job.checkpoints.empty()) {
     bad(job, "proto.checkpoints",
         "checkpoint protocol required (the Figure 3 sweep records at "
@@ -90,16 +109,17 @@ JobProgram build_fig3(const shard::JobSpec& job) {
   util::Rng rng(job.grid.base_seed);
   const auto nodes = lattice::random_blob(100, rng);
   const auto colors = core::balanced_random_colors(100, 2, rng);
-  state->chain.make_chain = [nodes, colors](const engine::Task& t) {
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+  state->chain.make_model = [nodes, colors](const engine::Task& t) {
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true},
+                              t.seed));
   };
   state->chain.checkpoints = job.checkpoints;
   State* raw = state.get();
   state->chain.on_sample = [raw](const engine::Task& t,
-                                 const core::SeparationChain& c) {
-    raw->phases[t.index] = metrics::classify(c.system());
+                                 const model::ChainModel& m) {
+    raw->phases[t.index] = metrics::classify(model::separation_chain(m).system());
   };
 
   JobProgram program;
@@ -116,6 +136,7 @@ JobProgram build_fig3(const shard::JobSpec& job) {
 /// The n-sweep identity rides in params (sweep=n, ns=…, burn_base=…,
 /// spacing_base=…); each task equilibrium-samples an n-particle system.
 JobProgram build_thm13(const shard::JobSpec& job) {
+  require_separation(job);
   if (param_value(job, "sweep") != "n") {
     bad(job, "params", "expected 'sweep=n', got 'sweep=" +
                            param_value(job, "sweep") + "'");
@@ -148,53 +169,42 @@ JobProgram build_thm13(const shard::JobSpec& job) {
     util::Rng rng(t.seed);
     const auto nodes = lattice::random_blob(n, rng);
     const auto colors = core::balanced_random_colors(n, 2, rng);
-    core::SeparationChain chain(system::ParticleSystem(nodes, colors),
-                                core::Params{t.lambda, t.gamma, true},
-                                t.seed);
-    return core::sample_equilibrium(chain, burn_base * n, spacing_base * n,
-                                    samples);
+    auto chain = model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true},
+                              t.seed));
+    return model::sample_equilibrium(*chain, burn_base * n, spacing_base * n,
+                                     samples);
   };
   return program;
 }
 
-/// Generic service job for load generation and ad-hoc sweeps: every
-/// task builds its own blob from its seed and runs the job's protocol
-/// verbatim. Params: blob=N (required), colors=K (default 2),
-/// swaps=0|1 (default 1).
-JobProgram build_service_sweep(const shard::JobSpec& job) {
-  std::uint64_t blob = 0;
-  std::uint64_t n_colors = 2;
-  std::uint64_t swaps = 1;
-  bool blob_set = false;
-  for (const std::string& p : job.params) {
-    const std::size_t eq = p.find('=');
-    const std::string key = eq == std::string::npos ? p : p.substr(0, eq);
-    const std::string value = eq == std::string::npos ? "" : p.substr(eq + 1);
-    if (key == "blob") {
-      blob = parse_u64_field(job, "params: blob", value);
-      blob_set = true;
-    } else if (key == "colors") {
-      n_colors = parse_u64_field(job, "params: colors", value);
-    } else if (key == "swaps") {
-      swaps = parse_u64_field(job, "params: swaps", value);
-    } else {
-      bad(job, "params", "unknown key '" + key +
-                             "' (recognized: blob, colors, swaps)");
+/// Generic registry-backed job for load generation, ad-hoc sweeps, and
+/// any model family's phase-diagram harness: the wire spec's model tag
+/// picks the factory, the factory interprets the params, and every task
+/// builds its own system from its seed and runs the job's protocol
+/// verbatim. A tag nobody registered is a named synchronous refusal
+/// (kRefusedUnknownModel); bad params are kRefusedBadJob with the
+/// factory's own field-naming message.
+JobProgram build_registry_sweep(const shard::JobSpec& job) {
+  const model::Factory* factory = model::find_model(job.model);
+  if (factory == nullptr) {
+    std::string names;
+    for (const std::string& n : model::registered_models()) {
+      if (!names.empty()) names += ", ";
+      names += n;
     }
+    throw JobError(kRefusedUnknownModel,
+                   "service: job '" + job.name + "': model '" + job.model +
+                       "' not registered (registered: " + names + ")");
   }
-  if (!blob_set) bad(job, "params", "missing required 'blob=' entry");
-  if (blob == 0 || blob > 20000) {
-    bad(job, "params: blob", "blob=" + std::to_string(blob) +
-                                 " outside the supported range [1, 20000]");
-  }
-  if (n_colors == 0 || n_colors > 16 || n_colors > blob) {
-    bad(job, "params: colors",
-        "colors=" + std::to_string(n_colors) +
-            " outside the supported range [1, min(16, blob)]");
-  }
-  if (swaps > 1) {
-    bad(job, "params: swaps",
-        "swaps=" + std::to_string(swaps) + " must be 0 or 1");
+  // Validate the params eagerly against the first task so a bad
+  // submission is refused at submit time, not failed mid-run.
+  try {
+    (void)factory->build(job.params, point_of(job.tasks.front()));
+  } catch (const model::ModelError& e) {
+    throw JobError(kRefusedBadJob,
+                   "service: job '" + job.name + "': " + e.what());
   }
   if (job.checkpoints.empty() && job.samples == 0) {
     bad(job, "proto",
@@ -203,16 +213,9 @@ JobProgram build_service_sweep(const shard::JobSpec& job) {
   }
 
   auto chain = std::make_shared<engine::ChainJob>();
-  chain->make_chain = [blob, n_colors, swaps](const engine::Task& t) {
-    util::Rng rng(t.seed);
-    const auto nodes =
-        lattice::random_blob(static_cast<std::size_t>(blob), rng);
-    const auto colors = core::balanced_random_colors(
-        static_cast<std::size_t>(blob), static_cast<std::size_t>(n_colors),
-        rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, swaps == 1},
-                                 t.seed);
+  chain->model = job.model;
+  chain->make_model = [factory, params = job.params](const engine::Task& t) {
+    return factory->build(params, point_of(t));
   };
   chain->checkpoints = job.checkpoints;
   chain->burn_in = job.burn_in;
@@ -232,9 +235,11 @@ JobProgram build_program(const shard::JobSpec& job) {
     throw JobError(kRefusedBadJob,
                    "service: job '" + job.name + "': tasks: table is empty");
   }
+  if (job.name == "bench_alignment_phase_diagram")
+    return build_registry_sweep(job);
   if (job.name == "bench_fig3_phase_diagram") return build_fig3(job);
   if (job.name == "bench_thm13_compression") return build_thm13(job);
-  if (job.name == "service_sweep") return build_service_sweep(job);
+  if (job.name == "service_sweep") return build_registry_sweep(job);
   std::string names;
   for (const std::string& n : registered_jobs()) {
     if (!names.empty()) names += ", ";
@@ -246,8 +251,8 @@ JobProgram build_program(const shard::JobSpec& job) {
 }
 
 std::vector<std::string> registered_jobs() {
-  return {"bench_fig3_phase_diagram", "bench_thm13_compression",
-          "service_sweep"};
+  return {"bench_alignment_phase_diagram", "bench_fig3_phase_diagram",
+          "bench_thm13_compression", "service_sweep"};
 }
 
 }  // namespace sops::service

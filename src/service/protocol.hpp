@@ -146,6 +146,7 @@ enum class JobState {
 
 inline constexpr const char* kRefusedQueueFull = "queue-full";
 inline constexpr const char* kRefusedUnknownJob = "unknown-job";
+inline constexpr const char* kRefusedUnknownModel = "unknown-model";
 inline constexpr const char* kRefusedBadJob = "bad-job";
 inline constexpr const char* kRefusedTooLarge = "too-large";
 inline constexpr const char* kRefusedUnknownId = "unknown-id";

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/model/builtin.hpp"
 #include "src/service/server.hpp"
 #include "src/util/cli.hpp"
 
@@ -31,6 +32,7 @@ constexpr int kDataError = 1;
 
 int main(int argc, char** argv) {
   using namespace sops;
+  model::ensure_builtin_models();
   util::Cli cli;
   cli.add_option("socket", "AF_UNIX socket path to listen on (required)", "");
   cli.add_option("threads",

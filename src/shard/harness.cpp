@@ -16,6 +16,7 @@ JobSpec grid_job(std::string name, const engine::GridSpec& grid,
                  std::vector<std::string> params) {
   JobSpec job;
   job.name = std::move(name);
+  job.model = protocol.model;
   job.grid = grid;
   job.checkpoints = protocol.checkpoints;
   job.burn_in = protocol.burn_in;

@@ -57,7 +57,8 @@ using ExecFn =
     std::function<std::vector<engine::TaskResult>(std::span<const engine::Task>)>;
 
 /// Builds the JobSpec of a grid-driven harness: tasks = grid_tasks(grid),
-/// protocol copied from the ChainJob, `params` carried verbatim.
+/// protocol and model tag copied from the ChainJob, `params` carried
+/// verbatim.
 [[nodiscard]] JobSpec grid_job(std::string name, const engine::GridSpec& grid,
                                const engine::ChainJob& protocol,
                                std::vector<std::string> params = {});

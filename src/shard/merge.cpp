@@ -40,6 +40,7 @@ bool same_bits(std::span<const double> a, std::span<const double> b) {
 void check_same_job(const JobSpec& expected, const JobSpec& actual,
                     const std::string& label) {
   if (actual.name != expected.name) mismatch(label, "job name");
+  if (actual.model != expected.model) mismatch(label, "model");
   if (!same_bits(actual.grid.lambdas, expected.grid.lambdas)) {
     mismatch(label, "grid.lambdas");
   }

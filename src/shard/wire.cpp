@@ -184,6 +184,9 @@ void check_encodable(const JobSpec& job,
   if (!is_token(job.name)) {
     throw std::invalid_argument("wire: job name must be one nonempty token");
   }
+  if (!is_token(job.model)) {
+    throw std::invalid_argument("wire: model tag must be one nonempty token");
+  }
   for (const std::string& p : job.params) {
     if (!is_token(p)) {
       throw std::invalid_argument("wire: params must be nonempty tokens: '" +
@@ -235,6 +238,8 @@ std::string encode(const JobSpec& job,
   put_u64(out, kWireVersion);
   out += "\njob ";
   out += job.name;
+  out += "\nmodel ";
+  out += job.model;
   out += "\nmanifest ";
   put_u64(out, mf.n_shards);
   out += ' ';
@@ -343,6 +348,7 @@ ShardFile decode(std::string_view text) {
   ShardFile file;
   JobSpec& job = file.job;
 
+  std::uint64_t version = 0;
   {
     std::vector<std::string_view> tokens;
     if (!lines.next(tokens)) bad(1, "empty input");
@@ -352,12 +358,11 @@ ShardFile decode(std::string_view text) {
     if (tokens[1].size() < 2 || tokens[1][0] != 'v') {
       bad(lines.line_no(), "malformed version token");
     }
-    const std::uint64_t version =
-        get_u64(tokens[1].substr(1), lines.line_no());
-    if (version != kWireVersion) {
+    version = get_u64(tokens[1].substr(1), lines.line_no());
+    if (version < kWireVersionMin || version > kWireVersion) {
       std::ostringstream os;
       os << "unsupported wire version v" << version << " (reader speaks v"
-         << kWireVersion << ")";
+         << kWireVersionMin << "-v" << kWireVersion << ")";
       bad(lines.line_no(), os.str());
     }
   }
@@ -366,6 +371,12 @@ ShardFile decode(std::string_view text) {
     const auto tokens = expect_line(lines, "job", 2, 2);
     job.name = std::string(tokens[1]);
   }
+  if (version >= 3) {
+    const auto tokens = expect_line(lines, "model", 2, 2);
+    job.model = std::string(tokens[1]);
+  }
+  // v2 predates multi-model jobs; every v2 document is a separation
+  // job (JobSpec::model's default).
   {
     const auto tokens = expect_line(lines, "manifest", 4, 4);
     file.manifest.n_shards = get_u64(tokens[1], lines.line_no());

@@ -39,8 +39,13 @@ namespace sops::shard {
 
 // v2 added the `manifest` line (expected shard-file count + this file's
 // task range) so an incomplete merge can name the missing *file*, not
-// just the missing task indices.
-inline constexpr std::uint32_t kWireVersion = 2;
+// just the missing task indices. v3 added the `model` line naming the
+// model family every task runs; v2 documents still decode, with the
+// model defaulting to "separation" (the only model v2 could carry).
+inline constexpr std::uint32_t kWireVersion = 3;
+
+// Oldest version decode() still accepts.
+inline constexpr std::uint32_t kWireVersionMin = 2;
 
 /// Malformed wire input. `what()` includes the 1-based line number.
 class WireError : public std::runtime_error {
@@ -54,6 +59,12 @@ class WireError : public std::runtime_error {
 /// agree on. Two shard files merge only if their JobSpecs are identical.
 struct JobSpec {
   std::string name;        ///< harness identifier; single token, no spaces
+
+  /// Registry tag of the model family every task runs (wire v3; v2
+  /// documents decode to "separation"). Part of job identity: shards
+  /// from different models never merge, and the checkpoint spec hash
+  /// covers it.
+  std::string model = "separation";
 
   engine::GridSpec grid;   ///< axes + replicas + seeding policy
 

@@ -208,6 +208,22 @@ void ParticleSystem::apply_swap(ParticleIndex i, ParticleIndex j) {
   hetero_edges_ += het_after - het_before;
 }
 
+void ParticleSystem::apply_recolor(ParticleIndex i, Color c) {
+  if (c >= kMaxColors) {
+    throw std::invalid_argument("apply_recolor: color out of range");
+  }
+  const Color old = color(i);
+  if (old == c) return;  // configuration unchanged
+  const Node v = position(i);
+  std::int64_t het_old = 0;
+  std::int64_t het_new = 0;
+  (void)count_incident_edges(v, old, &het_old);
+  (void)count_incident_edges(v, c, &het_new);
+  colors_[static_cast<std::size_t>(i)] = c;
+  hetero_edges_ += het_new - het_old;
+  if (static_cast<int>(c) + 1 > num_colors_) num_colors_ = c + 1;
+}
+
 std::vector<std::size_t> ParticleSystem::color_histogram() const {
   std::vector<std::size_t> hist(static_cast<std::size_t>(num_colors_), 0);
   for (Color c : colors_) ++hist[c];

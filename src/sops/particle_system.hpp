@@ -178,6 +178,12 @@ class ParticleSystem {
   void apply_swap_unchecked(ParticleIndex i, ParticleIndex j,
                             std::int64_t hetero_delta);
 
+  /// Recolors particle `i` in place (spin/orientation flip for chains
+  /// whose colors are mutable internal state rather than immutable
+  /// species labels). Positions and e(σ) are untouched; h(σ) is updated
+  /// incrementally. Same-color recolors are a no-op.
+  void apply_recolor(ParticleIndex i, Color c);
+
   /// Per-color particle counts.
   [[nodiscard]] std::vector<std::size_t> color_histogram() const;
 

@@ -1,0 +1,252 @@
+// Tests for the alignment chain (src/alignment): the Kedia–Oh–Randall
+// oriented-particle dynamics and its ChainModel adapter — determinism,
+// counter bookkeeping, rotation acceptance physics, and the
+// save_state/restore round-trip the generic checkpoint path relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/alignment/alignment_chain.hpp"
+#include "src/alignment/alignment_model.hpp"
+#include "src/core/coloring.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/model/registry.hpp"
+#include "src/sops/particle_system.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops {
+namespace {
+
+const bool kModelsRegistered = [] {
+  alignment::register_alignment_model();
+  return true;
+}();
+
+alignment::AlignmentChain make_chain(std::size_t n, std::uint64_t seed,
+                                     double lambda = 4.0,
+                                     double gamma = 4.0) {
+  util::Rng rng(seed);
+  auto nodes = lattice::random_blob(n, rng);
+  auto orientations =
+      core::balanced_random_colors(n, alignment::kOrientations, rng);
+  return alignment::AlignmentChain(
+      system::ParticleSystem(nodes, orientations),
+      alignment::Params{lambda, gamma}, seed);
+}
+
+// ---- chain dynamics --------------------------------------------------
+
+TEST(AlignmentChain, RejectsBadConstructionInputs) {
+  const std::vector<lattice::Node> nodes{{0, 0}, {1, 0}};
+  const std::vector<system::Color> good{0, 5};
+  const std::vector<system::Color> bad{0, 6};  // orientation out of range
+  EXPECT_THROW(alignment::AlignmentChain(system::ParticleSystem(nodes, bad),
+                                         alignment::Params{4.0, 4.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(alignment::AlignmentChain(system::ParticleSystem(nodes, good),
+                                         alignment::Params{0.0, 4.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(alignment::AlignmentChain(system::ParticleSystem(nodes, good),
+                                         alignment::Params{4.0, -1.0}, 1),
+               std::invalid_argument);
+}
+
+TEST(AlignmentChain, SameSeedSameTrajectory) {
+  alignment::AlignmentChain a = make_chain(40, 77);
+  alignment::AlignmentChain b = make_chain(40, 77);
+  a.run(30000);
+  b.run(30000);
+  EXPECT_EQ(a.rng_state(), b.rng_state());
+  EXPECT_EQ(a.system().positions(), b.system().positions());
+  EXPECT_EQ(a.system().colors(), b.system().colors());
+  EXPECT_EQ(a.counters().moves_accepted, b.counters().moves_accepted);
+  EXPECT_EQ(a.counters().rotations_accepted, b.counters().rotations_accepted);
+}
+
+TEST(AlignmentChain, SplitRunsEqualOneLongRun) {
+  alignment::AlignmentChain split = make_chain(30, 5);
+  alignment::AlignmentChain whole = make_chain(30, 5);
+  split.run(7000);
+  split.run(13000);
+  whole.run(20000);
+  EXPECT_EQ(split.rng_state(), whole.rng_state());
+  EXPECT_EQ(split.system().positions(), whole.system().positions());
+  EXPECT_EQ(split.system().colors(), whole.system().colors());
+}
+
+TEST(AlignmentChain, CountersPartitionTheSteps) {
+  alignment::AlignmentChain chain = make_chain(50, 3);
+  chain.run(50000);
+  const auto& c = chain.counters();
+  EXPECT_EQ(c.steps, 50000u);
+  // Every step is either a rotation proposal or a translation step;
+  // translation steps with an occupied target are wasted (counted in
+  // neither move_proposals nor any rejection bucket), so proposals
+  // plus rotations bound steps from below.
+  EXPECT_LE(c.move_proposals + c.rotation_proposals, c.steps);
+  EXPECT_GT(c.rotation_proposals, 0u);
+  EXPECT_GT(c.move_proposals, 0u);
+  EXPECT_LE(c.moves_accepted + c.rejected_five + c.rejected_locality +
+                c.rejected_metropolis,
+            c.move_proposals);
+  EXPECT_LE(c.rotations_accepted, c.rotation_proposals);
+}
+
+TEST(AlignmentChain, InvariantsHoldAfterLongRuns) {
+  alignment::AlignmentChain chain = make_chain(45, 13);
+  const std::size_t n = chain.system().size();
+  const std::uint64_t edges0 = chain.system().edge_count();
+  chain.run(100000);
+  EXPECT_EQ(chain.system().size(), n);  // particle conservation
+  // Hetero-edge bookkeeping stays consistent with a from-scratch rebuild.
+  system::ParticleSystem rebuilt(
+      std::vector<lattice::Node>(chain.system().positions().begin(),
+                                 chain.system().positions().end()),
+      std::vector<system::Color>(chain.system().colors().begin(),
+                                 chain.system().colors().end()));
+  EXPECT_EQ(chain.system().edge_count(), rebuilt.edge_count());
+  EXPECT_EQ(chain.system().hetero_edge_count(), rebuilt.hetero_edge_count());
+  EXPECT_EQ(chain.system().perimeter_by_identity(),
+            rebuilt.perimeter_by_identity());
+  (void)edges0;
+}
+
+TEST(AlignmentChain, NeutralGammaAcceptsEveryRotation) {
+  // γ = 1 makes the rotation filter min{1, 1^Δ} = 1: with q drawn from
+  // the open interval (0, 1), every rotation proposal is accepted.
+  alignment::AlignmentChain chain = make_chain(30, 21, 4.0, 1.0);
+  chain.run(30000);
+  EXPECT_EQ(chain.counters().rotations_accepted,
+            chain.counters().rotation_proposals);
+}
+
+TEST(AlignmentChain, StrongGammaAlignsOrientations) {
+  alignment::AlignmentChain chain = make_chain(60, 9, 4.0, 4.0);
+  const auto unaligned = [&] {
+    const auto& s = chain.system();
+    return static_cast<double>(s.hetero_edge_count()) /
+           static_cast<double>(s.edge_count());
+  };
+  // Balanced random orientations over 6 values start mostly unaligned.
+  EXPECT_GT(unaligned(), 0.5);
+  chain.run(500000);
+  EXPECT_LT(unaligned(), 0.25);
+}
+
+// ---- model adapter ---------------------------------------------------
+
+TEST(AlignmentModel, MeasurementCarriesUnalignedFraction) {
+  auto m = alignment::make_alignment(make_chain(35, 2));
+  m->run(10000);
+  const auto& chain = alignment::alignment_chain(*m);
+  const auto meas = m->measure();
+  EXPECT_EQ(meas.iteration, 10000u);
+  EXPECT_EQ(meas.hetero_edges, chain.system().hetero_edge_count());
+  EXPECT_EQ(meas.hetero_fraction,
+            static_cast<double>(meas.hetero_edges) /
+                static_cast<double>(meas.edges));
+  const auto names = m->observable_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[3], "unaligned_edges");
+  EXPECT_EQ(names[5], "unaligned_fraction");
+}
+
+TEST(AlignmentModel, SaveRestoreContinuesByteIdentically) {
+  ASSERT_TRUE(kModelsRegistered);
+  const auto& factory = model::require_model("alignment");
+  auto original = factory.build(std::vector<std::string>{"blob=40"},
+                                model::TaskPoint{0, 0, 4.0, 4.0, 314});
+  original->run(25000);
+
+  auto restored = factory.restore(original->save_state());
+  EXPECT_EQ(restored->steps(), 25000u);
+  original->run(25000);
+  restored->run(25000);
+  EXPECT_EQ(restored->save_state(), original->save_state());
+}
+
+TEST(AlignmentModel, FactoryRefusesBadParamsByName) {
+  const auto& factory = model::require_model("alignment");
+  const model::TaskPoint point{0, 0, 4.0, 4.0, 1};
+  try {
+    (void)factory.build(std::vector<std::string>{}, point);
+    FAIL() << "missing blob accepted";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing required 'blob='"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)factory.build(std::vector<std::string>{"blob=10", "swaps=1"}, point);
+    FAIL() << "unknown key accepted (alignment has no swap move)";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key 'swaps'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AlignmentModel, RestoreRejectsCorruptState) {
+  const auto& factory = model::require_model("alignment");
+  auto m = factory.build(std::vector<std::string>{"blob=10"},
+                         model::TaskPoint{0, 0, 4.0, 4.0, 8});
+  m->run(1000);
+  auto state = m->save_state();
+
+  {
+    auto dead = state;
+    dead[1] = "rng 0000000000000000 0000000000000000 0000000000000000 "
+              "0000000000000000";
+    EXPECT_THROW((void)factory.restore(dead), model::ModelError);
+  }
+  {
+    auto bad_orient = state;
+    bad_orient.back() = "p 0 0 6";  // orientation must be < 6
+    try {
+      (void)factory.restore(bad_orient);
+      FAIL() << "out-of-range orientation accepted";
+    } catch (const model::ModelError& e) {
+      EXPECT_NE(std::string(e.what()).find("orientation out of range"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto trailing = state;
+    trailing.push_back("p 9 9 0");
+    EXPECT_THROW((void)factory.restore(trailing), model::ModelError);
+  }
+}
+
+TEST(AlignmentModel, DowncastRefusesOtherModels) {
+  // alignment_chain() names the offending tag.
+  class Dummy final : public model::ChainModel {
+   public:
+    [[nodiscard]] std::string_view tag() const noexcept override {
+      return "dummy";
+    }
+    void run(std::uint64_t) override {}
+    [[nodiscard]] std::uint64_t steps() const noexcept override { return 0; }
+    [[nodiscard]] core::Measurement measure() const override { return {}; }
+    [[nodiscard]] std::vector<std::string> observable_names() const override {
+      return {};
+    }
+    [[nodiscard]] std::vector<std::string> save_state() const override {
+      return {};
+    }
+  };
+  Dummy dummy;
+  try {
+    (void)alignment::alignment_chain(dummy);
+    FAIL() << "downcast accepted a non-alignment model";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("'dummy'"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace sops

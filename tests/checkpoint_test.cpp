@@ -13,10 +13,18 @@
 #include "src/core/coloring.hpp"
 #include "src/core/runner.hpp"
 #include "src/lattice/shapes.hpp"
+#include "src/model/separation.hpp"
 #include "src/shard/harness.hpp"
 
 namespace sops::checkpoint {
 namespace {
+
+// restore_model dispatches through the registry, so the separation
+// factory must be registered before any test decodes a snapshot.
+const bool kModelsRegistered = [] {
+  model::register_separation_model();
+  return true;
+}();
 
 std::string temp_dir(const char* name) {
   const std::string dir = ::testing::TempDir() + name;
@@ -56,22 +64,11 @@ std::string rechecksum(std::string text) {
 Snapshot sample_snapshot() {
   Snapshot snap;
   snap.job = "ckpt_test";
+  snap.model = "separation";
   snap.spec_hash = 0xdeadbeefcafef00dULL;
   snap.task_index = 3;
   snap.task_seed = 991;
   snap.complete = false;
-  snap.lambda = 4.0;
-  snap.gamma = 0x1.5555555555555p-2;  // awkward bits round-trip exactly
-  snap.swaps_enabled = true;
-  snap.rng = {1, 0xffffffffffffffffULL, 42, 7};
-  snap.counters.steps = 1234;
-  snap.counters.move_proposals = 600;
-  snap.counters.moves_accepted = 271;
-  snap.counters.rejected_five = 31;
-  snap.counters.rejected_locality = 12;
-  snap.counters.rejected_metropolis = 286;
-  snap.counters.swap_proposals = 634;
-  snap.counters.swaps_accepted = 100;
   core::Measurement m;
   m.iteration = 1000;
   m.perimeter = 18;
@@ -80,8 +77,21 @@ Snapshot sample_snapshot() {
   m.perimeter_ratio = 1.125;
   m.hetero_fraction = -0.0;  // signed zero must survive
   snap.series = {m};
-  snap.positions = {{0, 0}, {1, 0}, {-3, 2}};
-  snap.colors = {0, 1, 1};
+  core::SeparationChain::Counters counters;
+  counters.steps = 1234;
+  counters.move_proposals = 600;
+  counters.moves_accepted = 271;
+  counters.rejected_five = 31;
+  counters.rejected_locality = 12;
+  counters.rejected_metropolis = 286;
+  counters.swap_proposals = 634;
+  counters.swaps_accepted = 100;
+  const util::Rng::State rng = {1, 0xffffffffffffffffULL, 42, 7};
+  const std::vector<lattice::Node> positions = {{0, 0}, {1, 0}, {-3, 2}};
+  const std::vector<system::Color> colors = {0, 1, 1};
+  // γ with awkward bits: the hexfloat lines must round-trip it exactly.
+  snap.state = model::encode_separation_state(
+      4.0, 0x1.5555555555555p-2, true, rng, counters, positions, colors);
   return snap;
 }
 
@@ -91,22 +101,25 @@ TEST(Snapshot, EncodeDecodeRoundTripBitExact) {
   const Snapshot a = sample_snapshot();
   const Snapshot b = decode(encode(a));
   EXPECT_EQ(b.job, a.job);
+  EXPECT_EQ(b.model, a.model);
   EXPECT_EQ(b.spec_hash, a.spec_hash);
   EXPECT_EQ(b.task_index, a.task_index);
   EXPECT_EQ(b.task_seed, a.task_seed);
   EXPECT_EQ(b.complete, a.complete);
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.gamma),
-            std::bit_cast<std::uint64_t>(a.gamma));
-  EXPECT_EQ(b.rng, a.rng);
-  EXPECT_EQ(b.counters.steps, a.counters.steps);
-  EXPECT_EQ(b.counters.swaps_accepted, a.counters.swaps_accepted);
   ASSERT_EQ(b.series.size(), 1u);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(b.series[0].hetero_fraction),
             std::bit_cast<std::uint64_t>(a.series[0].hetero_fraction));
-  ASSERT_EQ(b.positions.size(), 3u);
-  EXPECT_EQ(b.positions[2].x, -3);
-  EXPECT_EQ(b.positions[2].y, 2);
-  EXPECT_EQ(b.colors, a.colors);
+  // The model-state block survives verbatim, line for line.
+  EXPECT_EQ(b.state, a.state);
+  // And a restored trajectory sees the exact particle configuration.
+  const auto restored = restore_model(b);
+  const core::SeparationChain& c = model::separation_chain(*restored);
+  ASSERT_EQ(c.system().size(), 3u);
+  EXPECT_EQ(c.system().positions()[2].x, -3);
+  EXPECT_EQ(c.system().positions()[2].y, 2);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(c.params().gamma),
+            std::bit_cast<std::uint64_t>(0x1.5555555555555p-2));
+  EXPECT_EQ(c.counters().swaps_accepted, 100u);
   // Deterministic serialization: same value, same bytes.
   EXPECT_EQ(encode(a), encode(b));
 }
@@ -148,7 +161,7 @@ TEST(Snapshot, CorruptionNamesTheChecksum) {
 
 TEST(Snapshot, DecodeRejectsVersionSkew) {
   std::string skewed = encode(sample_snapshot());
-  const auto pos = skewed.find(" v1\n");
+  const auto pos = skewed.find(" v2\n");
   ASSERT_NE(pos, std::string::npos);
   skewed.replace(pos, 4, " v9\n");
   try {
@@ -170,6 +183,52 @@ TEST(Snapshot, DecodeRejectsAuxOnPartial) {
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, std::string("status complete").size(), "status partial");
   EXPECT_THROW((void)decode(rechecksum(text)), SnapshotError);
+}
+
+TEST(Snapshot, V1SeparationDocumentsStillParse) {
+  // A pre-refactor v1 snapshot, grammar frozen: typed params/rng/
+  // counters/particles lines instead of a model-state block. The reader
+  // must lift it into the separation model's state grammar so old
+  // checkpoint directories resume under the v2 codec.
+  std::string v1 =
+      "sops-checkpoint v1\n"
+      "job legacy\n"
+      "spec 00000000deadbeef\n"
+      "task 2 77\n"
+      "status partial\n"
+      "params 0x1p+2 0x1p-2 1\n"
+      "rng 0000000000000001 000000000000002a 0000000000000007 "
+      "00000000000000ff\n"
+      "counters 500 300 120 20 10 150 200 40\n"
+      "series 1\n"
+      "m 500 18 33 7 0x1.2p+0 0x0p+0\n"
+      "aux 0\n"
+      "particles 3\n"
+      "p 0 0 0\n"
+      "p 1 0 1\n"
+      "p -3 2 1\n"
+      "checksum 0000000000000000\n"
+      "end\n";
+  const Snapshot snap = decode(rechecksum(v1));
+  EXPECT_EQ(snap.job, "legacy");
+  EXPECT_EQ(snap.model, "separation");
+  EXPECT_EQ(snap.spec_hash, 0xdeadbeefULL);
+  EXPECT_EQ(snap.task_index, 2u);
+  EXPECT_EQ(snap.task_seed, 77u);
+  EXPECT_FALSE(snap.complete);
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].iteration, 500u);
+  ASSERT_FALSE(snap.state.empty());
+
+  const auto m = restore_model(snap);
+  const core::SeparationChain& c = model::separation_chain(*m);
+  EXPECT_EQ(c.params().lambda, 4.0);
+  EXPECT_EQ(c.params().gamma, 0.25);
+  EXPECT_EQ(c.counters().steps, 500u);
+  EXPECT_EQ(c.counters().swaps_accepted, 40u);
+  ASSERT_EQ(c.system().size(), 3u);
+  EXPECT_EQ(c.system().positions()[2].x, -3);
+  EXPECT_EQ(c.rng_state()[3], 0xffu);
 }
 
 TEST(Snapshot, WriteIsAtomicReadBack) {
@@ -225,17 +284,45 @@ TEST(Snapshot, SpecHashCoversTheWholeJobHeader) {
   params.params = {"extra=1"};
   EXPECT_NE(spec_hash(params), base);
 
+  // The model tag is part of the job's identity: the same grid run
+  // under another model family hashes differently, so its snapshots
+  // can never be silently adopted.
+  shard::JobSpec modeled = job;
+  modeled.model = "alignment";
+  EXPECT_NE(spec_hash(modeled), base);
+
   EXPECT_EQ(spec_hash(job), base);  // and it is a pure function
 }
 
-TEST(Snapshot, RestoreChainRejectsDeadStates) {
-  Snapshot snap = sample_snapshot();
-  snap.rng = {};
-  EXPECT_THROW((void)restore_chain(snap), SnapshotError);
-  Snapshot empty = sample_snapshot();
-  empty.positions.clear();
-  empty.colors.clear();
-  EXPECT_THROW((void)restore_chain(empty), SnapshotError);
+TEST(Snapshot, RestoreModelRejectsDeadStates) {
+  // A completion snapshot carries no state; restoring it is an error
+  // with a message that says so, not a crash.
+  Snapshot stateless = sample_snapshot();
+  stateless.complete = true;
+  stateless.state.clear();
+  try {
+    (void)restore_model(stateless);
+    FAIL() << "restored a stateless snapshot";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("no model state"), std::string::npos)
+        << e.what();
+  }
+  // A tag nobody registered is refused by name, with the registry listed.
+  Snapshot foreign = sample_snapshot();
+  foreign.model = "not-a-model";
+  try {
+    (void)restore_model(foreign);
+    FAIL() << "restored a snapshot with an unregistered model tag";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("'not-a-model' not registered"),
+              std::string::npos)
+        << e.what();
+  }
+  // A state block the model's own parser rejects surfaces the model's
+  // message, wrapped as a checkpoint error.
+  Snapshot mangled = sample_snapshot();
+  mangled.state[0] = "params 4 nope 1";
+  EXPECT_THROW((void)restore_model(mangled), SnapshotError);
 }
 
 // ---- checkpointed runner ------------------------------------------------
@@ -248,13 +335,14 @@ struct Fixture {
   engine::ChainJob chain;
 
   Fixture() {
-    chain.make_chain = [](const engine::Task& t) {
+    chain.make_model = [](const engine::Task& t) {
       util::Rng rng(t.seed);
       const auto nodes = lattice::random_blob(24, rng);
       const auto colors = core::balanced_random_colors(24, 2, rng);
-      return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                   core::Params{t.lambda, t.gamma, true},
-                                   t.seed);
+      return model::make_separation(
+          core::SeparationChain(system::ParticleSystem(nodes, colors),
+                                core::Params{t.lambda, t.gamma, true},
+                                t.seed));
     };
     chain.burn_in = 600;
     chain.interval = 150;
@@ -353,14 +441,14 @@ TEST(Runner, MidTaskResumeIsByteIdenticalToUninterrupted) {
   // snapshot would have left behind.
   {
     const engine::Task& t = fx.job.tasks[1];
-    core::SeparationChain c = fx.chain.make_chain(t);
-    c.run(600);
-    std::vector<core::Measurement> series{core::measure(c)};
-    c.run(150);
-    series.push_back(core::measure(c));
-    c.run(100);  // mid-segment: 850 steps, next target at 900
+    const auto m = fx.chain.make_model(t);
+    m->run(600);
+    std::vector<core::Measurement> series{m->measure()};
+    m->run(150);
+    series.push_back(m->measure());
+    m->run(100);  // mid-segment: 850 steps, next target at 900
     write_snapshot(dir + "/" + task_filename(fx.job.name, t.index),
-                   capture(c, fx.job.name, hash, t, false, series));
+                   capture(*m, fx.job.name, hash, t, false, series));
   }
 
   const Policy policy{dir, 97, true};
@@ -393,27 +481,58 @@ TEST(Runner, ResumeRejectsForeignSnapshots) {
     }
   };
 
-  core::SeparationChain c = fx.chain.make_chain(t);
-  c.run(100);
+  const auto m = fx.chain.make_model(t);
+  m->run(100);
 
-  Snapshot wrong_hash = capture(c, fx.job.name, hash ^ 1, t, false, {});
+  Snapshot wrong_hash = capture(*m, fx.job.name, hash ^ 1, t, false, {});
   expect_reject(wrong_hash, "spec hash mismatch");
 
   engine::Task drifted = t;
   drifted.seed ^= 0x5a5a;
-  Snapshot wrong_seed = capture(c, fx.job.name, hash, drifted, false, {});
+  Snapshot wrong_seed = capture(*m, fx.job.name, hash, drifted, false, {});
   expect_reject(wrong_seed, "task seed mismatch");
 
-  Snapshot wrong_job = capture(c, "other_job", hash, t, false, {});
+  Snapshot wrong_job = capture(*m, "other_job", hash, t, false, {});
   expect_reject(wrong_job, "job name mismatch");
 
   // A partial snapshot whose series disagrees with its step count:
   // 100 steps is before the first target (600), so one recorded
   // measurement is one too many.
   Snapshot bad_series =
-      capture(c, fx.job.name, hash, t, false, {core::measure(c)});
+      capture(*m, fx.job.name, hash, t, false, {m->measure()});
   expect_reject(bad_series, "series length");
 
+  std::filesystem::remove_all(dir);
+}
+
+// The cross-model refusal the registry must enforce: a separation
+// snapshot offered to a job that names another model family is rejected
+// by tag — named, synchronous, and checked before the spec hash, so the
+// error says "model mismatch" rather than the less specific hash line.
+TEST(Runner, ResumeRejectsSnapshotFromAnotherModel) {
+  const Fixture fx;
+  engine::ThreadPool pool(1);
+  const std::string dir = temp_dir("ckpt_xmodel");
+  const engine::Task& t = fx.job.tasks[0];
+  const auto m = fx.chain.make_model(t);
+  m->run(100);
+  write_snapshot(dir + "/" + task_filename(fx.job.name, t.index),
+                 capture(*m, fx.job.name, spec_hash(fx.job), t, false, {}));
+
+  shard::JobSpec alignment_job = fx.job;
+  alignment_job.model = "alignment";
+  const Policy policy{dir, 0, true};
+  try {
+    (void)run_tasks(pool, alignment_job.tasks, alignment_job, &fx.chain, {},
+                    policy);
+    FAIL() << "resumed a separation snapshot into an alignment job";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "model mismatch (snapshot 'separation', running "
+                  "'alignment')"),
+              std::string::npos)
+        << e.what();
+  }
   std::filesystem::remove_all(dir);
 }
 
@@ -424,8 +543,9 @@ TEST(Runner, ResumeRejectsCorruptSnapshotFile) {
   const std::string path =
       dir + "/" + task_filename(fx.job.name, fx.job.tasks[0].index);
   const engine::Task& t = fx.job.tasks[0];
-  core::SeparationChain c = fx.chain.make_chain(t);
-  write_snapshot(path, capture(c, fx.job.name, spec_hash(fx.job), t, false, {}));
+  const auto m = fx.chain.make_model(t);
+  write_snapshot(path,
+                 capture(*m, fx.job.name, spec_hash(fx.job), t, false, {}));
   std::string text = slurp(path);
   text[text.size() / 2] ^= 1;
   spit(path, text);
@@ -482,12 +602,13 @@ TEST(Runner, CheckpointListProtocolResumes) {
   job.tasks = engine::grid_tasks(job.grid);
 
   engine::ChainJob chain;
-  chain.make_chain = [](const engine::Task& t) {
+  chain.make_model = [](const engine::Task& t) {
     util::Rng rng(t.seed);
     const auto nodes = lattice::random_blob(16, rng);
     const auto colors = core::balanced_random_colors(16, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true}, t.seed);
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true}, t.seed));
   };
   chain.checkpoints = job.checkpoints;
 
@@ -498,14 +619,14 @@ TEST(Runner, CheckpointListProtocolResumes) {
   const std::uint64_t hash = spec_hash(job);
   {
     const engine::Task& t = job.tasks[0];
-    core::SeparationChain c = chain.make_chain(t);
-    std::vector<core::Measurement> series{core::measure(c)};  // target 0
-    c.run(200);
-    series.push_back(core::measure(c));  // target 200
-    series.push_back(core::measure(c));  // duplicate target 200
-    c.run(150);                          // 350 steps: inside [200, 500)
+    const auto m = chain.make_model(t);
+    std::vector<core::Measurement> series{m->measure()};  // target 0
+    m->run(200);
+    series.push_back(m->measure());  // target 200
+    series.push_back(m->measure());  // duplicate target 200
+    m->run(150);                     // 350 steps: inside [200, 500)
     write_snapshot(dir + "/" + task_filename(job.name, t.index),
-                   capture(c, job.name, hash, t, false, series));
+                   capture(*m, job.name, hash, t, false, series));
   }
   const Policy policy{dir, 0, true};
   RunStats stats;

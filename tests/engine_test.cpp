@@ -12,6 +12,7 @@
 #include "src/core/coloring.hpp"
 #include "src/engine/seed_stream.hpp"
 #include "src/lattice/shapes.hpp"
+#include "src/model/separation.hpp"
 
 namespace sops::engine {
 namespace {
@@ -85,13 +86,14 @@ GridSpec small_spec() {
 
 ChainJob small_job() {
   ChainJob job;
-  job.make_chain = [](const Task& t) {
+  job.make_model = [](const Task& t) {
     util::Rng rng(t.seed);
     const auto nodes = lattice::random_blob(30, rng);
     const auto colors = core::balanced_random_colors(30, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true},
+                              t.seed));
   };
   job.checkpoints = {0, 10000, 30000};
   return job;
@@ -174,8 +176,8 @@ TEST(Ensemble, OnSampleHookSeesEveryCheckpointOnItsOwnSlot) {
   const auto tasks = grid_tasks(spec);
   ChainJob job = small_job();
   std::vector<int> hits(tasks.size(), 0);
-  job.on_sample = [&](const Task& t, const core::SeparationChain& c) {
-    EXPECT_EQ(c.params().lambda, t.lambda);
+  job.on_sample = [&](const Task& t, const model::ChainModel& m) {
+    EXPECT_EQ(model::separation_chain(m).params().lambda, t.lambda);
     ++hits[t.index];
   };
   ThreadPool pool(4);
@@ -190,13 +192,14 @@ TEST(Ensemble, EquilibriumModeRecordsRequestedSamples) {
   spec.base_seed = 5;
   const auto tasks = grid_tasks(spec);
   ChainJob job;
-  job.make_chain = [](const Task& t) {
+  job.make_model = [](const Task& t) {
     util::Rng rng(t.seed);
     const auto nodes = lattice::random_blob(20, rng);
     const auto colors = core::balanced_random_colors(20, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true},
+                              t.seed));
   };
   job.burn_in = 5000;
   job.interval = 100;

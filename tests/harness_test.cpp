@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -326,6 +328,18 @@ TEST(HarnessDeathTest, CheckpointDirWithMergeDirExitsUsageError) {
   EXPECT_EXIT(
       (void)run_tiny_raw({"--checkpoint-dir", "ck", "--merge-dir", "d"}),
       ::testing::ExitedWithCode(kUsageError), "cannot be combined");
+}
+
+TEST(HarnessDeathTest, HelpDocumentsTheExitCodeContract) {
+  // --help prints to stdout and exits 0; EXPECT_EXIT matches stderr, so
+  // alias stdout onto stderr in the child before running.
+  EXPECT_EXIT(
+      {
+        ::dup2(2, 1);
+        (void)run_tiny_raw({"--help"});
+      },
+      ::testing::ExitedWithCode(0),
+      "exit codes: 0 success; 2 usage error .*; 1 data error");
 }
 
 }  // namespace

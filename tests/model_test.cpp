@@ -1,0 +1,307 @@
+// Tests for the model seam (src/model): the registry contract every
+// generic layer depends on, the separation model's parity with driving
+// core::SeparationChain directly, the generic drivers, and the
+// save_state/restore round-trip that checkpointing rides on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/core/runner.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/model/builtin.hpp"
+#include "src/model/registry.hpp"
+#include "src/model/separation.hpp"
+#include "src/model/state.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops {
+namespace {
+
+const bool kModelsRegistered = [] {
+  model::ensure_builtin_models();
+  return true;
+}();
+
+core::SeparationChain make_chain(std::size_t n, std::uint64_t seed,
+                                 double lambda = 4.0, double gamma = 4.0) {
+  util::Rng rng(seed);
+  auto nodes = lattice::random_blob(n, rng);
+  auto colors = core::balanced_random_colors(n, 2, rng);
+  return core::SeparationChain(system::ParticleSystem(nodes, colors),
+                               core::Params{lambda, gamma, true}, seed);
+}
+
+// ---- registry --------------------------------------------------------
+
+TEST(Registry, BuiltinTagsAreRegisteredAndSorted) {
+  ASSERT_TRUE(kModelsRegistered);
+  const auto tags = model::registered_models();
+  EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()));
+  for (const char* tag : {"separation", "alignment", "ising", "schelling"}) {
+    EXPECT_NE(model::find_model(tag), nullptr) << tag;
+    EXPECT_NE(std::find(tags.begin(), tags.end(), tag), tags.end()) << tag;
+  }
+}
+
+TEST(Registry, UnknownTagIsANamedError) {
+  EXPECT_EQ(model::find_model("voter"), nullptr);
+  try {
+    (void)model::require_model("voter");
+    FAIL() << "require_model accepted an unknown tag";
+  } catch (const model::ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("model 'voter' not registered"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("separation"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, FirstRegistrationWinsAndReRegistrationIsIdempotent) {
+  model::Factory probe;
+  probe.tag = "model-test-probe";
+  probe.build = [](std::span<const std::string>, const model::TaskPoint&)
+      -> std::unique_ptr<model::ChainModel> {
+    throw model::ModelError("probe build #1");
+  };
+  probe.restore = [](std::span<const std::string>)
+      -> std::unique_ptr<model::ChainModel> {
+    throw model::ModelError("probe restore");
+  };
+  model::register_model(probe);
+
+  model::Factory usurper = probe;
+  usurper.build = [](std::span<const std::string>, const model::TaskPoint&)
+      -> std::unique_ptr<model::ChainModel> {
+    throw model::ModelError("probe build #2");
+  };
+  model::register_model(usurper);  // silently ignored: first wins
+
+  const model::Factory* found = model::find_model("model-test-probe");
+  ASSERT_NE(found, nullptr);
+  try {
+    (void)found->build({}, model::TaskPoint{});
+    FAIL() << "probe build did not throw";
+  } catch (const model::ModelError& e) {
+    EXPECT_STREQ(e.what(), "probe build #1");
+  }
+}
+
+TEST(Registry, MalformedFactoriesAreRejected) {
+  model::Factory empty_tag;
+  empty_tag.tag = "";
+  empty_tag.build = [](std::span<const std::string>, const model::TaskPoint&)
+      -> std::unique_ptr<model::ChainModel> { return nullptr; };
+  empty_tag.restore = [](std::span<const std::string>)
+      -> std::unique_ptr<model::ChainModel> { return nullptr; };
+  EXPECT_THROW(model::register_model(empty_tag), model::ModelError);
+
+  model::Factory no_restore;
+  no_restore.tag = "model-test-no-restore";
+  no_restore.build = empty_tag.build;
+  EXPECT_THROW(model::register_model(no_restore), model::ModelError);
+}
+
+TEST(Registry, BuildFromSpecMatchesTheFactoryDirectly) {
+  const std::vector<std::string> params{"blob=30"};
+  const model::TaskPoint point{3, 0, 4.0, 2.0, 12345};
+  auto via_spec = model::build_from_spec("separation", params, point);
+  auto via_factory =
+      model::require_model("separation").build(params, point);
+  via_spec->run(5000);
+  via_factory->run(5000);
+  EXPECT_EQ(via_spec->save_state(), via_factory->save_state());
+}
+
+// ---- separation model: parity with the bare core chain ---------------
+
+TEST(SeparationModel, RunAndMeasureMatchTheBareChain) {
+  core::SeparationChain bare = make_chain(40, 99);
+  auto wrapped = model::make_separation(make_chain(40, 99));
+
+  EXPECT_EQ(wrapped->tag(), "separation");
+  bare.run(20000);
+  wrapped->run(20000);
+  EXPECT_EQ(wrapped->steps(), bare.counters().steps);
+
+  const core::Measurement a = core::measure(bare);
+  const core::Measurement b = wrapped->measure();
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(a.perimeter, b.perimeter);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.hetero_edges, b.hetero_edges);
+  EXPECT_EQ(a.perimeter_ratio, b.perimeter_ratio);
+  EXPECT_EQ(a.hetero_fraction, b.hetero_fraction);
+}
+
+TEST(SeparationModel, SplitRunsEqualOneLongRun) {
+  auto split = model::make_separation(make_chain(30, 7));
+  auto whole = model::make_separation(make_chain(30, 7));
+  split->run(12000);
+  split->run(8000);
+  whole->run(20000);
+  EXPECT_EQ(split->save_state(), whole->save_state());
+}
+
+TEST(SeparationModel, SaveRestoreContinuesByteIdentically) {
+  auto original = model::make_separation(make_chain(25, 4242, 3.0, 5.0));
+  original->run(30000);
+
+  auto restored =
+      model::require_model("separation").restore(original->save_state());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->steps(), original->steps());
+
+  original->run(30000);
+  restored->run(30000);
+  EXPECT_EQ(restored->save_state(), original->save_state());
+
+  const core::SeparationChain& chain = model::separation_chain(*restored);
+  EXPECT_EQ(chain.params().lambda, 3.0);
+  EXPECT_EQ(chain.params().gamma, 5.0);
+}
+
+TEST(SeparationModel, ObservableNamesMatchTheMeasurementLayout) {
+  auto m = model::make_separation(make_chain(10, 1));
+  const auto names = m->observable_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "iteration");
+  EXPECT_EQ(names[4], "perimeter_ratio");
+}
+
+TEST(SeparationModel, FactoryRefusesBadParamsByName) {
+  const model::TaskPoint point{0, 0, 4.0, 4.0, 1};
+  const auto& factory = model::require_model("separation");
+  try {
+    (void)factory.build(std::vector<std::string>{"colors=2"}, point);
+    FAIL() << "missing blob accepted";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing required 'blob='"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)factory.build(std::vector<std::string>{"blob=20", "spin=3"}, point);
+    FAIL() << "unknown key accepted";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key 'spin'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- generic drivers -------------------------------------------------
+
+TEST(Drivers, RunWithCheckpointsMatchesTheCoreLoop) {
+  const std::vector<std::uint64_t> checkpoints{0, 5000, 5000, 20000};
+  core::SeparationChain bare = make_chain(35, 11);
+  const auto core_series = core::run_with_checkpoints(bare, checkpoints);
+
+  auto wrapped = model::make_separation(make_chain(35, 11));
+  std::vector<std::uint64_t> seen;
+  const auto model_series = model::run_with_checkpoints(
+      *wrapped, checkpoints,
+      [&](const model::ChainModel& m, std::uint64_t at) {
+        EXPECT_EQ(m.steps(), at);
+        seen.push_back(at);
+      });
+
+  ASSERT_EQ(model_series.size(), core_series.size());
+  for (std::size_t i = 0; i < core_series.size(); ++i) {
+    EXPECT_EQ(model_series[i].iteration, core_series[i].iteration);
+    EXPECT_EQ(model_series[i].perimeter, core_series[i].perimeter);
+    EXPECT_EQ(model_series[i].hetero_edges, core_series[i].hetero_edges);
+  }
+  EXPECT_EQ(seen, checkpoints);
+}
+
+TEST(Drivers, RunWithCheckpointsRejectsDecreasingTargets) {
+  auto m = model::make_separation(make_chain(10, 2));
+  const std::vector<std::uint64_t> bad{100, 50};
+  EXPECT_THROW((void)model::run_with_checkpoints(*m, bad),
+               std::invalid_argument);
+}
+
+TEST(Drivers, SampleEquilibriumMatchesTheCoreLoop) {
+  core::SeparationChain bare = make_chain(30, 17);
+  const auto core_series = core::sample_equilibrium(bare, 10000, 2000, 5);
+
+  auto wrapped = model::make_separation(make_chain(30, 17));
+  std::size_t samples_seen = 0;
+  const auto model_series = model::sample_equilibrium(
+      *wrapped, 10000, 2000, 5,
+      [&](const model::ChainModel&) { ++samples_seen; });
+
+  ASSERT_EQ(model_series.size(), core_series.size());
+  EXPECT_EQ(samples_seen, 5u);
+  EXPECT_EQ(model_series.front().iteration, 10000u);  // first AT burn-in
+  for (std::size_t i = 0; i < core_series.size(); ++i) {
+    EXPECT_EQ(model_series[i].iteration, core_series[i].iteration);
+    EXPECT_EQ(model_series[i].perimeter_ratio, core_series[i].perimeter_ratio);
+  }
+}
+
+// ---- cross-model save/restore round-trips via the registry -----------
+
+TEST(BuiltinModels, EveryFactoryRoundTripsThroughSaveState) {
+  struct Case {
+    const char* tag;
+    std::vector<std::string> params;
+    double gamma;  // schelling reads tolerance off γ and wants [0, 1]
+  };
+  const std::vector<Case> cases{
+      {"separation", {"blob=20"}, 2.0},
+      {"alignment", {"blob=20"}, 2.0},
+      {"ising", {"radius=3"}, 2.0},
+      {"schelling", {"radius=3", "vacancy=0.2"}, 0.5},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.tag);
+    const auto& factory = model::require_model(c.tag);
+    auto m = factory.build(c.params, model::TaskPoint{0, 0, 2.0, c.gamma, 31});
+    m->run(5000);
+    auto back = factory.restore(m->save_state());
+    m->run(5000);
+    back->run(5000);
+    EXPECT_EQ(back->save_state(), m->save_state());
+    EXPECT_EQ(back->tag(), c.tag);
+  }
+}
+
+TEST(SeparationModel, DowncastRefusesOtherModels) {
+  auto alignment = model::build_from_spec(
+      "alignment", std::vector<std::string>{"blob=10"},
+      model::TaskPoint{0, 0, 2.0, 2.0, 5});
+  EXPECT_THROW((void)model::separation_chain(*alignment), model::ModelError);
+}
+
+// ---- state token codec ----------------------------------------------
+
+TEST(StateCodec, DoublesRoundTripBitExact) {
+  std::string line;
+  model::state::put_double(line, 0.1);
+  EXPECT_EQ(model::state::get_double(line, "x"), 0.1);
+  EXPECT_EQ(line.find("0x"), 0u) << "hexfloat expected: " << line;
+}
+
+TEST(StateCodec, MalformedTokensNameTheField) {
+  try {
+    (void)model::state::get_u64("12x", "counters");
+    FAIL() << "bad u64 accepted";
+  } catch (const model::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("counters"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)model::state::tokens("a  b", "line"), model::ModelError);
+  EXPECT_THROW((void)model::state::expect("rng 1 2", "params", 3),
+               model::ModelError);
+}
+
+}  // namespace
+}  // namespace sops

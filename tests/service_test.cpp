@@ -14,6 +14,7 @@
 
 #include "src/engine/ensemble.hpp"
 #include "src/engine/thread_pool.hpp"
+#include "src/model/builtin.hpp"
 #include "src/service/client.hpp"
 #include "src/service/jobs.hpp"
 #include "src/service/protocol.hpp"
@@ -25,6 +26,13 @@
 namespace {
 
 using namespace sops;
+
+// The registry-backed recipes dispatch on JobSpec::model, so the
+// builtin factories must be registered before any program is built.
+const bool kModelsRegistered = [] {
+  model::ensure_builtin_models();
+  return true;
+}();
 
 /// A tiny but real service_sweep job: `tasks` replicas of a
 /// `blob`-particle chain run to one checkpoint.
@@ -153,7 +161,7 @@ TEST(ServiceProtocolTest, JobPayloadRejectsMalformedDocuments) {
   std::string payload = service::encode_job_payload(job);
   // Embedded-document version skew.
   std::string skewed = payload;
-  skewed.replace(skewed.find("v2"), 2, "v9");
+  skewed.replace(skewed.find("sops-shard-wire v3") + 16, 2, "v9");
   EXPECT_THROW((void)service::decode_job_payload(skewed),
                service::ProtocolError);
   // Field corruption inside the document.
@@ -248,6 +256,59 @@ TEST(ServiceJobsTest, BadParamsAreRefusedNamingTheField) {
   }
 }
 
+TEST(ServiceJobsTest, UnknownModelTagIsRefusedAsUnknownModel) {
+  // A syntactically fine job whose model tag nobody registered is a
+  // named synchronous refusal — its own reason token, distinct from
+  // unknown-job (the name IS registered) and bad-job (the params are
+  // fine), with the registered set listed for the operator.
+  shard::JobSpec job = small_job(1, 12, 100);
+  job.model = "voter";
+  try {
+    (void)service::build_program(job);
+    FAIL() << "built a program for an unregistered model";
+  } catch (const service::JobError& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedUnknownModel);
+    EXPECT_NE(std::string(e.what()).find("model 'voter' not registered"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("separation"), std::string::npos)
+        << e.what();
+  }
+  // The separation-specific recipes refuse foreign tags too — they
+  // hard-code the separation chain's start configuration.
+  job = small_job(1, 12, 100);
+  job.name = "bench_fig3_phase_diagram";
+  job.model = "alignment";
+  try {
+    (void)service::build_program(job);
+    FAIL() << "built fig3 for a non-separation model";
+  } catch (const service::JobError& e) {
+    EXPECT_EQ(e.reason(), service::kRefusedBadJob);
+    EXPECT_NE(std::string(e.what()).find("separation"), std::string::npos);
+  }
+}
+
+TEST(ServiceJobsTest, ModelFieldSurvivesPayloadVersionSkew) {
+  // v3 payloads carry the model line verbatim; a v2 payload (pre-model
+  // wire) decodes with the default separation tag, so version-skewed
+  // clients keep submitting the jobs they always did.
+  shard::JobSpec job = small_job(2, 16, 500);
+  job.model = "alignment";
+  job.params = {"blob=16"};
+  const std::string payload = service::encode_job_payload(job);
+  const shard::JobSpec back = service::decode_job_payload(payload);
+  EXPECT_EQ(back.model, "alignment");
+  EXPECT_EQ(service::encode_job_payload(back), payload);
+
+  shard::JobSpec legacy = small_job(2, 16, 500);
+  std::string v2 = service::encode_job_payload(legacy);
+  v2.replace(v2.find("sops-shard-wire v3") + 16, 2, "v2");
+  const auto mpos = v2.find("model separation\n");
+  ASSERT_NE(mpos, std::string::npos);
+  v2.erase(mpos, std::string("model separation\n").size());
+  EXPECT_EQ(service::decode_job_payload(v2).model, "separation");
+}
+
 // --- Engine cancel token ---
 
 TEST(ServiceCancelTest, ArmedTokenCancelsBeforeAnyTask) {
@@ -339,6 +400,13 @@ TEST(ServiceServerTest, StatusResultAndCancelRefusalPaths) {
   const service::Client::Submitted refused = client.submit(unknown);
   EXPECT_FALSE(refused.accepted);
   EXPECT_EQ(refused.reason, service::kRefusedUnknownJob);
+
+  // So are bogus model tags — synchronously, before anything queues.
+  shard::JobSpec bogus = small_job(1, 12, 100);
+  bogus.model = "majority";
+  const service::Client::Submitted no_model = client.submit(bogus);
+  EXPECT_FALSE(no_model.accepted);
+  EXPECT_EQ(no_model.reason, service::kRefusedUnknownModel);
 
   client.shutdown_server();
   server.wait();

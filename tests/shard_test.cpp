@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/core/coloring.hpp"
+#include "src/model/separation.hpp"
 #include "src/engine/seed_stream.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/shard/harness.hpp"
@@ -31,6 +32,7 @@ std::uint64_t bits_of(double v) {
 JobSpec tricky_job() {
   JobSpec job;
   job.name = "shard_test_job";
+  job.model = "alignment";  // non-default tag must survive the wire
   job.grid.lambdas = {1.5, 4.0};
   job.grid.gammas = {0.5};
   job.grid.replicas = 2;
@@ -80,6 +82,7 @@ TEST(Wire, RoundTripIsBitExactAndByteStable) {
   EXPECT_EQ(encode(decoded.job, decoded.results), text);
 
   EXPECT_EQ(decoded.job.name, job.name);
+  EXPECT_EQ(decoded.job.model, "alignment");
   EXPECT_EQ(decoded.job.grid.replicas, 2u);
   EXPECT_TRUE(decoded.job.grid.derive_seeds);
   EXPECT_EQ(decoded.job.checkpoints, job.checkpoints);
@@ -109,12 +112,40 @@ TEST(Wire, RoundTripIsBitExactAndByteStable) {
   EXPECT_TRUE(b.aux.empty());
 }
 
+TEST(Wire, V2DocumentsDecodeWithTheDefaultModelTag) {
+  // A v2 wire file predates the model line; the reader must default the
+  // tag to "separation" so pre-refactor shard files still merge.
+  JobSpec job = tricky_job();
+  job.model = "separation";
+  std::string text = encode(job, tricky_results(job));
+  const auto vpos = text.find(" v3\n");
+  ASSERT_NE(vpos, std::string::npos);
+  text.replace(vpos, 4, " v2\n");
+  const auto mpos = text.find("model separation\n");
+  ASSERT_NE(mpos, std::string::npos);
+  text.erase(mpos, std::string("model separation\n").size());
+
+  const ShardFile decoded = decode(text);
+  EXPECT_EQ(decoded.job.model, "separation");
+  EXPECT_EQ(decoded.job.name, job.name);
+  ASSERT_EQ(decoded.results.size(), 2u);
+
+  // A v2 document carrying a model line is malformed — the line joined
+  // the grammar in v3.
+  std::string hybrid = encode(job, tricky_results(job));
+  hybrid.replace(hybrid.find(" v3\n"), 4, " v2\n");
+  EXPECT_THROW((void)decode(hybrid), WireError);
+}
+
 TEST(Wire, EncodeRejectsUnencodableSpecs) {
   JobSpec job = tricky_job();
   job.name = "two tokens";
   EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
   job = tricky_job();
   job.params = {"has space"};
+  EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
+  job = tricky_job();
+  job.model = "two tokens";
   EXPECT_THROW((void)encode(job, {}), std::invalid_argument);
   job = tricky_job();
   job.tasks[1].index = 5;  // not dense
@@ -136,9 +167,9 @@ TEST(Wire, DecodeIsStrict) {
   };
 
   expect_rejected("", "empty input");
-  expect_rejected("sops-shard-wire v3\n", "unknown version");
+  expect_rejected("sops-shard-wire v4\n", "unknown version");
   expect_rejected("sops-shard-wire v1\n", "obsolete version");
-  expect_rejected("not-a-shard-file v2\n", "bad magic");
+  expect_rejected("not-a-shard-file v3\n", "bad magic");
 
   // Truncation anywhere — drop the trailing 'end' line.
   expect_rejected(good.substr(0, good.size() - 4), "missing end marker");
@@ -149,7 +180,7 @@ TEST(Wire, DecodeIsStrict) {
   // Double space = empty token.
   {
     std::string t = good;
-    t.replace(t.find(" v2"), 1, "  ");
+    t.replace(t.find(" v3"), 1, "  ");
     expect_rejected(t, "empty token");
   }
   // Tampered count.
@@ -248,13 +279,14 @@ engine::GridSpec small_spec() {
 
 engine::ChainJob small_chain_job() {
   engine::ChainJob job;
-  job.make_chain = [](const engine::Task& t) {
+  job.make_model = [](const engine::Task& t) {
     util::Rng rng(t.seed);
     const auto nodes = lattice::random_blob(30, rng);
     const auto colors = core::balanced_random_colors(30, 2, rng);
-    return core::SeparationChain(system::ParticleSystem(nodes, colors),
-                                 core::Params{t.lambda, t.gamma, true},
-                                 t.seed);
+    return model::make_separation(
+        core::SeparationChain(system::ParticleSystem(nodes, colors),
+                              core::Params{t.lambda, t.gamma, true},
+                              t.seed));
   };
   job.checkpoints = {0, 10000, 30000};
   return job;
