@@ -17,6 +17,7 @@
 #include "src/core/coloring.hpp"
 #include "src/core/locality.hpp"
 #include "src/core/markov_chain.hpp"
+#include "src/core/replica_band.hpp"
 #include "src/core/step_pipeline.hpp"
 #include "src/harness/harness.hpp"
 #include "src/lattice/shapes.hpp"
@@ -107,6 +108,44 @@ BENCHMARK(BM_RunPipeline)
     ->ArgPair(1600, 64)
     ->ArgPair(1600, 256)
     ->ArgPair(1600, 1024);
+
+// The across-replica band engine (src/core/replica_band.hpp) against
+// the single-chain pipeline above. Arg pair = (n, band width); each
+// timing iteration advances EVERY lane by one 4096-step chunk, so
+// items = aggregate chain steps across the band and items/s divided by
+// BM_RunPipeline's items/s is the per-core replica throughput ratio.
+// Lanes use distinct seeds — the arena sees genuinely diverged
+// configurations, not eight copies of one trajectory. The simd counter
+// records whether the AVX2 path was active (0 under SOPS_FORCE_SCALAR
+// or on non-AVX2 hosts; the ratio claim applies to simd == 1 runs).
+void BM_ReplicaBand(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto width = static_cast<std::size_t>(state.range(1));
+  std::vector<core::SeparationChain> chains;
+  chains.reserve(width);
+  for (std::size_t r = 0; r < width; ++r) {
+    chains.push_back(make_chain(n, 42 + 1000 * r));
+    chains.back().run(kStepBurnIn);
+  }
+  std::vector<core::SeparationChain*> ptrs;
+  for (auto& c : chains) ptrs.push_back(&c);
+  core::ReplicaBand band(ptrs);
+  for (auto _ : state) {
+    band.run(kPipelineChunk);
+  }
+  const auto steps = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(kPipelineChunk) *
+                     static_cast<std::int64_t>(width);
+  state.SetItemsProcessed(steps);
+  state.counters["simd"] =
+      benchmark::Counter(band.simd_enabled() ? 1.0 : 0.0);
+}
+BENCHMARK(BM_ReplicaBand)
+    ->ArgPair(400, 1)
+    ->ArgPair(400, 8)
+    ->ArgPair(400, 16)
+    ->ArgPair(1600, 8)
+    ->ArgPair(1600, 16);
 
 template <bool kReference>
 void property_check_impl(benchmark::State& state) {

@@ -37,13 +37,17 @@ out=${2:-BENCH_kernels.json}
 bin=$build_dir/bench/bench_kernels
 [[ -x $bin ]] || { echo "error: $bin not built" >&2; exit 1; }
 
-filter='BM_ChainStep(_Reference)?/(400|1600)|BM_RunPipeline/(400|1600)/(64|256|1024)|BM_PropertyCheck(_Reference)?$|BM_NeighborhoodGather$|BM_NeighborCount$'
+filter='BM_ChainStep(_Reference)?/(400|1600)|BM_RunPipeline/(400|1600)/(64|256|1024)|BM_ReplicaBand/(400|1600)/(1|8|16)|BM_PropertyCheck(_Reference)?$|BM_NeighborhoodGather$|BM_NeighborCount$'
 raw=$(mktemp "${TMPDIR:-/tmp}/bench_kernels.XXXXXX.json")
 trap 'rm -f "$raw"' EXIT
 
 # The harness prints its report banner on stdout, so route the JSON
 # through --benchmark_out instead of --benchmark_format=json on stdout.
+# Three repetitions with only the aggregates reported: the snapshot
+# records each benchmark's median run, so one noisy scheduling quantum
+# can't skew a recorded row (or trip a spurious --compare WARN).
 "$bin" --benchmark_filter="$filter" --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json --benchmark_out="$raw" \
   --benchmark_out_format=json > /dev/null
 
@@ -51,17 +55,20 @@ build_type=$(grep -m1 '^CMAKE_BUILD_TYPE' "$build_dir/CMakeCache.txt" 2>/dev/nul
   | cut -d= -f2)
 
 distill() {
-  # $1 = raw google-benchmark JSON; emits the snapshot document.
+  # $1 = raw google-benchmark JSON; emits the snapshot document. Only
+  # the per-benchmark median aggregate is kept, under the plain name.
   jq --arg machine "$(uname -srm), $(nproc) cores" \
      --arg build_type "${build_type:-unknown}" '{
     machine: $machine,
     build_type: $build_type,
-    benchmarks: [.benchmarks[] | {
-      name,
-      items_per_second: (.items_per_second // null),
-      ns_per_op: .cpu_time,
-      probes_per_step: (.probes_per_step // null)
-    }]
+    benchmarks: [.benchmarks[]
+      | select(.aggregate_name == "median")
+      | {
+        name: (.name | sub("_median$"; "")),
+        items_per_second: (.items_per_second // null),
+        ns_per_op: .cpu_time,
+        probes_per_step: (.probes_per_step // null)
+      }]
   }' "$1"
 }
 
@@ -79,7 +86,17 @@ if (( compare )); then
      | select($c.items_per_second < (1 - $tol / 100) * $b.items_per_second)
      | "WARN: \($b.name) slowed: \($c.items_per_second | floor) items/s vs baseline \($b.items_per_second | floor)"]
     | .[]' -r)
+  # Benchmarks in the new run with no baseline row are additions, not
+  # regressions: report them informationally so the operator refreshes
+  # the snapshot, but never let them trip SOPS_BENCH_STRICT.
+  additions=$(jq -n --slurpfile base "$baseline" --slurpfile cur "$current" '
+    ([$base[0].benchmarks[].name]) as $known
+    | [$cur[0].benchmarks[]
+       | select(.name as $n | $known | index($n) | not)
+       | "NEW: \(.name): \(if .items_per_second then (.items_per_second | floor | tostring) + " items/s" else "\(.ns_per_op | floor) ns/op" end) — no baseline row; refresh with scripts/bench_kernels_snapshot.sh"]
+    | .[]' -r)
   [[ -z $warnings ]] || printf '%s\n' "$warnings"
+  [[ -z $additions ]] || printf '%s\n' "$additions"
   if [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 && -n $warnings ]]; then
     echo "FAIL: kernel perf regression beyond ${tolerance}% (SOPS_BENCH_STRICT=1)" >&2
     exit 1

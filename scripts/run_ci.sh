@@ -45,6 +45,17 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 echo "== ctest model tier (registry + alignment seam)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L model
 
+echo "== replica-band scalar fallback (SOPS_FORCE_SCALAR=1)"
+# The default ctest pass above exercises the AVX2 path (on hardware that
+# has it); this one pins the scalar fallback to the same byte-identity
+# contract. The binary runs directly because the ctest registrations
+# were discovered without the env override.
+SOPS_FORCE_SCALAR=1 "$build_dir"/tests/replica_band_test \
+  --gtest_brief=1
+SOPS_FORCE_SCALAR=1 "$build_dir"/tests/engine_test \
+  --gtest_brief=1 --gtest_filter='Ensemble.Banded*'
+echo "ok: band equivalence tests pass with SIMD disabled"
+
 echo "== alignment smoke (report vs committed golden)"
 "$build_dir"/bench/bench_alignment_phase_diagram --threads 1 \
   >/tmp/sops_alignment_smoke.$$.txt

@@ -115,8 +115,11 @@ class SeparationChain {
  private:
   // The pipeline is the run loop: it reads rng_/sys_/params_, the
   // Metropolis pow tables, and flushes block-local counters into
-  // counters_. step() stays the single-step reference twin.
+  // counters_. step() stays the single-step reference twin. The
+  // replica band (replica_band.hpp) advances whole groups of sibling
+  // chains lock-step under the same contract.
   friend class StepPipeline;
+  friend class ReplicaBand;
   [[nodiscard]] double pow_lambda(int k) const noexcept {
     return pow_lambda_[static_cast<std::size_t>(k + kMaxExp)];
   }

@@ -1,0 +1,211 @@
+// Across-replica SoA band engine: lock-step advance of independent
+// replicas of the same (n, λ, γ) point.
+//
+// Within one chain, steps are inherently sequential — every proposal
+// reads the configuration the previous step wrote. Across the replicas
+// of a sweep point they are perfectly independent, which is the axis
+// the StepPipeline (step_pipeline.hpp) cannot vectorize. ReplicaBand
+// binds 1–16 chains sharing the same particle count and parameters and
+// advances them in lock-step "ticks", one step per replica per tick:
+//
+//  - REFILL/DECODE keeps one util::Rng stream per replica, and for a
+//    full 8-lane group runs the stream itself in SIMD: the xoshiro256++
+//    states live as structure-of-arrays vector registers, each tick
+//    generates the band's three raw words with vector rotate/xor, and
+//    the Lemire multiply-shift decode happens in 64-bit vector lanes.
+//    The decode is bit-exact: a lane whose word would take the (once
+//    per ~2^40 draws) rejection branch is detected and replayed on the
+//    scalar util::lemire_below path from its pre-block state, so word
+//    consumption stays identical to serial step(). Ragged lanes and
+//    partial groups decode scalar (Rng::fill + lemire_below) as well.
+//    Proposals land in lane-transposed arrays (tick-major, lane-minor)
+//    so one tick's band of proposals is a contiguous vector load.
+//  - EXECUTE vectorizes ACROSS lanes. Every replica owns a dense
+//    occupancy-mirror plane (same cell encoding as the pipeline's
+//    mirror) inside one contiguous arena with shared plane geometry,
+//    so the ten neighborhood loads of eight replicas become AVX2
+//    gathers; the per-direction cell offsets and the Properties 4/5
+//    ring LUT are answered by in-register permutes (vpermd) rather
+//    than more gathers, a packed per-particle SoA (arena cell index +
+//    color nibble in one int32) collapses the position/color lookups
+//    to a single gather, and the Metropolis accept comes from gathered
+//    pow_lambda_/pow_gamma_ table loads — the move and swap weight
+//    indices are blended into one shared multiply+compare, exact
+//    because λ^0 ≡ 1.0 — bit-identical per lane to step()'s
+//    `q >= λ^Δe · γ^Δe_i` (resp. `q >= γ^sx`) test. Lanes whose step
+//    quota ran out mid-block are masked off inside the tick instead of
+//    demoting the group, so ragged quotas stay vectorized. Accepted
+//    lanes (typically a small minority) apply scalar through the same
+//    *_unchecked mutators the pipeline uses.
+//
+// Dispatch is runtime: the SIMD path engages only when the CPU reports
+// AVX2, `SOPS_FORCE_SCALAR` is not set, and the arena covers every
+// lane's bounding box economically. Everything else — widths below 8,
+// arena-cap refusals, drift rebuilds that decline mid-run — falls back
+// to per-lane scalar execution over the arena or, failing that, the
+// FlatMap gather path. All paths produce the same bytes.
+//
+// The contract, pinned by tests/replica_band_test.cpp: after
+// ReplicaBand::run, every bound chain is byte-identical to a twin
+// advanced by the same number of serial step() calls — positions,
+// colors, edge counts, all eight counters, and post-run RNG state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/markov_chain.hpp"
+
+namespace sops::core {
+
+class ReplicaBand {
+ public:
+  /// Lanes per band. 8 is one AVX2 gather; 16 runs two SIMD groups per
+  /// tick and halves the per-tick loop overhead.
+  static constexpr std::size_t kMaxWidth = 16;
+  static constexpr std::size_t kDefaultBlockSize = 256;
+  static constexpr std::size_t kMaxBlockSize = 4096;
+
+  /// Execution-path selection. kAuto resolves to SIMD when the CPU
+  /// supports AVX2 and the SOPS_FORCE_SCALAR environment variable is
+  /// unset; kScalar forces the per-lane fallback (CI exercises it
+  /// explicitly); kSimd demands AVX2 and throws without it.
+  enum class Mode { kAuto, kScalar, kSimd };
+
+  /// Telemetry only; never feeds back into any trajectory.
+  struct Stats {
+    std::uint64_t blocks = 0;        ///< decode/execute blocks
+    std::uint64_t refill_words = 0;  ///< bulk-refilled raw words
+    std::uint64_t tail_words = 0;    ///< Lemire-rejection spill draws
+    std::uint64_t simd_steps = 0;    ///< steps executed on the SIMD path
+    std::uint64_t scalar_steps = 0;  ///< steps executed on scalar paths
+    std::uint64_t arena_rebuilds = 0;///< arena (re)builds
+  };
+
+  /// Binds to `chains` (kept by pointer; all must outlive the band).
+  /// Requires 1..kMaxWidth chains agreeing on particle count, λ, γ, and
+  /// swaps_enabled; throws std::invalid_argument otherwise. Replicas
+  /// differ only in configuration and RNG stream — exactly the sweep
+  /// grid's replica axis.
+  explicit ReplicaBand(std::span<SeparationChain* const> chains,
+                       std::size_t block_size = kDefaultBlockSize,
+                       Mode mode = Mode::kAuto);
+
+  /// Advances every lane by `iterations` steps, byte-identical per lane
+  /// to `iterations` serial step() calls on that chain.
+  void run(std::uint64_t iterations);
+
+  /// Per-lane step quotas (size() == width()): lane r advances by
+  /// exactly quotas[r] steps. Lanes whose quota runs out mid-band drop
+  /// to the scalar path for the ragged ticks; the rest stay vectorized.
+  /// This is how the ensemble drives replicas whose measurement
+  /// schedules diverge.
+  void run(std::span<const std::uint64_t> quotas);
+
+  [[nodiscard]] std::size_t width() const noexcept { return chains_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// True when the resolved mode can use AVX2 (arena permitting).
+  [[nodiscard]] bool simd_enabled() const noexcept { return simd_; }
+
+  /// What Mode::kAuto resolves to on this machine right now (CPU
+  /// capability ∧ !SOPS_FORCE_SCALAR). Exposed for tests and benches.
+  [[nodiscard]] static bool auto_simd() noexcept;
+
+ private:
+  // Cell encoding shared with StepPipeline's mirror: low kPBits bits
+  // hold particle index + 1 (0 = empty), top nibble holds color ^ 0xF.
+  static constexpr int kPBits = 24;
+  static constexpr std::uint32_t kPMask = (1u << kPBits) - 1;
+  // Packed per-particle SoA: low kIdxBits bits hold the particle's
+  // arena cell index, top nibble its encoded color (c ^ 0xF).
+  static constexpr int kIdxBits = 28;
+  static constexpr std::uint32_t kIdxMask = (1u << kIdxBits) - 1;
+  static constexpr std::int64_t kArenaMargin = 8;
+  static constexpr std::int64_t kArenaSlack = 3;
+
+  void run_block(const std::size_t* active, std::size_t max_active);
+  /// Decodes ticks [from, to) of lane `r` on the scalar path: Rng::fill
+  /// bulk refill + the shared util::lemire_below, rejection spills
+  /// drawn from the live generator.
+  void decode_lane(std::size_t r, std::size_t from, std::size_t to);
+  /// Decodes ticks [0, ticks) for the full 8-lane group at `g8` with
+  /// the vectorized xoshiro256++/Lemire path; lanes that would hit the
+  /// Lemire rejection branch are replayed scalar from their pre-call
+  /// RNG state. Requires n < 2^24 (the vector rejection test's range).
+  void decode_group_simd(std::size_t g8, std::size_t ticks);
+  /// Executes decoded ticks [from, to) of lane `r` on the scalar path.
+  /// Returns `to` normally, or the resume tick when the arena was
+  /// declined mid-walk (kArena only); the caller re-enters with
+  /// kArena = false.
+  template <bool kArena>
+  std::size_t execute_lane(std::size_t r, std::size_t from, std::size_t to);
+  /// Executes ticks [from, max over the group of active[g8+j]) for the
+  /// 8-lane group starting at lane `g8` with AVX2 gathers; lanes whose
+  /// active count is below the current tick are masked off. Returns
+  /// the tick it stopped at (the max normally; early when a drift
+  /// rebuild declined the arena).
+  std::size_t execute_group_simd(std::size_t g8, std::size_t from,
+                                 const std::size_t* active);
+
+  /// (Re)builds the shared-geometry arena, the per-lane position/color
+  /// SoA, and the direction offset tables; arena_ok_ = false when any
+  /// lane's bounding box makes the shared plane uneconomical.
+  void rebuild_arena();
+  void flush_counters(const std::size_t* active);
+
+  std::vector<SeparationChain*> chains_;
+  std::size_t block_size_;
+  bool simd_ = false;
+
+  // Decoded proposals, tick-major and lane-minor: tick t of lane r
+  // lives at [t * width + r], so one tick is one contiguous band.
+  std::vector<std::int32_t> pi_;
+  std::vector<std::int32_t> dir_;
+  std::vector<double> q_;
+  std::vector<std::uint64_t> raw_;  ///< per-lane refill buffer (reused)
+
+  // Arena: one dense mirror plane of w_*h_ cells per lane, planes
+  // consecutive. Lane r's cell for axial (x, y) sits at
+  // gbase_[r] + y*w_ + x — the per-lane origin is folded into gbase_,
+  // so a particle's whole arena address is one int32.
+  std::vector<std::uint32_t> cells_;
+  std::vector<std::int64_t> gbase_;
+  std::vector<std::int64_t> x0_, y0_;  ///< per-lane box origins
+  std::int64_t w_ = 0, h_ = 0;         ///< shared plane extent
+  bool arena_ok_ = false;
+
+  // Packed particle SoA, lane-minor like the proposals: particle i of
+  // lane r at [i * width + r] holds (arena cell index | nibble << 28),
+  // so one gather yields both the proposer's address and its encoded
+  // color.
+  std::vector<std::int32_t> pcell_;
+
+  // Per-direction cell offsets (function of shared w_ only) in the
+  // pipeline's ring order, transposed and padded for vpermd lookup by
+  // dir: ring_off_[k][dir], dirs 6 and 7 unused.
+  alignas(32) std::int32_t ring_off_[8][8] = {};
+  alignas(32) std::int32_t lp_off_[8] = {};
+
+  // 2-D Metropolis weight table: wtab_[(a+5)*kWtabStride + (b+12)] =
+  // pow_lambda_[a] * pow_gamma_[b], the identical IEEE product step()
+  // computes per proposal — so one gather replaces two plus a multiply,
+  // still bit-exact. Moves read (a, b) = (Δe, Δe_i) ∈ [-5, 5]²; swaps
+  // read (0, sx) with sx ∈ [-10, 10] (λ^0 ≡ 1.0, and 1.0·x == x).
+  // Stride 32 makes the index one shift+add. ~2.8 KB, L1-resident.
+  static constexpr int kWtabStride = 32;
+  alignas(64) double wtab_[11 * kWtabStride] = {};
+
+  // Per-lane counter accumulators, flushed per block.
+  struct LaneCounts {
+    std::uint64_t move_proposals = 0, moves_accepted = 0, rejected_five = 0,
+                  rejected_locality = 0, rejected_metropolis = 0,
+                  swap_proposals = 0, swaps_accepted = 0;
+  };
+  std::vector<LaneCounts> lane_counts_;
+
+  Stats stats_;
+};
+
+}  // namespace sops::core

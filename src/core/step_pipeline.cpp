@@ -90,13 +90,13 @@ void StepPipeline::run_block(std::size_t count) {
   ++stats_.blocks;
   util::Rng& rng = chain_.rng_;
 
-  // 1. REFILL — the minimum 3 words per step in one tight loop. Every
+  // 1. REFILL — the minimum 3 words per step in one bulk fill. Every
   // refilled word is consumed by the decode below (each proposal takes
   // at least 3), so the generator never runs ahead of the trajectory:
   // after the block, rng state equals the serial step() loop's exactly.
   const std::size_t words = 3 * count;
   std::uint64_t* const raw = raw_.data();
-  for (std::size_t i = 0; i < words; ++i) raw[i] = rng.next();
+  rng.fill(raw, words);
   stats_.refill_words += words;
 
   // 2. DECODE — identical word consumption to step()'s

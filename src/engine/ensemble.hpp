@@ -153,6 +153,18 @@ struct ChainJob {
   /// trajectories, and therefore reports, are byte-identical at every
   /// value.
   std::size_t pipeline_block = 0;
+
+  /// Across-replica banding (core::ReplicaBand): when ≥ 2, replicas of
+  /// the same grid cell are grouped into lock-step bands of up to this
+  /// many lanes (clamped to ReplicaBand::kMaxWidth) and one band is one
+  /// pool task. Ragged tails, non-bandable models (band_chain() ==
+  /// nullptr), and lanes whose parameters disagree fall back to the
+  /// scalar pipeline inside the same grouping. Purely an execution
+  /// strategy: the band's byte-identity contract makes every series,
+  /// aggregate, and wire byte identical to the 0/1 (scalar) setting.
+  /// The checkpointed runner (src/checkpoint) ignores it — mid-task
+  /// snapshot points are per-lane, so that path stays scalar.
+  std::size_t replica_band = 0;
 };
 
 /// The protocol `job` prescribes for `task`: the per-task override when

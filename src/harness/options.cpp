@@ -39,6 +39,10 @@ Options parse_options(int argc, char** argv, bool with_shard,
   cli.add_option("threads", "worker threads (0 = hardware concurrency)", "0");
   cli.add_option("telemetry", "append per-task JSONL records to this file",
                  "");
+  cli.add_option("replica-band",
+                 "advance up to N same-cell replicas per core in lock-step "
+                 "(core::ReplicaBand; 0/1 = scalar; byte-identical output)",
+                 "0");
   if (with_shard) {
     cli.add_option("shard", "run shard k of n ('k/n'); needs --shard-out", "");
     cli.add_option("task-range",
@@ -94,6 +98,12 @@ Options parse_options(int argc, char** argv, bool with_shard,
       throw std::invalid_argument("cli: --threads out of range (max 4096)");
     }
     opt.threads = static_cast<unsigned>(threads);
+    const std::uint64_t band = cli.unsigned_integer("replica-band");
+    if (band > 4096) {
+      throw std::invalid_argument(
+          "cli: --replica-band out of range (max 4096)");
+    }
+    opt.replica_band = static_cast<std::size_t>(band);
 
     if (with_shard) {
       if (!cli.str("shard").empty()) {

@@ -7,6 +7,9 @@
 //   --threads N    engine worker threads (0 = hardware concurrency);
 //                  results are bit-identical for every N — see src/engine
 //   --telemetry F  append per-task JSONL telemetry records to F
+//   --replica-band N  advance up to N same-cell replicas in lock-step
+//                  per core (core::ReplicaBand) for chain-protocol
+//                  sweeps; 0/1 = scalar; output is byte-identical
 //
 // Grid-shaped harnesses additionally expose the multi-host sharding
 // surface (parse_options(..., with_shard = true)):
@@ -48,6 +51,10 @@ struct Options {
   std::uint64_t seed = 1;
   unsigned threads = 0;    ///< engine pool size; 0 = hardware concurrency
   std::string telemetry;   ///< JSONL telemetry path; empty = disabled
+  /// --replica-band N: lock-step band width for chain-protocol sweeps
+  /// (engine::ChainJob::replica_band). 0/1 = scalar. An execution knob
+  /// only — output is byte-identical at every value.
+  std::size_t replica_band = 0;
 
   // Sharding surface (populated only for with_shard harnesses).
   bool shard_set = false;          ///< --shard k/n given

@@ -76,6 +76,17 @@ class ChainModel {
   /// buffer sizes only — trajectories are byte-identical at every
   /// value. Default: no-op for models without a batched pipeline.
   virtual void set_pipeline_block(std::size_t /*block*/) {}
+
+  /// Band-execution hook: the live separation chain when this model can
+  /// be advanced by core::ReplicaBand in lock-step with sibling replicas
+  /// (byte-identical to run(), per the band's contract), nullptr for
+  /// models without a bandable chain. A caller that takes the chain owns
+  /// the trajectory until it next calls run()/measure() through the
+  /// model — mixing band steps *between* those calls is fine (both
+  /// rebuild their derived state on entry), interleaving them is not.
+  [[nodiscard]] virtual core::SeparationChain* band_chain() noexcept {
+    return nullptr;
+  }
 };
 
 /// Runs the model to each absolute iteration in `checkpoints` (must be

@@ -65,6 +65,13 @@ class SeparationModel final : public ChainModel {
     pipeline_.reset();
   }
 
+  // Bandable: the band and the pipeline both rebuild their derived
+  // occupancy state at every entry, so alternating band steps with
+  // run()/measure() keeps every path byte-identical.
+  [[nodiscard]] core::SeparationChain* band_chain() noexcept override {
+    return &chain_;
+  }
+
   [[nodiscard]] const core::SeparationChain& chain() const noexcept {
     return chain_;
   }

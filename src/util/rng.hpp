@@ -98,6 +98,14 @@ class Rng {
     return result;
   }
 
+  /// Writes the next `count` raw outputs into `out` — exactly the words
+  /// `count` successive next() calls would return, leaving the generator
+  /// in the identical post-state. The bulk refill behind the batched
+  /// step pipeline and the replica band engine: the state lives in
+  /// registers for the whole loop instead of round-tripping through
+  /// memory once per word.
+  void fill(std::uint64_t* out, std::size_t count) noexcept;
+
   /// Uniform double in [0, 1) with 53 random bits.
   double uniform() noexcept {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;

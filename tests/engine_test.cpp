@@ -268,6 +268,56 @@ TEST(Ensemble, PerTaskProtocolDrivesTheActualRun) {
   }
 }
 
+// The replica_band knob is an execution strategy, not a protocol: the
+// banded run must reproduce the scalar fingerprint bit for bit. Five
+// replicas per cell against a band width of 4 forces both a full band
+// and a ragged single-lane tail through the grouping.
+TEST(Ensemble, BandedExecutionIsByteIdenticalToScalar) {
+  GridSpec spec = small_spec();
+  spec.replicas = 5;
+  const auto tasks = grid_tasks(spec);
+  ChainJob job = small_job();
+  ThreadPool pool(2);
+  const std::string scalar =
+      fingerprint(spec, run_chain_ensemble(pool, tasks, job));
+
+  job.replica_band = 4;
+  std::vector<int> hits(tasks.size(), 0);
+  job.on_sample = [&](const Task& t, const model::ChainModel& m) {
+    EXPECT_EQ(model::separation_chain(m).params().lambda, t.lambda);
+    ++hits[t.index];
+  };
+  const std::string banded =
+      fingerprint(spec, run_chain_ensemble(pool, tasks, job));
+  EXPECT_EQ(banded, scalar);
+  for (const int h : hits) EXPECT_EQ(h, 3);  // one per checkpoint
+}
+
+// Per-task protocols give every lane of one band a different sampling
+// schedule, so the lock-step walk must mask lanes off and re-engage
+// them across measurement points — and still match scalar exactly.
+TEST(Ensemble, BandedPerTaskProtocolMatchesScalar) {
+  GridSpec spec = small_spec();
+  spec.replicas = 3;
+  const auto tasks = grid_tasks(spec);
+  ChainJob job = small_job();
+  job.checkpoints.clear();
+  job.protocol = [](const Task& task) {
+    ChainProtocol p;
+    p.burn_in = 100 + 137 * task.replica;
+    p.interval = 31 + 7 * task.replica;
+    p.samples = 2 + task.replica % 2;
+    return p;
+  };
+  ThreadPool pool(2);
+  const std::string scalar =
+      fingerprint(spec, run_chain_ensemble(pool, tasks, job));
+  job.replica_band = 16;
+  const std::string banded =
+      fingerprint(spec, run_chain_ensemble(pool, tasks, job));
+  EXPECT_EQ(banded, scalar);
+}
+
 TEST(Ensemble, TaskExceptionPropagatesLowestIndex) {
   const GridSpec spec = small_spec();
   const auto tasks = grid_tasks(spec);

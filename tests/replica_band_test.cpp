@@ -1,0 +1,296 @@
+// Band-equivalence suite: a band of replicas advanced lock-step by
+// ReplicaBand must leave every lane byte-identical to a twin advanced
+// by the same number of serial step() calls — same positions, colors,
+// edge counts, all eight counters, and post-run RNG state — at every
+// width, on every execution path (SIMD groups, scalar-over-arena,
+// FlatMap fallback), through ragged per-lane quotas, and across arena
+// re-centers. This is the contract that lets the ensemble group sweep
+// replicas into bands.
+#include "src/core/replica_band.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/coloring.hpp"
+#include "src/core/markov_chain.hpp"
+#include "src/lattice/shapes.hpp"
+#include "src/util/rng.hpp"
+
+namespace sops::core {
+namespace {
+
+using system::ParticleSystem;
+
+SeparationChain make_chain(std::size_t n, int k, Params params,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto nodes = lattice::random_blob(n, rng);
+  const auto colors = balanced_random_colors(n, k, rng);
+  return SeparationChain(ParticleSystem(nodes, colors), params, seed);
+}
+
+// A band's replicas share (n, λ, γ, swaps) but differ in configuration
+// and RNG stream — exactly the sweep grid's replica axis.
+std::vector<SeparationChain> make_replicas(std::size_t width, std::size_t n,
+                                           int k, Params params,
+                                           std::uint64_t seed0) {
+  std::vector<SeparationChain> chains;
+  chains.reserve(width);
+  for (std::size_t r = 0; r < width; ++r) {
+    chains.push_back(make_chain(n, k, params, seed0 + 1000 * r));
+  }
+  return chains;
+}
+
+std::vector<SeparationChain*> pointers(std::vector<SeparationChain>& chains) {
+  std::vector<SeparationChain*> p;
+  for (SeparationChain& c : chains) p.push_back(&c);
+  return p;
+}
+
+void expect_same_state(const SeparationChain& a, const SeparationChain& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.system().positions(), b.system().positions()) << what;
+  EXPECT_EQ(a.system().colors(), b.system().colors()) << what;
+  EXPECT_EQ(a.system().edge_count(), b.system().edge_count()) << what;
+  EXPECT_EQ(a.system().hetero_edge_count(), b.system().hetero_edge_count())
+      << what;
+  const auto& ca = a.counters();
+  const auto& cb = b.counters();
+  EXPECT_EQ(ca.steps, cb.steps) << what;
+  EXPECT_EQ(ca.move_proposals, cb.move_proposals) << what;
+  EXPECT_EQ(ca.moves_accepted, cb.moves_accepted) << what;
+  EXPECT_EQ(ca.rejected_five, cb.rejected_five) << what;
+  EXPECT_EQ(ca.rejected_locality, cb.rejected_locality) << what;
+  EXPECT_EQ(ca.rejected_metropolis, cb.rejected_metropolis) << what;
+  EXPECT_EQ(ca.swap_proposals, cb.swap_proposals) << what;
+  EXPECT_EQ(ca.swaps_accepted, cb.swaps_accepted) << what;
+}
+
+// Step both chains onward through step(): only identical RNG states can
+// keep them in lockstep, pinning that the band consumed exactly each
+// lane's serial draw sequence.
+void expect_rng_in_sync(SeparationChain& a, SeparationChain& b,
+                        const std::string& what) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.step(), b.step()) << what << " post-run step " << i;
+  }
+  expect_same_state(a, b, what + " post-run trajectory");
+}
+
+TEST(ReplicaBand, MatchesStepTwinsAtEveryWidth) {
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8},
+                                  std::size_t{16}}) {
+    auto banded = make_replicas(width, 120, 2, Params{4.0, 4.0, true}, 11);
+    auto serial = make_replicas(width, 120, 2, Params{4.0, 4.0, true}, 11);
+    auto ptrs = pointers(banded);
+    ReplicaBand band(ptrs);
+    band.run(20000);
+    for (std::size_t r = 0; r < width; ++r) {
+      for (int i = 0; i < 20000; ++i) serial[r].step();
+      const std::string what =
+          "width " + std::to_string(width) + " lane " + std::to_string(r);
+      expect_same_state(serial[r], banded[r], what);
+      expect_rng_in_sync(serial[r], banded[r], what);
+    }
+  }
+}
+
+// The four (λ, γ, k, swaps) regimes of the pipeline suite: separation,
+// compression-only (swaps off — proposals onto occupied nodes burn the
+// draws with no counter), near-critical four-color, and sub-critical
+// high-acceptance.
+TEST(ReplicaBand, MatchesStepTwinsAtEverySetting) {
+  struct Setting {
+    std::size_t n;
+    int k;
+    Params params;
+    std::uint64_t seed;
+  };
+  const Setting kSettings[] = {
+      {120, 2, Params{4.0, 4.0, true}, 11},
+      {120, 1, Params{4.0, 1.0, false}, 22},
+      {90, 4, Params{2.0, 3.0, true}, 33},
+      {120, 2, Params{1.0, 1.0, true}, 44},
+  };
+  for (const Setting& s : kSettings) {
+    auto banded = make_replicas(8, s.n, s.k, s.params, s.seed);
+    auto serial = make_replicas(8, s.n, s.k, s.params, s.seed);
+    auto ptrs = pointers(banded);
+    ReplicaBand band(ptrs);
+    band.run(30000);
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (int i = 0; i < 30000; ++i) serial[r].step();
+      const std::string what = "seed " + std::to_string(s.seed) + " lane " +
+                               std::to_string(r);
+      expect_same_state(serial[r], banded[r], what);
+      expect_rng_in_sync(serial[r], banded[r], what);
+    }
+  }
+}
+
+// Forced-scalar mode is the CI fallback tier (SOPS_FORCE_SCALAR); it
+// must produce the same bytes with the SIMD path switched off.
+TEST(ReplicaBand, ScalarModeMatchesStepTwins) {
+  auto banded = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 17);
+  auto serial = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 17);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs, ReplicaBand::kDefaultBlockSize,
+                   ReplicaBand::Mode::kScalar);
+  EXPECT_FALSE(band.simd_enabled());
+  band.run(30000);
+  EXPECT_EQ(band.stats().simd_steps, 0u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (int i = 0; i < 30000; ++i) serial[r].step();
+    const std::string what = "scalar lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// Ragged per-lane quotas: replicas completing mid-band drop out of the
+// lock-step groups; the remaining lanes stay correct, and a lane with
+// quota zero must not consume a single draw.
+TEST(ReplicaBand, PerLaneQuotasHandleRaggedTails) {
+  auto banded = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 23);
+  auto serial = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 23);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  const std::uint64_t quotas[] = {0, 1, 7, 100, 1000, 4096, 9999, 20000};
+  band.run(std::span<const std::uint64_t>(quotas, 8));
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::uint64_t i = 0; i < quotas[r]; ++i) serial[r].step();
+    const std::string what = "quota " + std::to_string(quotas[r]);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// Odd-sized segments across one long-lived band, with direct step()
+// calls interleaved between segments: the arena is derived state and
+// must absorb external mutations at every re-entry.
+TEST(ReplicaBand, SegmentsAndExternalStepsAreAbsorbed) {
+  auto banded = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 31);
+  auto serial = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 31);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs, 64);
+  std::uint64_t seg = 1;
+  for (int round = 0; round < 8; ++round) {
+    band.run(seg);
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (std::uint64_t i = 0; i < seg; ++i) serial[r].step();
+      for (int i = 0; i < 57; ++i) {
+        serial[r].step();
+        banded[r].step();  // mutate outside the band
+      }
+    }
+    seg = seg * 4 + 1;  // 1, 5, 21, ... hits many partial-block tails
+  }
+  for (std::size_t r = 0; r < 8; ++r) {
+    const std::string what = "segmented lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// Free blobs (λ = γ = 1) diffuse; drifting into a lane's guard band
+// must re-center the shared arena mid-band without perturbing any
+// lane's trajectory.
+TEST(ReplicaBand, DriftRecentersTheArenaInsideABand) {
+  auto banded = make_replicas(8, 40, 2, Params{1.0, 1.0, true}, 41);
+  auto serial = make_replicas(8, 40, 2, Params{1.0, 1.0, true}, 41);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  band.run(150000);
+  // At least the entry rebuild plus one drift re-center.
+  EXPECT_GE(band.stats().arena_rebuilds, 2u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (int i = 0; i < 150000; ++i) serial[r].step();
+    const std::string what = "drift lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// One lane with a far-away outlier blows up the shared arena extent:
+// the band must decline the arena and run every lane through the
+// FlatMap gather path, still byte-identical to step().
+TEST(ReplicaBand, OversizedBoundingBoxFallsBackToFlatMapGather) {
+  const Params params{4.0, 4.0, true};
+  std::vector<SeparationChain> banded;
+  std::vector<SeparationChain> serial;
+  for (std::size_t r = 0; r < 8; ++r) {
+    util::Rng rng(77 + r);
+    auto nodes = lattice::random_blob(60, rng);
+    if (r == 3) {
+      nodes.push_back(lattice::Node{100000, 100000});
+    } else {
+      nodes.push_back(lattice::Node{0, -50});  // keep n equal across lanes
+    }
+    const auto colors = balanced_random_colors(nodes.size(), 2, rng);
+    banded.emplace_back(ParticleSystem(nodes, colors), params, 77 + r);
+    serial.emplace_back(ParticleSystem(nodes, colors), params, 77 + r);
+  }
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  band.run(20000);
+  EXPECT_EQ(band.stats().arena_rebuilds, 0u);
+  EXPECT_EQ(band.stats().simd_steps, 0u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (int i = 0; i < 20000; ++i) serial[r].step();
+    const std::string what = "outlier lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+TEST(ReplicaBand, RejectsIncompatibleBands) {
+  auto chains = make_replicas(2, 60, 2, Params{4.0, 4.0, true}, 3);
+  auto ptrs = pointers(chains);
+  EXPECT_THROW(ReplicaBand(std::span<SeparationChain* const>{}),
+               std::invalid_argument);
+  std::vector<SeparationChain*> with_null = ptrs;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ReplicaBand{with_null}, std::invalid_argument);
+  SeparationChain other_n = make_chain(61, 2, Params{4.0, 4.0, true}, 5);
+  std::vector<SeparationChain*> bad_n{ptrs[0], &other_n};
+  EXPECT_THROW(ReplicaBand{bad_n}, std::invalid_argument);
+  SeparationChain other_lambda = make_chain(60, 2, Params{3.0, 4.0, true}, 5);
+  std::vector<SeparationChain*> bad_l{ptrs[0], &other_lambda};
+  EXPECT_THROW(ReplicaBand{bad_l}, std::invalid_argument);
+  SeparationChain other_swaps = make_chain(60, 2, Params{4.0, 4.0, false}, 5);
+  std::vector<SeparationChain*> bad_s{ptrs[0], &other_swaps};
+  EXPECT_THROW(ReplicaBand{bad_s}, std::invalid_argument);
+  std::vector<SeparationChain*> too_wide(17, ptrs[0]);
+  EXPECT_THROW(ReplicaBand{too_wide}, std::invalid_argument);
+  // Mismatched quota span size.
+  ReplicaBand band(ptrs);
+  const std::uint64_t quotas[3] = {1, 1, 1};
+  EXPECT_THROW(band.run(std::span<const std::uint64_t>(quotas, 3)),
+               std::invalid_argument);
+}
+
+TEST(ReplicaBand, StatsAccountForEveryStep) {
+  auto chains = make_replicas(8, 120, 2, Params{4.0, 4.0, true}, 53);
+  auto ptrs = pointers(chains);
+  ReplicaBand band(ptrs, 128);
+  band.run(10000);
+  const ReplicaBand::Stats& st = band.stats();
+  EXPECT_EQ(st.simd_steps + st.scalar_steps, 8u * 10000u);
+  EXPECT_EQ(st.refill_words, 3u * 8u * 10000u);
+  EXPECT_EQ(st.blocks, (10000u + 127u) / 128u);
+  if (ReplicaBand::auto_simd()) {
+    EXPECT_TRUE(band.simd_enabled());
+    EXPECT_GT(st.simd_steps, 0u);
+  } else {
+    EXPECT_EQ(st.simd_steps, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sops::core

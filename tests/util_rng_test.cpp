@@ -190,6 +190,76 @@ TEST(Rng, BelowSixDrawOrderIsPinned) {
 }
 
 // ---------------------------------------------------------------------
+// Bulk refill. fill(out, n) is the shared block-refill primitive behind
+// the step pipeline and the replica band engine; both rely on it being
+// stream-equivalent to n next() calls — same words, same post-state —
+// so a block boundary is invisible to the trajectory.
+
+TEST(Rng, FillMatchesRepeatedNextAndPostState) {
+  for (const std::size_t count : {0u, 1u, 2u, 3u, 7u, 64u, 1000u, 12288u}) {
+    Rng bulk(8675309), serial(8675309);
+    std::vector<std::uint64_t> buf(count, 0xDEADBEEFu);
+    bulk.fill(buf.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(buf[i], serial.next()) << "count " << count << " word " << i;
+    }
+    ASSERT_EQ(bulk.state(), serial.state()) << "count " << count;
+    // And the streams stay merged afterwards.
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(bulk.next(), serial.next());
+  }
+}
+
+TEST(Rng, FillZeroIsANoOp) {
+  Rng rng(44);
+  const Rng::State before = rng.state();
+  rng.fill(nullptr, 0);
+  EXPECT_EQ(rng.state(), before);
+}
+
+TEST(Rng, FillChunksConcatenateToOneStream) {
+  // Refilling in blocks of varying size must concatenate to the same
+  // stream as one big fill — the pipeline's block size is a tuning
+  // knob, never a trajectory input.
+  Rng chunked(314159), whole(314159);
+  std::vector<std::uint64_t> got;
+  const std::size_t sizes[] = {1, 5, 0, 256, 3, 1024, 7};
+  for (const std::size_t s : sizes) {
+    std::vector<std::uint64_t> buf(s);
+    chunked.fill(buf.data(), s);
+    got.insert(got.end(), buf.begin(), buf.end());
+  }
+  std::vector<std::uint64_t> expect(got.size());
+  whole.fill(expect.data(), expect.size());
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(chunked.state(), whole.state());
+}
+
+TEST(Rng, FillBufferDecodeMatchesLiveBelowAcrossRejections) {
+  // The pipeline idiom: bulk-fill a block, decode with lemire_below
+  // over the buffer, spill to the live generator once the buffer runs
+  // dry. With bound = 2^63 + 1 (≈ half of all words rejected) the spill
+  // point lands mid-rejection-chain often; the decoded values and final
+  // state must still match direct below() calls on a twin.
+  constexpr std::uint64_t kBound = (1ULL << 63) + 1;
+  constexpr std::size_t kWords = 257;  // deliberately not a draw multiple
+  Rng buffered(161803), live(161803);
+  std::uint64_t buf[kWords];
+  buffered.fill(buf, kWords);
+  std::size_t cursor = 0;
+  const auto take = [&]() noexcept {
+    if (cursor < kWords) return buf[cursor++];
+    return buffered.next();
+  };
+  // 200 draws at ~2 words each overruns the 257-word buffer partway in.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(lemire_below(take, kBound), live.below(kBound)) << "draw " << i;
+  }
+  ASSERT_GE(cursor, kWords);  // the spill path really ran
+  ASSERT_EQ(buffered.state(), live.state());
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(buffered.next(), live.next());
+}
+
+// ---------------------------------------------------------------------
 // State export/import. The checkpoint subsystem's byte-identity claim
 // reduces to: a restored Rng emits the exact word stream the original
 // would have, from any capture point — including one that lands between
