@@ -117,7 +117,13 @@ BENCHMARK(BM_RunPipeline)
 // Lanes use distinct seeds — the arena sees genuinely diverged
 // configurations, not eight copies of one trajectory. The simd counter
 // records whether the AVX2 path was active (0 under SOPS_FORCE_SCALAR
-// or on non-AVX2 hosts; the ratio claim applies to simd == 1 runs).
+// or on non-AVX2 hosts; the ratio claim applies to simd == 1 runs);
+// simd_fraction is the share of steps actually executed on the SIMD
+// path (ragged groups, declined arenas, and scalar fall-backs drag it
+// below 1), the coverage number the snapshot script's --counters gate
+// checks. arena_rebuilds and tail_words surface ReplicaBand::Stats so
+// a drift-rebuild storm or Lemire-spill anomaly shows up in the
+// snapshot rather than as an unexplained slowdown.
 void BM_ReplicaBand(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto width = static_cast<std::size_t>(state.range(1));
@@ -130,6 +136,10 @@ void BM_ReplicaBand(benchmark::State& state) {
   std::vector<core::SeparationChain*> ptrs;
   for (auto& c : chains) ptrs.push_back(&c);
   core::ReplicaBand band(ptrs);
+  std::uint64_t accepts0 = 0;
+  for (const auto& c : chains) {
+    accepts0 += c.counters().moves_accepted + c.counters().swaps_accepted;
+  }
   for (auto _ : state) {
     band.run(kPipelineChunk);
   }
@@ -137,8 +147,25 @@ void BM_ReplicaBand(benchmark::State& state) {
                      static_cast<std::int64_t>(kPipelineChunk) *
                      static_cast<std::int64_t>(width);
   state.SetItemsProcessed(steps);
+  const core::ReplicaBand::Stats& st = band.stats();
+  const double executed =
+      static_cast<double>(st.simd_steps + st.scalar_steps);
+  std::uint64_t accepts = 0;
+  for (const auto& c : chains) {
+    accepts += c.counters().moves_accepted + c.counters().swaps_accepted;
+  }
   state.counters["simd"] =
       benchmark::Counter(band.simd_enabled() ? 1.0 : 0.0);
+  state.counters["simd_fraction"] = benchmark::Counter(
+      executed > 0.0 ? static_cast<double>(st.simd_steps) / executed : 0.0);
+  state.counters["arena_rebuilds"] =
+      benchmark::Counter(static_cast<double>(st.arena_rebuilds));
+  state.counters["tail_words"] =
+      benchmark::Counter(static_cast<double>(st.tail_words));
+  state.counters["accept_rate"] = benchmark::Counter(
+      steps > 0 ? static_cast<double>(accepts - accepts0) /
+                      static_cast<double>(steps)
+                : 0.0);
 }
 BENCHMARK(BM_ReplicaBand)
     ->ArgPair(400, 1)

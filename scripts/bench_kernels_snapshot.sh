@@ -9,7 +9,7 @@
 #   out-file   snapshot destination (default: BENCH_kernels.json)
 #
 #        scripts/bench_kernels_snapshot.sh --compare [--tolerance PCT] \
-#            [build-dir] [baseline]
+#            [--counters] [build-dir] [baseline]
 #   Re-measures and prints a WARN line per benchmark whose items/sec
 #   dropped more than PCT percent (default 25) below the committed
 #   baseline (default: BENCH_kernels.json). By default perf drift
@@ -17,20 +17,32 @@
 #   binary itself is missing/broken. Opt-in hard-fail mode: set
 #   SOPS_BENCH_STRICT=1 to exit 1 when any benchmark breaches the
 #   tolerance (for perf-gated CI lanes).
+#
+#   --counters additionally checks the band engine's execution-path
+#   counters: on the AVX2 tier (CPU reports avx2, SOPS_FORCE_SCALAR
+#   unset) the BM_ReplicaBand SIMD-step fraction must stay >= 90% at
+#   widths 8 and 16 — a silent fall-back to the scalar path would
+#   otherwise masquerade as a mere perf regression. Warn-only by
+#   default; SOPS_BENCH_STRICT=1 makes a breach exit 1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 compare=0
 tolerance=25
-if [[ ${1:-} == --compare ]]; then
-  compare=1
-  shift
-fi
-if [[ ${1:-} == --tolerance ]]; then
-  [[ $compare == 1 ]] || { echo "error: --tolerance only applies to --compare" >&2; exit 2; }
-  tolerance=${2:?--tolerance needs a percentage}
-  shift 2
-fi
+counters=0
+while [[ ${1:-} == --* ]]; do
+  case $1 in
+    --compare) compare=1; shift ;;
+    --tolerance)
+      [[ $compare == 1 ]] || { echo "error: --tolerance only applies to --compare" >&2; exit 2; }
+      tolerance=${2:?--tolerance needs a percentage}
+      shift 2 ;;
+    --counters)
+      [[ $compare == 1 ]] || { echo "error: --counters only applies to --compare" >&2; exit 2; }
+      counters=1; shift ;;
+    *) echo "error: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
 build_dir=${1:-build}
 out=${2:-BENCH_kernels.json}
 
@@ -95,10 +107,30 @@ if (( compare )); then
        | select(.name as $n | $known | index($n) | not)
        | "NEW: \(.name): \(if .items_per_second then (.items_per_second | floor | tostring) + " items/s" else "\(.ns_per_op | floor) ns/op" end) — no baseline row; refresh with scripts/bench_kernels_snapshot.sh"]
     | .[]' -r)
+  # Coverage gate: the perf rows only mean what they claim if the band
+  # actually ran its SIMD path. The fraction comes from the fresh raw
+  # run (median aggregate), never from the baseline.
+  coverage=
+  if (( counters )); then
+    if [[ -n ${SOPS_FORCE_SCALAR:-} ]] \
+        || ! grep -qm1 avx2 /proc/cpuinfo 2>/dev/null; then
+      echo "counters: non-AVX2 tier (or SOPS_FORCE_SCALAR set); skipping band SIMD-fraction check"
+    else
+      coverage=$(jq -r '
+        [.benchmarks[]
+         | select(.aggregate_name == "median")
+         | select(.name | test("^BM_ReplicaBand/[0-9]+/(8|16)_median$"))
+         | select((.simd_fraction // 0) < 0.90)
+         | "WARN: \(.name | sub("_median$"; "")) SIMD-step fraction \((.simd_fraction // 0) * 1000 | floor / 10)% < 90% — band fell back to scalar"]
+        | .[]' "$raw")
+      [[ -z $coverage ]] || printf '%s\n' "$coverage"
+    fi
+  fi
   [[ -z $warnings ]] || printf '%s\n' "$warnings"
   [[ -z $additions ]] || printf '%s\n' "$additions"
-  if [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 && -n $warnings ]]; then
-    echo "FAIL: kernel perf regression beyond ${tolerance}% (SOPS_BENCH_STRICT=1)" >&2
+  if [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 \
+        && ( -n $warnings || -n $coverage ) ]]; then
+    echo "FAIL: kernel perf regression beyond ${tolerance}% or band SIMD coverage below 90% (SOPS_BENCH_STRICT=1)" >&2
     exit 1
   fi
   echo "kernel perf comparison done ($( [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] && echo strict || echo warn-only ), threshold ${tolerance}%)"

@@ -45,16 +45,18 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 echo "== ctest model tier (registry + alignment seam)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L model
 
-echo "== replica-band scalar fallback (SOPS_FORCE_SCALAR=1)"
+echo "== replica-band + step-pipeline scalar fallback (SOPS_FORCE_SCALAR=1)"
 # The default ctest pass above exercises the AVX2 path (on hardware that
 # has it); this one pins the scalar fallback to the same byte-identity
 # contract. The binary runs directly because the ctest registrations
 # were discovered without the env override.
 SOPS_FORCE_SCALAR=1 "$build_dir"/tests/replica_band_test \
   --gtest_brief=1
+SOPS_FORCE_SCALAR=1 "$build_dir"/tests/step_pipeline_test \
+  --gtest_brief=1
 SOPS_FORCE_SCALAR=1 "$build_dir"/tests/engine_test \
   --gtest_brief=1 --gtest_filter='Ensemble.Banded*'
-echo "ok: band equivalence tests pass with SIMD disabled"
+echo "ok: band and pipeline equivalence tests pass with SIMD disabled"
 
 echo "== alignment smoke (report vs committed golden)"
 "$build_dir"/bench/bench_alignment_phase_diagram --threads 1 \
@@ -81,7 +83,8 @@ scripts/check_checkpoint_kill9.sh "$build_dir" bench_alignment_phase_diagram
 echo "== kernel perf vs recorded snapshot ($(
   [[ -n ${SOPS_BENCH_STRICT:-} && ${SOPS_BENCH_STRICT:-} != 0 ]] \
     && echo "strict: SOPS_BENCH_STRICT=1" || echo warn-only))"
-scripts/bench_kernels_snapshot.sh --compare "$build_dir" BENCH_kernels.json
+scripts/bench_kernels_snapshot.sh --compare --counters "$build_dir" \
+  BENCH_kernels.json
 
 if [[ -n ${SOPS_CI_TSAN:-} && ${SOPS_CI_TSAN:-} != 0 ]]; then
   echo "== TSan tiers (core|engine|shard|checkpoint|harness|service under ${build_dir}-tsan)"

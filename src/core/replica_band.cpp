@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -13,6 +14,7 @@
 #endif
 
 #include "src/core/neighborhood.hpp"
+#include "src/core/simd_dispatch.hpp"
 
 namespace sops::core {
 
@@ -94,20 +96,37 @@ __attribute__((target("avx2"))) inline __m256i lemire4(__m256i x, __m256i vb,
   return _mm256_srli_epi64(sum, 32);
 }
 
-// decode_uniform_open for four lanes. The hi/lo magic-number u64→double
-// conversion is exact for values below 2^53, so the result is
-// bit-identical to the scalar (double(raw >> 11) + 0.5) * 2^-53.
-__attribute__((target("avx2"))) inline __m256d open4(__m256i x) noexcept {
-  const __m256i v = _mm256_srli_epi64(x, 11);
-  const __m256d dhi = _mm256_castsi256_pd(_mm256_or_si256(
-      _mm256_srli_epi64(v, 32), _mm256_set1_epi64x(0x4530000000000000LL)));
-  const __m256d dlo = _mm256_castsi256_pd(_mm256_or_si256(
-      _mm256_and_si256(v, _mm256_set1_epi64x(0xffffffffLL)),
-      _mm256_set1_epi64x(0x4330000000000000LL)));
-  const __m256d d = _mm256_add_pd(
-      _mm256_sub_pd(dhi, _mm256_set1_pd(0x1.00000001p+84)), dlo);
-  return _mm256_mul_pd(_mm256_add_pd(d, _mm256_set1_pd(0.5)),
-                       _mm256_set1_pd(0x1.0p-53));
+// xoshiro256++ for all eight lanes at once on zmm registers: the same
+// op-for-op scalar recurrence as xo_next4, with the rotates native
+// (vprolq) instead of shift/shift/or.
+__attribute__((target("avx512f"))) inline __m512i xo_next8(
+    __m512i& s0, __m512i& s1, __m512i& s2, __m512i& s3) noexcept {
+  const __m512i r =
+      _mm512_add_epi64(_mm512_rol_epi64(_mm512_add_epi64(s0, s3), 23), s0);
+  const __m512i t = _mm512_slli_epi64(s1, 17);
+  s2 = _mm512_xor_si512(s2, s0);
+  s3 = _mm512_xor_si512(s3, s1);
+  s1 = _mm512_xor_si512(s1, s2);
+  s0 = _mm512_xor_si512(s0, s3);
+  s2 = _mm512_xor_si512(s2, t);
+  s3 = _mm512_rol_epi64(s3, 45);
+  return r;
+}
+
+// Lemire multiply-shift for eight lanes. The unsigned mask compare
+// subsumes the AVX2 path's explicit range check: the rejection branch
+// needs low < threshold, and threshold < b <= 2^24 makes any low with
+// upper bits set compare false on its own.
+__attribute__((target("avx512f"))) inline __m512i lemire8(
+    __m512i x, __m512i vb, __m512i vthr, __mmask8& rej) noexcept {
+  const __m512i t2 = _mm512_mul_epu32(x, vb);
+  const __m512i t1 = _mm512_mul_epu32(_mm512_srli_epi64(x, 32), vb);
+  const __m512i sum = _mm512_add_epi64(t1, _mm512_srli_epi64(t2, 32));
+  const __m512i low = _mm512_or_si512(
+      _mm512_slli_epi64(sum, 32),
+      _mm512_and_si512(t2, _mm512_set1_epi64(0xffffffffLL)));
+  rej = static_cast<__mmask8>(rej | _mm512_cmplt_epu64_mask(low, vthr));
+  return _mm512_srli_epi64(sum, 32);
 }
 
 // Narrows two 4x64 registers (values < 2^31) into one 8x32 store.
@@ -120,17 +139,259 @@ __attribute__((target("avx2"))) inline void store_lo32x8(std::int32_t* dst,
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
                       _mm256_permute2x128_si256(pa, pb, 0x20));
 }
+
+// Gathers eight arena cells normalized to the wide layout's top-nibble
+// form: color nibble at bits 28..31, occupancy in the sign bit, zero
+// iff empty. Wide cells are already in that form; compact 16-bit cells
+// are fetched pairwise (scale-2 epi32 gather puts the addressed cell in
+// the low half of each 32-bit lane) and one shift widens them
+// in-register, so the decision kernel downstream is layout-blind.
+template <bool kCompact>
+__attribute__((target("avx2"))) inline __m256i gather_cell_hi(
+    const int* cells, __m256i vidx) noexcept {
+  if constexpr (kCompact) {
+    return _mm256_slli_epi32(_mm256_i32gather_epi32(cells, vidx, 2), 16);
+  }
+  return _mm256_i32gather_epi32(cells, vidx, 4);
+}
+
+// Block-invariant inputs of the SIMD decide kernel.
+struct BandEnv {
+  const std::int32_t* pi;
+  const std::int32_t* dir;
+  const std::uint64_t* q;
+  const std::int64_t* itab;
+  const std::int32_t (*ring_off)[8];
+  const std::int32_t* lp_off;
+  std::size_t W;
+  int wshift;  ///< log2(W) when W is a power of two, else -1
+  bool swaps;
+};
+
+// Per-group SIMD execute state: lane constants and the seven counter
+// accumulators. The width-16 path keeps two of these live and runs
+// their ticks interleaved.
+struct Group {
+  __m256i vactive, vlane;
+  __m256i acc_movep, acc_macc, acc_r5, acc_rloc, acc_rmet, acc_swapp,
+      acc_sacc;
+  std::size_t g8 = 0;
+};
+
+__attribute__((target("avx2"))) inline void group_init(
+    Group& G, std::size_t g8, const std::size_t* active) noexcept {
+  alignas(32) std::int32_t act32[8];
+  for (std::size_t j = 0; j < 8; ++j) {
+    act32[j] = static_cast<std::int32_t>(active[g8 + j]);
+  }
+  G.vactive = _mm256_load_si256(reinterpret_cast<const __m256i*>(act32));
+  const int g = static_cast<int>(g8);
+  G.vlane = _mm256_setr_epi32(g, g + 1, g + 2, g + 3, g + 4, g + 5, g + 6,
+                              g + 7);
+  const __m256i z = _mm256_setzero_si256();
+  G.acc_movep = G.acc_macc = G.acc_r5 = G.acc_rloc = G.acc_rmet =
+      G.acc_swapp = G.acc_sacc = z;
+  G.g8 = g8;
+}
+
+// One tick of one 8-lane group: load the tick's proposal band, gather
+// the packed-SoA proposer cells and the 10-node neighborhoods across
+// lanes, and resolve every lane's outcome into counter accumulators.
+// Returns the accept masks packed as mm_macc | mm_sacc << 8, spilling
+// the decision vectors to `sp` only when some lane accepted — applies
+// happen scalar afterwards, so two groups can decide back-to-back with
+// their gathers overlapping. kMasked=false compiles the uniform-quota
+// prefix where every lane is known live, dropping the per-tick quota
+// compare and the three mask ANDs it feeds. always_inline: the tick
+// loops live or die by this body fusing into them (no per-tick call,
+// constants hoisted).
+template <bool kCompact, bool kMasked>
+__attribute__((target("avx2"), always_inline)) inline int band_decide(
+    const BandEnv& E, Group& G, const int* cells,
+    const std::int32_t* pcell, std::size_t t,
+    ReplicaBand::Spill* sp) noexcept {
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vm5 = _mm256_set1_epi32(-5);
+  const __m256i v31 = _mm256_set1_epi32(31);
+  // Bias folding both +5 (λ-exponent row) and +12 (γ-exponent column)
+  // into one add: wtab index = (a << 5) + b + (5*32 + 12).
+  const __m256i vwbias = _mm256_set1_epi32(5 * 32 + 12);
+  const __m256i vidxmask = _mm256_set1_epi32((1 << 28) - 1);
+  const __m256i vbits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256i vlut = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMoveOkWords.data()));
+  // Lanes whose quota ended before this tick are masked out of every
+  // counter and accept; their stale proposal slots still hold valid
+  // particle indices, so the gathers stay in bounds. The maskless
+  // instantiation folds vrun to all-ones and the ANDs vanish.
+  __m256i vrun = _mm256_set1_epi32(-1);
+  if constexpr (kMasked) {
+    vrun = _mm256_cmpgt_epi32(G.vactive,
+                              _mm256_set1_epi32(static_cast<int>(t)));
+  }
+
+  const std::size_t idx = t * E.W + G.g8;
+  const __m256i vpi = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(E.pi + idx));
+  const __m256i vdir = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(E.dir + idx));
+  // Raw generator words shifted to the 53-bit uniform domain; the
+  // accept test below compares them against integer thresholds instead
+  // of decoding to double.
+  const __m256i vq_lo = _mm256_srli_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(E.q + idx)), 11);
+  const __m256i vq_hi = _mm256_srli_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(E.q + idx + 4)),
+      11);
+
+  // One gather on the packed SoA: each lane's proposer address in the
+  // arena plus its encoded color. Band widths are usually 8 or 16, so
+  // a shift replaces the 10-cycle vpmulld heading the tick's whole
+  // gather dependency chain.
+  const __m256i vsoa = _mm256_add_epi32(
+      E.wshift >= 0
+          ? _mm256_slli_epi32(vpi, E.wshift)
+          : _mm256_mullo_epi32(vpi,
+                               _mm256_set1_epi32(static_cast<int>(E.W))),
+      G.vlane);
+  const __m256i vpc = _mm256_i32gather_epi32(pcell, vsoa, 4);
+  const __m256i vbase = _mm256_and_si256(vpc, vidxmask);
+  const __m256i vci = _mm256_srli_epi32(vpc, 28);
+
+  // The 10-node neighborhood across lanes: the per-direction offsets
+  // come from in-register permutes over the 6-entry tables (padded to
+  // 8), so only the arena cells themselves are gathered.
+  const __m256i vlpoff = _mm256_permutevar8x32_epi32(
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(E.lp_off)), vdir);
+  const __m256i vlpc =
+      gather_cell_hi<kCompact>(cells, _mm256_add_epi32(vbase, vlpoff));
+  const __m256i vlp_empty = _mm256_cmpeq_epi32(vlpc, vzero);
+  const __m256i vcj = _mm256_srli_epi32(vlpc, 28);
+
+  // Occupancy/color sums accumulated on the fly over the node subsets
+  // of neighborhood.hpp: e over ring 0..4, e' over ring {0,4,5,6,7}
+  // (l' is empty on the move path, l is excluded per the reference
+  // index sets). Cells arrive in the normalized top-nibble form of
+  // gather_cell_hi: encoded colors are c ^ 0xF ∈ [8, 15], so an empty
+  // node never matches a color and the sign bit is set iff the cell is
+  // occupied — occupancy is one arithmetic shift, no compare. k runs
+  // descending so the ring bitmask builds by shift-accumulate (bit k ↔
+  // node k) with no per-k mask constants; every sum is
+  // order-independent.
+  __m256i socc = vzero, soccp = vzero, sei = vzero, sepi = vzero,
+          snjl = vzero, snjlp = vzero, vring = vzero;
+  for (int k = 7; k >= 0; --k) {
+    const __m256i voff = _mm256_permutevar8x32_epi32(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(
+            E.ring_off[static_cast<std::size_t>(k)])),
+        vdir);
+    const __m256i vc =
+        gather_cell_hi<kCompact>(cells, _mm256_add_epi32(vbase, voff));
+    const __m256i vocc = _mm256_srai_epi32(vc, 31);
+    const __m256i vnib = _mm256_srli_epi32(vc, 28);
+    const __m256i vmci = _mm256_cmpeq_epi32(vnib, vci);
+    const __m256i vmcj = _mm256_cmpeq_epi32(vnib, vcj);
+    if (k <= 4) {
+      socc = _mm256_add_epi32(socc, vocc);
+      sei = _mm256_add_epi32(sei, vmci);
+      snjl = _mm256_add_epi32(snjl, vmcj);
+    }
+    if (k == 0 || k >= 4) {
+      soccp = _mm256_add_epi32(soccp, vocc);
+      sepi = _mm256_add_epi32(sepi, vmci);
+      snjlp = _mm256_add_epi32(snjlp, vmcj);
+    }
+    vring = _mm256_sub_epi32(_mm256_add_epi32(vring, vring), vocc);
+  }
+  // The mask-sums are negated counts, and every Metropolis quantity is
+  // a difference of two of them, so the negations cancel without ever
+  // materializing the counts:
+  //   Δe   (λ exponent)  = socc − soccp
+  //   Δe_i (γ exponent)  = sei  − sepi
+  //   sx (swap exponent) = Δe_i + (snjlp − snjl) − 2·[ci == cj]
+  // (a cmpeq mask is −1 per true, so adding it twice subtracts 2).
+  const __m256i vde = _mm256_sub_epi32(socc, soccp);
+  const __m256i vdei = _mm256_sub_epi32(sei, sepi);
+  const __m256i vceq = _mm256_cmpeq_epi32(vci, vcj);
+  const __m256i vsx = _mm256_add_epi32(
+      _mm256_add_epi32(vdei, _mm256_sub_epi32(snjlp, snjl)),
+      _mm256_add_epi32(vceq, vceq));
+
+  // Properties 4/5: the 256-bit ring LUT lives in one register — vpermd
+  // selects the 32-bit word, then the queried bit is shifted up to the
+  // sign position where one signed compare reads it.
+  const __m256i vword =
+      _mm256_permutevar8x32_epi32(vlut, _mm256_srli_epi32(vring, 5));
+  const __m256i vlocok = _mm256_cmpgt_epi32(
+      vzero,
+      _mm256_sllv_epi32(
+          vword, _mm256_sub_epi32(v31, _mm256_and_si256(vring, v31))));
+
+  // One shared threshold gather for both paths from the precomputed 2-D
+  // integer table: move lanes read itab_[Δe][Δe_i], swap lanes read
+  // itab_[0][sx]. Each entry is the exact count of 53-bit words whose
+  // decoded uniform lies below λ^a·γ^b, so the signed compare below
+  // partitions raw draws identically to step()'s q < w double test
+  // without ever converting to double. Every blended index is
+  // in-bounds on every lane whichever path it is on.
+  const __m256i va = _mm256_blendv_epi8(vzero, vde, vlp_empty);
+  const __m256i vb = _mm256_blendv_epi8(vsx, vdei, vlp_empty);
+  const __m256i vwi = _mm256_add_epi32(
+      _mm256_add_epi32(_mm256_slli_epi32(va, 5), vb), vwbias);
+  const auto* const itab = reinterpret_cast<const long long*>(E.itab);
+  const __m256i vt_lo =
+      _mm256_i32gather_epi64(itab, _mm256_castsi256_si128(vwi), 8);
+  const __m256i vt_hi =
+      _mm256_i32gather_epi64(itab, _mm256_extracti128_si256(vwi, 1), 8);
+  const int mm_qlt =
+      _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(vt_lo, vq_lo))) |
+      (_mm256_movemask_pd(
+           _mm256_castsi256_pd(_mm256_cmpgt_epi64(vt_hi, vq_hi)))
+       << 4);
+  const __m256i vqm = expand_mask8(mm_qlt, vbits);
+
+  // Per-lane outcome masks, in step()'s precedence order, every one
+  // gated on the lane still running this tick.
+  // socc == −5 ⇔ all five ring(l) nodes occupied (step()'s e == 5).
+  const __m256i ve5 = _mm256_cmpeq_epi32(socc, vm5);
+  const __m256i vpropm = _mm256_and_si256(vlp_empty, vrun);
+  const __m256i vstage = _mm256_andnot_si256(ve5, vpropm);
+  const __m256i vmet = _mm256_and_si256(vstage, vlocok);
+  const __m256i vmacc = _mm256_and_si256(vmet, vqm);
+  G.acc_movep = _mm256_sub_epi32(G.acc_movep, vpropm);
+  G.acc_r5 = _mm256_sub_epi32(G.acc_r5, _mm256_and_si256(vpropm, ve5));
+  G.acc_rloc =
+      _mm256_sub_epi32(G.acc_rloc, _mm256_andnot_si256(vlocok, vstage));
+  G.acc_rmet = _mm256_sub_epi32(G.acc_rmet, _mm256_andnot_si256(vqm, vmet));
+  G.acc_macc = _mm256_sub_epi32(G.acc_macc, vmacc);
+  __m256i vsacc = vzero;
+  if (E.swaps) {
+    const __m256i vlp_occ = _mm256_andnot_si256(vlp_empty, vrun);
+    vsacc = _mm256_and_si256(vlp_occ, vqm);
+    G.acc_swapp = _mm256_sub_epi32(G.acc_swapp, vlp_occ);
+    G.acc_sacc = _mm256_sub_epi32(G.acc_sacc, vsacc);
+  }
+
+  const int mm = _mm256_movemask_ps(_mm256_castsi256_ps(vmacc)) |
+                 (_mm256_movemask_ps(_mm256_castsi256_ps(vsacc)) << 8);
+  if (mm != 0) [[unlikely]] {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->pi), vpi);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->dir), vdir);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->de), vde);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->dh),
+                       _mm256_sub_epi32(vde, vdei));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->sx), vsx);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp->lpc), vlpc);
+  }
+  return mm;
+}
 #endif
 
 }  // namespace
 
 bool ReplicaBand::auto_simd() noexcept {
-#if defined(SOPS_BAND_X86)
-  return __builtin_cpu_supports("avx2") &&
-         std::getenv("SOPS_FORCE_SCALAR") == nullptr;
-#else
-  return false;
-#endif
+  return detail::simd_runtime_enabled();
 }
 
 ReplicaBand::ReplicaBand(std::span<SeparationChain* const> chains,
@@ -161,16 +422,13 @@ ReplicaBand::ReplicaBand(std::span<SeparationChain* const> chains,
       simd_ = false;
       break;
     case Mode::kSimd:
-#if defined(SOPS_BAND_X86)
-      if (!__builtin_cpu_supports("avx2")) {
+      if (!detail::cpu_has_avx2()) {
         throw std::invalid_argument("ReplicaBand: AVX2 unavailable");
       }
       simd_ = true;
-#else
-      throw std::invalid_argument("ReplicaBand: AVX2 unavailable");
-#endif
       break;
   }
+  decode512_ = simd_ && detail::cpu_has_avx512f();
   const std::size_t w = chains_.size();
   pi_.resize(block_size_ * w);
   dir_.resize(block_size_ * w);
@@ -180,16 +438,37 @@ ReplicaBand::ReplicaBand(std::span<SeparationChain* const> chains,
   gbase_.resize(w);
   x0_.resize(w);
   y0_.resize(w);
-  // The 2-D weight table holds the exact IEEE products step() computes
-  // per proposal (see the header); all lanes share (λ, γ), so one table
-  // serves the band.
+  // The 2-D threshold table (see the header): for each (a, b) compute
+  // the exact IEEE product w = λ^a · γ^b that step() compares against,
+  // then binary-search the monotone decoded-uniform curve for the
+  // count of raw values accepted by `q < w`. All lanes share (λ, γ),
+  // so one table serves the band.
   for (int a = -5; a <= 5; ++a) {
     for (int b = -SeparationChain::kMaxExp; b <= SeparationChain::kMaxExp;
          ++b) {
-      wtab_[static_cast<std::size_t>((a + 5) * kWtabStride + (b + 12))] =
-          head.pow_lambda_[SeparationChain::kMaxExp + a] *
-          head.pow_gamma_[SeparationChain::kMaxExp + b];
+      const double wt = head.pow_lambda_[SeparationChain::kMaxExp + a] *
+                        head.pow_gamma_[SeparationChain::kMaxExp + b];
+      // First v in [0, 2^53] with q(v) >= wt, where q(v) is exactly
+      // util::decode_uniform_open's (double(v) + 0.5) * 2^-53. Every
+      // raw >> 11 below the boundary accepts, everything at or above
+      // rejects — the same partition the scalar double compare makes.
+      std::uint64_t lo = 0;
+      std::uint64_t hi = std::uint64_t{1} << 53;
+      while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        const double qv = (static_cast<double>(mid) + 0.5) * 0x1.0p-53;
+        if (qv < wt) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      itab_[static_cast<std::size_t>((a + 5) * kWtabStride + (b + 12))] =
+          static_cast<std::int64_t>(lo);
     }
+  }
+  if (const char* e = std::getenv("SOPS_BAND_COMPACT")) {
+    layout_override_ = e[0] == '0' ? 0 : 1;
   }
 }
 
@@ -204,9 +483,16 @@ void ReplicaBand::run(std::span<const std::uint64_t> quotas) {
   if (quotas.size() != width()) {
     throw std::invalid_argument("ReplicaBand: quota count != width");
   }
-  // The systems may have been stepped outside the band since the last
-  // call; the arena and SoA are derived state, so rebuild on entry.
-  rebuild_arena();
+  // The arena and SoA are derived state. They survive across run()
+  // calls as long as no bound chain advanced outside the band: the
+  // step counters are monotone, so comparing them against the counts
+  // recorded at the last sync detects any interleaved serial stepping
+  // (see invalidate_arena() for the one case it cannot see).
+  bool fresh = arena_ok_ && arena_synced_;
+  for (std::size_t r = 0; fresh && r < width(); ++r) {
+    fresh = chains_[r]->counters_.steps == synced_steps_[r];
+  }
+  if (!fresh) rebuild_arena();
   std::array<std::uint64_t, kMaxWidth> rem{};
   std::uint64_t most = 0;
   for (std::size_t r = 0; r < width(); ++r) {
@@ -228,13 +514,43 @@ void ReplicaBand::run(std::span<const std::uint64_t> quotas) {
       most = std::max(most, rem[r]);
     }
   }
+  for (std::size_t r = 0; r < width(); ++r) {
+    synced_steps_[r] = chains_[r]->counters_.steps;
+  }
+  arena_synced_ = arena_ok_;
+}
+
+template <typename Cell>
+void ReplicaBand::fill_arena(std::vector<Cell>& cells, std::int64_t plane) {
+  const std::size_t W = width();
+  const std::size_t n = chains_[0]->sys_.size();
+  // Two cells of tail padding keep the compact path's scale-2 pair
+  // gathers (which read the addressed cell and its memory successor)
+  // inside the allocation at the last plane's edge.
+  cells.assign(
+      static_cast<std::size_t>(plane * static_cast<std::int64_t>(W)) + 2, 0);
+  pcell_.resize(n * W);
+  for (std::size_t r = 0; r < W; ++r) {
+    const system::ParticleSystem& sys = chains_[r]->sys_;
+    gbase_[r] = static_cast<std::int64_t>(r) * plane - y0_[r] * w_ - x0_[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto pi = static_cast<ParticleIndex>(i);
+      const Node v = sys.position(pi);
+      const std::uint32_t color = sys.color(pi);
+      const auto idx = static_cast<std::uint32_t>(
+          gbase_[r] + static_cast<std::int64_t>(v.y) * w_ + v.x);
+      pcell_[i * W + r] =
+          static_cast<std::int32_t>(idx | ((color ^ 0xFu) << 28));
+      cells[idx] = cell::encode<Cell>(static_cast<std::uint32_t>(i), color);
+    }
+  }
 }
 
 void ReplicaBand::rebuild_arena() {
   arena_ok_ = false;
   const std::size_t W = width();
   const std::size_t n = chains_[0]->sys_.size();
-  if (n == 0 || n + 1 > kPMask) return;
+  if (n == 0 || n + 1 > cell::kWideIndexMask) return;
 
   std::int64_t wmax = 0;
   std::int64_t hmax = 0;
@@ -270,21 +586,28 @@ void ReplicaBand::rebuild_arena() {
 
   w_ = wmax;
   h_ = hmax;
-  cells_.assign(static_cast<std::size_t>(plane * static_cast<std::int64_t>(W)),
-                0);
-  pcell_.resize(n * W);
-  for (std::size_t r = 0; r < W; ++r) {
-    const system::ParticleSystem& sys = chains_[r]->sys_;
-    gbase_[r] = static_cast<std::int64_t>(r) * plane - y0_[r] * w_ - x0_[r];
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto pi = static_cast<ParticleIndex>(i);
-      const Node v = sys.position(pi);
-      const std::uint32_t nibble = sys.color(pi) ^ 0xFu;
-      const auto idx = static_cast<std::uint32_t>(
-          gbase_[r] + static_cast<std::int64_t>(v.y) * w_ + v.x);
-      pcell_[i * W + r] = static_cast<std::int32_t>(idx | (nibble << 28));
-      cells_[idx] = (static_cast<std::uint32_t>(i) + 1) | (nibble << 28);
-    }
+  // Layout selection: the compact 16-bit cells need index+1 inside
+  // their 12-bit field, and by default engage only once the wide
+  // layout's total footprint crosses kCompactSelectBytes — below that
+  // the planes are cache-resident either way and the pair gathers'
+  // cacheline-split tax outweighs the halved footprint (measured on
+  // the AVX2 tier; see DESIGN §4). SOPS_BAND_COMPACT pins the choice
+  // for tests. Drift rebuilds re-derive the same inputs, so a band
+  // re-selects its layout only when its bounding boxes actually grew
+  // or shrank across the byte threshold; the inactive store is
+  // emptied so no stale plane survives.
+  const bool fits = n + 1 <= cell::kCompactIndexMask;
+  compact_ =
+      fits && (layout_override_ == 1 ||
+               (layout_override_ != 0 &&
+                plane * static_cast<std::int64_t>(W) * 4 >
+                    kCompactSelectBytes));
+  if (compact_) {
+    cells_.clear();
+    fill_arena(cells16_, plane);
+  } else {
+    cells16_.clear();
+    fill_arena(cells_, plane);
   }
   for (int d = 0; d < 6; ++d) {
     const auto off = [&](Node v) {
@@ -326,31 +649,50 @@ void ReplicaBand::run_block(const std::size_t* active, std::size_t count) {
   }
   for (std::size_t r = vec_lanes; r < W; ++r) decode_lane(r, 0, active[r]);
 
-  // EXECUTE: SIMD over each full 8-lane group — lanes whose quota ends
-  // early are masked off tick by tick — then a scalar sweep for
-  // everything left: partial groups and the remainder of a block whose
-  // arena was declined mid-walk. Lanes are independent chains, so
-  // per-lane tick order is the only ordering that matters.
+  // EXECUTE: SIMD over the full 8-lane groups — a width-16 band runs
+  // its two groups interleaved through one tick loop, anything else
+  // group by group, lanes whose quota ends early masked off tick by
+  // tick — then a scalar sweep for everything left: partial groups and
+  // the remainder of a block whose arena was declined mid-walk. Lanes
+  // are independent chains, so per-lane tick order is the only
+  // ordering that matters.
   std::array<std::size_t, kMaxWidth> done{};
   if (simd_ && arena_ok_) {
-    for (std::size_t g = 0; g + 8 <= W; g += 8) {
+    if (W == 16) {
       std::size_t most = 0;
-      for (std::size_t j = 0; j < 8; ++j) {
-        most = std::max(most, active[g + j]);
-      }
+      for (std::size_t r = 0; r < 16; ++r) most = std::max(most, active[r]);
       const std::size_t stop =
-          most > 0 ? execute_group_simd(g, 0, active) : 0;
-      for (std::size_t j = 0; j < 8; ++j) {
-        done[g + j] = std::min(stop, active[g + j]);
+          most > 0 ? (compact_ ? execute_pair_simd<true>(0, active)
+                               : execute_pair_simd<false>(0, active))
+                   : 0;
+      for (std::size_t r = 0; r < 16; ++r) {
+        done[r] = std::min(stop, active[r]);
       }
-      if (!arena_ok_) break;
+    } else {
+      for (std::size_t g = 0; g + 8 <= W; g += 8) {
+        std::size_t most = 0;
+        for (std::size_t j = 0; j < 8; ++j) {
+          most = std::max(most, active[g + j]);
+        }
+        const std::size_t stop =
+            most > 0 ? (compact_ ? execute_group_simd<true>(g, 0, active)
+                                 : execute_group_simd<false>(g, 0, active))
+                     : 0;
+        for (std::size_t j = 0; j < 8; ++j) {
+          done[g + j] = std::min(stop, active[g + j]);
+        }
+        if (!arena_ok_) break;
+      }
     }
   }
   for (std::size_t r = 0; r < W; ++r) {
     std::size_t from = done[r];
     if (from >= active[r]) continue;
-    if (arena_ok_) from = execute_lane<true>(r, from, active[r]);
-    if (from < active[r]) execute_lane<false>(r, from, active[r]);
+    if (arena_ok_) {
+      from = compact_ ? execute_lane<kPathCompact>(r, from, active[r])
+                      : execute_lane<kPathWide>(r, from, active[r]);
+    }
+    if (from < active[r]) execute_lane<kPathFlat>(r, from, active[r]);
   }
   flush_counters(active);
 }
@@ -375,14 +717,19 @@ void ReplicaBand::decode_lane(std::size_t r, std::size_t from,
   for (std::size_t t = from; t < to; ++t) {
     pi_[t * W + r] = static_cast<std::int32_t>(util::lemire_below(take, n));
     dir_[t * W + r] = static_cast<std::int32_t>(util::lemire_below(take, 6));
-    q_[t * W + r] = util::decode_uniform_open(take());
+    q_[t * W + r] = take();
   }
   stats_.tail_words += tail;
 }
 
-template <bool kArena>
+template <int kPath>
 std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
                                       std::size_t to) {
+  constexpr bool kArena = kPath != kPathFlat;
+  using Cell =
+      std::conditional_t<kPath == kPathCompact, std::uint16_t, std::uint32_t>;
+  constexpr std::uint32_t kCellIdxMask = cell::kIndexMask<Cell>;
+  constexpr int kNibShift = cell::kNibbleShift<Cell>;
   SeparationChain& chain = *chains_[r];
   system::ParticleSystem& sys = chain.sys_;
   const Params params = chain.params_;
@@ -390,13 +737,18 @@ std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
   const double* const pow_g = chain.pow_gamma_ + SeparationChain::kMaxExp;
   LaneCounts& c = lane_counts_[r];
   const std::size_t W = width();
-  std::uint32_t* cells = cells_.data();
+  Cell* cells = nullptr;
+  if constexpr (kPath == kPathCompact) {
+    cells = reinterpret_cast<Cell*>(cells16_.data());
+  } else if constexpr (kPath == kPathWide) {
+    cells = reinterpret_cast<Cell*>(cells_.data());
+  }
   std::size_t stop = to;
 
   for (std::size_t t = from; t < to; ++t) {
     const auto pi = static_cast<ParticleIndex>(pi_[t * W + r]);
     const int dir = static_cast<int>(dir_[t * W + r]);
-    const double q = q_[t * W + r];
+    const double q = util::decode_uniform_open(q_[t * W + r]);
     const Node l = sys.position(pi);
     std::size_t soa = 0;
     std::uint32_t pc = 0;
@@ -412,19 +764,19 @@ std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
       unsigned occ = 1u << NeighborhoodGather::kNodeL;
       std::uint64_t nib = 0;
       for (std::size_t k = 0; k < 8; ++k) {
-        const std::uint32_t cell =
+        const std::uint32_t cl =
             cells[base + ring_off_[k][static_cast<std::size_t>(dir)]];
-        occ |= static_cast<unsigned>(cell != 0) << k;
-        nib ^= static_cast<std::uint64_t>(cell >> 28) << (4 * k);
+        occ |= static_cast<unsigned>(cl != 0) << k;
+        nib ^= static_cast<std::uint64_t>(cl >> kNibShift) << (4 * k);
       }
       const std::uint32_t lpc = cells[lp_cell];
       occ |= static_cast<unsigned>(lpc != 0) << NeighborhoodGather::kNodeLp;
-      nib ^= static_cast<std::uint64_t>(lpc >> 28) << 36;
+      nib ^= static_cast<std::uint64_t>(lpc >> kNibShift) << 36;
       nib ^= static_cast<std::uint64_t>(pc >> 28) << 32;
       nb.occ = static_cast<std::uint16_t>(occ);
       nb.color_nibbles ^= nib;
       nb.p_at_l = pi;
-      nb.p_at_lp = static_cast<ParticleIndex>(lpc & kPMask) - 1;
+      nb.p_at_lp = static_cast<ParticleIndex>(lpc & kCellIdxMask) - 1;
     } else {
       nb = NeighborhoodView::gather(sys, l, dir, pi);
     }
@@ -461,11 +813,22 @@ std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
             dst.y - y0_[r] < kArenaSlack ||
             y0_[r] + h_ - 1 - dst.y < kArenaSlack) {
           rebuild_arena();
+          // A footprint crossing the layout threshold flips compact_
+          // out from under this walk's cell width; decline the arena so
+          // the lane finishes FlatMap and the next run() entry rebuilds
+          // into the fresh layout.
+          if (arena_ok_ && compact_ != (kPath == kPathCompact)) {
+            arena_ok_ = false;
+          }
           if (!arena_ok_) {
             stop = t + 1;
             break;
           }
-          cells = cells_.data();
+          cells = reinterpret_cast<Cell*>(kPath == kPathCompact
+                                              ? static_cast<void*>(
+                                                    cells16_.data())
+                                              : static_cast<void*>(
+                                                    cells_.data()));
         }
       }
       continue;
@@ -482,9 +845,9 @@ std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
       const std::uint32_t a = cells[base];
       const std::uint32_t b = cells[lp_cell];
       const std::uint32_t mask =
-          ((a ^ b) >> 28) != 0 ? ~std::uint32_t{0} : 0;
-      cells[base] = a ^ ((a ^ b) & mask);
-      cells[lp_cell] = b ^ ((a ^ b) & mask);
+          ((a ^ b) >> kNibShift) != 0 ? ~std::uint32_t{0} : 0;
+      cells[base] = static_cast<Cell>(a ^ ((a ^ b) & mask));
+      cells[lp_cell] = static_cast<Cell>(b ^ ((a ^ b) & mask));
       if (mask != 0) {
         // Different colors: the particles exchanged cells; each keeps
         // its own color nibble, only the address parts swap.
@@ -501,10 +864,97 @@ std::size_t ReplicaBand::execute_lane(std::size_t r, std::size_t from,
   return stop;
 }
 
-template std::size_t ReplicaBand::execute_lane<true>(std::size_t, std::size_t,
-                                                     std::size_t);
-template std::size_t ReplicaBand::execute_lane<false>(std::size_t, std::size_t,
-                                                      std::size_t);
+template <bool kCompact>
+bool ReplicaBand::apply_group(std::size_t g8, int mm_macc, int mm_sacc,
+                              const Spill& sp) {
+  using Cell =
+      std::conditional_t<kCompact, std::uint16_t, std::uint32_t>;
+  constexpr int kNibShift = cell::kNibbleShift<Cell>;
+  const std::size_t W = width();
+
+  // Apply accepted lanes scalar through the same unchecked mutators the
+  // pipeline uses. Arena addresses are re-read from the live packed SoA
+  // (an earlier lane's drift rebuild may have re-centered the planes);
+  // a declined rebuild finishes the tick's remaining applies without
+  // the arena — the decisions are already made — and the caller hands
+  // the rest of the block to the scalar FlatMap sweep.
+  for (int m = mm_macc; m != 0; m &= m - 1) {
+    const int j = std::countr_zero(static_cast<unsigned>(m));
+    const std::size_t r = g8 + static_cast<std::size_t>(j);
+    system::ParticleSystem& sys = chains_[r]->sys_;
+    const auto pi = static_cast<ParticleIndex>(sp.pi[j]);
+    const Node l = sys.position(pi);
+    const Node dst = lattice::neighbor(l, static_cast<int>(sp.dir[j]));
+    sys.apply_move_unchecked(pi, dst, sp.de[j], sp.dh[j]);
+    if (!arena_ok_) continue;
+    Cell* const cl = kCompact
+                         ? reinterpret_cast<Cell*>(cells16_.data())
+                         : reinterpret_cast<Cell*>(cells_.data());
+    const std::size_t soa = static_cast<std::size_t>(sp.pi[j]) * W + r;
+    const auto pc = static_cast<std::uint32_t>(pcell_[soa]);
+    const std::int64_t base = pc & kIdxMask;
+    const std::int64_t lp_cell =
+        base + lp_off_[static_cast<std::size_t>(sp.dir[j])];
+    cl[lp_cell] = cl[base];
+    cl[base] = 0;
+    pcell_[soa] = static_cast<std::int32_t>(
+        (pc & ~kIdxMask) | static_cast<std::uint32_t>(lp_cell));
+    if (dst.x - x0_[r] < kArenaSlack ||
+        x0_[r] + w_ - 1 - dst.x < kArenaSlack ||
+        dst.y - y0_[r] < kArenaSlack ||
+        y0_[r] + h_ - 1 - dst.y < kArenaSlack) {
+      rebuild_arena();
+      // The re-derived footprint can cross the layout threshold, but
+      // this walk is compiled for the other cell width (and the other
+      // store was just emptied): treat the flip as a declined arena so
+      // the block finishes on the FlatMap path and the next run() entry
+      // re-enters through the fresh layout.
+      if (arena_ok_ && compact_ != kCompact) arena_ok_ = false;
+    }
+  }
+  for (int m = mm_sacc; m != 0; m &= m - 1) {
+    const int j = std::countr_zero(static_cast<unsigned>(m));
+    const std::size_t r = g8 + static_cast<std::size_t>(j);
+    system::ParticleSystem& sys = chains_[r]->sys_;
+    const auto pi = static_cast<ParticleIndex>(sp.pi[j]);
+    // The decide kernel hands back lp cells in the normalized top-
+    // nibble form, so the swap partner's index sits at bit 16 under the
+    // compact layout and bit 0 under the wide one.
+    const auto lpc = static_cast<std::uint32_t>(sp.lpc[j]);
+    const auto qj =
+        static_cast<ParticleIndex>(
+            kCompact ? ((lpc >> 16) & cell::kCompactIndexMask)
+                     : (lpc & cell::kWideIndexMask)) -
+        1;
+    sys.apply_swap_unchecked(pi, qj, -sp.sx[j]);
+    if (!arena_ok_) continue;
+    // The mirror exchange masks to a no-op for same-color swaps,
+    // matching apply_swap_unchecked leaving the positions untouched.
+    Cell* const cl = kCompact
+                         ? reinterpret_cast<Cell*>(cells16_.data())
+                         : reinterpret_cast<Cell*>(cells_.data());
+    const std::size_t si = static_cast<std::size_t>(sp.pi[j]) * W + r;
+    const std::size_t sj = static_cast<std::size_t>(qj) * W + r;
+    const auto pci = static_cast<std::uint32_t>(pcell_[si]);
+    const std::int64_t base = pci & kIdxMask;
+    const std::int64_t lp_cell =
+        base + lp_off_[static_cast<std::size_t>(sp.dir[j])];
+    const std::uint32_t a = cl[base];
+    const std::uint32_t b = cl[lp_cell];
+    const std::uint32_t mask =
+        ((a ^ b) >> kNibShift) != 0 ? ~std::uint32_t{0} : 0;
+    cl[base] = static_cast<Cell>(a ^ ((a ^ b) & mask));
+    cl[lp_cell] = static_cast<Cell>(b ^ ((a ^ b) & mask));
+    if (mask != 0) {
+      const auto pcj = static_cast<std::uint32_t>(pcell_[sj]);
+      pcell_[si] = static_cast<std::int32_t>((pci & ~kIdxMask) |
+                                             (pcj & kIdxMask));
+      pcell_[sj] = static_cast<std::int32_t>((pcj & ~kIdxMask) |
+                                             (pci & kIdxMask));
+    }
+  }
+  return arena_ok_;
+}
 
 void ReplicaBand::flush_counters(const std::size_t* active) {
   for (std::size_t r = 0; r < width(); ++r) {
@@ -526,6 +976,10 @@ void ReplicaBand::flush_counters(const std::size_t* active) {
 
 __attribute__((target("avx2"))) void ReplicaBand::decode_group_simd(
     std::size_t g8, std::size_t ticks) {
+  if (decode512_) {
+    decode_group_simd512(g8, ticks);
+    return;
+  }
   const std::size_t W = width();
   const std::uint64_t n = chains_[0]->sys_.size();
 
@@ -557,7 +1011,7 @@ __attribute__((target("avx2"))) void ReplicaBand::decode_group_simd(
 
   std::int32_t* const pi = pi_.data();
   std::int32_t* const dr = dir_.data();
-  double* const q = q_.data();
+  std::uint64_t* const q = q_.data();
   for (std::size_t t = 0; t < ticks; ++t) {
     const std::size_t idx = t * W + g8;
     __m256i xa = xo_next4(s0a, s1a, s2a, s3a);
@@ -568,10 +1022,13 @@ __attribute__((target("avx2"))) void ReplicaBand::decode_group_simd(
     xb = xo_next4(s0b, s1b, s2b, s3b);
     store_lo32x8(dr + idx, lemire4(xa, v6, vthr6, reja),
                  lemire4(xb, v6, vthr6, rejb));
+    // The Metropolis draw stays a raw word: the decide kernel compares
+    // raw >> 11 against integer thresholds, so no double conversion
+    // happens anywhere on the SIMD path.
     xa = xo_next4(s0a, s1a, s2a, s3a);
     xb = xo_next4(s0b, s1b, s2b, s3b);
-    _mm256_storeu_pd(q + idx, open4(xa));
-    _mm256_storeu_pd(q + idx + 4, open4(xb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + idx), xa);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + idx + 4), xb);
   }
   stats_.refill_words += 3 * ticks * 8;
 
@@ -603,283 +1060,139 @@ __attribute__((target("avx2"))) void ReplicaBand::decode_group_simd(
   }
 }
 
+__attribute__((target("avx512f"))) void ReplicaBand::decode_group_simd512(
+    std::size_t g8, std::size_t ticks) {
+  const std::size_t W = width();
+  const std::uint64_t n = chains_[0]->sys_.size();
+
+  util::Rng::State snap[8];
+  alignas(64) std::uint64_t st[4][8];
+  for (std::size_t j = 0; j < 8; ++j) {
+    snap[j] = chains_[g8 + j]->rng_.state();
+    for (std::size_t k = 0; k < 4; ++k) st[k][j] = snap[j][k];
+  }
+  __m512i s0 = _mm512_load_si512(&st[0][0]);
+  __m512i s1 = _mm512_load_si512(&st[1][0]);
+  __m512i s2 = _mm512_load_si512(&st[2][0]);
+  __m512i s3 = _mm512_load_si512(&st[3][0]);
+
+  const __m512i vn = _mm512_set1_epi64(static_cast<long long>(n));
+  const __m512i v6 = _mm512_set1_epi64(6);
+  const __m512i vthrn =
+      _mm512_set1_epi64(static_cast<long long>((0 - n) % n));
+  const __m512i vthr6 = _mm512_set1_epi64(
+      static_cast<long long>((0 - std::uint64_t{6}) % 6));
+  __mmask8 rej = 0;
+
+  std::int32_t* const pi = pi_.data();
+  std::int32_t* const dr = dir_.data();
+  std::uint64_t* const q = q_.data();
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const std::size_t idx = t * W + g8;
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(pi + idx),
+        _mm512_cvtepi64_epi32(
+            lemire8(xo_next8(s0, s1, s2, s3), vn, vthrn, rej)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dr + idx),
+        _mm512_cvtepi64_epi32(
+            lemire8(xo_next8(s0, s1, s2, s3), v6, vthr6, rej)));
+    // The Metropolis draw stays a raw word (see the AVX2 body).
+    _mm512_storeu_si512(q + idx, xo_next8(s0, s1, s2, s3));
+  }
+  stats_.refill_words += 3 * ticks * 8;
+
+  _mm512_store_si512(&st[0][0], s0);
+  _mm512_store_si512(&st[1][0], s1);
+  _mm512_store_si512(&st[2][0], s2);
+  _mm512_store_si512(&st[3][0], s3);
+  for (std::size_t j = 0; j < 8; ++j) {
+    chains_[g8 + j]->rng_.set_state(
+        {st[0][j], st[1][j], st[2][j], st[3][j]});
+  }
+
+  if (rej != 0) [[unlikely]] {
+    for (int m = rej; m != 0; m &= m - 1) {
+      const auto j = static_cast<std::size_t>(
+          std::countr_zero(static_cast<unsigned>(m)));
+      chains_[g8 + j]->rng_.set_state(snap[j]);
+      decode_lane(g8 + j, 0, ticks);
+    }
+  }
+}
+
+template <bool kCompact>
 __attribute__((target("avx2"))) std::size_t ReplicaBand::execute_group_simd(
     std::size_t g8, std::size_t from, const std::size_t* active) {
   const std::size_t W = width();
-  const SeparationChain& head = *chains_[g8];
-  const double* const wtab = wtab_;
-  const bool swaps = head.params_.swaps_enabled;
-
-  alignas(32) std::int32_t act32[8];
+  const BandEnv env{pi_.data(),
+                    dir_.data(),
+                    q_.data(),
+                    itab_,
+                    ring_off_,
+                    lp_off_,
+                    W,
+                    (W & (W - 1)) == 0
+                        ? static_cast<int>(std::countr_zero(W))
+                        : -1,
+                    chains_[g8]->params_.swaps_enabled};
+  Group G;
+  group_init(G, g8, active);
   std::size_t to = 0;
+  std::size_t tmin = active[g8];
   for (std::size_t j = 0; j < 8; ++j) {
-    act32[j] = static_cast<std::int32_t>(active[g8 + j]);
     to = std::max(to, active[g8 + j]);
+    tmin = std::min(tmin, active[g8 + j]);
   }
   std::size_t stop = to;
 
-  const __m256i vzero = _mm256_setzero_si256();
-  const __m256i vm5 = _mm256_set1_epi32(-5);
-  const __m256i v31 = _mm256_set1_epi32(31);
-  // Bias folding both +5 (λ-exponent row) and +12 (γ-exponent column)
-  // into one add: wtab index = (a << 5) + b + (5*32 + 12).
-  const __m256i vwbias = _mm256_set1_epi32(5 * kWtabStride + 12);
-  const __m256i vwidth = _mm256_set1_epi32(static_cast<int>(W));
-  const __m256i vidxmask =
-      _mm256_set1_epi32(static_cast<int>(kIdxMask));
-  const __m256i vlane = _mm256_setr_epi32(
-      static_cast<int>(g8) + 0, static_cast<int>(g8) + 1,
-      static_cast<int>(g8) + 2, static_cast<int>(g8) + 3,
-      static_cast<int>(g8) + 4, static_cast<int>(g8) + 5,
-      static_cast<int>(g8) + 6, static_cast<int>(g8) + 7);
-  const __m256i vbits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
-  const __m256i vactive =
-      _mm256_load_si256(reinterpret_cast<const __m256i*>(act32));
-  const __m256i vlut = _mm256_loadu_si256(
-      reinterpret_cast<const __m256i*>(kMoveOkWords.data()));
-  // Band widths are usually 8 or 16: a variable-count shift replaces
-  // the 10-cycle vpmulld on the packed-SoA address, which heads the
-  // tick's whole gather dependency chain.
-  const int wshift =
-      (W & (W - 1)) == 0 ? std::countr_zero(W) : -1;
-
-  // Per-lane counter accumulators; mask subtraction adds 1 where true.
-  __m256i acc_movep = vzero, acc_macc = vzero, acc_r5 = vzero,
-          acc_rloc = vzero, acc_rmet = vzero, acc_swapp = vzero,
-          acc_sacc = vzero;
-
-  for (std::size_t t = from; t < to; ++t) {
-    // Reloaded per tick: a drift rebuild inside the apply phase moves
-    // the arena (cells_, pcell_) under us.
-    const auto* const cells_i = reinterpret_cast<const int*>(cells_.data());
-    const std::int32_t* const pcell = pcell_.data();
-    // Lanes whose quota ended before this tick are masked out of every
-    // counter and accept; their stale proposal slots still hold valid
-    // particle indices, so the gathers stay in bounds.
-    const __m256i vrun = _mm256_cmpgt_epi32(
-        vactive, _mm256_set1_epi32(static_cast<int>(t)));
-
-    const std::size_t idx = t * W + g8;
-    const __m256i vpi = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(pi_.data() + idx));
-    const __m256i vdir = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(dir_.data() + idx));
-    const __m256d vq_lo = _mm256_loadu_pd(q_.data() + idx);
-    const __m256d vq_hi = _mm256_loadu_pd(q_.data() + idx + 4);
-
-    // One gather on the packed SoA: each lane's proposer address in
-    // the arena plus its encoded color.
-    const __m256i vsoa = _mm256_add_epi32(
-        wshift >= 0 ? _mm256_slli_epi32(vpi, wshift)
-                    : _mm256_mullo_epi32(vpi, vwidth),
-        vlane);
-    const __m256i vpc = _mm256_i32gather_epi32(pcell, vsoa, 4);
-    const __m256i vbase = _mm256_and_si256(vpc, vidxmask);
-    const __m256i vci = _mm256_srli_epi32(vpc, 28);
-
-    // The 10-node neighborhood across lanes: the per-direction offsets
-    // come from in-register permutes over the 6-entry tables (padded
-    // to 8), so only the arena cells themselves are gathered.
-    const __m256i vlpoff = _mm256_permutevar8x32_epi32(
-        _mm256_load_si256(reinterpret_cast<const __m256i*>(lp_off_)), vdir);
-    const __m256i vlpc =
-        _mm256_i32gather_epi32(cells_i, _mm256_add_epi32(vbase, vlpoff), 4);
-    const __m256i vlp_empty = _mm256_cmpeq_epi32(vlpc, vzero);
-    const __m256i vcj = _mm256_srli_epi32(vlpc, 28);
-
-    // Occupancy/color sums accumulated on the fly over the node
-    // subsets of neighborhood.hpp: e over ring 0..4, e' over ring
-    // {0,4,5,6,7} (l' is empty on the move path, l is excluded per the
-    // reference index sets). Empty cells carry top nibble 0; encoded
-    // colors are c ^ 0xF ∈ [8, 15], so an empty node never matches a
-    // color and bit 31 is set iff the cell is occupied — occupancy is
-    // one arithmetic shift, no compare. k runs descending so the ring
-    // bitmask builds by shift-accumulate (bit k ↔ node k) with no
-    // per-k mask constants; every sum is order-independent.
-    __m256i socc = vzero, soccp = vzero, sei = vzero, sepi = vzero,
-            snjl = vzero, snjlp = vzero, vring = vzero;
-    for (int k = 7; k >= 0; --k) {
-      const __m256i voff = _mm256_permutevar8x32_epi32(
-          _mm256_load_si256(reinterpret_cast<const __m256i*>(
-              ring_off_[static_cast<std::size_t>(k)])),
-          vdir);
-      const __m256i vc =
-          _mm256_i32gather_epi32(cells_i, _mm256_add_epi32(vbase, voff), 4);
-      const __m256i vocc = _mm256_srai_epi32(vc, 31);
-      const __m256i vnib = _mm256_srli_epi32(vc, 28);
-      const __m256i vmci = _mm256_cmpeq_epi32(vnib, vci);
-      const __m256i vmcj = _mm256_cmpeq_epi32(vnib, vcj);
-      if (k <= 4) {
-        socc = _mm256_add_epi32(socc, vocc);
-        sei = _mm256_add_epi32(sei, vmci);
-        snjl = _mm256_add_epi32(snjl, vmcj);
+  // Ticks below every lane's quota run the maskless decide; only the
+  // ragged tail (usually empty — uniform quotas are the common case)
+  // pays the per-tick quota masking. The arena pointers are refreshed
+  // only after a tick that applied something — a drift rebuild inside
+  // the apply phase is the only thing that moves cells/pcell_ — so the
+  // common all-reject tick never reloads them.
+  Spill sp;
+  bool down = false;
+  std::size_t t = from;
+  const int* cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                              : reinterpret_cast<const int*>(cells_.data());
+  const std::int32_t* pcell = pcell_.data();
+  for (; t < tmin; ++t) {
+    const int mm = band_decide<kCompact, false>(env, G, cells, pcell, t, &sp);
+    if (mm != 0) {
+      if (!apply_group<kCompact>(g8, mm & 0xFF, mm >> 8, sp)) {
+        stop = t + 1;
+        down = true;
+        break;
       }
-      if (k == 0 || k >= 4) {
-        soccp = _mm256_add_epi32(soccp, vocc);
-        sepi = _mm256_add_epi32(sepi, vmci);
-        snjlp = _mm256_add_epi32(snjlp, vmcj);
+      cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                       : reinterpret_cast<const int*>(cells_.data());
+      pcell = pcell_.data();
+    }
+  }
+  for (; !down && t < to; ++t) {
+    const int mm = band_decide<kCompact, true>(env, G, cells, pcell, t, &sp);
+    if (mm != 0) {
+      if (!apply_group<kCompact>(g8, mm & 0xFF, mm >> 8, sp)) {
+        stop = t + 1;
+        break;
       }
-      vring = _mm256_sub_epi32(_mm256_add_epi32(vring, vring), vocc);
-    }
-    // The mask-sums are negated counts, and every Metropolis quantity
-    // is a difference of two of them, so the negations cancel without
-    // ever materializing the counts:
-    //   Δe   (λ exponent)  = socc − soccp
-    //   Δe_i (γ exponent)  = sei  − sepi
-    //   sx (swap exponent) = Δe_i + (snjlp − snjl) − 2·[ci == cj]
-    // (a cmpeq mask is −1 per true, so adding it twice subtracts 2).
-    const __m256i vde = _mm256_sub_epi32(socc, soccp);
-    const __m256i vdei = _mm256_sub_epi32(sei, sepi);
-    const __m256i vceq = _mm256_cmpeq_epi32(vci, vcj);
-    const __m256i vsx = _mm256_add_epi32(
-        _mm256_add_epi32(vdei, _mm256_sub_epi32(snjlp, snjl)),
-        _mm256_add_epi32(vceq, vceq));
-
-    // Properties 4/5: the 256-bit ring LUT lives in one register —
-    // vpermd selects the 32-bit word, then the queried bit is shifted
-    // up to the sign position where one signed compare reads it.
-    const __m256i vword =
-        _mm256_permutevar8x32_epi32(vlut, _mm256_srli_epi32(vring, 5));
-    const __m256i vlocok = _mm256_cmpgt_epi32(
-        vzero,
-        _mm256_sllv_epi32(
-            vword, _mm256_sub_epi32(v31, _mm256_and_si256(vring, v31))));
-
-    // One shared weight gather for both paths from the precomputed 2-D
-    // product table: move lanes read wtab_[Δe][Δe_i] = λ^Δe · γ^Δe_i,
-    // swap lanes read wtab_[0][sx] = 1.0 · γ^sx — the identical IEEE
-    // products step() compares against, so the ordered compare below is
-    // bit-identical to its q >= w test. Every blended index is
-    // in-bounds on every lane whichever path it is on.
-    const __m256i va = _mm256_blendv_epi8(vzero, vde, vlp_empty);
-    const __m256i vb = _mm256_blendv_epi8(vsx, vdei, vlp_empty);
-    const __m256i vwi = _mm256_add_epi32(
-        _mm256_add_epi32(_mm256_slli_epi32(va, 5), vb), vwbias);
-    const __m256d vw_lo =
-        _mm256_i32gather_pd(wtab, _mm256_castsi256_si128(vwi), 8);
-    const __m256d vw_hi =
-        _mm256_i32gather_pd(wtab, _mm256_extracti128_si256(vwi, 1), 8);
-    const int mm_qlt =
-        _mm256_movemask_pd(_mm256_cmp_pd(vq_lo, vw_lo, _CMP_LT_OQ)) |
-        (_mm256_movemask_pd(_mm256_cmp_pd(vq_hi, vw_hi, _CMP_LT_OQ)) << 4);
-    const __m256i vqm = expand_mask8(mm_qlt, vbits);
-
-    // Per-lane outcome masks, in step()'s precedence order, every one
-    // gated on the lane still running this tick.
-    // socc == −5 ⇔ all five ring(l) nodes occupied (step()'s e == 5).
-    const __m256i ve5 = _mm256_cmpeq_epi32(socc, vm5);
-    const __m256i vpropm = _mm256_and_si256(vlp_empty, vrun);
-    const __m256i vstage = _mm256_andnot_si256(ve5, vpropm);
-    const __m256i vmet = _mm256_and_si256(vstage, vlocok);
-    const __m256i vmacc = _mm256_and_si256(vmet, vqm);
-    acc_movep = _mm256_sub_epi32(acc_movep, vpropm);
-    acc_r5 = _mm256_sub_epi32(acc_r5, _mm256_and_si256(vpropm, ve5));
-    acc_rloc =
-        _mm256_sub_epi32(acc_rloc, _mm256_andnot_si256(vlocok, vstage));
-    acc_rmet = _mm256_sub_epi32(acc_rmet, _mm256_andnot_si256(vqm, vmet));
-    acc_macc = _mm256_sub_epi32(acc_macc, vmacc);
-    __m256i vsacc = vzero;
-    if (swaps) {
-      const __m256i vlp_occ = _mm256_andnot_si256(vlp_empty, vrun);
-      vsacc = _mm256_and_si256(vlp_occ, vqm);
-      acc_swapp = _mm256_sub_epi32(acc_swapp, vlp_occ);
-      acc_sacc = _mm256_sub_epi32(acc_sacc, vsacc);
-    }
-
-    const int mm_macc = _mm256_movemask_ps(_mm256_castsi256_ps(vmacc));
-    const int mm_sacc = _mm256_movemask_ps(_mm256_castsi256_ps(vsacc));
-    if ((mm_macc | mm_sacc) == 0) continue;
-
-    // Apply accepted lanes scalar through the same unchecked mutators
-    // the pipeline uses. Arena addresses are re-read from the live
-    // packed SoA (an earlier lane's drift rebuild may have re-centered
-    // the planes); a declined rebuild finishes the tick's remaining
-    // applies without the arena — the decisions are already made — and
-    // hands the rest of the block to the scalar FlatMap sweep.
-    alignas(32) std::int32_t spi[8], sdir[8], sde[8], sdh[8], ssx[8];
-    alignas(32) std::int32_t slpc[8];
-    _mm256_store_si256(reinterpret_cast<__m256i*>(spi), vpi);
-    _mm256_store_si256(reinterpret_cast<__m256i*>(sdir), vdir);
-    _mm256_store_si256(reinterpret_cast<__m256i*>(sde), vde);
-    _mm256_store_si256(reinterpret_cast<__m256i*>(sdh),
-                       _mm256_sub_epi32(vde, vdei));
-    _mm256_store_si256(reinterpret_cast<__m256i*>(ssx), vsx);
-    _mm256_store_si256(reinterpret_cast<__m256i*>(slpc), vlpc);
-
-    for (int m = mm_macc; m != 0; m &= m - 1) {
-      const int j = std::countr_zero(static_cast<unsigned>(m));
-      const std::size_t r = g8 + static_cast<std::size_t>(j);
-      system::ParticleSystem& sys = chains_[r]->sys_;
-      const auto pi = static_cast<ParticleIndex>(spi[j]);
-      const Node l = sys.position(pi);
-      const Node dst = lattice::neighbor(l, static_cast<int>(sdir[j]));
-      sys.apply_move_unchecked(pi, dst, sde[j], sdh[j]);
-      if (!arena_ok_) continue;
-      std::uint32_t* const cl = cells_.data();
-      const std::size_t soa = static_cast<std::size_t>(spi[j]) * W + r;
-      const auto pc = static_cast<std::uint32_t>(pcell_[soa]);
-      const std::int64_t base = pc & kIdxMask;
-      const std::int64_t lp_cell =
-          base + lp_off_[static_cast<std::size_t>(sdir[j])];
-      cl[lp_cell] = cl[base];
-      cl[base] = 0;
-      pcell_[soa] = static_cast<std::int32_t>(
-          (pc & ~kIdxMask) | static_cast<std::uint32_t>(lp_cell));
-      if (dst.x - x0_[r] < kArenaSlack ||
-          x0_[r] + w_ - 1 - dst.x < kArenaSlack ||
-          dst.y - y0_[r] < kArenaSlack ||
-          y0_[r] + h_ - 1 - dst.y < kArenaSlack) {
-        rebuild_arena();
-      }
-    }
-    for (int m = mm_sacc; m != 0; m &= m - 1) {
-      const int j = std::countr_zero(static_cast<unsigned>(m));
-      const std::size_t r = g8 + static_cast<std::size_t>(j);
-      system::ParticleSystem& sys = chains_[r]->sys_;
-      const auto pi = static_cast<ParticleIndex>(spi[j]);
-      const auto qj = static_cast<ParticleIndex>(
-                          static_cast<std::uint32_t>(slpc[j]) & kPMask) -
-                      1;
-      sys.apply_swap_unchecked(pi, qj, -ssx[j]);
-      if (!arena_ok_) continue;
-      // The mirror exchange masks to a no-op for same-color swaps,
-      // matching apply_swap_unchecked leaving the positions untouched.
-      std::uint32_t* const cl = cells_.data();
-      const std::size_t si = static_cast<std::size_t>(spi[j]) * W + r;
-      const std::size_t sj = static_cast<std::size_t>(qj) * W + r;
-      const auto pci = static_cast<std::uint32_t>(pcell_[si]);
-      const std::int64_t base = pci & kIdxMask;
-      const std::int64_t lp_cell =
-          base + lp_off_[static_cast<std::size_t>(sdir[j])];
-      const std::uint32_t a = cl[base];
-      const std::uint32_t b = cl[lp_cell];
-      const std::uint32_t mask =
-          ((a ^ b) >> 28) != 0 ? ~std::uint32_t{0} : 0;
-      cl[base] = a ^ ((a ^ b) & mask);
-      cl[lp_cell] = b ^ ((a ^ b) & mask);
-      if (mask != 0) {
-        const auto pcj = static_cast<std::uint32_t>(pcell_[sj]);
-        pcell_[si] = static_cast<std::int32_t>((pci & ~kIdxMask) |
-                                               (pcj & kIdxMask));
-        pcell_[sj] = static_cast<std::int32_t>((pcj & ~kIdxMask) |
-                                               (pci & kIdxMask));
-      }
-    }
-    if (!arena_ok_) {
-      stop = t + 1;
-      break;
+      cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                       : reinterpret_cast<const int*>(cells_.data());
+      pcell = pcell_.data();
     }
   }
 
   // Flush the vector accumulators into the per-lane counters.
   alignas(32) std::int32_t acc[7][8];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[0]), acc_movep);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[1]), acc_macc);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[2]), acc_r5);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[3]), acc_rloc);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[4]), acc_rmet);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[5]), acc_swapp);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[6]), acc_sacc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[0]), G.acc_movep);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[1]), G.acc_macc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[2]), G.acc_r5);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[3]), G.acc_rloc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[4]), G.acc_rmet);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[5]), G.acc_swapp);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc[6]), G.acc_sacc);
   for (int j = 0; j < 8; ++j) {
     LaneCounts& lc = lane_counts_[g8 + static_cast<std::size_t>(j)];
     lc.move_proposals += static_cast<std::uint32_t>(acc[0][j]);
@@ -897,6 +1210,105 @@ __attribute__((target("avx2"))) std::size_t ReplicaBand::execute_group_simd(
   return stop;
 }
 
+template <bool kCompact>
+__attribute__((target("avx2"))) std::size_t ReplicaBand::execute_pair_simd(
+    std::size_t from, const std::size_t* active) {
+  // Width-16 only: the two 8-lane groups advance through ONE tick loop,
+  // the second group's decide issued while the first one's gathers are
+  // still in flight, so neither group's gather latency serializes the
+  // tick. Lanes never read another lane's plane, so running both
+  // decides before either apply changes scheduling, not results; the
+  // applies re-read the live packed SoA exactly as the single-group
+  // path does.
+  const std::size_t W = width();
+  const BandEnv env{pi_.data(),
+                    dir_.data(),
+                    q_.data(),
+                    itab_,
+                    ring_off_,
+                    lp_off_,
+                    W,
+                    4,  // W == 16
+                    chains_[0]->params_.swaps_enabled};
+  Group A, B;
+  group_init(A, 0, active);
+  group_init(B, 8, active);
+  std::size_t to = 0;
+  std::size_t tmin = active[0];
+  for (std::size_t r = 0; r < 16; ++r) {
+    to = std::max(to, active[r]);
+    tmin = std::min(tmin, active[r]);
+  }
+  std::size_t stop = to;
+
+  Spill sa, sb;
+  bool down = false;
+  std::size_t t = from;
+  const int* cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                              : reinterpret_cast<const int*>(cells_.data());
+  const std::int32_t* pcell = pcell_.data();
+  for (; t < tmin; ++t) {
+    const int ma = band_decide<kCompact, false>(env, A, cells, pcell, t, &sa);
+    const int mb = band_decide<kCompact, false>(env, B, cells, pcell, t, &sb);
+    if ((ma | mb) != 0) {
+      // A declined drift rebuild in A's applies must not skip B's: the
+      // decisions are already made, and apply_group itself skips only
+      // the arena mirroring once arena_ok_ is down.
+      if (ma != 0) apply_group<kCompact>(0, ma & 0xFF, ma >> 8, sa);
+      if (mb != 0) apply_group<kCompact>(8, mb & 0xFF, mb >> 8, sb);
+      if (!arena_ok_) {
+        stop = t + 1;
+        down = true;
+        break;
+      }
+      cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                       : reinterpret_cast<const int*>(cells_.data());
+      pcell = pcell_.data();
+    }
+  }
+  for (; !down && t < to; ++t) {
+    const int ma = band_decide<kCompact, true>(env, A, cells, pcell, t, &sa);
+    const int mb = band_decide<kCompact, true>(env, B, cells, pcell, t, &sb);
+    if ((ma | mb) != 0) {
+      if (ma != 0) apply_group<kCompact>(0, ma & 0xFF, ma >> 8, sa);
+      if (mb != 0) apply_group<kCompact>(8, mb & 0xFF, mb >> 8, sb);
+      if (!arena_ok_) {
+        stop = t + 1;
+        break;
+      }
+      cells = kCompact ? reinterpret_cast<const int*>(cells16_.data())
+                       : reinterpret_cast<const int*>(cells_.data());
+      pcell = pcell_.data();
+    }
+  }
+
+  for (const Group* G : {&A, &B}) {
+    alignas(32) std::int32_t acc[7][8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[0]), G->acc_movep);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[1]), G->acc_macc);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[2]), G->acc_r5);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[3]), G->acc_rloc);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[4]), G->acc_rmet);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[5]), G->acc_swapp);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc[6]), G->acc_sacc);
+    for (int j = 0; j < 8; ++j) {
+      LaneCounts& lc = lane_counts_[G->g8 + static_cast<std::size_t>(j)];
+      lc.move_proposals += static_cast<std::uint32_t>(acc[0][j]);
+      lc.moves_accepted += static_cast<std::uint32_t>(acc[1][j]);
+      lc.rejected_five += static_cast<std::uint32_t>(acc[2][j]);
+      lc.rejected_locality += static_cast<std::uint32_t>(acc[3][j]);
+      lc.rejected_metropolis += static_cast<std::uint32_t>(acc[4][j]);
+      lc.swap_proposals += static_cast<std::uint32_t>(acc[5][j]);
+      lc.swaps_accepted += static_cast<std::uint32_t>(acc[6][j]);
+    }
+  }
+  for (std::size_t r = 0; r < 16; ++r) {
+    const std::size_t a = active[r];
+    stats_.simd_steps += std::min(stop, a) - std::min(from, a);
+  }
+  return stop;
+}
+
 #else  // !SOPS_BAND_X86
 
 void ReplicaBand::decode_group_simd(std::size_t g8, std::size_t ticks) {
@@ -905,6 +1317,11 @@ void ReplicaBand::decode_group_simd(std::size_t g8, std::size_t ticks) {
   for (std::size_t j = 0; j < 8; ++j) decode_lane(g8 + j, 0, ticks);
 }
 
+void ReplicaBand::decode_group_simd512(std::size_t g8, std::size_t ticks) {
+  decode_group_simd(g8, ticks);
+}
+
+template <bool kCompact>
 std::size_t ReplicaBand::execute_group_simd(std::size_t, std::size_t from,
                                             const std::size_t*) {
   // Unreachable: simd_ can never be true off x86-64 (auto_simd() is
@@ -912,6 +1329,21 @@ std::size_t ReplicaBand::execute_group_simd(std::size_t, std::size_t from,
   // sweep covers everything if it is ever called anyway.
   return from;
 }
+
+template <bool kCompact>
+std::size_t ReplicaBand::execute_pair_simd(std::size_t from,
+                                           const std::size_t*) {
+  return from;
+}
+
+template std::size_t ReplicaBand::execute_group_simd<true>(
+    std::size_t, std::size_t, const std::size_t*);
+template std::size_t ReplicaBand::execute_group_simd<false>(
+    std::size_t, std::size_t, const std::size_t*);
+template std::size_t ReplicaBand::execute_pair_simd<true>(
+    std::size_t, const std::size_t*);
+template std::size_t ReplicaBand::execute_pair_simd<false>(
+    std::size_t, const std::size_t*);
 
 #endif
 

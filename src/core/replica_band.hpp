@@ -21,22 +21,37 @@
 //    Proposals land in lane-transposed arrays (tick-major, lane-minor)
 //    so one tick's band of proposals is a contiguous vector load.
 //  - EXECUTE vectorizes ACROSS lanes. Every replica owns a dense
-//    occupancy-mirror plane (same cell encoding as the pipeline's
-//    mirror) inside one contiguous arena with shared plane geometry,
-//    so the ten neighborhood loads of eight replicas become AVX2
-//    gathers; the per-direction cell offsets and the Properties 4/5
-//    ring LUT are answered by in-register permutes (vpermd) rather
-//    than more gathers, a packed per-particle SoA (arena cell index +
-//    color nibble in one int32) collapses the position/color lookups
-//    to a single gather, and the Metropolis accept comes from gathered
-//    pow_lambda_/pow_gamma_ table loads — the move and swap weight
-//    indices are blended into one shared multiply+compare, exact
-//    because λ^0 ≡ 1.0 — bit-identical per lane to step()'s
-//    `q >= λ^Δe · γ^Δe_i` (resp. `q >= γ^sx`) test. Lanes whose step
-//    quota ran out mid-block are masked off inside the tick instead of
-//    demoting the group, so ragged quotas stay vectorized. Accepted
-//    lanes (typically a small minority) apply scalar through the same
-//    *_unchecked mutators the pipeline uses.
+//    occupancy-mirror plane inside one contiguous arena with shared
+//    plane geometry, so the ten neighborhood loads of eight replicas
+//    become AVX2 gathers; the per-direction cell offsets and the
+//    Properties 4/5 ring LUT are answered by in-register permutes
+//    (vpermd) rather than more gathers, a packed per-particle SoA
+//    (arena cell index + color nibble in one int32) collapses the
+//    position/color lookups to a single gather, and the Metropolis
+//    accept comes from gathered pow_lambda_/pow_gamma_ table loads —
+//    the move and swap weight indices are blended into one shared
+//    multiply+compare, exact because λ^0 ≡ 1.0 — bit-identical per
+//    lane to step()'s `q >= λ^Δe · γ^Δe_i` (resp. `q >= γ^sx`) test.
+//    Lanes whose step quota ran out mid-block are masked off inside
+//    the tick instead of demoting the group, so ragged quotas stay
+//    vectorized. Accepted lanes (typically a small minority) apply
+//    scalar through the same *_unchecked mutators the pipeline uses.
+//
+// Arena cells use the layouts of cell_codec.hpp, selected per rebuild:
+// the compact 16-bit encoding (index+1 in 12 bits, color nibble at
+// 12..15) whenever n + 1 fits its index field, halving the per-plane
+// footprint so even eight n=1600 planes stay cache-resident; the wide
+// 32-bit encoding (the pipeline mirror's) above n = 4094. Compact
+// cells are gathered pairwise with scale-2 epi32 gathers and widened
+// in-register — one shift normalizes either layout to the same
+// top-nibble form, so the decision kernel is layout-generic.
+//
+// Width-16 bands run their two 8-lane groups *interleaved*: each tick
+// issues group B's neighborhood gathers while group A's SWAR/LUT/
+// Metropolis arithmetic is still in flight, so gather latency hides
+// behind the other group's independent work instead of serializing
+// group-after-group. Lanes are independent chains, so the pairing
+// changes instruction scheduling only, never any lane's trajectory.
 //
 // Dispatch is runtime: the SIMD path engages only when the CPU reports
 // AVX2, `SOPS_FORCE_SCALAR` is not set, and the arena covers every
@@ -56,14 +71,25 @@
 #include <span>
 #include <vector>
 
+#include "src/core/cell_codec.hpp"
 #include "src/core/markov_chain.hpp"
+
+// Member templates need the target attribute on their in-class
+// declaration: GCC resolves a template's target at instantiation from
+// the declaration it sees, not from the out-of-class definition.
+#if defined(__x86_64__) || defined(_M_X64)
+#define SOPS_BAND_AVX2_FN __attribute__((target("avx2")))
+#else
+#define SOPS_BAND_AVX2_FN
+#endif
 
 namespace sops::core {
 
 class ReplicaBand {
  public:
-  /// Lanes per band. 8 is one AVX2 gather; 16 runs two SIMD groups per
-  /// tick and halves the per-tick loop overhead.
+  /// Lanes per band. 8 is one AVX2 gather; 16 runs two SIMD groups
+  /// interleaved through one tick loop, hiding gather latency behind
+  /// the sibling group's arithmetic.
   static constexpr std::size_t kMaxWidth = 16;
   static constexpr std::size_t kDefaultBlockSize = 256;
   static constexpr std::size_t kMaxBlockSize = 4096;
@@ -74,7 +100,9 @@ class ReplicaBand {
   /// explicitly); kSimd demands AVX2 and throws without it.
   enum class Mode { kAuto, kScalar, kSimd };
 
-  /// Telemetry only; never feeds back into any trajectory.
+  /// Telemetry only; never feeds back into any trajectory. Surfaced as
+  /// benchmark counters by BM_ReplicaBand (simd_fraction = simd_steps /
+  /// (simd_steps + scalar_steps) is the SIMD-coverage gate CI checks).
   struct Stats {
     std::uint64_t blocks = 0;        ///< decode/execute blocks
     std::uint64_t refill_words = 0;  ///< bulk-refilled raw words
@@ -102,28 +130,65 @@ class ReplicaBand {
   /// to the scalar path for the ragged ticks; the rest stay vectorized.
   /// This is how the ensemble drives replicas whose measurement
   /// schedules diverge.
+  ///
+  /// The arena survives across run() calls: it is rebuilt only when a
+  /// bound chain's step counter moved outside the band (the counter is
+  /// monotone, so any interleaved serial stepping is detected). The one
+  /// blind spot is replacing a chain's state in place at an identical
+  /// step count (e.g. restoring a foreign checkpoint into a bound
+  /// chain); call invalidate_arena() after such a swap.
   void run(std::span<const std::uint64_t> quotas);
+
+  /// Drops the cached arena; the next run() rebuilds from the live
+  /// systems. Needed only after mutating a bound chain's configuration
+  /// without advancing its step counter.
+  void invalidate_arena() noexcept {
+    arena_ok_ = false;
+    arena_synced_ = false;
+  }
 
   [[nodiscard]] std::size_t width() const noexcept { return chains_.size(); }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// True when the resolved mode can use AVX2 (arena permitting).
   [[nodiscard]] bool simd_enabled() const noexcept { return simd_; }
+  /// True when the current arena uses the compact 16-bit cell layout
+  /// (n <= cell::kCompactIndexMask - 1 at the last rebuild). Exposed so
+  /// the layout-boundary tests can pin the selection.
+  [[nodiscard]] bool arena_compact() const noexcept {
+    return arena_ok_ && compact_;
+  }
 
   /// What Mode::kAuto resolves to on this machine right now (CPU
   /// capability ∧ !SOPS_FORCE_SCALAR). Exposed for tests and benches.
   [[nodiscard]] static bool auto_simd() noexcept;
 
  private:
-  // Cell encoding shared with StepPipeline's mirror: low kPBits bits
-  // hold particle index + 1 (0 = empty), top nibble holds color ^ 0xF.
-  static constexpr int kPBits = 24;
-  static constexpr std::uint32_t kPMask = (1u << kPBits) - 1;
   // Packed per-particle SoA: low kIdxBits bits hold the particle's
-  // arena cell index, top nibble its encoded color (c ^ 0xF).
+  // arena cell index, top nibble its encoded color (c ^ 0xF). This
+  // encoding is layout-independent — only the arena cells themselves
+  // shrink under the compact layout.
   static constexpr int kIdxBits = 28;
   static constexpr std::uint32_t kIdxMask = (1u << kIdxBits) - 1;
   static constexpr std::int64_t kArenaMargin = 8;
   static constexpr std::int64_t kArenaSlack = 3;
+
+  // Scalar execute paths: FlatMap gather, wide arena, compact arena.
+  enum : int { kPathFlat = 0, kPathWide = 1, kPathCompact = 2 };
+
+ public:
+  /// Spilled per-tick decision vectors of one 8-lane group, handed from
+  /// the SIMD decide kernel to the scalar apply walk. Written only on
+  /// ticks with at least one accepted lane — most ticks never touch it.
+  struct Spill {
+    alignas(32) std::int32_t pi[8];
+    alignas(32) std::int32_t dir[8];
+    alignas(32) std::int32_t de[8];
+    alignas(32) std::int32_t dh[8];
+    alignas(32) std::int32_t sx[8];
+    alignas(32) std::int32_t lpc[8];
+  };
+
+ private:
 
   void run_block(const std::size_t* active, std::size_t max_active);
   /// Decodes ticks [from, to) of lane `r` on the scalar path: Rng::fill
@@ -134,47 +199,81 @@ class ReplicaBand {
   /// the vectorized xoshiro256++/Lemire path; lanes that would hit the
   /// Lemire rejection branch are replayed scalar from their pre-call
   /// RNG state. Requires n < 2^24 (the vector rejection test's range).
+  /// Dispatches to the AVX-512 body below when the CPU has it.
   void decode_group_simd(std::size_t g8, std::size_t ticks);
-  /// Executes decoded ticks [from, to) of lane `r` on the scalar path.
-  /// Returns `to` normally, or the resume tick when the arena was
-  /// declined mid-walk (kArena only); the caller re-enters with
-  /// kArena = false.
-  template <bool kArena>
+  /// AVX-512 twin of decode_group_simd: all eight lanes' xoshiro256++
+  /// states live in four zmm registers, so each draw is one vector op
+  /// sequence instead of two 4-lane halves. Every operation is an
+  /// exact integer op — the produced words, rejection replays, and
+  /// post-call RNG states are identical to the AVX2 body's.
+  void decode_group_simd512(std::size_t g8, std::size_t ticks);
+  /// Executes decoded ticks [from, to) of lane `r` on the scalar path
+  /// selected by kPath (kPathFlat / kPathWide / kPathCompact). Returns
+  /// `to` normally, or the resume tick when the arena was declined
+  /// mid-walk (arena paths only); the caller re-enters with kPathFlat.
+  template <int kPath>
   std::size_t execute_lane(std::size_t r, std::size_t from, std::size_t to);
   /// Executes ticks [from, max over the group of active[g8+j]) for the
   /// 8-lane group starting at lane `g8` with AVX2 gathers; lanes whose
   /// active count is below the current tick are masked off. Returns
   /// the tick it stopped at (the max normally; early when a drift
   /// rebuild declined the arena).
-  std::size_t execute_group_simd(std::size_t g8, std::size_t from,
-                                 const std::size_t* active);
+  template <bool kCompact>
+  SOPS_BAND_AVX2_FN std::size_t execute_group_simd(std::size_t g8,
+                                                   std::size_t from,
+                                                   const std::size_t* active);
+  /// The width-16 path: groups 0 and 8 advance through ONE tick loop,
+  /// their instruction streams interleaved so one group's gathers
+  /// overlap the other's arithmetic. Semantically identical to two
+  /// execute_group_simd calls — lanes never interact.
+  template <bool kCompact>
+  SOPS_BAND_AVX2_FN std::size_t execute_pair_simd(std::size_t from,
+                                                  const std::size_t* active);
+  /// Applies one group's accepted moves/swaps (mask bits of mm_macc /
+  /// mm_sacc) scalar through the *_unchecked mutators, mirroring each
+  /// into the arena. Returns false when a drift rebuild declined the
+  /// arena (caller stops the SIMD walk after this tick).
+  template <bool kCompact>
+  bool apply_group(std::size_t g8, int mm_macc, int mm_sacc, const Spill& sp);
 
-  /// (Re)builds the shared-geometry arena, the per-lane position/color
-  /// SoA, and the direction offset tables; arena_ok_ = false when any
-  /// lane's bounding box makes the shared plane uneconomical.
+  /// (Re)builds the shared-geometry arena — selecting the compact or
+  /// wide cell layout by n — plus the per-lane position/color SoA and
+  /// the direction offset tables; arena_ok_ = false when any lane's
+  /// bounding box makes the shared plane uneconomical.
   void rebuild_arena();
+  template <typename Cell>
+  void fill_arena(std::vector<Cell>& cells, std::int64_t plane);
   void flush_counters(const std::size_t* active);
 
   std::vector<SeparationChain*> chains_;
   std::size_t block_size_;
   bool simd_ = false;
+  bool decode512_ = false;  ///< AVX-512 decode kernel engaged
 
   // Decoded proposals, tick-major and lane-minor: tick t of lane r
-  // lives at [t * width + r], so one tick is one contiguous band.
+  // lives at [t * width + r], so one tick is one contiguous band. q_
+  // holds the RAW third word of each step, not the decoded double: the
+  // SIMD accept compares (raw >> 11) against integer thresholds (itab_
+  // below), so decoding to double happens only on scalar paths.
   std::vector<std::int32_t> pi_;
   std::vector<std::int32_t> dir_;
-  std::vector<double> q_;
+  std::vector<std::uint64_t> q_;
   std::vector<std::uint64_t> raw_;  ///< per-lane refill buffer (reused)
 
   // Arena: one dense mirror plane of w_*h_ cells per lane, planes
   // consecutive. Lane r's cell for axial (x, y) sits at
   // gbase_[r] + y*w_ + x — the per-lane origin is folded into gbase_,
-  // so a particle's whole arena address is one int32.
+  // so a particle's whole arena address is one int32. Exactly one of
+  // cells_/cells16_ is live per rebuild (compact_ selects; cells16_
+  // carries two cells of tail padding so the scale-2 pair gathers of
+  // the SIMD path never read past the allocation).
   std::vector<std::uint32_t> cells_;
+  std::vector<std::uint16_t> cells16_;
   std::vector<std::int64_t> gbase_;
   std::vector<std::int64_t> x0_, y0_;  ///< per-lane box origins
   std::int64_t w_ = 0, h_ = 0;         ///< shared plane extent
   bool arena_ok_ = false;
+  bool compact_ = false;               ///< 16-bit cell layout selected
 
   // Packed particle SoA, lane-minor like the proposals: particle i of
   // lane r at [i * width + r] holds (arena cell index | nibble << 28),
@@ -188,14 +287,37 @@ class ReplicaBand {
   alignas(32) std::int32_t ring_off_[8][8] = {};
   alignas(32) std::int32_t lp_off_[8] = {};
 
-  // 2-D Metropolis weight table: wtab_[(a+5)*kWtabStride + (b+12)] =
-  // pow_lambda_[a] * pow_gamma_[b], the identical IEEE product step()
-  // computes per proposal — so one gather replaces two plus a multiply,
-  // still bit-exact. Moves read (a, b) = (Δe, Δe_i) ∈ [-5, 5]²; swaps
-  // read (0, sx) with sx ∈ [-10, 10] (λ^0 ≡ 1.0, and 1.0·x == x).
-  // Stride 32 makes the index one shift+add. ~2.8 KB, L1-resident.
+  // 2-D Metropolis threshold table, indexed like the weight grid:
+  // itab_[(a+5)*kWtabStride + (b+12)] counts the raw-draw values v in
+  // [0, 2^53) whose decoded uniform q(v) = (double(v) + 0.5)·2^-53
+  // falls below w = pow_lambda_[a] * pow_gamma_[b] — i.e. step()'s
+  // `q < w` accept set, computed once per (a, b) by binary search over
+  // the exact scalar formula. q(v) is monotone in v, so the SIMD
+  // accept is one signed 64-bit compare (raw >> 11) < itab_[idx]
+  // against the gathered threshold: bit-identical to step()'s IEEE
+  // compare without converting raw words to doubles at all. Moves read
+  // (a, b) = (Δe, Δe_i) ∈ [-5, 5]²; swaps read (0, sx), sx ∈ [-10, 10]
+  // (λ^0 ≡ 1.0 leaves γ^sx exact). Stride 32 makes the index one
+  // shift+add. ~2.8 KB, L1-resident.
   static constexpr int kWtabStride = 32;
-  alignas(64) double wtab_[11 * kWtabStride] = {};
+  alignas(64) std::int64_t itab_[11 * kWtabStride] = {};
+
+  // Wide-layout arena bytes (plane · W · 4) above which rebuild_arena
+  // picks the compact cell layout when n also fits its 12-bit index
+  // field. Below this the planes are cache-resident either way and the
+  // compact path's scale-2 pair gathers (a ~3% cacheline-split rate 32-
+  // bit reads at 16-bit alignment) cost more than halving the
+  // footprint buys; above it the halved planes relieve L1/L2 pressure.
+  // SOPS_BAND_COMPACT=0/1 overrides the policy (tests pin both layouts
+  // at the same n with it).
+  static constexpr std::int64_t kCompactSelectBytes = 192 * 1024;
+
+  // Arena reuse across run() calls: the per-lane step counters at last
+  // sync. A mismatch on entry means the chain advanced outside the
+  // band, so the mirror is stale and run() rebuilds.
+  std::array<std::uint64_t, kMaxWidth> synced_steps_{};
+  bool arena_synced_ = false;
+  int layout_override_ = -1;  ///< SOPS_BAND_COMPACT: -1 policy, 0/1 forced
 
   // Per-lane counter accumulators, flushed per block.
   struct LaneCounts {

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SOPS_PIPE_X86 1
+#endif
+
 #include "src/core/neighborhood.hpp"
+#include "src/core/simd_dispatch.hpp"
 
 namespace sops::core {
 
@@ -15,9 +21,16 @@ using system::ParticleIndex;
 
 StepPipeline::StepPipeline(SeparationChain& chain, std::size_t block_size)
     : chain_(chain),
-      block_size_(std::clamp<std::size_t>(block_size, 1, kMaxBlockSize)) {
+      block_size_(std::clamp<std::size_t>(block_size, 1, kMaxBlockSize)),
+      simd_(detail::simd_runtime_enabled()) {
   raw_.resize(3 * block_size_);
   props_.resize(block_size_);
+  spi_.resize(block_size_);
+  sdir_.resize(block_size_);
+  spec_base_.resize(block_size_);
+  spec_occ_.resize(block_size_);
+  spec_nib_.resize(block_size_);
+  spec_lpc_.resize(block_size_);
 }
 
 void StepPipeline::run(std::uint64_t iterations) {
@@ -77,14 +90,105 @@ void StepPipeline::rebuild_mirror() {
       return static_cast<std::int64_t>(v.y) * w_ + v.x;
     };
     lp_off_[static_cast<std::size_t>(d)] = off(lattice::neighbor(Node{}, d));
+    lp_off32_[static_cast<std::size_t>(d)] =
+        static_cast<std::int32_t>(lp_off_[static_cast<std::size_t>(d)]);
     const EdgeRing ring = EdgeRing::around(Node{}, d);
     for (std::size_t k = 0; k < 8; ++k) {
       ring_off_[static_cast<std::size_t>(d)][k] = off(ring.nodes[k]);
+      ring_off32_[k][static_cast<std::size_t>(d)] =
+          static_cast<std::int32_t>(ring_off_[static_cast<std::size_t>(d)][k]);
     }
   }
   ++stats_.mirror_rebuilds;
   mirror_ok_ = true;
 }
+
+#if defined(SOPS_PIPE_X86)
+SOPS_PIPE_AVX2_FN void StepPipeline::spec_gather8(std::size_t i0,
+                                                 const std::uint32_t* cells) {
+  const system::ParticleSystem& sys = chain_.sys_;
+  // One proposal per lane. Positions are {int32 x, int32 y} pairs, so a
+  // qword gather pulls both coordinates of a lane in one load; the
+  // even/odd dword permutes then split the two gathers into packed
+  // x / y vectors.
+  const long long* const pos =
+      reinterpret_cast<const long long*>(sys.positions().data());
+  const __m128i vi_lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(spi_.data() + i0));
+  const __m128i vi_hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(spi_.data() + i0 + 4));
+  const __m256i pa = _mm256_i32gather_epi64(pos, vi_lo, 8);
+  const __m256i pb = _mm256_i32gather_epi64(pos, vi_hi, 8);
+  const __m256i even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m256i odd = _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0);
+  const __m256i vx = _mm256_permute2x128_si256(
+      _mm256_permutevar8x32_epi32(pa, even),
+      _mm256_permutevar8x32_epi32(pb, even), 0x20);
+  const __m256i vy = _mm256_permute2x128_si256(
+      _mm256_permutevar8x32_epi32(pa, odd),
+      _mm256_permutevar8x32_epi32(pb, odd), 0x20);
+  // base = (y - y0)*w + (x - x0), folded to y*w + x - (y0*w + x0) in
+  // wrap-around 32-bit arithmetic: the true index fits in 31 bits (box
+  // cap), so the mod-2^32 result is exact even when the absolute
+  // coordinates push the intermediate products out of the int32 range.
+  const std::int32_t borig = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(y0_) * static_cast<std::uint32_t>(w_) +
+      static_cast<std::uint32_t>(x0_));
+  const __m256i vbase = _mm256_sub_epi32(
+      _mm256_add_epi32(
+          _mm256_mullo_epi32(vy,
+                             _mm256_set1_epi32(static_cast<std::int32_t>(w_))),
+          vx),
+      _mm256_set1_epi32(borig));
+  // Per-lane direction offsets come out of the transposed int32 tables
+  // by a vpermd with the direction vector as the selector.
+  const __m256i vdir =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sdir_.data() + i0));
+  const int* const cbase = reinterpret_cast<const int*>(cells);
+  const __m256i vlpc = _mm256_i32gather_epi32(
+      cbase,
+      _mm256_add_epi32(
+          vbase, _mm256_permutevar8x32_epi32(
+                     _mm256_load_si256(
+                         reinterpret_cast<const __m256i*>(lp_off32_)),
+                     vdir)),
+      4);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi32(1);
+  __m256i vocc = vzero;
+  __m256i vnib = vzero;
+  // Descending so node k lands at occupancy bit k / nibble bits 4k
+  // after the shift-accumulate, exactly the scalar loop's layout.
+  for (int k = 7; k >= 0; --k) {
+    const __m256i voff = _mm256_permutevar8x32_epi32(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(ring_off32_[k])),
+        vdir);
+    const __m256i vc =
+        _mm256_i32gather_epi32(cbase, _mm256_add_epi32(vbase, voff), 4);
+    // (occ << 1) | (cell != 0): cmpeq yields -1 on an empty cell,
+    // cancelling the +1.
+    vocc = _mm256_add_epi32(
+        _mm256_add_epi32(vocc, vocc),
+        _mm256_add_epi32(vone, _mm256_cmpeq_epi32(vc, vzero)));
+    vnib = _mm256_or_si256(_mm256_slli_epi32(vnib, 4),
+                           _mm256_srli_epi32(vc, 28));
+  }
+  vocc = _mm256_or_si256(vocc,
+                         _mm256_set1_epi32(1 << NeighborhoodGather::kNodeL));
+  vocc = _mm256_or_si256(
+      vocc, _mm256_andnot_si256(
+                _mm256_cmpeq_epi32(vlpc, vzero),
+                _mm256_set1_epi32(1 << NeighborhoodGather::kNodeLp)));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec_base_.data() + i0),
+                      vbase);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec_occ_.data() + i0), vocc);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec_nib_.data() + i0), vnib);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(spec_lpc_.data() + i0), vlpc);
+  ++stats_.spec_windows;
+}
+#else
+void StepPipeline::spec_gather8(std::size_t, const std::uint32_t*) {}
+#endif
 
 void StepPipeline::run_block(std::size_t count) {
   ++stats_.blocks;
@@ -117,6 +221,8 @@ void StepPipeline::run_block(std::size_t count) {
     pr.dir = static_cast<std::int32_t>(util::lemire_below(take, 6));
     pr.q = util::decode_uniform_open(take());
     pr.epoch = ~0ULL;
+    spi_[i] = static_cast<std::int32_t>(pr.pi);
+    sdir_[i] = pr.dir;
   }
   stats_.tail_words += tail;
 
@@ -162,55 +268,99 @@ std::size_t StepPipeline::execute_block(std::size_t begin, std::size_t count) {
     }
   };
 
-  if (begin < count) speculate(props_[begin]);
-  for (std::size_t i = begin; i < count; ++i) {
-    if (i + 1 < count) {
-      speculate(props_[i + 1]);
-      if (i + 2 < count) sys.prefetch_position(props_[i + 2].pi);
-    }
+  // Window-gather speculation (AVX2 mirror walks) tracks validity in
+  // two locals: which 8-proposal window the spec_* arrays currently
+  // hold, and the mutation epoch they were gathered at. Locals — not
+  // per-proposal stamps — because the epoch restarts at 0 every block,
+  // so a stamp left over from an earlier block could alias a fresh one.
+  const bool window_mode = kMirror && simd_;
+  std::size_t win = ~std::size_t{0};
+  std::uint64_t wepoch = 0;
 
+  if (!window_mode && begin < count) speculate(props_[begin]);
+  for (std::size_t i = begin; i < count; ++i) {
     const Proposal& pr = props_[i];
     Node l;
     std::int64_t base = 0;
-    if (pr.epoch == epoch) {
-      l = pr.l;
-      if constexpr (kMirror) base = pr.base;
-      ++stats_.speculative_hits;
+    NeighborhoodView nb;
+    bool assembled = false;
+    if (window_mode) {
+      if constexpr (kMirror) {
+        if ((i & (kSpecWindow - 1)) == 0 && i + kSpecWindow <= count) {
+          spec_gather8(i, cells);
+          win = i / kSpecWindow;
+          wepoch = epoch;
+        }
+        // The position read stays unconditional — one hot L1 load, and
+        // keeping it out of the speculation contract means a stale
+        // window can never misplace the proposer.
+        l = sys.position(pr.pi);
+        if (i / kSpecWindow == win && epoch == wepoch) {
+          base = spec_base_[i];
+          const std::uint32_t lpc = spec_lpc_[i];
+          nb.occ = static_cast<std::uint16_t>(spec_occ_[i]);
+          nb.color_nibbles ^=
+              static_cast<std::uint64_t>(spec_nib_[i]) |
+              (static_cast<std::uint64_t>(lpc >> 28) << 36) |
+              (static_cast<std::uint64_t>(sys.color(pr.pi) ^ 0xFu) << 32);
+          nb.p_at_l = pr.pi;
+          nb.p_at_lp = static_cast<ParticleIndex>(lpc & kPMask) - 1;
+          assembled = true;
+          ++stats_.speculative_hits;
+        } else {
+          // Ragged tail before/after the last full window, or an accept
+          // invalidated the gather; plain scalar path.
+          base = mirror_index(l);
+          ++stats_.speculative_misses;
+        }
+      }
     } else {
-      // An accepted move/swap since the snapshot may have relocated the
-      // proposer; fall back to a fresh read + plain gather.
-      l = sys.position(pr.pi);
-      if constexpr (kMirror) base = mirror_index(l);
-      ++stats_.speculative_misses;
+      if (i + 1 < count) {
+        speculate(props_[i + 1]);
+        if (i + 2 < count) sys.prefetch_position(props_[i + 2].pi);
+      }
+      if (pr.epoch == epoch) {
+        l = pr.l;
+        if constexpr (kMirror) base = pr.base;
+        ++stats_.speculative_hits;
+      } else {
+        // An accepted move/swap since the snapshot may have relocated
+        // the proposer; fall back to a fresh read + plain gather.
+        l = sys.position(pr.pi);
+        if constexpr (kMirror) base = mirror_index(l);
+        ++stats_.speculative_misses;
+      }
     }
     const int dir = static_cast<int>(pr.dir);
     const double q = pr.q;
     const std::int64_t lp_cell =
         kMirror ? base + lp_off_[static_cast<std::size_t>(dir)] : 0;
 
-    NeighborhoodView nb;
-    if constexpr (kMirror) {
-      // Branch-free gather from the dense mirror: ten direct loads; the
-      // cell encoding IS the occupancy bit and the nibble XOR mask.
-      const std::int64_t* const roff =
-          ring_off_[static_cast<std::size_t>(dir)].data();
-      unsigned occ = 1u << NeighborhoodGather::kNodeL;
-      std::uint64_t nib = 0;
-      for (std::size_t k = 0; k < 8; ++k) {
-        const std::uint32_t cell = cells[base + roff[k]];
-        occ |= static_cast<unsigned>(cell != 0) << k;
-        nib ^= static_cast<std::uint64_t>(cell >> 28) << (4 * k);
+    if (!assembled) {
+      if constexpr (kMirror) {
+        // Branch-free gather from the dense mirror: ten direct loads;
+        // the cell encoding IS the occupancy bit and the nibble XOR
+        // mask.
+        const std::int64_t* const roff =
+            ring_off_[static_cast<std::size_t>(dir)].data();
+        unsigned occ = 1u << NeighborhoodGather::kNodeL;
+        std::uint64_t nib = 0;
+        for (std::size_t k = 0; k < 8; ++k) {
+          const std::uint32_t cell = cells[base + roff[k]];
+          occ |= static_cast<unsigned>(cell != 0) << k;
+          nib ^= static_cast<std::uint64_t>(cell >> 28) << (4 * k);
+        }
+        const std::uint32_t lpc = cells[lp_cell];
+        occ |= static_cast<unsigned>(lpc != 0) << NeighborhoodGather::kNodeLp;
+        nib ^= static_cast<std::uint64_t>(lpc >> 28) << 36;
+        nib ^= static_cast<std::uint64_t>(sys.color(pr.pi) ^ 0xFu) << 32;
+        nb.occ = static_cast<std::uint16_t>(occ);
+        nb.color_nibbles ^= nib;
+        nb.p_at_l = pr.pi;
+        nb.p_at_lp = static_cast<ParticleIndex>(lpc & kPMask) - 1;
+      } else {
+        nb = NeighborhoodView::gather(sys, l, dir, pr.pi);
       }
-      const std::uint32_t lpc = cells[lp_cell];
-      occ |= static_cast<unsigned>(lpc != 0) << NeighborhoodGather::kNodeLp;
-      nib ^= static_cast<std::uint64_t>(lpc >> 28) << 36;
-      nib ^= static_cast<std::uint64_t>(sys.color(pr.pi) ^ 0xFu) << 32;
-      nb.occ = static_cast<std::uint16_t>(occ);
-      nb.color_nibbles ^= nib;
-      nb.p_at_l = pr.pi;
-      nb.p_at_lp = static_cast<ParticleIndex>(lpc & kPMask) - 1;
-    } else {
-      nb = NeighborhoodView::gather(sys, l, dir, pr.pi);
     }
 
     if (!nb.lp_occupied()) {

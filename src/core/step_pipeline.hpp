@@ -18,17 +18,24 @@
 //     rng.next() calls) is identical to calling step() in a loop.
 //     Proposals depend only on the draws, never on the configuration,
 //     so the whole block can be decoded before any step executes.
-//  3. EXECUTE — walk the decoded block. One proposal ahead of the
-//     step being executed, the walk snapshots the proposer's position
-//     and issues software prefetches for the lines its gather will
-//     probe. Positions are invalidated only by an accepted move/swap,
-//     so the snapshot carries the block's mutation epoch: if the epoch
-//     moved on by execution time, the cached position is dropped and
-//     the step falls back to a plain position read + gather
-//     (speculation is a hint, never an input). The Metropolis
-//     pow_lambda_/pow_gamma_ table bases and the counter updates are
-//     hoisted out of the per-step path: counters accumulate in locals
-//     and flush once per block.
+//  3. EXECUTE — walk the decoded block. On AVX2 machines in mirror
+//     mode, the walk runs a *speculative window*: at every 8-proposal
+//     boundary one vectorized pass gathers the full 10-node
+//     neighborhoods of the next eight pre-decoded proposals (one
+//     proposal per SIMD lane — positions by epi64 gather, ring cells
+//     by epi32 gathers over vpermd-selected direction offsets) and
+//     assembles their occupancy/nibble words up front. The window is
+//     stamped with the block's mutation epoch; only an accepted
+//     move/swap advances the epoch, so a stamped window stays valid
+//     until the next accept — accepts are a small minority, so most
+//     speculative gathers land. A proposal whose window stamp is stale
+//     (or that never got one: ragged tail, scalar build) falls back to
+//     the plain position read + gather — speculation is a hint, never
+//     an input. Off the SIMD path the walk keeps the older one-ahead
+//     position snapshot + prefetch speculation, with the same epoch
+//     rule. The Metropolis pow_lambda_/pow_gamma_ table bases and the
+//     counter updates are hoisted out of the per-step path: counters
+//     accumulate in locals and flush once per block.
 //
 // The execute phase reads occupancy through a pipeline-private *dense
 // mirror* of the occupancy table: a bounding-box grid of 32-bit cells,
@@ -58,6 +65,16 @@
 
 #include "src/core/markov_chain.hpp"
 
+// The window gather is compiled for AVX2 behind runtime dispatch; the
+// target attribute must be visible on the declaration so every caller
+// agrees on the function's target (see replica_band.hpp for the same
+// pattern).
+#if defined(__x86_64__) || defined(_M_X64)
+#define SOPS_PIPE_AVX2_FN __attribute__((target("avx2")))
+#else
+#define SOPS_PIPE_AVX2_FN
+#endif
+
 namespace sops::core {
 
 class StepPipeline {
@@ -66,15 +83,20 @@ class StepPipeline {
   /// Cap keeps the proposal and raw-word buffers comfortably inside L2.
   static constexpr std::size_t kMaxBlockSize = 4096;
 
+  /// Proposals covered by one speculative window gather (one AVX2
+  /// lane set: eight proposals, ten gathered cells each).
+  static constexpr std::size_t kSpecWindow = 8;
+
   /// Telemetry for tests and benchmarks; never feeds back into the
   /// trajectory.
   struct Stats {
     std::uint64_t blocks = 0;            ///< blocks executed
     std::uint64_t refill_words = 0;      ///< raw words drawn in refill loops
     std::uint64_t tail_words = 0;        ///< Lemire-rejection spill draws
-    std::uint64_t speculative_hits = 0;  ///< cached position still valid
+    std::uint64_t speculative_hits = 0;  ///< speculation still valid at use
     std::uint64_t speculative_misses = 0;///< epoch moved; plain fallback
     std::uint64_t mirror_rebuilds = 0;   ///< dense-mirror (re)builds
+    std::uint64_t spec_windows = 0;      ///< 8-proposal window gathers issued
   };
 
   /// Binds to `chain` (kept by reference; must outlive the pipeline).
@@ -122,6 +144,13 @@ class StepPipeline {
   /// was declined mid-walk (drift rebuild hitting the box cap).
   template <bool kMirror>
   std::size_t execute_block(std::size_t begin, std::size_t count);
+  /// One speculative window: AVX2-gathers the 10-node neighborhoods of
+  /// proposals [i0, i0 + kSpecWindow) against the current mirror state
+  /// and stores their assembled occupancy masks / nibble words / lp
+  /// cells into the spec_* arrays. Valid until the next accepted
+  /// move/swap (the caller stamps the window with the mutation epoch).
+  SOPS_PIPE_AVX2_FN void spec_gather8(std::size_t i0,
+                                      const std::uint32_t* cells);
 
   /// Rebuilds the dense mirror from the particle system, or disables it
   /// (mirror_ok_ = false) when the bounding box is uneconomical.
@@ -133,9 +162,22 @@ class StepPipeline {
 
   SeparationChain& chain_;
   std::size_t block_size_;
+  bool simd_ = false;                ///< AVX2 window-gather speculation
   std::vector<std::uint64_t> raw_;   ///< refilled raw xoshiro outputs
   std::vector<Proposal> props_;      ///< decoded block
   Stats stats_;
+
+  // Decode SoA twin of props_ (pi and dir as packed int32), feeding the
+  // window gather's vector loads; written by the same decode walk.
+  std::vector<std::int32_t> spi_;
+  std::vector<std::int32_t> sdir_;
+  // Speculative window results, indexed like props_: assembled
+  // occupancy mask, ring-nibble word (nodes 0..7 at bits 4k), raw lp
+  // cell, and mirror base index of each covered proposal.
+  std::vector<std::int32_t> spec_base_;
+  std::vector<std::int32_t> spec_occ_;
+  std::vector<std::uint32_t> spec_nib_;
+  std::vector<std::uint32_t> spec_lpc_;
 
   // Dense occupancy mirror (execute-phase cache; see file comment).
   std::vector<std::uint32_t> cells_;
@@ -144,6 +186,12 @@ class StepPipeline {
   bool mirror_ok_ = false;
   std::array<std::array<std::int64_t, 8>, 6> ring_off_{}; ///< per-dir ring cell offsets
   std::array<std::int64_t, 6> lp_off_{};                  ///< per-dir target cell offset
+  // The same offsets as int32, transposed for vpermd selection by a
+  // direction vector: ring_off32_[k][dir] (dirs 6/7 unused). In-bounds
+  // whenever the 64-bit tables are: the mirror cap bounds every cell
+  // index below 2^30.
+  alignas(32) std::int32_t ring_off32_[8][8] = {};
+  alignas(32) std::int32_t lp_off32_[8] = {};
 };
 
 }  // namespace sops::core

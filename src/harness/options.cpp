@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "src/core/replica_band.hpp"
 #include "src/util/cli.hpp"
 
 namespace sops::harness {
@@ -41,8 +42,8 @@ Options parse_options(int argc, char** argv, bool with_shard,
                  "");
   cli.add_option("replica-band",
                  "advance up to N same-cell replicas per core in lock-step "
-                 "(core::ReplicaBand; 0/1 = scalar; byte-identical output)",
-                 "0");
+                 "(core::ReplicaBand; 1 = scalar; byte-identical output)",
+                 "1");
   if (with_shard) {
     cli.add_option("shard", "run shard k of n ('k/n'); needs --shard-out", "");
     cli.add_option("task-range",
@@ -99,9 +100,13 @@ Options parse_options(int argc, char** argv, bool with_shard,
     }
     opt.threads = static_cast<unsigned>(threads);
     const std::uint64_t band = cli.unsigned_integer("replica-band");
-    if (band > 4096) {
+    // The band engine tops out at kMaxWidth lanes (two interleaved
+    // 8-lane SIMD groups); reject out-of-range widths at the CLI
+    // instead of silently clamping hours into a sweep.
+    if (band < 1 || band > core::ReplicaBand::kMaxWidth) {
       throw std::invalid_argument(
-          "cli: --replica-band out of range (max 4096)");
+          "cli: --replica-band out of range (legal range [1,16]; 1 = "
+          "scalar)");
     }
     opt.replica_band = static_cast<std::size_t>(band);
 

@@ -9,7 +9,8 @@
 //   --telemetry F  append per-task JSONL telemetry records to F
 //   --replica-band N  advance up to N same-cell replicas in lock-step
 //                  per core (core::ReplicaBand) for chain-protocol
-//                  sweeps; 0/1 = scalar; output is byte-identical
+//                  sweeps; legal range [1,16], 1 (default) = scalar;
+//                  output is byte-identical at every width
 //
 // Grid-shaped harnesses additionally expose the multi-host sharding
 // surface (parse_options(..., with_shard = true)):
@@ -52,9 +53,10 @@ struct Options {
   unsigned threads = 0;    ///< engine pool size; 0 = hardware concurrency
   std::string telemetry;   ///< JSONL telemetry path; empty = disabled
   /// --replica-band N: lock-step band width for chain-protocol sweeps
-  /// (engine::ChainJob::replica_band). 0/1 = scalar. An execution knob
-  /// only — output is byte-identical at every value.
-  std::size_t replica_band = 0;
+  /// (engine::ChainJob::replica_band). Legal range [1, 16] at the CLI
+  /// (core::ReplicaBand::kMaxWidth lanes); 1 = scalar. An execution
+  /// knob only — output is byte-identical at every width.
+  std::size_t replica_band = 1;
 
   // Sharding surface (populated only for with_shard harnesses).
   bool shard_set = false;          ///< --shard k/n given

@@ -314,6 +314,19 @@ TEST(HarnessDeathTest, ShardWithoutOutExitsUsageError) {
               ::testing::ExitedWithCode(kUsageError), "--shard-out");
 }
 
+// The band engine tops out at 16 lanes; 0 is rejected rather than
+// silently meaning scalar (1 is the explicit scalar setting). The
+// message must name the legal range.
+TEST(HarnessDeathTest, ReplicaBandZeroExitsUsageError) {
+  EXPECT_EXIT((void)run_tiny_raw({"--replica-band", "0"}),
+              ::testing::ExitedWithCode(kUsageError), "legal range \\[1,16\\]");
+}
+
+TEST(HarnessDeathTest, ReplicaBandAboveMaxWidthExitsUsageError) {
+  EXPECT_EXIT((void)run_tiny_raw({"--replica-band", "17"}),
+              ::testing::ExitedWithCode(kUsageError), "legal range \\[1,16\\]");
+}
+
 TEST(HarnessDeathTest, ResumeWithoutCheckpointDirExitsUsageError) {
   EXPECT_EXIT((void)run_tiny_raw({"--resume"}),
               ::testing::ExitedWithCode(kUsageError), "--checkpoint-dir");

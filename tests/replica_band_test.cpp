@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/cell_codec.hpp"
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/lattice/shapes.hpp"
@@ -244,6 +245,93 @@ TEST(ReplicaBand, OversizedBoundingBoxFallsBackToFlatMapGather) {
   for (std::size_t r = 0; r < 8; ++r) {
     for (int i = 0; i < 20000; ++i) serial[r].step();
     const std::string what = "outlier lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// n = 4094 is the last size whose index+1 fits the compact cells'
+// 12-bit field; at this scale the wide footprint is far past the
+// selection threshold, so the rebuild must pick the 16-bit layout —
+// and every lane must still be byte-identical to its serial twin.
+TEST(ReplicaBand, CompactLayoutAtIndexCapacityMatchesStepTwins) {
+  static_assert(cell::kCompactIndexMask == 4095);
+  auto banded = make_replicas(8, 4094, 2, Params{4.0, 4.0, true}, 61);
+  auto serial = make_replicas(8, 4094, 2, Params{4.0, 4.0, true}, 61);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  band.run(3000);
+  EXPECT_TRUE(band.arena_compact());
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (int i = 0; i < 3000; ++i) serial[r].step();
+    const std::string what = "compact-boundary lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// One particle more and index+1 no longer fits 12 bits: the rebuild
+// must fall back to the wide 32-bit layout, same bytes as ever.
+TEST(ReplicaBand, WideLayoutJustAboveIndexCapacityMatchesStepTwins) {
+  auto banded = make_replicas(8, 4095, 2, Params{4.0, 4.0, true}, 67);
+  auto serial = make_replicas(8, 4095, 2, Params{4.0, 4.0, true}, 67);
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  band.run(3000);
+  EXPECT_FALSE(band.arena_compact());
+  EXPECT_GE(band.stats().arena_rebuilds, 1u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (int i = 0; i < 3000; ++i) serial[r].step();
+    const std::string what = "wide-boundary lane " + std::to_string(r);
+    expect_same_state(serial[r], banded[r], what);
+    expect_rng_in_sync(serial[r], banded[r], what);
+  }
+}
+
+// A staircase blob stretched so the wide footprint starts just above
+// the selection threshold: the entry rebuild picks compact cells, and
+// the free-diffusion (λ = γ = 1) collapse of the line — a staircase is
+// a near-maximal-extent configuration, so entropy shrinks its bounding
+// box — pushes a later drift rebuild back across the byte threshold
+// into the wide layout mid-run. The walk running when the flip lands
+// is compiled for the other cell width, so the band must decline the
+// stale walk and re-enter through the fresh layout — without
+// perturbing a single lane's bytes.
+TEST(ReplicaBand, DriftRebuildCrossesTheLayoutSelection) {
+  const Params params{1.0, 1.0, true};
+  std::vector<lattice::Node> nodes;
+  for (int i = 0; i < 80; ++i) {
+    nodes.push_back(lattice::Node{(i + 1) / 2, i / 2});
+  }
+  std::vector<SeparationChain> banded;
+  std::vector<SeparationChain> serial;
+  for (std::size_t r = 0; r < 16; ++r) {
+    util::Rng rng(91 + r);
+    const auto colors = balanced_random_colors(nodes.size(), 2, rng);
+    banded.emplace_back(ParticleSystem(nodes, colors), params, 91 + r);
+    serial.emplace_back(ParticleSystem(nodes, colors), params, 91 + r);
+  }
+  auto ptrs = pointers(banded);
+  ReplicaBand band(ptrs);
+  band.run(1);
+  ASSERT_GE(band.stats().arena_rebuilds, 1u);
+  EXPECT_TRUE(band.arena_compact()) << "staircase footprint not above "
+                                       "the selection threshold at entry";
+  std::uint64_t total = 1;
+  while (band.arena_compact() && total < 2000000) {
+    band.run(10000);
+    total += 10000;
+  }
+  // One more segment so a flip that declined the arena mid-block is
+  // followed by a fresh entry rebuild into the re-selected layout.
+  band.run(1);
+  total += 1;
+  ASSERT_FALSE(band.arena_compact())
+      << "collapse never shrank the footprint across the layout threshold";
+  ASSERT_GE(band.stats().arena_rebuilds, 2u);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::uint64_t i = 0; i < total; ++i) serial[r].step();
+    const std::string what = "layout-crossing lane " + std::to_string(r);
     expect_same_state(serial[r], banded[r], what);
     expect_rng_in_sync(serial[r], banded[r], what);
   }

@@ -15,6 +15,7 @@
 #include "src/core/coloring.hpp"
 #include "src/core/markov_chain.hpp"
 #include "src/core/runner.hpp"
+#include "src/core/simd_dispatch.hpp"
 #include "src/lattice/shapes.hpp"
 #include "src/util/rng.hpp"
 
@@ -155,6 +156,26 @@ TEST(StepPipeline, StatsAccountForEveryProposal) {
   EXPECT_GT(st.speculative_misses, 0u);
   EXPECT_EQ(st.refill_words, 3u * 50000u);
   EXPECT_EQ(st.blocks, (50000u + 127u) / 128u);
+}
+
+// The 8-proposal window gather must actually engage on SIMD hardware
+// (and stay off under SOPS_FORCE_SCALAR / non-AVX2 CPUs), while the
+// hit/miss ledger keeps accounting for every proposal either way.
+TEST(StepPipeline, WindowGatherEngagesExactlyWhenSimdIsOn) {
+  const Setting& s = kSettings[0];
+  SeparationChain piped = make_chain(s.n, s.k, s.params, s.seed);
+  StepPipeline pipeline(piped, 256);
+  pipeline.run(50000);
+  const StepPipeline::Stats& st = pipeline.stats();
+  EXPECT_EQ(st.speculative_hits + st.speculative_misses, 50000u);
+  if (detail::simd_runtime_enabled()) {
+    EXPECT_GT(st.spec_windows, 0u);
+    // Accepts are a small minority in the separation regime, so most
+    // window-covered proposals must land as hits.
+    EXPECT_GT(st.speculative_hits, st.speculative_misses);
+  } else {
+    EXPECT_EQ(st.spec_windows, 0u);
+  }
 }
 
 TEST(StepPipeline, CountersAreExactAfterEverySegment) {
